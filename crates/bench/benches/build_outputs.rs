@@ -1,0 +1,64 @@
+//! E4 (Fig. 3): the outputs of the build command — artifact sizes and
+//! build cost for disk vs. `--no-disk` (initramfs-embedded) builds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use marshal_core::{BuildOptions, JobKind};
+
+fn bench_build_outputs(c: &mut Criterion) {
+    let root = marshal_bench::scratch("fig3");
+    let mut builder = marshal_bench::builder_in(&root);
+
+    // Print the Fig. 3 data: artifact inventory for both build modes.
+    for (label, no_disk) in [("default (disk image)", false), ("--no-disk", true)] {
+        let products = builder
+            .build(
+                "hello.json",
+                &BuildOptions {
+                    no_disk,
+                    force: true,
+                },
+            )
+            .unwrap();
+        let JobKind::Linux {
+            boot_path,
+            disk_path,
+        } = &products.jobs[0].kind
+        else {
+            panic!()
+        };
+        let boot_size = std::fs::metadata(boot_path).unwrap().len();
+        let disk_size = disk_path
+            .as_ref()
+            .map(|p| std::fs::metadata(p).unwrap().len());
+        println!("== Fig. 3 build outputs ({label}) ==");
+        println!("  boot binary: {boot_size} bytes");
+        match disk_size {
+            Some(s) => println!("  disk image:  {s} bytes"),
+            None => println!("  disk image:  (embedded in initramfs)"),
+        }
+    }
+
+    let mut group = c.benchmark_group("build_outputs");
+    group.sample_size(10);
+    for (label, no_disk) in [("build_with_disk", false), ("build_no_disk", true)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let products = builder
+                    .build(
+                        "hello.json",
+                        &BuildOptions {
+                            no_disk,
+                            force: true,
+                        },
+                    )
+                    .unwrap();
+                products.jobs.len()
+            })
+        });
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+criterion_group!(benches, bench_build_outputs);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! E8 (§IV-B): "Each job is instantiated as a node in the simulated
+//! cluster and run in parallel. This optimization reduced the runtime for
+//! our experiment from about two weeks to roughly two days."
+//!
+//! Measures a multi-node cycle-exact cluster run serially vs. in parallel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use marshal_isa::abi;
+use marshal_isa::asm::assemble;
+use marshal_sim_rtl::{FireSim, HardwareConfig, NodePayload};
+
+fn cluster(n: usize) -> Vec<(String, NodePayload)> {
+    // One moderately long bare-metal job per node (identical work, like
+    // the intspeed jobs being independent benchmarks).
+    let exe = assemble(
+        r#"
+_start:
+        li      t0, 400000
+        li      t1, 0
+l:      addi    t1, t1, 3
+        andi    t2, t1, 7
+        beqz    t2, skip
+        xor     t1, t1, t0
+skip:
+        addi    t0, t0, -1
+        bnez    t0, l
+        li      a0, 0
+        li      a7, 93
+        ecall
+"#,
+        abi::USER_BASE,
+    )
+    .unwrap();
+    (0..n)
+        .map(|i| {
+            (
+                format!("job{i}"),
+                NodePayload::Bare {
+                    bin: exe.to_bytes(),
+                },
+            )
+        })
+        .collect()
+}
+
+fn bench_parallel_jobs(c: &mut Criterion) {
+    let sim = FireSim::new(HardwareConfig::rocket());
+    let nodes = cluster(10);
+
+    // Print the §IV-B data: wall-clock speedup at 10 nodes.
+    let t0 = std::time::Instant::now();
+    let serial = sim.launch_cluster(&nodes, false).unwrap();
+    let serial_time = t0.elapsed();
+    let t0 = std::time::Instant::now();
+    let parallel = sim.launch_cluster(&nodes, true).unwrap();
+    let parallel_time = t0.elapsed();
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.report.counters.cycles, p.report.counters.cycles);
+    }
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!("== §IV-B parallel jobs (10-node intspeed-style cluster) ==");
+    println!("  host cores: {cores}");
+    println!("  serial:   {serial_time:?}");
+    println!("  parallel: {parallel_time:?}");
+    println!(
+        "  speedup:  {:.2}x — bounded by min(jobs, cores) = {}x; the paper's \
+         FPGA cluster ran all 10 nodes concurrently (~2 weeks -> ~2 days)",
+        serial_time.as_secs_f64() / parallel_time.as_secs_f64(),
+        cores.min(10)
+    );
+
+    let mut group = c.benchmark_group("parallel_jobs");
+    group.sample_size(10);
+    for (label, par) in [("serial_10_jobs", false), ("parallel_10_jobs", true)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let results = sim.launch_cluster(&nodes, par).unwrap();
+                assert_eq!(results.len(), 10);
+                results.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_jobs);
+criterion_main!(benches);

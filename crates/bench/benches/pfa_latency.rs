@@ -1,0 +1,56 @@
+//! E5 (Fig. 5): the PFA latency microbenchmark — per-step latency of a
+//! remote page fault, software-paging baseline vs. the accelerator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use marshal_sim_rtl::pfa::{RemoteMemory, RemoteMode, RemoteTimings};
+
+const PAGE: u64 = 4096;
+
+fn bench_pfa(c: &mut Criterion) {
+    let timings = RemoteTimings::default();
+
+    // Print the Fig. 5 data.
+    let breakdown = |mode: RemoteMode| {
+        let mut mem = RemoteMemory::new(mode, timings, PAGE);
+        for i in 0..64u64 {
+            mem.access(i * PAGE);
+        }
+        mem.stats()
+    };
+    let sw = breakdown(RemoteMode::SoftwarePaging);
+    let hw = breakdown(RemoteMode::Pfa);
+    println!("== Fig. 5: remote page fault latency breakdown (cycles/fault) ==");
+    println!("{:>16} {:>16} {:>8}", "step", "sw-paging", "pfa");
+    for ((step, s), (_, h)) in sw.step_breakdown().iter().zip(hw.step_breakdown().iter()) {
+        println!("{step:>16} {s:>16} {h:>8}");
+    }
+    println!(
+        "{:>16} {:>16} {:>8}   ({:.2}x)",
+        "critical path",
+        sw.mean_latency(),
+        hw.mean_latency(),
+        sw.mean_latency() as f64 / hw.mean_latency() as f64
+    );
+
+    // Criterion: cost of simulating a fault storm in each mode.
+    let mut group = c.benchmark_group("pfa_latency");
+    for (label, mode) in [
+        ("software_paging_4k_faults", RemoteMode::SoftwarePaging),
+        ("pfa_4k_faults", RemoteMode::Pfa),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut mem = RemoteMemory::new(mode, timings, PAGE);
+                let mut total = 0u64;
+                for i in 0..4096u64 {
+                    total += mem.access(i * PAGE);
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pfa);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! # marshal-bench
+//!
+//! The benchmark harness regenerating every table and figure of the
+//! FireMarshal paper (see `EXPERIMENTS.md` at the workspace root for the
+//! full index). Each Criterion bench prints its paper-artifact data once,
+//! then measures the underlying operation:
+//!
+//! | bench | paper artifact |
+//! |---|---|
+//! | `incremental_build` | §III-B dependency tracking (full vs no-op vs leaf-change) |
+//! | `parallel_jobs` | §IV-B parallel jobs ("two weeks to two days") |
+//! | `pfa_latency` | Fig. 5 remote-fault latency breakdown |
+//! | `bpred_sweep` | Fig. 6 Gshare vs TAGE |
+//! | `build_outputs` | Fig. 3 build outputs (disk vs `--no-disk`) |
+//! | `determinism` | §IV-C exact-cycle repeatability |
+//! | `ablation` | design-choice sweeps (TAGE depth, cache capacity, L2, NIC) |
+
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+/// Creates a unique scratch root for one bench run.
+pub fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("marshal-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("scratch dir");
+    d
+}
+
+/// Sets up the bundled workloads and a builder rooted at `root`.
+pub fn builder_in(root: &std::path::Path) -> marshal_core::Builder {
+    let setup = marshal_workloads::setup(root).expect("setup workloads");
+    marshal_core::Builder::new(setup.board, setup.search, root.join("work"))
+        .expect("create builder")
+}
+
+/// Loads one built job's artifacts as a cycle-exact cluster payload.
+pub fn node_payload(job: &marshal_core::JobArtifacts) -> marshal_sim_rtl::NodePayload {
+    match &job.kind {
+        marshal_core::JobKind::Linux {
+            boot_path,
+            disk_path,
+        } => {
+            let boot = marshal_firmware::BootBinary::from_bytes(
+                &std::fs::read(boot_path).expect("boot.bin"),
+            )
+            .expect("parse boot binary");
+            let disk = disk_path.as_ref().map(|p| {
+                marshal_image::FsImage::from_bytes(&std::fs::read(p).expect("rootfs.img"))
+                    .expect("parse disk image")
+            });
+            marshal_sim_rtl::NodePayload::Linux { boot, disk }
+        }
+        marshal_core::JobKind::Bare { bin_path } => marshal_sim_rtl::NodePayload::Bare {
+            bin: std::fs::read(bin_path).expect("bin.mexe"),
+        },
+    }
+}

@@ -1,0 +1,83 @@
+//! Configuration errors.
+
+use std::fmt;
+
+/// Error raised while parsing, resolving, or validating a workload
+/// specification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// Syntax error in a JSON or YAML document.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based column number (0 when unknown).
+        column: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A workload file could not be located on the search path.
+    NotFound(String),
+    /// An option had the wrong type or an invalid value.
+    Invalid {
+        /// The workload being parsed.
+        workload: String,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The `base` chain loops back on itself.
+    InheritanceCycle(Vec<String>),
+    /// Underlying I/O failure reading a workload file.
+    Io(String),
+}
+
+impl ConfigError {
+    pub(crate) fn parse(line: usize, column: usize, message: impl Into<String>) -> ConfigError {
+        ConfigError::Parse {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn invalid(workload: impl Into<String>, message: impl Into<String>) -> ConfigError {
+        ConfigError::Invalid {
+            workload: workload.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Parse {
+                line,
+                column,
+                message,
+            } => write!(f, "parse error at {line}:{column}: {message}"),
+            ConfigError::NotFound(name) => write!(f, "workload `{name}` not found on search path"),
+            ConfigError::Invalid { workload, message } => {
+                write!(f, "invalid workload `{workload}`: {message}")
+            }
+            ConfigError::InheritanceCycle(chain) => {
+                write!(f, "inheritance cycle: {}", chain.join(" -> "))
+            }
+            ConfigError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = ConfigError::parse(3, 7, "unexpected `}`");
+        assert_eq!(e.to_string(), "parse error at 3:7: unexpected `}`");
+        let e = ConfigError::InheritanceCycle(vec!["a".into(), "b".into(), "a".into()]);
+        assert!(e.to_string().contains("a -> b -> a"));
+    }
+}

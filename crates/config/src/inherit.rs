@@ -1,0 +1,335 @@
+//! Recursive `base` inheritance.
+//!
+//! "Parent workloads are parsed recursively, with children inheriting
+//! options from their parents (and overwriting as needed)" (§III-B step 1).
+//!
+//! Merge rules per option (child ⊕ parent):
+//!
+//! | option | rule |
+//! |---|---|
+//! | scalar options (`host-init`, `run`, `command`, `spike`, ...) | child overrides |
+//! | `files`, `outputs`, `spike-args`, `qemu-args` | parent first, then child (append) |
+//! | `linux.config` | parent fragments first, child fragments later (later wins at kconfig merge) |
+//! | `linux.modules` | union, child overrides same-named module |
+//! | `jobs` | never inherited — a workload's jobs are its own |
+//! | `distro` | inherited; only root bases set it |
+
+use crate::error::ConfigError;
+use crate::schema::{FirmwareSpec, LinuxSpec, WorkloadSpec};
+use crate::search::SearchPath;
+
+/// A workload whose whole inheritance chain has been loaded and merged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedWorkload {
+    /// The fully merged specification (`base` is cleared).
+    pub spec: WorkloadSpec,
+    /// Names of the chain, root base first, this workload last.
+    pub chain: Vec<String>,
+    /// The raw, un-merged spec of every chain level (root base first).
+    /// Lets the builder reproduce FireMarshal's recursive parent-image
+    /// builds (each level's overlay/files applied on a copy of its
+    /// parent's image) with per-level dependency tracking.
+    pub levels: Vec<WorkloadSpec>,
+    /// Warnings accumulated while parsing the chain (unknown options).
+    pub warnings: Vec<String>,
+}
+
+impl ResolvedWorkload {
+    /// The distribution this workload ultimately runs on, if any.
+    pub fn distro(&self) -> Option<&str> {
+        self.spec.distro.as_deref()
+    }
+}
+
+/// Loads `name` from `search` and resolves its full inheritance chain.
+///
+/// # Errors
+///
+/// - [`ConfigError::NotFound`] if any workload in the chain is missing.
+/// - [`ConfigError::InheritanceCycle`] if `base` edges loop.
+/// - Parse/validation errors from the individual files.
+///
+/// ```rust
+/// use marshal_config::{SearchPath, resolve_workload};
+/// let mut sp = SearchPath::new();
+/// sp.add_builtin("root.json", r#"{"name":"root","distro":"buildroot","outputs":["/a"]}"#);
+/// sp.add_builtin("leaf.json", r#"{"name":"leaf","base":"root.json","outputs":["/b"]}"#);
+/// let w = resolve_workload(&sp, "leaf.json")?;
+/// assert_eq!(w.spec.outputs, vec!["/a", "/b"]);
+/// assert_eq!(w.chain, vec!["root", "leaf"]);
+/// # Ok::<(), marshal_config::ConfigError>(())
+/// ```
+pub fn resolve_workload(search: &SearchPath, name: &str) -> Result<ResolvedWorkload, ConfigError> {
+    let mut visiting: Vec<String> = Vec::new();
+    resolve_inner(search, name, &mut visiting)
+}
+
+fn resolve_inner(
+    search: &SearchPath,
+    name: &str,
+    visiting: &mut Vec<String>,
+) -> Result<ResolvedWorkload, ConfigError> {
+    if visiting.iter().any(|v| v == name) {
+        let mut chain = visiting.clone();
+        chain.push(name.to_owned());
+        return Err(ConfigError::InheritanceCycle(chain));
+    }
+    visiting.push(name.to_owned());
+
+    let (origin, text) = search.load(name)?;
+    let (mut spec, mut warnings) = WorkloadSpec::parse_str(&text, &origin)?;
+    if spec.name.is_empty() {
+        // Default the name from the file name, like FireMarshal does.
+        spec.name = file_stem(name);
+    }
+
+    let resolved = match spec.base.clone() {
+        Some(base) => {
+            let parent = resolve_inner(search, &base, visiting)?;
+            let mut chain = parent.chain;
+            chain.push(spec.name.clone());
+            let mut levels = parent.levels;
+            levels.push(spec.clone());
+            let mut all_warnings = parent.warnings;
+            all_warnings.append(&mut warnings);
+            ResolvedWorkload {
+                spec: merge_specs(spec, parent.spec),
+                chain,
+                levels,
+                warnings: all_warnings,
+            }
+        }
+        None => ResolvedWorkload {
+            chain: vec![spec.name.clone()],
+            levels: vec![spec.clone()],
+            spec,
+            warnings,
+        },
+    };
+    visiting.pop();
+    Ok(resolved)
+}
+
+fn file_stem(name: &str) -> String {
+    let base = name.rsplit('/').next().unwrap_or(name);
+    base.trim_end_matches(".json")
+        .trim_end_matches(".yaml")
+        .trim_end_matches(".yml")
+        .to_owned()
+}
+
+/// Merges a child spec over a fully-resolved parent spec.
+///
+/// Exposed for the `jobs` expansion, which applies the same rules with the
+/// enclosing workload as the implicit parent.
+pub fn merge_specs(child: WorkloadSpec, parent: WorkloadSpec) -> WorkloadSpec {
+    let linux = match (child.linux, parent.linux) {
+        (Some(c), Some(p)) => Some(merge_linux(c, p)),
+        (c, p) => c.or(p),
+    };
+    let firmware = match (child.firmware, parent.firmware) {
+        (Some(c), Some(p)) => Some(merge_firmware(c, p)),
+        (c, p) => c.or(p),
+    };
+    // `run`/`command` are one logical slot: a child setting either replaces
+    // both (otherwise a child `command` could conflict with an inherited
+    // `run`).
+    let (run, command) = if child.run.is_some() || child.command.is_some() {
+        (child.run, child.command)
+    } else {
+        (parent.run, parent.command)
+    };
+    WorkloadSpec {
+        name: child.name,
+        base: None,
+        distro: child.distro.or(parent.distro),
+        files: parent.files.into_iter().chain(child.files).collect(),
+        overlay: child.overlay.or(parent.overlay),
+        host_init: child.host_init.or(parent.host_init),
+        guest_init: child.guest_init.or(parent.guest_init),
+        run,
+        command,
+        outputs: parent.outputs.into_iter().chain(child.outputs).collect(),
+        post_run_hook: child.post_run_hook.or(parent.post_run_hook),
+        linux,
+        firmware,
+        spike: child.spike.or(parent.spike),
+        spike_args: parent
+            .spike_args
+            .into_iter()
+            .chain(child.spike_args)
+            .collect(),
+        qemu: child.qemu.or(parent.qemu),
+        qemu_args: parent.qemu_args.into_iter().chain(child.qemu_args).collect(),
+        bin: child.bin.or(parent.bin),
+        img: child.img.or(parent.img),
+        rootfs_size: child.rootfs_size.or(parent.rootfs_size),
+        testing: child.testing.or(parent.testing),
+        jobs: child.jobs,
+    }
+}
+
+fn merge_linux(child: LinuxSpec, parent: LinuxSpec) -> LinuxSpec {
+    let mut modules = parent.modules;
+    modules.extend(child.modules);
+    LinuxSpec {
+        source: child.source.or(parent.source),
+        config: parent.config.into_iter().chain(child.config).collect(),
+        modules,
+    }
+}
+
+fn merge_firmware(child: FirmwareSpec, parent: FirmwareSpec) -> FirmwareSpec {
+    FirmwareSpec {
+        kind: child.kind.or(parent.kind),
+        source: child.source.or(parent.source),
+        build_args: parent
+            .build_args
+            .into_iter()
+            .chain(child.build_args)
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp(entries: &[(&str, &str)]) -> SearchPath {
+        let mut sp = SearchPath::new();
+        for (name, text) in entries {
+            sp.add_builtin(*name, *text);
+        }
+        sp
+    }
+
+    #[test]
+    fn three_level_chain() {
+        let sp = sp(&[
+            (
+                "br-base.json",
+                r#"{"name":"br-base","distro":"buildroot","rootfs-size":"1GiB"}"#,
+            ),
+            (
+                "pfa-base.json",
+                r#"{"name":"pfa-base","base":"br-base.json","host-init":"cross-compile.sh",
+                   "linux":{"source":"pfa-linux","config":"pfa-linux.kfrag"}}"#,
+            ),
+            (
+                "bench.json",
+                r#"{"name":"bench","base":"pfa-base.json","command":"/bench",
+                   "linux":{"config":"pfa.kfrag"}}"#,
+            ),
+        ]);
+        let w = resolve_workload(&sp, "bench.json").unwrap();
+        assert_eq!(w.chain, vec!["br-base", "pfa-base", "bench"]);
+        assert_eq!(w.spec.distro.as_deref(), Some("buildroot"));
+        assert_eq!(w.spec.rootfs_size, Some(1 << 30));
+        assert_eq!(w.spec.host_init.as_deref(), Some("cross-compile.sh"));
+        let linux = w.spec.linux.unwrap();
+        assert_eq!(linux.source.as_deref(), Some("pfa-linux"));
+        // Parent fragments first, child later (later wins at merge time).
+        assert_eq!(linux.config, vec!["pfa-linux.kfrag", "pfa.kfrag"]);
+    }
+
+    #[test]
+    fn child_overrides_scalars() {
+        let sp = sp(&[
+            ("p.json", r#"{"name":"p","command":"parent-cmd","spike":"spike-a"}"#),
+            ("c.json", r#"{"name":"c","base":"p.json","command":"child-cmd"}"#),
+        ]);
+        let w = resolve_workload(&sp, "c.json").unwrap();
+        assert_eq!(w.spec.command.as_deref(), Some("child-cmd"));
+        assert_eq!(w.spec.spike.as_deref(), Some("spike-a"));
+    }
+
+    #[test]
+    fn child_run_clears_parent_command() {
+        let sp = sp(&[
+            ("p.json", r#"{"name":"p","command":"parent-cmd"}"#),
+            ("c.json", r#"{"name":"c","base":"p.json","run":"mine.sh"}"#),
+        ]);
+        let w = resolve_workload(&sp, "c.json").unwrap();
+        assert_eq!(w.spec.run.as_deref(), Some("mine.sh"));
+        assert_eq!(w.spec.command, None);
+    }
+
+    #[test]
+    fn lists_append() {
+        let sp = sp(&[
+            ("p.json", r#"{"name":"p","outputs":["/a"],"files":["pa"]}"#),
+            ("c.json", r#"{"name":"c","base":"p.json","outputs":["/b"],"files":["cb"]}"#),
+        ]);
+        let w = resolve_workload(&sp, "c.json").unwrap();
+        assert_eq!(w.spec.outputs, vec!["/a", "/b"]);
+        assert_eq!(w.spec.files.len(), 2);
+        assert_eq!(w.spec.files[0].host, "pa");
+    }
+
+    #[test]
+    fn jobs_not_inherited() {
+        let sp = sp(&[
+            ("p.json", r#"{"name":"p","jobs":[{"name":"pj"}]}"#),
+            ("c.json", r#"{"name":"c","base":"p.json"}"#),
+        ]);
+        let w = resolve_workload(&sp, "c.json").unwrap();
+        assert!(w.spec.jobs.is_empty());
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let sp = sp(&[
+            ("a.json", r#"{"name":"a","base":"b.json"}"#),
+            ("b.json", r#"{"name":"b","base":"a.json"}"#),
+        ]);
+        match resolve_workload(&sp, "a.json") {
+            Err(ConfigError::InheritanceCycle(chain)) => {
+                assert_eq!(chain.first().map(String::as_str), Some("a.json"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_cycle_detected() {
+        let sp = sp(&[("a.json", r#"{"name":"a","base":"a.json"}"#)]);
+        assert!(matches!(
+            resolve_workload(&sp, "a.json"),
+            Err(ConfigError::InheritanceCycle(_))
+        ));
+    }
+
+    #[test]
+    fn missing_base_not_found() {
+        let sp = sp(&[("a.json", r#"{"name":"a","base":"ghost.json"}"#)]);
+        assert!(matches!(
+            resolve_workload(&sp, "a.json"),
+            Err(ConfigError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn name_defaults_from_file() {
+        let sp = sp(&[("quick.json", r#"{"command":"x"}"#)]);
+        let w = resolve_workload(&sp, "quick.json").unwrap();
+        assert_eq!(w.spec.name, "quick");
+    }
+
+    #[test]
+    fn module_merge_child_wins() {
+        let sp = sp(&[
+            (
+                "p.json",
+                r#"{"name":"p","linux":{"modules":{"icenet":"icenet-v1","iceblk":"iceblk-v1"}}}"#,
+            ),
+            (
+                "c.json",
+                r#"{"name":"c","base":"p.json","linux":{"modules":{"icenet":"icenet-v2"}}}"#,
+            ),
+        ]);
+        let w = resolve_workload(&sp, "c.json").unwrap();
+        let m = w.spec.linux.unwrap().modules;
+        assert_eq!(m["icenet"], "icenet-v2");
+        assert_eq!(m["iceblk"], "iceblk-v1");
+    }
+}

@@ -1,0 +1,166 @@
+//! Expansion of the `jobs` option.
+//!
+//! "Jobs are implicitly based on the top level workload description and
+//! follow all inheritance rules" (§III-A-1). A job that declares its own
+//! `base` (like the bare-metal `server` job of Listing 1) instead inherits
+//! from that base's chain.
+
+use crate::error::ConfigError;
+use crate::inherit::{merge_specs, resolve_workload, ResolvedWorkload};
+use crate::search::SearchPath;
+
+/// One node of a (possibly multi-node) workload, ready to build.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpandedJob {
+    /// `parent.job` qualified name, used for artifact directories.
+    pub qualified_name: String,
+    /// The job's fully-merged spec.
+    pub workload: ResolvedWorkload,
+}
+
+/// Expands a resolved workload into its runnable node list.
+///
+/// A workload without jobs expands to a single node: itself. A workload
+/// with jobs expands to one node per job — the top-level workload then only
+/// contributes shared options and is not itself a node, matching the
+/// FireMarshal/FireSim model where each job becomes a simulated node.
+///
+/// # Errors
+///
+/// Propagates resolution errors for jobs that declare their own `base`.
+pub fn expand_jobs(
+    search: &SearchPath,
+    workload: &ResolvedWorkload,
+) -> Result<Vec<ExpandedJob>, ConfigError> {
+    if workload.spec.jobs.is_empty() {
+        return Ok(vec![ExpandedJob {
+            qualified_name: workload.spec.name.clone(),
+            workload: workload.clone(),
+        }]);
+    }
+    let mut out = Vec::with_capacity(workload.spec.jobs.len());
+    for job in &workload.spec.jobs {
+        let qualified_name = format!("{}.{}", workload.spec.name, job.name);
+        let resolved = match &job.base {
+            Some(base) => {
+                // Explicit base: the job ignores the enclosing workload.
+                let parent = resolve_workload(search, base)?;
+                let mut chain = parent.chain.clone();
+                chain.push(job.name.clone());
+                let mut levels = parent.levels.clone();
+                levels.push(job.clone());
+                ResolvedWorkload {
+                    spec: merge_specs(job.clone(), parent.spec),
+                    chain,
+                    levels,
+                    warnings: parent.warnings,
+                }
+            }
+            None => {
+                // Implicit base: the enclosing workload (without its jobs).
+                let mut parent_spec = workload.spec.clone();
+                parent_spec.jobs = Vec::new();
+                let mut chain = workload.chain.clone();
+                chain.push(job.name.clone());
+                let mut levels = workload.levels.clone();
+                levels.push(job.clone());
+                ResolvedWorkload {
+                    spec: merge_specs(job.clone(), parent_spec),
+                    chain,
+                    levels,
+                    warnings: Vec::new(),
+                }
+            }
+        };
+        out.push(ExpandedJob {
+            qualified_name,
+            workload: resolved,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp() -> SearchPath {
+        let mut sp = SearchPath::new();
+        sp.add_builtin(
+            "br-base.json",
+            r#"{"name":"br-base","distro":"buildroot","rootfs-size":"1GiB"}"#,
+        );
+        sp.add_builtin(
+            "bare-metal.json",
+            r#"{"name":"bare-metal","distro":"bare-metal"}"#,
+        );
+        sp.add_builtin(
+            "latency.json",
+            r#"{ "name" : "latency-microbenchmark",
+                 "base" : "br-base.json",
+                 "post-run-hook" : "extract_csv.ms",
+                 "jobs" : [
+                   { "name" : "client", "command": "/client" },
+                   { "name" : "server", "base" : "bare-metal.json", "bin" : "serve" }
+                 ]}"#,
+        );
+        sp
+    }
+
+    #[test]
+    fn single_node_workloads_expand_to_themselves() {
+        let sp = sp();
+        let w = resolve_workload(&sp, "br-base.json").unwrap();
+        let jobs = expand_jobs(&sp, &w).unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].qualified_name, "br-base");
+    }
+
+    #[test]
+    fn listing1_jobs_expand() {
+        let sp = sp();
+        let w = resolve_workload(&sp, "latency.json").unwrap();
+        let jobs = expand_jobs(&sp, &w).unwrap();
+        assert_eq!(jobs.len(), 2);
+
+        let client = &jobs[0];
+        assert_eq!(client.qualified_name, "latency-microbenchmark.client");
+        // Implicit base: inherits buildroot distro and post-run-hook.
+        assert_eq!(client.workload.spec.distro.as_deref(), Some("buildroot"));
+        assert_eq!(
+            client.workload.spec.post_run_hook.as_deref(),
+            Some("extract_csv.ms")
+        );
+        assert_eq!(client.workload.spec.command.as_deref(), Some("/client"));
+        assert_eq!(client.workload.spec.rootfs_size, Some(1 << 30));
+
+        let server = &jobs[1];
+        assert_eq!(server.qualified_name, "latency-microbenchmark.server");
+        // Explicit base: bare-metal, NOT the enclosing workload.
+        assert_eq!(server.workload.spec.distro.as_deref(), Some("bare-metal"));
+        assert_eq!(server.workload.spec.bin.as_deref(), Some("serve"));
+        assert_eq!(server.workload.spec.post_run_hook, None);
+    }
+
+    #[test]
+    fn job_chain_names() {
+        let sp = sp();
+        let w = resolve_workload(&sp, "latency.json").unwrap();
+        let jobs = expand_jobs(&sp, &w).unwrap();
+        assert_eq!(
+            jobs[0].workload.chain,
+            vec!["br-base", "latency-microbenchmark", "client"]
+        );
+        assert_eq!(jobs[1].workload.chain, vec!["bare-metal", "server"]);
+    }
+
+    #[test]
+    fn jobs_do_not_recurse() {
+        let sp = sp();
+        let w = resolve_workload(&sp, "latency.json").unwrap();
+        let jobs = expand_jobs(&sp, &w).unwrap();
+        for j in &jobs {
+            assert!(j.workload.spec.jobs.is_empty());
+        }
+    }
+}

@@ -1,0 +1,617 @@
+//! The typed workload specification — every option of Table II.
+
+use std::collections::BTreeMap;
+
+use crate::error::ConfigError;
+use crate::value::Value;
+
+/// Which SBI firmware implementation to link under the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FirmwareKind {
+    /// OpenSBI (the modern default).
+    #[default]
+    OpenSbi,
+    /// The Berkeley Boot Loader.
+    Bbl,
+}
+
+impl FirmwareKind {
+    /// Parses `"opensbi"` / `"bbl"`.
+    pub fn parse(s: &str) -> Option<FirmwareKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "opensbi" => Some(FirmwareKind::OpenSbi),
+            "bbl" => Some(FirmwareKind::Bbl),
+            _ => None,
+        }
+    }
+
+    /// The canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FirmwareKind::OpenSbi => "opensbi",
+            FirmwareKind::Bbl => "bbl",
+        }
+    }
+}
+
+/// `linux` option block: kernel customisation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LinuxSpec {
+    /// Kernel source identifier (a named modelled source tree).
+    pub source: Option<String>,
+    /// Ordered configuration fragments (later fragments win).
+    pub config: Vec<String>,
+    /// Kernel modules: name → source identifier.
+    pub modules: BTreeMap<String, String>,
+}
+
+impl LinuxSpec {
+    /// Whether nothing is customised.
+    pub fn is_empty(&self) -> bool {
+        self.source.is_none() && self.config.is_empty() && self.modules.is_empty()
+    }
+}
+
+/// `firmware` option block.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FirmwareSpec {
+    /// Which firmware to use.
+    pub kind: Option<FirmwareKind>,
+    /// Custom firmware source identifier.
+    pub source: Option<String>,
+    /// Extra build arguments folded into the firmware fingerprint.
+    pub build_args: Vec<String>,
+}
+
+impl FirmwareSpec {
+    /// Whether nothing is customised.
+    pub fn is_empty(&self) -> bool {
+        self.kind.is_none() && self.source.is_none() && self.build_args.is_empty()
+    }
+}
+
+/// `testing` option block.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TestingSpec {
+    /// Directory of reference outputs (`refDir` in FireMarshal).
+    pub ref_dir: Option<String>,
+    /// Simulation step budget before the test is considered hung.
+    pub timeout: Option<u64>,
+}
+
+/// A `files` entry: copy a host path to a guest path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileMapping {
+    /// Host-side source path (relative to the workload directory).
+    pub host: String,
+    /// Guest-side destination path (absolute).
+    pub guest: String,
+}
+
+/// A job is a full workload fragment nested under `jobs`.
+pub type JobSpec = WorkloadSpec;
+
+/// A workload specification: one parsed JSON/YAML file (Table II).
+///
+/// All fields except `name` are optional; unset fields inherit from `base`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WorkloadSpec {
+    /// Workload name (required).
+    pub name: String,
+    /// Parent workload to inherit from.
+    pub base: Option<String>,
+    /// Distribution for root bases: `buildroot`, `fedora`, or `bare-metal`.
+    pub distro: Option<String>,
+    /// Files to copy into the image.
+    pub files: Vec<FileMapping>,
+    /// A directory overlaid onto the image root.
+    pub overlay: Option<String>,
+    /// Script to run on the host before building.
+    pub host_init: Option<String>,
+    /// Script to run once inside the guest at build time.
+    pub guest_init: Option<String>,
+    /// Script file to run on every boot.
+    pub run: Option<String>,
+    /// Command line to run on every boot (mutually exclusive with `run`).
+    pub command: Option<String>,
+    /// Files to copy out of the image after a run.
+    pub outputs: Vec<String>,
+    /// Host script run over the collected outputs.
+    pub post_run_hook: Option<String>,
+    /// Kernel customisation.
+    pub linux: Option<LinuxSpec>,
+    /// Firmware customisation.
+    pub firmware: Option<FirmwareSpec>,
+    /// Custom Spike simulator binary identifier.
+    pub spike: Option<String>,
+    /// Extra arguments for Spike.
+    pub spike_args: Vec<String>,
+    /// Custom QEMU simulator binary identifier.
+    pub qemu: Option<String>,
+    /// Extra arguments for QEMU.
+    pub qemu_args: Vec<String>,
+    /// Hard-coded boot binary (bare-metal workloads).
+    pub bin: Option<String>,
+    /// Hard-coded disk image.
+    pub img: Option<String>,
+    /// Disk image size in bytes.
+    pub rootfs_size: Option<u64>,
+    /// Testing configuration.
+    pub testing: Option<TestingSpec>,
+    /// Per-node job specifications.
+    pub jobs: Vec<JobSpec>,
+}
+
+impl WorkloadSpec {
+    /// Parses a spec from JSON or YAML text, picking the syntax from
+    /// `file_name`'s extension (defaulting to JSON sniffing).
+    ///
+    /// Returns the spec plus warnings for unknown keys.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors and type errors as [`ConfigError`].
+    pub fn parse_str(text: &str, file_name: &str) -> Result<(WorkloadSpec, Vec<String>), ConfigError> {
+        let value = if file_name.ends_with(".yaml") || file_name.ends_with(".yml") {
+            crate::yaml::parse(text)?
+        } else if file_name.ends_with(".json") {
+            crate::json::parse(text)?
+        } else if text.trim_start().starts_with('{') {
+            crate::json::parse(text)?
+        } else {
+            crate::yaml::parse(text)?
+        };
+        WorkloadSpec::from_value(&value, file_name)
+    }
+
+    /// Builds a spec from a parsed [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Invalid`] for non-object documents, wrongly
+    /// typed options, or an invalid `rootfs-size`.
+    pub fn from_value(value: &Value, origin: &str) -> Result<(WorkloadSpec, Vec<String>), ConfigError> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| ConfigError::invalid(origin, "workload must be an object"))?;
+        let mut spec = WorkloadSpec::default();
+        let mut warnings = Vec::new();
+
+        for (key, v) in obj {
+            match key.as_str() {
+                "name" => spec.name = str_opt(v, origin, key)?.unwrap_or_default(),
+                "base" => spec.base = str_opt(v, origin, key)?,
+                "distro" => spec.distro = str_opt(v, origin, key)?,
+                "overlay" => spec.overlay = str_opt(v, origin, key)?,
+                "host-init" | "host_init" => spec.host_init = str_opt(v, origin, key)?,
+                "guest-init" | "guest_init" => spec.guest_init = str_opt(v, origin, key)?,
+                "run" => spec.run = str_opt(v, origin, key)?,
+                "command" => spec.command = str_opt(v, origin, key)?,
+                "post-run-hook" | "post_run_hook" => spec.post_run_hook = str_opt(v, origin, key)?,
+                "spike" => spec.spike = str_opt(v, origin, key)?,
+                "qemu" => spec.qemu = str_opt(v, origin, key)?,
+                "bin" => spec.bin = str_opt(v, origin, key)?,
+                "img" => spec.img = str_opt(v, origin, key)?,
+                "spike-args" | "spike_args" => spec.spike_args = str_list(v, origin, key)?,
+                "qemu-args" | "qemu_args" => spec.qemu_args = str_list(v, origin, key)?,
+                "outputs" => spec.outputs = str_list(v, origin, key)?,
+                "rootfs-size" | "rootfs_size" => {
+                    spec.rootfs_size = Some(parse_size(v, origin)?);
+                }
+                "files" => {
+                    let items = v.as_array().ok_or_else(|| {
+                        ConfigError::invalid(origin, "`files` must be an array")
+                    })?;
+                    for item in items {
+                        spec.files.push(parse_file_mapping(item, origin)?);
+                    }
+                }
+                "linux" => spec.linux = Some(parse_linux(v, origin)?),
+                "firmware" => spec.firmware = Some(parse_firmware(v, origin)?),
+                "testing" => spec.testing = Some(parse_testing(v, origin)?),
+                "jobs" => {
+                    let items = v.as_array().ok_or_else(|| {
+                        ConfigError::invalid(origin, "`jobs` must be an array")
+                    })?;
+                    for item in items {
+                        let (job, mut w) = WorkloadSpec::from_value(item, origin)?;
+                        if job.name.is_empty() {
+                            return Err(ConfigError::invalid(origin, "every job needs a `name`"));
+                        }
+                        warnings.append(&mut w);
+                        spec.jobs.push(job);
+                    }
+                }
+                other => warnings.push(format!("{origin}: unknown option `{other}`")),
+            }
+        }
+        spec.validate(origin)?;
+        Ok((spec, warnings))
+    }
+
+    /// Structural validation that does not require inheritance context.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Invalid`] when both `run` and `command` are
+    /// set, or a job nests its own `jobs`.
+    pub fn validate(&self, origin: &str) -> Result<(), ConfigError> {
+        if self.run.is_some() && self.command.is_some() {
+            return Err(ConfigError::invalid(
+                origin,
+                "`run` and `command` are mutually exclusive",
+            ));
+        }
+        for job in &self.jobs {
+            if !job.jobs.is_empty() {
+                return Err(ConfigError::invalid(
+                    origin,
+                    format!("job `{}` must not define nested jobs", job.name),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The boot-time payload, if any: `command` string or `run` script.
+    pub fn boot_payload(&self) -> Option<&str> {
+        self.command.as_deref().or(self.run.as_deref())
+    }
+}
+
+fn str_opt(v: &Value, origin: &str, key: &str) -> Result<Option<String>, ConfigError> {
+    match v {
+        Value::Str(s) => Ok(Some(s.clone())),
+        Value::Null => Ok(None),
+        other => Err(ConfigError::invalid(
+            origin,
+            format!("`{key}` must be a string, found {}", other.kind()),
+        )),
+    }
+}
+
+fn str_list(v: &Value, origin: &str, key: &str) -> Result<Vec<String>, ConfigError> {
+    match v {
+        Value::Str(s) => Ok(vec![s.clone()]),
+        Value::Array(items) => items
+            .iter()
+            .map(|i| {
+                i.as_str().map(str::to_owned).ok_or_else(|| {
+                    ConfigError::invalid(
+                        origin,
+                        format!("`{key}` entries must be strings, found {}", i.kind()),
+                    )
+                })
+            })
+            .collect(),
+        other => Err(ConfigError::invalid(
+            origin,
+            format!("`{key}` must be a string or array, found {}", other.kind()),
+        )),
+    }
+}
+
+fn parse_file_mapping(v: &Value, origin: &str) -> Result<FileMapping, ConfigError> {
+    match v {
+        // "path" means host `path` -> guest `/path-basename`.
+        Value::Str(s) => {
+            let base = s.rsplit('/').find(|p| !p.is_empty()).unwrap_or(s);
+            Ok(FileMapping {
+                host: s.clone(),
+                guest: format!("/{base}"),
+            })
+        }
+        Value::Object(m) => {
+            let host = m
+                .get("host")
+                .and_then(Value::as_str)
+                .ok_or_else(|| ConfigError::invalid(origin, "file mapping needs `host`"))?;
+            let guest = m
+                .get("guest")
+                .and_then(Value::as_str)
+                .ok_or_else(|| ConfigError::invalid(origin, "file mapping needs `guest`"))?;
+            Ok(FileMapping {
+                host: host.to_owned(),
+                guest: guest.to_owned(),
+            })
+        }
+        Value::Array(pair) if pair.len() == 2 => {
+            let host = pair[0]
+                .as_str()
+                .ok_or_else(|| ConfigError::invalid(origin, "file mapping host must be a string"))?;
+            let guest = pair[1]
+                .as_str()
+                .ok_or_else(|| ConfigError::invalid(origin, "file mapping guest must be a string"))?;
+            Ok(FileMapping {
+                host: host.to_owned(),
+                guest: guest.to_owned(),
+            })
+        }
+        other => Err(ConfigError::invalid(
+            origin,
+            format!("bad file mapping: {}", other.kind()),
+        )),
+    }
+}
+
+fn parse_linux(v: &Value, origin: &str) -> Result<LinuxSpec, ConfigError> {
+    let obj = v
+        .as_object()
+        .ok_or_else(|| ConfigError::invalid(origin, "`linux` must be an object"))?;
+    let mut spec = LinuxSpec::default();
+    for (key, v) in obj {
+        match key.as_str() {
+            "source" => spec.source = str_opt(v, origin, "linux.source")?,
+            "config" => spec.config = str_list(v, origin, "linux.config")?,
+            "modules" => {
+                let m = v
+                    .as_object()
+                    .ok_or_else(|| ConfigError::invalid(origin, "`linux.modules` must be an object"))?;
+                for (name, src) in m {
+                    let src = src.as_str().ok_or_else(|| {
+                        ConfigError::invalid(origin, "`linux.modules` values must be strings")
+                    })?;
+                    spec.modules.insert(name.clone(), src.to_owned());
+                }
+            }
+            other => {
+                return Err(ConfigError::invalid(
+                    origin,
+                    format!("unknown `linux` option `{other}`"),
+                ))
+            }
+        }
+    }
+    Ok(spec)
+}
+
+fn parse_firmware(v: &Value, origin: &str) -> Result<FirmwareSpec, ConfigError> {
+    let obj = v
+        .as_object()
+        .ok_or_else(|| ConfigError::invalid(origin, "`firmware` must be an object"))?;
+    let mut spec = FirmwareSpec::default();
+    for (key, v) in obj {
+        match key.as_str() {
+            "use" | "kind" => {
+                let s = str_opt(v, origin, "firmware.use")?;
+                spec.kind = match s.as_deref() {
+                    Some(s) => Some(FirmwareKind::parse(s).ok_or_else(|| {
+                        ConfigError::invalid(origin, format!("unknown firmware `{s}`"))
+                    })?),
+                    None => None,
+                };
+            }
+            "source" => spec.source = str_opt(v, origin, "firmware.source")?,
+            "build-args" | "build_args" => {
+                spec.build_args = str_list(v, origin, "firmware.build-args")?
+            }
+            other => {
+                return Err(ConfigError::invalid(
+                    origin,
+                    format!("unknown `firmware` option `{other}`"),
+                ))
+            }
+        }
+    }
+    Ok(spec)
+}
+
+fn parse_testing(v: &Value, origin: &str) -> Result<TestingSpec, ConfigError> {
+    let obj = v
+        .as_object()
+        .ok_or_else(|| ConfigError::invalid(origin, "`testing` must be an object"))?;
+    let mut spec = TestingSpec::default();
+    for (key, v) in obj {
+        match key.as_str() {
+            "refDir" | "ref-dir" | "ref_dir" => spec.ref_dir = str_opt(v, origin, "testing.refDir")?,
+            "timeout" => {
+                spec.timeout = match v {
+                    Value::Int(n) if *n >= 0 => Some(*n as u64),
+                    other => {
+                        return Err(ConfigError::invalid(
+                            origin,
+                            format!("`testing.timeout` must be a non-negative int, found {}", other.kind()),
+                        ))
+                    }
+                }
+            }
+            other => {
+                return Err(ConfigError::invalid(
+                    origin,
+                    format!("unknown `testing` option `{other}`"),
+                ))
+            }
+        }
+    }
+    Ok(spec)
+}
+
+/// Parses a size: an integer byte count or a string like `"3GiB"`,
+/// `"512MiB"`, `"4KiB"`, `"2GB"`, `"100"`.
+fn parse_size(v: &Value, origin: &str) -> Result<u64, ConfigError> {
+    match v {
+        Value::Int(n) if *n >= 0 => Ok(*n as u64),
+        Value::Str(s) => parse_size_str(s)
+            .ok_or_else(|| ConfigError::invalid(origin, format!("bad size `{s}`"))),
+        other => Err(ConfigError::invalid(
+            origin,
+            format!("`rootfs-size` must be an int or string, found {}", other.kind()),
+        )),
+    }
+}
+
+/// Parses `"3GiB"`-style size strings.
+pub fn parse_size_str(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let split = s.find(|c: char| !c.is_ascii_digit())?;
+    if split == 0 {
+        return None;
+    }
+    let (num, unit) = s.split_at(split);
+    let num: u64 = num.parse().ok()?;
+    let mult: u64 = match unit.trim() {
+        "B" | "" => 1,
+        "KiB" | "K" | "k" => 1 << 10,
+        "MiB" | "M" | "m" => 1 << 20,
+        "GiB" | "G" | "g" => 1 << 30,
+        "KB" => 1_000,
+        "MB" => 1_000_000,
+        "GB" => 1_000_000_000,
+        _ => return None,
+    };
+    num.checked_mul(mult)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_listing1_base() {
+        // The pfa-base workload from Listing 1 of the paper.
+        let src = r#"{
+            "name": "pfa-base",
+            "base": "buildroot",
+            "host-init": "cross-compile.sh",
+            "linux": {
+                "source": "pfa-linux",
+                "config": "pfa-linux.kfrag"
+            },
+            "overlay": "pfa-test-root/",
+            "spike": "pfa-spike"
+        }"#;
+        let (spec, warnings) = WorkloadSpec::parse_str(src, "pfa-base.json").unwrap();
+        assert!(warnings.is_empty());
+        assert_eq!(spec.name, "pfa-base");
+        assert_eq!(spec.base.as_deref(), Some("buildroot"));
+        assert_eq!(spec.host_init.as_deref(), Some("cross-compile.sh"));
+        let linux = spec.linux.unwrap();
+        assert_eq!(linux.source.as_deref(), Some("pfa-linux"));
+        assert_eq!(linux.config, vec!["pfa-linux.kfrag"]);
+        assert_eq!(spec.overlay.as_deref(), Some("pfa-test-root/"));
+        assert_eq!(spec.spike.as_deref(), Some("pfa-spike"));
+    }
+
+    #[test]
+    fn parse_listing1_microbenchmark() {
+        let src = r#"{ "name" : "latency-microbenchmark",
+          "base" : "pfa-base",
+          "post-run-hook" : "extract_csv.py",
+          "jobs" : [
+            { "name" : "client",
+              "linux" : { "config" : "pfa.kfrag" }
+            },
+            { "name" : "server",
+              "base" : "bare-metal",
+              "bin" : "serve" }
+          ]
+        }"#;
+        let (spec, _) = WorkloadSpec::parse_str(src, "latency.json").unwrap();
+        assert_eq!(spec.jobs.len(), 2);
+        assert_eq!(spec.jobs[0].name, "client");
+        assert_eq!(spec.jobs[1].base.as_deref(), Some("bare-metal"));
+        assert_eq!(spec.jobs[1].bin.as_deref(), Some("serve"));
+        assert_eq!(spec.post_run_hook.as_deref(), Some("extract_csv.py"));
+    }
+
+    #[test]
+    fn parse_listing2_intspeed_shape() {
+        let src = r#"{ "name" : "intspeed",
+          "base" : "buildroot",
+          "host-init" : "speckle-build.sh intspeed ref",
+          "overlay" : "overlay/intspeed/ref",
+          "rootfs-size" : "3GiB",
+          "outputs" : ["/output"],
+          "post-run-hook" : "handle-results.py",
+          "jobs" : [
+            { "name" : "600.perlbench_s",
+              "command": "/intspeed.sh 600.perlbench_s --threads 1"},
+            { "name" : "657.xz_s",
+              "command": "/intspeed.sh 657.xz_s --threads 1"}
+          ]
+        }"#;
+        let (spec, _) = WorkloadSpec::parse_str(src, "intspeed.json").unwrap();
+        assert_eq!(spec.rootfs_size, Some(3 << 30));
+        assert_eq!(spec.outputs, vec!["/output"]);
+        assert_eq!(spec.jobs.len(), 2);
+        assert_eq!(
+            spec.jobs[0].command.as_deref(),
+            Some("/intspeed.sh 600.perlbench_s --threads 1")
+        );
+    }
+
+    #[test]
+    fn run_and_command_conflict() {
+        let src = r#"{"name":"x","run":"a.sh","command":"b"}"#;
+        assert!(matches!(
+            WorkloadSpec::parse_str(src, "x.json"),
+            Err(ConfigError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn nested_jobs_rejected() {
+        let src = r#"{"name":"x","jobs":[{"name":"j","jobs":[{"name":"k"}]}]}"#;
+        assert!(WorkloadSpec::parse_str(src, "x.json").is_err());
+    }
+
+    #[test]
+    fn unknown_keys_warn() {
+        let src = r#"{"name":"x","typo-option":1}"#;
+        let (_, warnings) = WorkloadSpec::parse_str(src, "x.json").unwrap();
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("typo-option"));
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(parse_size_str("3GiB"), Some(3 << 30));
+        assert_eq!(parse_size_str("512MiB"), Some(512 << 20));
+        assert_eq!(parse_size_str("4KiB"), Some(4 << 10));
+        assert_eq!(parse_size_str("2GB"), Some(2_000_000_000));
+        assert_eq!(parse_size_str("100B"), Some(100));
+        assert_eq!(parse_size_str("GiB"), None);
+        assert_eq!(parse_size_str("3XB"), None);
+    }
+
+    #[test]
+    fn yaml_spec() {
+        let src = "name: w\nbase: br-base.json\ncommand: echo hi\noutputs:\n  - /out\n";
+        let (spec, _) = WorkloadSpec::parse_str(src, "w.yaml").unwrap();
+        assert_eq!(spec.name, "w");
+        assert_eq!(spec.command.as_deref(), Some("echo hi"));
+        assert_eq!(spec.outputs, vec!["/out"]);
+    }
+
+    #[test]
+    fn file_mappings() {
+        let src = r#"{"name":"x","files":["bench/a.out",{"host":"b","guest":"/usr/bin/b"},["c","/c2"]]}"#;
+        let (spec, _) = WorkloadSpec::parse_str(src, "x.json").unwrap();
+        assert_eq!(spec.files.len(), 3);
+        assert_eq!(spec.files[0].guest, "/a.out");
+        assert_eq!(spec.files[1].guest, "/usr/bin/b");
+        assert_eq!(spec.files[2].host, "c");
+    }
+
+    #[test]
+    fn boot_payload_priority() {
+        let (spec, _) =
+            WorkloadSpec::parse_str(r#"{"name":"x","command":"c"}"#, "x.json").unwrap();
+        assert_eq!(spec.boot_payload(), Some("c"));
+        let (spec, _) = WorkloadSpec::parse_str(r#"{"name":"x","run":"r.sh"}"#, "x.json").unwrap();
+        assert_eq!(spec.boot_payload(), Some("r.sh"));
+        let (spec, _) = WorkloadSpec::parse_str(r#"{"name":"x"}"#, "x.json").unwrap();
+        assert_eq!(spec.boot_payload(), None);
+    }
+
+    #[test]
+    fn firmware_parse() {
+        let src = r#"{"name":"x","firmware":{"use":"bbl","build-args":["DEBUG=1"]}}"#;
+        let (spec, _) = WorkloadSpec::parse_str(src, "x.json").unwrap();
+        let fw = spec.firmware.unwrap();
+        assert_eq!(fw.kind, Some(FirmwareKind::Bbl));
+        assert_eq!(fw.build_args, vec!["DEBUG=1"]);
+        let bad = r#"{"name":"x","firmware":{"use":"uboot"}}"#;
+        assert!(WorkloadSpec::parse_str(bad, "x.json").is_err());
+    }
+}

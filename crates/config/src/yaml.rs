@@ -1,0 +1,505 @@
+//! A YAML-subset parser.
+//!
+//! FireMarshal accepts workloads in either JSON or YAML; this module
+//! implements the subset of YAML that configuration files actually use:
+//! block mappings, block sequences (including `- key: value` inline starts),
+//! quoted and plain scalars, flow collections (`[a, b]`, `{k: v}`), comments
+//! and an optional `---` document marker. Anchors, aliases, multi-document
+//! streams and block scalars are not supported.
+
+use std::collections::BTreeMap;
+
+use crate::error::ConfigError;
+use crate::value::Value;
+
+/// Parses a YAML document into a [`Value`].
+///
+/// # Errors
+///
+/// Returns [`ConfigError::Parse`] for indentation errors, bad scalars, or
+/// unsupported constructs.
+///
+/// ```rust
+/// use marshal_config::yaml::parse;
+/// let v = parse("name: bench\njobs:\n  - name: a\n  - name: b\n")?;
+/// assert_eq!(v.get("jobs").unwrap().as_array().unwrap().len(), 2);
+/// # Ok::<(), marshal_config::ConfigError>(())
+/// ```
+pub fn parse(text: &str) -> Result<Value, ConfigError> {
+    let lines = preprocess(text);
+    if lines.is_empty() {
+        return Ok(Value::Null);
+    }
+    let mut p = YamlParser { lines, pos: 0 };
+    let indent = p.lines[0].indent;
+    let v = p.parse_block(indent)?;
+    if p.pos < p.lines.len() {
+        let l = &p.lines[p.pos];
+        return Err(ConfigError::parse(
+            l.number,
+            l.indent + 1,
+            "unexpected dedent/indent structure",
+        ));
+    }
+    Ok(v)
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    number: usize,
+    indent: usize,
+    text: String,
+}
+
+fn preprocess(text: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let without_comment = strip_comment(raw);
+        let trimmed = without_comment.trim_end();
+        if trimmed.trim().is_empty() {
+            continue;
+        }
+        if i == 0 && trimmed.trim() == "---" {
+            continue;
+        }
+        let indent = trimmed.len() - trimmed.trim_start().len();
+        out.push(Line {
+            number: i + 1,
+            indent,
+            text: trimmed.trim_start().to_owned(),
+        });
+    }
+    out
+}
+
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_single = false;
+    let mut in_double = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'\'' if !in_double => in_single = !in_single,
+            b'"' if !in_single => in_double = !in_double,
+            b'#' if !in_single && !in_double => {
+                // YAML comments must be preceded by whitespace or line start.
+                if i == 0 || bytes[i - 1] == b' ' || bytes[i - 1] == b'\t' {
+                    return &line[..i];
+                }
+            }
+            _ => {}
+        }
+    }
+    line
+}
+
+struct YamlParser {
+    lines: Vec<Line>,
+    pos: usize,
+}
+
+impl YamlParser {
+    fn peek(&self) -> Option<&Line> {
+        self.lines.get(self.pos)
+    }
+
+    fn parse_block(&mut self, indent: usize) -> Result<Value, ConfigError> {
+        let Some(line) = self.peek() else {
+            return Ok(Value::Null);
+        };
+        if line.text == "-" || line.text.starts_with("- ") {
+            self.parse_sequence(indent)
+        } else {
+            self.parse_mapping(indent)
+        }
+    }
+
+    fn parse_sequence(&mut self, indent: usize) -> Result<Value, ConfigError> {
+        let mut items = Vec::new();
+        while let Some(line) = self.peek() {
+            if line.indent != indent || !(line.text == "-" || line.text.starts_with("- ")) {
+                break;
+            }
+            let number = line.number;
+            let rest = line.text[1..].trim_start().to_owned();
+            let rest_offset = line.indent + (line.text.len() - rest.len());
+            self.pos += 1;
+            if rest.is_empty() {
+                // Nested block on following lines.
+                match self.peek() {
+                    Some(next) if next.indent > indent => {
+                        let child_indent = next.indent;
+                        items.push(self.parse_block(child_indent)?);
+                    }
+                    _ => items.push(Value::Null),
+                }
+            } else if let Some((key, val_text)) = split_mapping_entry(&rest) {
+                // `- key: value` starts an inline mapping.
+                items.push(self.parse_mapping_with_first(
+                    key,
+                    val_text,
+                    rest_offset,
+                    number,
+                )?);
+            } else {
+                items.push(parse_scalar(&rest, number)?);
+            }
+        }
+        Ok(Value::Array(items))
+    }
+
+    fn parse_mapping(&mut self, indent: usize) -> Result<Value, ConfigError> {
+        let mut map = BTreeMap::new();
+        while let Some(line) = self.peek() {
+            if line.indent != indent {
+                break;
+            }
+            if line.text == "-" || line.text.starts_with("- ") {
+                break;
+            }
+            let number = line.number;
+            let text = line.text.clone();
+            let Some((key, val_text)) = split_mapping_entry(&text) else {
+                return Err(ConfigError::parse(
+                    number,
+                    indent + 1,
+                    format!("expected `key: value`, found `{text}`"),
+                ));
+            };
+            self.pos += 1;
+            let value = self.parse_entry_value(val_text, indent, number)?;
+            if map.insert(key.clone(), value).is_some() {
+                return Err(ConfigError::parse(
+                    number,
+                    indent + 1,
+                    format!("duplicate key `{key}`"),
+                ));
+            }
+        }
+        Ok(Value::Object(map))
+    }
+
+    fn parse_mapping_with_first(
+        &mut self,
+        first_key: String,
+        first_val: Option<String>,
+        indent: usize,
+        number: usize,
+    ) -> Result<Value, ConfigError> {
+        let mut map = BTreeMap::new();
+        let value = self.parse_entry_value(first_val, indent, number)?;
+        map.insert(first_key, value);
+        // Continue with following lines at the same effective indent.
+        while let Some(line) = self.peek() {
+            if line.indent != indent || line.text.starts_with("- ") || line.text == "-" {
+                break;
+            }
+            let number = line.number;
+            let text = line.text.clone();
+            let Some((key, val_text)) = split_mapping_entry(&text) else {
+                break;
+            };
+            self.pos += 1;
+            let value = self.parse_entry_value(val_text, indent, number)?;
+            if map.insert(key.clone(), value).is_some() {
+                return Err(ConfigError::parse(
+                    number,
+                    indent + 1,
+                    format!("duplicate key `{key}`"),
+                ));
+            }
+        }
+        Ok(Value::Object(map))
+    }
+
+    fn parse_entry_value(
+        &mut self,
+        val_text: Option<String>,
+        indent: usize,
+        number: usize,
+    ) -> Result<Value, ConfigError> {
+        match val_text {
+            Some(text) => parse_scalar(&text, number),
+            None => match self.peek() {
+                Some(next) if next.indent > indent => {
+                    let child = next.indent;
+                    self.parse_block(child)
+                }
+                // A sequence may sit at the same indent as its key.
+                Some(next)
+                    if next.indent == indent
+                        && (next.text == "-" || next.text.starts_with("- ")) =>
+                {
+                    self.parse_sequence(indent)
+                }
+                _ => Ok(Value::Null),
+            },
+        }
+    }
+}
+
+/// Splits `key: value` / `key:`; returns `(key, Some(value_text) | None)`.
+fn split_mapping_entry(text: &str) -> Option<(String, Option<String>)> {
+    let (key_raw, rest) = if text.starts_with('"') || text.starts_with('\'') {
+        let quote = text.chars().next().unwrap();
+        let end = text[1..].find(quote)? + 1;
+        let key = &text[1..end];
+        let rest = text[end + 1..].trim_start();
+        let rest = rest.strip_prefix(':')?;
+        (key.to_owned(), rest)
+    } else {
+        let colon = find_mapping_colon(text)?;
+        (text[..colon].trim().to_owned(), &text[colon + 1..])
+    };
+    let rest = rest.trim();
+    if rest.is_empty() {
+        Some((key_raw, None))
+    } else {
+        Some((key_raw, Some(rest.to_owned())))
+    }
+}
+
+/// Finds a `:` that terminates a key (followed by space or end of line),
+/// outside quotes and brackets.
+fn find_mapping_colon(text: &str) -> Option<usize> {
+    let bytes = text.as_bytes();
+    let mut depth = 0i32;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'[' | b'{' => depth += 1,
+            b']' | b'}' => depth -= 1,
+            b'"' | b'\'' => return None, // quoted mid-key unsupported here
+            b':' if depth == 0 => {
+                if i + 1 == bytes.len() || bytes[i + 1] == b' ' {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn parse_scalar(text: &str, line: usize) -> Result<Value, ConfigError> {
+    let text = text.trim();
+    if text.starts_with('"') {
+        if !(text.ends_with('"') && text.len() >= 2) {
+            return Err(ConfigError::parse(line, 1, "unterminated double-quoted scalar"));
+        }
+        // Reuse the JSON string parser for escapes.
+        return crate::json::parse(text);
+    }
+    if text.starts_with('\'') {
+        if !(text.ends_with('\'') && text.len() >= 2) {
+            return Err(ConfigError::parse(line, 1, "unterminated single-quoted scalar"));
+        }
+        return Ok(Value::Str(text[1..text.len() - 1].replace("''", "'")));
+    }
+    if text.starts_with('[') || text.starts_with('{') {
+        return parse_flow(text, line);
+    }
+    Ok(match text {
+        "null" | "~" | "" => Value::Null,
+        "true" | "True" => Value::Bool(true),
+        "false" | "False" => Value::Bool(false),
+        _ => {
+            if let Ok(v) = text.parse::<i64>() {
+                Value::Int(v)
+            } else if let Ok(v) = text.parse::<f64>() {
+                Value::Float(v)
+            } else {
+                Value::Str(text.to_owned())
+            }
+        }
+    })
+}
+
+fn parse_flow(text: &str, line: usize) -> Result<Value, ConfigError> {
+    let inner = &text[1..text.len().saturating_sub(1)];
+    if text.starts_with('[') {
+        if !text.ends_with(']') {
+            return Err(ConfigError::parse(line, 1, "unterminated flow sequence"));
+        }
+        let mut items = Vec::new();
+        for part in split_flow(inner) {
+            let part = part.trim();
+            if !part.is_empty() {
+                items.push(parse_scalar(part, line)?);
+            }
+        }
+        Ok(Value::Array(items))
+    } else {
+        if !text.ends_with('}') {
+            return Err(ConfigError::parse(line, 1, "unterminated flow mapping"));
+        }
+        let mut map = BTreeMap::new();
+        for part in split_flow(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let colon = find_mapping_colon(part)
+                .or_else(|| part.find(':'))
+                .ok_or_else(|| ConfigError::parse(line, 1, "expected `key: value` in flow mapping"))?;
+            let key = part[..colon].trim().trim_matches('"').trim_matches('\'');
+            let value = parse_scalar(part[colon + 1..].trim(), line)?;
+            map.insert(key.to_owned(), value);
+        }
+        Ok(Value::Object(map))
+    }
+}
+
+fn split_flow(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let bytes = s.as_bytes();
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'"' | b'\'' => in_str = !in_str,
+            b'[' | b'{' if !in_str => depth += 1,
+            b']' | b'}' if !in_str => depth -= 1,
+            b',' if !in_str && depth == 0 => {
+                out.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < s.len() {
+        out.push(&s[start..]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_mapping() {
+        let v = parse("name: bench\nbase: br-base.json\nrootfs-size: 3\n").unwrap();
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("bench"));
+        assert_eq!(v.get("rootfs-size").and_then(Value::as_int), Some(3));
+    }
+
+    #[test]
+    fn nested_blocks() {
+        let v = parse(
+            "name: pfa-base\nlinux:\n  source: pfa-linux\n  config: pfa-linux.kfrag\noverlay: pfa-test-root/\n",
+        )
+        .unwrap();
+        assert_eq!(
+            v.get("linux").unwrap().get("source").and_then(Value::as_str),
+            Some("pfa-linux")
+        );
+    }
+
+    #[test]
+    fn sequences() {
+        let v = parse("outputs:\n  - /output\n  - /var/log\n").unwrap();
+        let outs = v.get("outputs").unwrap().as_array().unwrap();
+        assert_eq!(outs.len(), 2);
+        assert_eq!(outs[0].as_str(), Some("/output"));
+    }
+
+    #[test]
+    fn sequence_of_mappings() {
+        let v = parse(
+            "jobs:\n  - name: client\n    linux:\n      config: pfa.kfrag\n  - name: server\n    base: bare-metal\n    bin: serve\n",
+        )
+        .unwrap();
+        let jobs = v.get("jobs").unwrap().as_array().unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].get("name").and_then(Value::as_str), Some("client"));
+        assert_eq!(
+            jobs[0]
+                .get("linux")
+                .unwrap()
+                .get("config")
+                .and_then(Value::as_str),
+            Some("pfa.kfrag")
+        );
+        assert_eq!(jobs[1].get("bin").and_then(Value::as_str), Some("serve"));
+    }
+
+    #[test]
+    fn sequence_at_key_indent() {
+        let v = parse("jobs:\n- name: a\n- name: b\n").unwrap();
+        assert_eq!(v.get("jobs").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn scalars_and_quotes() {
+        let v = parse(
+            "a: true\nb: false\nc: null\nd: ~\ne: 2.5\nf: \"quoted # not comment\"\ng: 'single ''quoted'''\nh: plain string here\n",
+        )
+        .unwrap();
+        assert_eq!(v.get("a").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("b").and_then(Value::as_bool), Some(false));
+        assert!(v.get("c").unwrap().is_null());
+        assert!(v.get("d").unwrap().is_null());
+        assert_eq!(v.get("e"), Some(&Value::Float(2.5)));
+        assert_eq!(
+            v.get("f").and_then(Value::as_str),
+            Some("quoted # not comment")
+        );
+        assert_eq!(v.get("g").and_then(Value::as_str), Some("single 'quoted'"));
+        assert_eq!(v.get("h").and_then(Value::as_str), Some("plain string here"));
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let v = parse("# header\nname: x # trailing\n  # indented comment\nbase: y\n").unwrap();
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("x"));
+        assert_eq!(v.get("base").and_then(Value::as_str), Some("y"));
+    }
+
+    #[test]
+    fn flow_collections() {
+        let v = parse("list: [1, 2, three]\nmap: {a: 1, b: two}\n").unwrap();
+        assert_eq!(v.get("list").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(
+            v.get("map").unwrap().get("b").and_then(Value::as_str),
+            Some("two")
+        );
+    }
+
+    #[test]
+    fn document_marker() {
+        let v = parse("---\nname: x\n").unwrap();
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("x"));
+    }
+
+    #[test]
+    fn urls_are_not_mapping_keys() {
+        // `:` not followed by a space must not split a key.
+        let v = parse("url: http://example.com/path\n").unwrap();
+        assert_eq!(
+            v.get("url").and_then(Value::as_str),
+            Some("http://example.com/path")
+        );
+    }
+
+    #[test]
+    fn empty_document_is_null() {
+        assert_eq!(parse("").unwrap(), Value::Null);
+        assert_eq!(parse("# only comments\n").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(parse("just a scalar line with: no structure\nbad line\n").is_err());
+        assert!(matches!(
+            parse("a: 1\na: 2\n"),
+            Err(ConfigError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn json_yaml_equivalence() {
+        let yaml = parse("name: w\njobs:\n  - name: a\n    threads: 1\n").unwrap();
+        let json = crate::json::parse(r#"{"name":"w","jobs":[{"name":"a","threads":1}]}"#).unwrap();
+        assert_eq!(yaml, json);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests: JSON roundtrips, JSON/YAML agreement, inheritance
+//! merge laws, and size parsing.
+
+use proptest::prelude::*;
+
+use marshal_config::inherit::merge_specs;
+use marshal_config::schema::parse_size_str;
+use marshal_config::{json, Value, WorkloadSpec};
+
+fn arb_value(depth: u32) -> BoxedStrategy<Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        "[a-zA-Z0-9 _./-]{0,16}".prop_map(Value::Str),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    prop_oneof![
+        4 => leaf,
+        1 => proptest::collection::vec(arb_value(depth - 1), 0..4).prop_map(Value::Array),
+        1 => proptest::collection::btree_map("[a-z][a-z0-9_-]{0,8}", arb_value(depth - 1), 0..4)
+            .prop_map(Value::Object),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #[test]
+    fn json_roundtrip(v in arb_value(3)) {
+        let text = v.to_json();
+        let back = json::parse(&text).unwrap();
+        prop_assert_eq!(v, back);
+    }
+
+    #[test]
+    fn json_parse_never_panics(s in "\\PC{0,64}") {
+        let _ = json::parse(&s);
+    }
+
+    #[test]
+    fn yaml_parse_never_panics(s in "\\PC{0,64}") {
+        let _ = marshal_config::yaml::parse(&s);
+    }
+
+    #[test]
+    fn yaml_scalar_agrees_with_json(n in any::<i64>(), key in "[a-z]{1,8}") {
+        let yaml = marshal_config::yaml::parse(&format!("{key}: {n}\n")).unwrap();
+        let json = json::parse(&format!("{{\"{key}\": {n}}}")).unwrap();
+        prop_assert_eq!(yaml, json);
+    }
+
+    #[test]
+    fn size_parsing_scales(n in 1u64..1000) {
+        prop_assert_eq!(parse_size_str(&format!("{n}KiB")), Some(n << 10));
+        prop_assert_eq!(parse_size_str(&format!("{n}MiB")), Some(n << 20));
+        prop_assert_eq!(parse_size_str(&format!("{n}B")), Some(n));
+    }
+}
+
+fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        "[a-z]{1,8}",
+        proptest::option::of("[a-z]{1,8}\\.ms"),
+        proptest::option::of("/[a-z]{1,8}"),
+        proptest::collection::vec("/[a-z]{1,6}", 0..3),
+        proptest::collection::vec("[a-z]{1,6}\\.kfrag", 0..3),
+    )
+        .prop_map(|(name, host_init, command, outputs, fragments)| {
+            let mut spec = WorkloadSpec {
+                name,
+                host_init,
+                command,
+                outputs,
+                ..WorkloadSpec::default()
+            };
+            if !fragments.is_empty() {
+                spec.linux = Some(marshal_config::LinuxSpec {
+                    source: None,
+                    config: fragments,
+                    modules: Default::default(),
+                });
+            }
+            spec
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// merge(a, merge(b, c)) == merge(merge(a, b), c): inheritance chains
+    /// can be flattened in any order.
+    #[test]
+    fn merge_is_associative(a in arb_spec(), b in arb_spec(), c in arb_spec()) {
+        let left = merge_specs(a.clone(), merge_specs(b.clone(), c.clone()));
+        let right = merge_specs(merge_specs(a, b), c);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Merging onto a default (empty) parent preserves the child.
+    #[test]
+    fn merge_with_empty_parent_is_identity(a in arb_spec()) {
+        let merged = merge_specs(a.clone(), WorkloadSpec::default());
+        prop_assert_eq!(merged.name, a.name);
+        prop_assert_eq!(merged.host_init, a.host_init);
+        prop_assert_eq!(merged.command, a.command);
+        prop_assert_eq!(merged.outputs, a.outputs);
+    }
+
+    /// A child with nothing set inherits the parent wholesale (except name
+    /// and jobs).
+    #[test]
+    fn empty_child_inherits_parent(p in arb_spec()) {
+        let child = WorkloadSpec {
+            name: "child".to_owned(),
+            ..WorkloadSpec::default()
+        };
+        let merged = merge_specs(child, p.clone());
+        prop_assert_eq!(merged.host_init, p.host_init);
+        prop_assert_eq!(merged.command, p.command);
+        prop_assert_eq!(merged.outputs, p.outputs);
+        prop_assert_eq!(merged.linux, p.linux);
+    }
+
+    /// Fragment merge order: parent fragments always precede the child's.
+    #[test]
+    fn fragment_order_preserved(a in arb_spec(), b in arb_spec()) {
+        let merged = merge_specs(a.clone(), b.clone());
+        let frags = |s: &WorkloadSpec| s.linux.as_ref().map(|l| l.config.clone()).unwrap_or_default();
+        let expect: Vec<String> = frags(&b).into_iter().chain(frags(&a)).collect();
+        prop_assert_eq!(frags(&merged), expect);
+    }
+}

@@ -1,0 +1,110 @@
+//! Board definitions (§III-A-2).
+//!
+//! "The most basic workloads that users can inherit from... target a
+//! specific hardware platform (called a 'board')... To define a board, the
+//! framework authors must provide: Linux Source, Firmware, Drivers, and
+//! Base Workloads." The concrete Chipyard-like board lives in
+//! `marshal-workloads`; this module defines the type.
+
+use std::collections::BTreeMap;
+
+use marshal_firmware::FirmwareBuild;
+use marshal_image::FsImage;
+use marshal_linux::kernel::KernelSource;
+
+/// A hardware platform definition: everything workload builds need that is
+/// platform- rather than workload-specific.
+#[derive(Debug, Clone)]
+pub struct Board {
+    /// Board name (e.g. `chipyard-rocket`).
+    pub name: String,
+    /// Named kernel source trees workloads may select with `linux.source`.
+    pub kernel_sources: BTreeMap<String, KernelSource>,
+    /// The kernel tree used when a workload does not choose one.
+    pub default_kernel: KernelSource,
+    /// Default firmware build.
+    pub default_firmware: FirmwareBuild,
+    /// Platform device drivers, auto-built into every initramfs:
+    /// `(module name, source id)`.
+    pub drivers: Vec<(String, String)>,
+    /// Base distribution images by distro name (`buildroot`, `fedora`).
+    pub distro_images: BTreeMap<String, FsImage>,
+}
+
+impl Board {
+    /// A minimal board: default kernel/firmware, no drivers, and bare-bones
+    /// `buildroot`/`fedora` base images. Useful for tests; real boards come
+    /// from `marshal-workloads`.
+    pub fn minimal(name: &str) -> Board {
+        let mut distro_images = BTreeMap::new();
+        let mut br = FsImage::new();
+        br.write_file("/etc/os-release", b"NAME=Buildroot\nVERSION_ID=2020.02\n")
+            .expect("static path");
+        br.write_file("/etc/hostname", b"buildroot").expect("static path");
+        br.mkdir_p("/etc/init.d").expect("static path");
+        br.mkdir_p("/output").expect("static path");
+        br.mkdir_p("/root").expect("static path");
+        distro_images.insert("buildroot".to_owned(), br);
+
+        let mut fedora = FsImage::new();
+        fedora
+            .write_file("/etc/os-release", b"NAME=Fedora\nVERSION_ID=31\n")
+            .expect("static path");
+        fedora.write_file("/etc/hostname", b"fedora").expect("static path");
+        fedora.mkdir_p("/etc/systemd/system").expect("static path");
+        fedora.mkdir_p("/usr/share/packages").expect("static path");
+        fedora.mkdir_p("/output").expect("static path");
+        distro_images.insert("fedora".to_owned(), fedora);
+
+        Board {
+            name: name.to_owned(),
+            kernel_sources: BTreeMap::new(),
+            default_kernel: KernelSource::default_source(),
+            default_firmware: FirmwareBuild::default(),
+            drivers: Vec::new(),
+            distro_images,
+        }
+    }
+
+    /// Looks up a kernel source by workload `linux.source` name, falling
+    /// back to the default tree.
+    pub fn kernel_source(&self, name: Option<&str>) -> Option<&KernelSource> {
+        match name {
+            Some(n) => self.kernel_sources.get(n),
+            None => Some(&self.default_kernel),
+        }
+    }
+
+    /// The base image for a distro, if this board provides one.
+    pub fn distro_image(&self, distro: &str) -> Option<&FsImage> {
+        self.distro_images.get(distro)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_board_has_both_distros() {
+        let b = Board::minimal("test");
+        assert!(b.distro_image("buildroot").is_some());
+        assert!(b.distro_image("fedora").is_some());
+        assert!(b.distro_image("arch").is_none());
+        // Buildroot uses initd conventions, fedora uses systemd.
+        assert!(b.distro_images["buildroot"].exists("/etc/init.d"));
+        assert!(b.distro_images["fedora"].exists("/etc/systemd/system"));
+    }
+
+    #[test]
+    fn kernel_source_lookup() {
+        let mut b = Board::minimal("test");
+        b.kernel_sources.insert(
+            "pfa-linux".to_owned(),
+            KernelSource::custom("pfa-linux", "5.7.0-pfa", vec!["pfa".into()]),
+        );
+        assert_eq!(b.kernel_source(None).unwrap().id(), "linux-default");
+        assert_eq!(b.kernel_source(Some("pfa-linux")).unwrap().id(), "pfa-linux");
+        assert!(b.kernel_source(Some("missing")).is_none());
+    }
+}

@@ -1,0 +1,93 @@
+//! The `clean` command: remove a workload's artifacts and build state.
+
+use marshal_config::{expand_jobs, resolve_workload};
+
+use crate::build::Builder;
+use crate::error::MarshalError;
+
+/// Removes a workload's images, runs, installs, and state-database entries,
+/// forcing the next `build` to start fresh.
+///
+/// Returns the number of state entries forgotten.
+///
+/// # Errors
+///
+/// Configuration errors resolving the workload; I/O errors are ignored
+/// (missing artifacts are fine).
+pub fn clean_workload(builder: &mut Builder, name: &str) -> Result<usize, MarshalError> {
+    let resolved = resolve_workload(builder.search(), name)?;
+    let jobs = expand_jobs(builder.search(), &resolved)?;
+    for job in &jobs {
+        let _ = std::fs::remove_dir_all(builder.image_dir(&job.qualified_name));
+    }
+    let _ = std::fs::remove_dir_all(builder.run_dir(&resolved.spec.name));
+    let _ = std::fs::remove_dir_all(builder.install_dir(&resolved.spec.name));
+    // Forget every task that references this workload or its jobs.
+    let mut forgotten = 0;
+    let mut names: Vec<String> = jobs.iter().map(|j| j.qualified_name.clone()).collect();
+    names.push(resolved.spec.name.clone());
+    forgotten += builder.forget_matching(&names);
+    Ok(forgotten)
+}
+
+impl Builder {
+    /// Forgets state entries whose task id mentions any of `names`.
+    pub(crate) fn forget_matching(&mut self, names: &[String]) -> usize {
+        // Task ids embed qualified names after a colon.
+        let candidates: Vec<String> = self.state_task_ids();
+        let mut count = 0;
+        for id in candidates {
+            let hit = names.iter().any(|n| {
+                id.ends_with(&format!(":{n}"))
+                    || id.contains(&format!(":{n}/"))
+                    || id.contains(&format!("/{n}"))
+            });
+            if hit && self.forget_state(&id) {
+                count += 1;
+            }
+        }
+        let _ = self.flush_state();
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::board::Board;
+    use crate::build::BuildOptions;
+    use marshal_config::SearchPath;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("marshal-clean-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn clean_removes_artifacts_and_state() {
+        let dir = tmpdir("basic");
+        let mut search = SearchPath::new();
+        search.add_builtin(
+            "w.json",
+            r#"{"name":"w","distro":"buildroot","command":"echo"}"#,
+        );
+        let mut builder = Builder::new(Board::minimal("t"), search, dir.join("work")).unwrap();
+        // The command points at a nonexistent program, but build does not
+        // launch it — build must succeed.
+        let products = builder.build("w.json", &BuildOptions::default()).unwrap();
+        assert!(!products.report.executed.is_empty());
+        assert!(builder.image_dir("w").join("boot.bin").exists());
+
+        let forgotten = clean_workload(&mut builder, "w.json").unwrap();
+        assert!(forgotten > 0, "state entries should be forgotten");
+        assert!(!builder.image_dir("w").exists());
+
+        // Next build re-runs everything.
+        let products = builder.build("w.json", &BuildOptions::default()).unwrap();
+        assert!(!products.report.executed.is_empty());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

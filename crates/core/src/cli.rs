@@ -1,0 +1,483 @@
+//! The `marshal` command-line interface (Table I).
+//!
+//! ```text
+//! marshal [-d DIR]... [--workdir DIR] [-v] <command> [options] <workload>
+//!
+//! Commands:
+//!   build   [--no-disk] [--force]    Construct the filesystem image and boot-binary
+//!   launch  [--job NAME]             Launch this workload in functional simulation
+//!   test    [--manual DIR]           Build, launch, and compare against a reference
+//!   install [--hw CONFIG] [--sim C]  Set up an RTL simulator (firesim/vcs/verilator)
+//!   clean                            Remove built artifacts and state
+//! ```
+
+use marshal_config::SearchPath;
+use marshal_sim_rtl::HardwareConfig;
+
+use crate::board::Board;
+use crate::build::{BuildOptions, Builder};
+use crate::clean::clean_workload;
+use crate::error::MarshalError;
+use crate::install::install_workload;
+use crate::launch::launch_workload;
+use crate::test::{test_workload, TestOutcome};
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliArgs {
+    /// Extra workload search directories (`-d`).
+    pub search_dirs: Vec<String>,
+    /// Working directory (`--workdir`, default `./marshal-workdir`).
+    pub workdir: String,
+    /// Verbose output (`-v`).
+    pub verbose: bool,
+    /// The command to run.
+    pub command: Command,
+}
+
+/// One of Table I's commands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `build [--no-disk] [--force] <workload>`.
+    Build {
+        /// Target workload file.
+        workload: String,
+        /// Embed rootfs in the initramfs.
+        no_disk: bool,
+        /// Rebuild everything.
+        force: bool,
+    },
+    /// `launch [--job NAME] <workload>`.
+    Launch {
+        /// Target workload file.
+        workload: String,
+        /// Launch only the named job.
+        job: Option<String>,
+    },
+    /// `test [--manual DIR] <workload>`.
+    Test {
+        /// Target workload file.
+        workload: String,
+        /// Compare pre-existing outputs in this run directory instead of
+        /// launching (the paper's `test --manual` for RTL-simulator runs).
+        manual: Option<String>,
+    },
+    /// `install [--hw CONFIG] [--sim CONNECTOR] <workload>`.
+    Install {
+        /// Target workload file.
+        workload: String,
+        /// Hardware configuration name for documentation purposes.
+        hw: String,
+        /// Simulator connector (`firesim`, `vcs`, `verilator`).
+        connector: String,
+    },
+    /// `clean <workload>`.
+    Clean {
+        /// Target workload file.
+        workload: String,
+    },
+    /// `help`.
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "usage: marshal [-d DIR]... [--workdir DIR] [-v] <build|launch|test|install|clean> [options] <workload>
+  build   [--no-disk] [--force]   construct the filesystem image and boot-binary
+  launch  [--job NAME]            launch the workload in functional simulation
+  test    [--manual DIR]          compare outputs against a reference (build+launch, or a prior run dir)
+  install [--hw CONFIG] [--sim C] generate RTL simulator configuration (firesim/vcs/verilator)
+  clean                           remove built artifacts and state";
+
+/// Parses command-line arguments (excluding `argv[0]`).
+///
+/// # Errors
+///
+/// [`MarshalError::Other`] with a usage hint for malformed invocations.
+pub fn parse_args(args: &[String]) -> Result<CliArgs, MarshalError> {
+    let mut search_dirs = Vec::new();
+    let mut workdir = "./marshal-workdir".to_owned();
+    let mut verbose = false;
+    let mut it = args.iter().peekable();
+    let err = |m: &str| MarshalError::Other(format!("{m}\n{USAGE}"));
+
+    // Global options.
+    let command_word = loop {
+        match it.next() {
+            None => return Err(err("missing command")),
+            Some(a) if a == "-d" || a == "--dir" => {
+                search_dirs.push(it.next().ok_or_else(|| err("-d needs a directory"))?.clone());
+            }
+            Some(a) if a == "--workdir" => {
+                workdir = it.next().ok_or_else(|| err("--workdir needs a path"))?.clone();
+            }
+            Some(a) if a == "-v" || a == "--verbose" => verbose = true,
+            Some(a) if a == "help" || a == "--help" || a == "-h" => {
+                return Ok(CliArgs {
+                    search_dirs,
+                    workdir,
+                    verbose,
+                    command: Command::Help,
+                });
+            }
+            Some(a) if a.starts_with('-') => return Err(err(&format!("unknown option `{a}`"))),
+            Some(a) => break a.clone(),
+        }
+    };
+
+    // Per-command options and the workload argument.
+    let mut no_disk = false;
+    let mut force = false;
+    let mut job = None;
+    let mut manual = None;
+    let mut hw = "boom-tage".to_owned();
+    let mut connector = "firesim".to_owned();
+    let mut workload = None;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--no-disk" => no_disk = true,
+            "--force" => force = true,
+            "--job" => job = Some(it.next().ok_or_else(|| err("--job needs a name"))?.clone()),
+            "--manual" => {
+                manual = Some(it.next().ok_or_else(|| err("--manual needs a directory"))?.clone())
+            }
+            "--hw" => hw = it.next().ok_or_else(|| err("--hw needs a config name"))?.clone(),
+            "--sim" => {
+                connector = it.next().ok_or_else(|| err("--sim needs a connector name"))?.clone()
+            }
+            other if other.starts_with('-') => {
+                return Err(err(&format!("unknown option `{other}`")))
+            }
+            other => {
+                if workload.replace(other.to_owned()).is_some() {
+                    return Err(err("multiple workloads given"));
+                }
+            }
+        }
+    }
+    let need_workload =
+        || workload.clone().ok_or_else(|| err("missing workload argument"));
+
+    let command = match command_word.as_str() {
+        "build" => Command::Build {
+            workload: need_workload()?,
+            no_disk,
+            force,
+        },
+        "launch" => Command::Launch {
+            workload: need_workload()?,
+            job,
+        },
+        "test" => Command::Test {
+            workload: need_workload()?,
+            manual,
+        },
+        "install" => Command::Install {
+            workload: need_workload()?,
+            hw,
+            connector,
+        },
+        "clean" => Command::Clean {
+            workload: need_workload()?,
+        },
+        other => return Err(err(&format!("unknown command `{other}`"))),
+    };
+    Ok(CliArgs {
+        search_dirs,
+        workdir,
+        verbose,
+        command,
+    })
+}
+
+/// Looks up a named hardware configuration.
+pub fn hardware_by_name(name: &str) -> Option<HardwareConfig> {
+    match name {
+        "rocket" => Some(HardwareConfig::rocket()),
+        "boom-gshare" | "gshare" => Some(HardwareConfig::boom_gshare()),
+        "boom-tage" | "tage" => Some(HardwareConfig::boom_tage()),
+        _ => None,
+    }
+}
+
+/// Runs a parsed command; returns `(exit code, human-readable output)`.
+///
+/// The caller provides the board and the base search path (normally from
+/// `marshal-workloads`).
+pub fn run_command(
+    args: &CliArgs,
+    board: Board,
+    mut search: SearchPath,
+) -> (i32, Vec<String>) {
+    let mut log = Vec::new();
+    for d in &args.search_dirs {
+        search.add_dir(d);
+    }
+    macro_rules! fail {
+        ($e:expr) => {{
+            log.push(format!("error: {}", $e));
+            return (1, log);
+        }};
+    }
+    let mut builder = match Builder::new(board, search, &args.workdir) {
+        Ok(b) => b,
+        Err(e) => fail!(e),
+    };
+    match &args.command {
+        Command::Help => {
+            log.push(USAGE.to_owned());
+            (0, log)
+        }
+        Command::Build {
+            workload,
+            no_disk,
+            force,
+        } => {
+            let opts = BuildOptions {
+                no_disk: *no_disk,
+                force: *force,
+            };
+            match builder.build(workload, &opts) {
+                Ok(products) => {
+                    log.push(format!(
+                        "built `{}`: {} job(s), {} task(s) run, {} up to date",
+                        products.workload,
+                        products.jobs.len(),
+                        products.report.executed.len(),
+                        products.report.skipped.len()
+                    ));
+                    for j in &products.jobs {
+                        log.push(format!("  {}", j.name));
+                    }
+                    (0, log)
+                }
+                Err(e) => fail!(e),
+            }
+        }
+        Command::Launch { workload, job } => {
+            let products = match builder.build(workload, &BuildOptions::default()) {
+                Ok(p) => p,
+                Err(e) => fail!(e),
+            };
+            match job {
+                Some(job_name) => {
+                    let Some(index) =
+                        products.jobs.iter().position(|j| j.name.ends_with(job_name.as_str()))
+                    else {
+                        fail!(format!("no job named `{job_name}`"));
+                    };
+                    match crate::launch::launch_job(&builder, &products, index) {
+                        Ok(out) => {
+                            if args.verbose {
+                                log.extend(out.serial.lines().map(str::to_owned));
+                            }
+                            log.push(format!(
+                                "job `{}` exited {} ({} instructions), outputs in {}",
+                                out.job,
+                                out.exit_code,
+                                out.instructions,
+                                out.job_dir.display()
+                            ));
+                            (if out.exit_code == 0 { 0 } else { 1 }, log)
+                        }
+                        Err(e) => fail!(e),
+                    }
+                }
+                None => match launch_workload(&builder, &products) {
+                    Ok(run) => {
+                        for j in &run.jobs {
+                            if args.verbose {
+                                log.extend(j.serial.lines().map(str::to_owned));
+                            }
+                            log.push(format!("job `{}` exited {}", j.job, j.exit_code));
+                        }
+                        log.extend(run.hook_log.iter().cloned());
+                        log.push(format!("outputs in {}", run.run_root.display()));
+                        let ok = run.jobs.iter().all(|j| j.exit_code == 0);
+                        (if ok { 0 } else { 1 }, log)
+                    }
+                    Err(e) => fail!(e),
+                },
+            }
+        }
+        Command::Test { workload, manual } => {
+            let outcomes_result = match manual {
+                Some(dir) => {
+                    // `test --manual`: compare outputs a simulator already
+                    // produced, without re-running anything.
+                    match builder.build(workload, &BuildOptions::default()) {
+                        Ok(products) => {
+                            let dir = std::path::Path::new(dir);
+                            let serials: Result<Vec<(String, String)>, MarshalError> = products
+                                .jobs
+                                .iter()
+                                .map(|j| {
+                                    let log = dir.join(&j.name).join(crate::output::SERIAL_LOG);
+                                    let log = if log.exists() {
+                                        log
+                                    } else {
+                                        dir.join(crate::output::SERIAL_LOG)
+                                    };
+                                    std::fs::read_to_string(&log)
+                                        .map(|s| (j.name.clone(), s))
+                                        .map_err(|e| {
+                                            MarshalError::Io(format!(
+                                                "read {}: {e}",
+                                                log.display()
+                                            ))
+                                        })
+                                })
+                                .collect();
+                            serials.and_then(|s| crate::test::compare_run(&products, &s))
+                        }
+                        Err(e) => Err(e),
+                    }
+                }
+                None => test_workload(&mut builder, workload, &BuildOptions::default()),
+            };
+            match outcomes_result {
+                Ok(outcomes) => {
+                    let mut code = 0;
+                    for outcome in &outcomes {
+                        match outcome {
+                            TestOutcome::Pass => log.push("PASS".to_owned()),
+                            TestOutcome::NoReference => {
+                                log.push("PASS (no reference output)".to_owned())
+                            }
+                            TestOutcome::Fail { job, missing } => {
+                                log.push(format!("FAIL {job}: missing `{missing}`"));
+                                code = 1;
+                            }
+                        }
+                    }
+                    (code, log)
+                }
+                Err(e) => fail!(e),
+            }
+        }
+        Command::Install {
+            workload,
+            hw,
+            connector,
+        } => {
+            if hardware_by_name(hw).is_none() {
+                fail!(format!(
+                    "unknown hardware config `{hw}` (try rocket, boom-gshare, boom-tage)"
+                ));
+            }
+            let Some(conn) = crate::connector::connector_by_name(connector) else {
+                fail!(format!(
+                    "unknown simulator connector `{connector}` (try {})",
+                    crate::connector::connector_names().join(", ")
+                ));
+            };
+            let products = match builder.build(workload, &BuildOptions::default()) {
+                Ok(p) => p,
+                Err(e) => fail!(e),
+            };
+            // The firesim connector keeps the classic manifest path; all
+            // connectors write into the workload's install dir.
+            let _ = install_workload(&builder, &products);
+            let dir = builder.install_dir(&products.workload);
+            match conn.install(&products, &dir) {
+                Ok(path) => {
+                    log.push(format!(
+                        "installed `{}` ({} node(s), {} connector) -> {}",
+                        products.workload,
+                        products.jobs.len(),
+                        conn.name(),
+                        path.display()
+                    ));
+                    (0, log)
+                }
+                Err(e) => fail!(e),
+            }
+        }
+        Command::Clean { workload } => match clean_workload(&mut builder, workload) {
+            Ok(n) => {
+                log.push(format!("cleaned `{workload}` ({n} state entries forgotten)"));
+                (0, log)
+            }
+            Err(e) => fail!(e),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<CliArgs, MarshalError> {
+        let v: Vec<String> = words.iter().map(|s| (*s).to_owned()).collect();
+        parse_args(&v)
+    }
+
+    #[test]
+    fn parse_build() {
+        let args = parse(&["build", "--no-disk", "intspeed.json"]).unwrap();
+        assert_eq!(
+            args.command,
+            Command::Build {
+                workload: "intspeed.json".into(),
+                no_disk: true,
+                force: false
+            }
+        );
+    }
+
+    #[test]
+    fn parse_global_options() {
+        let args = parse(&[
+            "-d", "/w", "--workdir", "/tmp/wd", "-v", "launch", "--job", "client", "w.json",
+        ])
+        .unwrap();
+        assert_eq!(args.search_dirs, vec!["/w"]);
+        assert_eq!(args.workdir, "/tmp/wd");
+        assert!(args.verbose);
+        assert_eq!(
+            args.command,
+            Command::Launch {
+                workload: "w.json".into(),
+                job: Some("client".into())
+            }
+        );
+    }
+
+    #[test]
+    fn parse_install_hw() {
+        let args = parse(&["install", "--hw", "boom-gshare", "w.json"]).unwrap();
+        assert_eq!(
+            args.command,
+            Command::Install {
+                workload: "w.json".into(),
+                hw: "boom-gshare".into(),
+                connector: "firesim".into()
+            }
+        );
+        let args = parse(&["install", "--sim", "vcs", "w.json"]).unwrap();
+        assert!(matches!(args.command, Command::Install { ref connector, .. } if connector == "vcs"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["frobnicate", "w.json"]).is_err());
+        assert!(parse(&["build"]).is_err());
+        assert!(parse(&["build", "a.json", "b.json"]).is_err());
+        assert!(parse(&["build", "--bogus", "w.json"]).is_err());
+        assert!(parse(&["-d"]).is_err());
+    }
+
+    #[test]
+    fn help_is_ok() {
+        let args = parse(&["help"]).unwrap();
+        assert_eq!(args.command, Command::Help);
+    }
+
+    #[test]
+    fn hardware_names() {
+        assert!(hardware_by_name("rocket").is_some());
+        assert!(hardware_by_name("boom-gshare").is_some());
+        assert!(hardware_by_name("tage").is_some());
+        assert!(hardware_by_name("pentium").is_none());
+    }
+}

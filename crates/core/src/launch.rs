@@ -1,0 +1,194 @@
+//! The `launch` command (§III-C): run a built workload in functional
+//! simulation, collect its outputs, and run the post-run hook.
+
+use std::path::PathBuf;
+
+use marshal_firmware::BootBinary;
+use marshal_image::FsImage;
+use marshal_sim_functional::{LaunchMode, Qemu, SimResult, Spike};
+
+use crate::build::{BuildProducts, Builder, JobArtifacts, JobKind};
+use crate::error::MarshalError;
+use crate::output::{collect_outputs, load_hook_script, run_post_hook};
+
+/// The result of launching one job.
+#[derive(Debug, Clone)]
+pub struct LaunchOutput {
+    /// The job's qualified name.
+    pub job: String,
+    /// The full serial log.
+    pub serial: String,
+    /// The payload's exit code.
+    pub exit_code: i64,
+    /// Guest instructions executed.
+    pub instructions: u64,
+    /// Directory holding `uartlog` and collected outputs.
+    pub job_dir: PathBuf,
+}
+
+/// Reads a job's built artifacts back from disk.
+///
+/// # Errors
+///
+/// [`MarshalError::Other`] when artifacts are missing or malformed (run
+/// `build` first).
+pub fn load_artifacts(job: &JobArtifacts) -> Result<LoadedJob, MarshalError> {
+    match &job.kind {
+        JobKind::Linux {
+            boot_path,
+            disk_path,
+        } => {
+            let boot_bytes = std::fs::read(boot_path)
+                .map_err(|e| MarshalError::Io(format!("read {}: {e}", boot_path.display())))?;
+            let boot = BootBinary::from_bytes(&boot_bytes)
+                .map_err(|e| MarshalError::Other(format!("boot binary: {e}")))?;
+            let disk = match disk_path {
+                Some(p) => {
+                    let bytes = std::fs::read(p)
+                        .map_err(|e| MarshalError::Io(format!("read {}: {e}", p.display())))?;
+                    Some(
+                        FsImage::from_bytes(&bytes)
+                            .map_err(|e| MarshalError::Other(format!("disk image: {e}")))?,
+                    )
+                }
+                None => None,
+            };
+            Ok(LoadedJob::Linux { boot, disk })
+        }
+        JobKind::Bare { bin_path } => {
+            let bin = std::fs::read(bin_path)
+                .map_err(|e| MarshalError::Io(format!("read {}: {e}", bin_path.display())))?;
+            Ok(LoadedJob::Bare { bin })
+        }
+    }
+}
+
+/// In-memory artifacts of a built job.
+#[derive(Debug, Clone)]
+pub enum LoadedJob {
+    /// Linux: boot binary + optional disk.
+    Linux {
+        /// The boot binary.
+        boot: BootBinary,
+        /// The disk image (None for diskless builds).
+        disk: Option<FsImage>,
+    },
+    /// Bare-metal binary.
+    Bare {
+        /// MEXE bytes.
+        bin: Vec<u8>,
+    },
+}
+
+/// Runs one job in the functional simulator the workload selects: a custom
+/// Spike when the `spike` option is set, QEMU otherwise.
+///
+/// # Errors
+///
+/// Simulation and artifact errors.
+pub fn simulate_job(job: &JobArtifacts) -> Result<SimResult, MarshalError> {
+    let loaded = load_artifacts(job)?;
+    let result = match (&loaded, &job.spec.spike) {
+        (LoadedJob::Linux { boot, disk }, Some(spike_bin)) => {
+            Spike::with_binary(spike_bin)
+                .with_args(&job.spec.spike_args)
+                .launch(boot, disk.as_ref(), LaunchMode::Run)?
+        }
+        (LoadedJob::Linux { boot, disk }, None) => Qemu::new()
+            .with_args(&job.spec.qemu_args)
+            .launch(boot, disk.as_ref(), LaunchMode::Run)?,
+        (LoadedJob::Bare { bin }, Some(spike_bin)) => {
+            Spike::with_binary(spike_bin)
+                .with_args(&job.spec.spike_args)
+                .launch_bare(bin)?
+        }
+        (LoadedJob::Bare { bin }, None) => Qemu::new().launch_bare(bin)?,
+    };
+    Ok(result)
+}
+
+/// Launches one job of a built workload and collects its outputs.
+///
+/// # Errors
+///
+/// Simulation, collection, and I/O errors; bad `index`.
+pub fn launch_job(
+    builder: &Builder,
+    products: &BuildProducts,
+    index: usize,
+) -> Result<LaunchOutput, MarshalError> {
+    let job = products.jobs.get(index).ok_or_else(|| {
+        MarshalError::Other(format!(
+            "workload `{}` has no job index {index}",
+            products.workload
+        ))
+    })?;
+    let result = simulate_job(job)?;
+    let job_dir = builder.run_dir(&products.workload).join(&job.name);
+    collect_outputs(
+        &job_dir,
+        &result.serial,
+        result.image.as_ref(),
+        &job.spec.outputs,
+    )?;
+    // Functional simulation has no timing model: report instruction counts
+    // as pseudo-cycles (like wall-clock on QEMU, only roughly meaningful).
+    crate::output::write_stats(
+        &job_dir,
+        result.instructions,
+        result.instructions,
+        0,
+        result.instructions,
+        1000,
+    )?;
+    Ok(LaunchOutput {
+        job: job.name.clone(),
+        serial: result.serial,
+        exit_code: result.exit_code,
+        instructions: result.instructions,
+        job_dir,
+    })
+}
+
+/// The result of launching a whole workload (every job) plus the post-run
+/// hook.
+#[derive(Debug, Clone)]
+pub struct WorkloadRun {
+    /// Per-job outputs, in job order.
+    pub jobs: Vec<LaunchOutput>,
+    /// The run's root directory.
+    pub run_root: PathBuf,
+    /// Lines printed by the post-run hook, if one ran.
+    pub hook_log: Vec<String>,
+}
+
+/// Launches every job of a built workload, then runs the `post-run-hook`.
+///
+/// # Errors
+///
+/// First failing job's error, or hook errors.
+pub fn launch_workload(
+    builder: &Builder,
+    products: &BuildProducts,
+) -> Result<WorkloadRun, MarshalError> {
+    let run_root = builder.run_dir(&products.workload);
+    let mut jobs = Vec::with_capacity(products.jobs.len());
+    for i in 0..products.jobs.len() {
+        jobs.push(launch_job(builder, products, i)?);
+    }
+    let hook_log = match &products.top_spec.post_run_hook {
+        Some(hook) => {
+            let (source, mut extra_args) =
+                load_hook_script(hook, products.source_dir.as_deref())?;
+            let mut args: Vec<String> = jobs.iter().map(|j| j.job.clone()).collect();
+            args.append(&mut extra_args);
+            run_post_hook(&source, &run_root, &args)?
+        }
+        None => Vec::new(),
+    };
+    Ok(WorkloadRun {
+        jobs,
+        run_root,
+        hook_log,
+    })
+}

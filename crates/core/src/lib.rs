@@ -1,0 +1,55 @@
+//! # marshal-core
+//!
+//! The FireMarshal tool itself: the paper's primary contribution.
+//!
+//! Implements the five lifecycle phases of §II with Table I's command
+//! surface:
+//!
+//! | command | module | paper section |
+//! |---|---|---|
+//! | `build` | [`build`] | §III-B: recursive parent builds, kernel/firmware, disk image, `--no-disk` |
+//! | `launch` | [`launch`] | §III-C: functional simulation, output collection, post-run hooks |
+//! | `test` | [`test`] | §III-D: reference-output matching with output cleaning |
+//! | `install` | [`install`] | §III-E: cycle-exact simulator configuration generation |
+//! | `clean` | [`clean`] | artifact/state removal |
+//!
+//! The [`cli`] module is the `marshal` command-line front-end.
+//!
+//! ## Example
+//!
+//! ```rust,no_run
+//! use marshal_core::{Builder, Board};
+//! use marshal_config::SearchPath;
+//!
+//! # fn main() -> Result<(), marshal_core::MarshalError> {
+//! let board = Board::minimal("demo");
+//! let mut search = SearchPath::new();
+//! search.add_builtin("hello.json",
+//!     r#"{"name":"hello","distro":"buildroot","command":"/bin/hello"}"#);
+//! let mut builder = Builder::new(board, search, "./marshal-workdir")?;
+//! let products = builder.build("hello.json", &Default::default())?;
+//! let output = marshal_core::launch::launch_job(&builder, &products, 0)?;
+//! println!("{}", output.serial);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod board;
+pub mod build;
+pub mod clean;
+pub mod connector;
+pub mod cli;
+pub mod error;
+pub mod install;
+pub mod launch;
+pub mod output;
+pub mod test;
+
+pub use board::Board;
+pub use build::{BuildOptions, BuildProducts, Builder, JobArtifacts, JobKind};
+pub use error::MarshalError;
+pub use install::InstallManifest;
+pub use launch::LaunchOutput;
+pub use test::{clean_output, TestOutcome};

@@ -1,0 +1,61 @@
+//! Build errors.
+
+use std::fmt;
+
+/// Error raised while constructing or executing a build graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A task with the same id was already registered.
+    DuplicateTask(String),
+    /// A task depends on an id that was never registered.
+    UnknownDependency {
+        /// The task with the bad edge.
+        task: String,
+        /// The missing dependency id.
+        dependency: String,
+    },
+    /// The graph contains a dependency cycle through the named task.
+    Cycle(String),
+    /// A task action returned an error.
+    TaskFailed {
+        /// The failing task id.
+        task: String,
+        /// The action's error message.
+        message: String,
+    },
+    /// The persistent state database could not be read or written.
+    State(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::DuplicateTask(id) => write!(f, "duplicate task `{id}`"),
+            BuildError::UnknownDependency { task, dependency } => {
+                write!(f, "task `{task}` depends on unknown task `{dependency}`")
+            }
+            BuildError::Cycle(id) => write!(f, "dependency cycle through task `{id}`"),
+            BuildError::TaskFailed { task, message } => {
+                write!(f, "task `{task}` failed: {message}")
+            }
+            BuildError::State(msg) => write!(f, "state database error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = BuildError::TaskFailed {
+            task: "kernel".into(),
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "task `kernel` failed: boom");
+        assert!(BuildError::Cycle("a".into()).to_string().contains("cycle"));
+    }
+}

@@ -1,0 +1,443 @@
+//! Build execution: up-to-date checking and (optionally parallel) running.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Condvar, Mutex};
+
+use crate::error::BuildError;
+use crate::graph::Graph;
+use crate::hash::{Fingerprint, Hasher128};
+use crate::state::StateDb;
+
+/// What a build did: which tasks executed and which were skipped as
+/// up-to-date, in execution order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BuildReport {
+    /// Tasks whose actions ran.
+    pub executed: Vec<String>,
+    /// Tasks skipped because they were up to date.
+    pub skipped: Vec<String>,
+}
+
+impl BuildReport {
+    /// Total tasks considered.
+    pub fn total(&self) -> usize {
+        self.executed.len() + self.skipped.len()
+    }
+
+    /// Whether the named task executed.
+    pub fn ran(&self, id: &str) -> bool {
+        self.executed.iter().any(|t| t == id)
+    }
+}
+
+/// Computes each task's *cumulative* fingerprint: its own inputs combined
+/// with the cumulative fingerprints of its dependencies, so an input change
+/// anywhere below a task changes that task's fingerprint too.
+fn cumulative_fingerprints(
+    graph: &Graph,
+    order: &[String],
+) -> BTreeMap<String, Fingerprint> {
+    let mut out: BTreeMap<String, Fingerprint> = BTreeMap::new();
+    for id in order {
+        let task = graph.get(id).expect("topo order returns known ids");
+        let mut h = Hasher128::new();
+        h.update_u64(task.fingerprint().0 as u64);
+        h.update_u64((task.fingerprint().0 >> 64) as u64);
+        let mut deps: Vec<&String> = task.deps().iter().collect();
+        deps.sort();
+        deps.dedup();
+        for d in deps {
+            let fp = out[d.as_str()];
+            h.update_u64(fp.0 as u64);
+            h.update_u64((fp.0 >> 64) as u64);
+        }
+        out.insert(id.clone(), h.finish());
+    }
+    out
+}
+
+impl Graph {
+    /// Serially builds every task, skipping up-to-date ones.
+    ///
+    /// A task is up to date when its cumulative fingerprint matches the
+    /// state database, all of its declared outputs exist, and none of its
+    /// dependencies executed during this build.
+    ///
+    /// On success the state database records the new fingerprints (the
+    /// caller decides when to [`StateDb::flush`]).
+    ///
+    /// # Errors
+    ///
+    /// Graph validation errors, or [`BuildError::TaskFailed`] from the first
+    /// failing action.
+    pub fn execute(&self, db: &mut StateDb) -> Result<BuildReport, BuildError> {
+        let order = self.topo_order()?;
+        self.execute_order(db, &order)
+    }
+
+    /// Serially builds only `roots` and their transitive dependencies.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Graph::execute`].
+    pub fn execute_roots(
+        &self,
+        db: &mut StateDb,
+        roots: &[&str],
+    ) -> Result<BuildReport, BuildError> {
+        let order = self.subgraph_order(roots)?;
+        self.execute_order(db, &order)
+    }
+
+    fn execute_order(
+        &self,
+        db: &mut StateDb,
+        order: &[String],
+    ) -> Result<BuildReport, BuildError> {
+        let fps = cumulative_fingerprints(self, order);
+        let mut report = BuildReport::default();
+        let mut dirty: BTreeSet<&str> = BTreeSet::new();
+        for id in order {
+            let task = self.get(id).expect("known id");
+            let fp = fps[id.as_str()];
+            let dep_ran = task.deps().iter().any(|d| dirty.contains(d.as_str()));
+            let up_to_date =
+                !dep_ran && db.last(id) == Some(fp) && task.outputs_exist();
+            if up_to_date {
+                report.skipped.push(id.clone());
+                continue;
+            }
+            task.run().map_err(|message| BuildError::TaskFailed {
+                task: id.clone(),
+                message,
+            })?;
+            db.record(id.clone(), fp);
+            dirty.insert(id.as_str());
+            report.executed.push(id.clone());
+        }
+        Ok(report)
+    }
+
+    /// Builds every task with up to `threads` workers running independent
+    /// tasks concurrently. Semantics match [`Graph::execute`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Graph::execute`]; when several tasks fail concurrently, the
+    /// error with the lexicographically smallest task id is reported.
+    pub fn execute_parallel(
+        &self,
+        db: &mut StateDb,
+        threads: usize,
+    ) -> Result<BuildReport, BuildError> {
+        let order = self.topo_order()?;
+        let fps = cumulative_fingerprints(self, &order);
+        let threads = threads.max(1);
+
+        struct Shared<'g> {
+            graph: &'g Graph,
+            state: Mutex<SchedState>,
+            cv: Condvar,
+        }
+        #[derive(Default)]
+        struct SchedState {
+            remaining_deps: BTreeMap<String, usize>,
+            ready: Vec<String>,
+            dirty: BTreeSet<String>,
+            executed: Vec<String>,
+            skipped: Vec<String>,
+            pending: usize,
+            failures: BTreeMap<String, String>,
+            new_fps: BTreeMap<String, Fingerprint>,
+        }
+
+        let mut sched = SchedState {
+            pending: order.len(),
+            ..SchedState::default()
+        };
+        for id in &order {
+            let n = self.get(id).unwrap().deps().iter().collect::<BTreeSet<_>>().len();
+            sched.remaining_deps.insert(id.clone(), n);
+            if n == 0 {
+                sched.ready.push(id.clone());
+            }
+        }
+        sched.ready.sort();
+
+        let shared = Shared {
+            graph: self,
+            state: Mutex::new(sched),
+            cv: Condvar::new(),
+        };
+        let last_fps: BTreeMap<String, Option<Fingerprint>> =
+            order.iter().map(|id| (id.clone(), db.last(id))).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    loop {
+                        let id = {
+                            let mut st = shared.state.lock().unwrap();
+                            loop {
+                                if st.pending == 0 || !st.failures.is_empty() {
+                                    return;
+                                }
+                                if let Some(id) = st.ready.pop() {
+                                    break id;
+                                }
+                                st = shared.cv.wait(st).unwrap();
+                            }
+                        };
+                        let task = shared.graph.get(&id).unwrap();
+                        let fp = fps[&id];
+                        let (dep_ran, last) = {
+                            let st = shared.state.lock().unwrap();
+                            let dep_ran =
+                                task.deps().iter().any(|d| st.dirty.contains(d.as_str()));
+                            (dep_ran, last_fps[&id])
+                        };
+                        let up_to_date = !dep_ran && last == Some(fp) && task.outputs_exist();
+                        let result = if up_to_date { Ok(false) } else { task.run().map(|_| true) };
+
+                        let mut st = shared.state.lock().unwrap();
+                        match result {
+                            Ok(ran) => {
+                                if ran {
+                                    st.dirty.insert(id.clone());
+                                    st.executed.push(id.clone());
+                                    st.new_fps.insert(id.clone(), fp);
+                                } else {
+                                    st.skipped.push(id.clone());
+                                }
+                                st.pending -= 1;
+                                // Unlock children.
+                                for t in shared.graph.iter() {
+                                    if t.deps().iter().any(|d| d == &id) {
+                                        let rem = st.remaining_deps.get_mut(t.id()).unwrap();
+                                        let uniq: BTreeSet<&String> = t.deps().iter().collect();
+                                        let _ = uniq;
+                                        *rem = rem.saturating_sub(
+                                            t.deps().iter().filter(|d| *d == &id).collect::<BTreeSet<_>>().len(),
+                                        );
+                                        if *rem == 0 {
+                                            st.ready.push(t.id().to_owned());
+                                        }
+                                    }
+                                }
+                                st.ready.sort();
+                            }
+                            Err(message) => {
+                                st.failures.insert(id.clone(), message);
+                            }
+                        }
+                        shared.cv.notify_all();
+                    }
+                });
+            }
+        });
+
+        let st = shared.state.into_inner().unwrap();
+        if let Some((task, message)) = st.failures.into_iter().next() {
+            return Err(BuildError::TaskFailed { task, message });
+        }
+        for (id, fp) in st.new_fps {
+            db.record(id, fp);
+        }
+        Ok(BuildReport {
+            executed: st.executed,
+            skipped: st.skipped,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::Task;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn counting_graph(counter: &Arc<AtomicUsize>, input_for_a: &[u8]) -> Graph {
+        let mut g = Graph::new();
+        let c = counter.clone();
+        g.add(
+            Task::new("a", move || {
+                c.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            })
+            .input(input_for_a),
+        )
+        .unwrap();
+        let c = counter.clone();
+        g.add(
+            Task::new("b", move || {
+                c.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            })
+            .dep("a"),
+        )
+        .unwrap();
+        let c = counter.clone();
+        g.add(
+            Task::new("c", move || {
+                c.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            })
+            .dep("b"),
+        )
+        .unwrap();
+        g
+    }
+
+    #[test]
+    fn first_build_runs_everything() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let g = counting_graph(&counter, b"v1");
+        let mut db = StateDb::in_memory();
+        let report = g.execute(&mut db).unwrap();
+        assert_eq!(report.executed, vec!["a", "b", "c"]);
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn second_build_skips_everything() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let g = counting_graph(&counter, b"v1");
+        let mut db = StateDb::in_memory();
+        g.execute(&mut db).unwrap();
+        let report = g.execute(&mut db).unwrap();
+        assert!(report.executed.is_empty());
+        assert_eq!(report.skipped.len(), 3);
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn input_change_cascades() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut db = StateDb::in_memory();
+        counting_graph(&counter, b"v1").execute(&mut db).unwrap();
+        // Rebuild with a changed leaf input: all three run again.
+        let report = counting_graph(&counter, b"v2").execute(&mut db).unwrap();
+        assert_eq!(report.executed, vec!["a", "b", "c"]);
+        assert_eq!(counter.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn failure_stops_build() {
+        let mut g = Graph::new();
+        g.add(Task::new("bad", || Err("kaboom".into()))).unwrap();
+        g.add(Task::new("after", || Ok(())).dep("bad")).unwrap();
+        let mut db = StateDb::in_memory();
+        let err = g.execute(&mut db).unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::TaskFailed {
+                task: "bad".into(),
+                message: "kaboom".into()
+            }
+        );
+        // Nothing recorded for the failed task.
+        assert_eq!(db.last("bad"), None);
+    }
+
+    #[test]
+    fn missing_output_forces_rerun() {
+        let dir = std::env::temp_dir().join(format!("depgraph-out-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("artifact");
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = counter.clone();
+        let out2 = out.clone();
+        let mut g = Graph::new();
+        g.add(
+            Task::new("t", move || {
+                c.fetch_add(1, Ordering::SeqCst);
+                std::fs::write(&out2, b"x").map_err(|e| e.to_string())
+            })
+            .output(&out),
+        )
+        .unwrap();
+        let mut db = StateDb::in_memory();
+        g.execute(&mut db).unwrap();
+        g.execute(&mut db).unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+        std::fs::remove_file(&out).unwrap();
+        g.execute(&mut db).unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn roots_limit_scope() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut g = counting_graph(&counter, b"v1");
+        let c = counter.clone();
+        g.add(Task::new("unrelated", move || {
+            c.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        }))
+        .unwrap();
+        let mut db = StateDb::in_memory();
+        let report = g.execute_roots(&mut db, &["b"]).unwrap();
+        assert_eq!(report.executed, vec!["a", "b"]);
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        for threads in [1, 2, 8] {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let g = counting_graph(&counter, b"v1");
+            let mut db = StateDb::in_memory();
+            let report = g.execute_parallel(&mut db, threads).unwrap();
+            assert_eq!(report.executed.len(), 3, "threads={threads}");
+            assert_eq!(counter.load(Ordering::SeqCst), 3);
+            let report = g.execute_parallel(&mut db, threads).unwrap();
+            assert!(report.executed.is_empty());
+        }
+    }
+
+    #[test]
+    fn parallel_wide_fanout() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut g = Graph::new();
+        g.add(Task::new("root", || Ok(()))).unwrap();
+        for i in 0..32 {
+            let c = counter.clone();
+            g.add(
+                Task::new(format!("job{i:02}"), move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    Ok(())
+                })
+                .dep("root"),
+            )
+            .unwrap();
+        }
+        let mut db = StateDb::in_memory();
+        let report = g.execute_parallel(&mut db, 8).unwrap();
+        assert_eq!(report.executed.len(), 33);
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn parallel_failure_reported() {
+        let mut g = Graph::new();
+        g.add(Task::new("ok", || Ok(()))).unwrap();
+        g.add(Task::new("bad", || Err("pow".into()))).unwrap();
+        let mut db = StateDb::in_memory();
+        let err = g.execute_parallel(&mut db, 4).unwrap_err();
+        assert!(matches!(err, BuildError::TaskFailed { ref task, .. } if task == "bad"));
+    }
+
+    #[test]
+    fn report_helpers() {
+        let r = BuildReport {
+            executed: vec!["a".into()],
+            skipped: vec!["b".into(), "c".into()],
+        };
+        assert_eq!(r.total(), 3);
+        assert!(r.ran("a"));
+        assert!(!r.ran("b"));
+    }
+}

@@ -1,0 +1,234 @@
+//! The build graph: task registration, validation, and topological order.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::error::BuildError;
+use crate::task::Task;
+
+/// A directed acyclic graph of [`Task`]s.
+///
+/// Tasks are added with [`Graph::add`]; edges come from each task's
+/// declared dependencies. Execution lives in [`crate::exec`].
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    tasks: BTreeMap<String, Task>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Graph {
+        Graph::default()
+    }
+
+    /// Registers a task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::DuplicateTask`] if the id is already taken.
+    pub fn add(&mut self, task: Task) -> Result<(), BuildError> {
+        if self.tasks.contains_key(task.id()) {
+            return Err(BuildError::DuplicateTask(task.id().to_owned()));
+        }
+        self.tasks.insert(task.id().to_owned(), task);
+        Ok(())
+    }
+
+    /// Looks up a task by id.
+    pub fn get(&self, id: &str) -> Option<&Task> {
+        self.tasks.get(id)
+    }
+
+    /// Number of registered tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Iterates over tasks in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Task> {
+        self.tasks.values()
+    }
+
+    /// Validates edges and returns task ids in a deterministic topological
+    /// order (dependencies first; ties broken by id).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UnknownDependency`] for edges to missing tasks
+    /// and [`BuildError::Cycle`] when the graph is not a DAG.
+    pub fn topo_order(&self) -> Result<Vec<String>, BuildError> {
+        for t in self.tasks.values() {
+            for d in t.deps() {
+                if !self.tasks.contains_key(d) {
+                    return Err(BuildError::UnknownDependency {
+                        task: t.id().to_owned(),
+                        dependency: d.clone(),
+                    });
+                }
+            }
+        }
+        // Kahn's algorithm over sorted ids for determinism.
+        let mut indegree: BTreeMap<&str, usize> =
+            self.tasks.keys().map(|k| (k.as_str(), 0)).collect();
+        let mut rdeps: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for t in self.tasks.values() {
+            let uniq: BTreeSet<&str> = t.deps().iter().map(|d| d.as_str()).collect();
+            *indegree.get_mut(t.id()).unwrap() += uniq.len();
+            for d in uniq {
+                rdeps.entry(d).or_default().push(t.id());
+            }
+        }
+        let mut ready: BTreeSet<&str> = indegree
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(k, _)| *k)
+            .collect();
+        let mut order = Vec::with_capacity(self.tasks.len());
+        while let Some(&next) = ready.iter().next() {
+            ready.remove(next);
+            order.push(next.to_owned());
+            if let Some(children) = rdeps.get(next) {
+                for &c in children {
+                    let d = indegree.get_mut(c).unwrap();
+                    *d -= 1;
+                    if *d == 0 {
+                        ready.insert(c);
+                    }
+                }
+            }
+        }
+        if order.len() != self.tasks.len() {
+            let stuck = indegree
+                .iter()
+                .find(|(_, &d)| d > 0)
+                .map(|(k, _)| (*k).to_owned())
+                .unwrap_or_default();
+            return Err(BuildError::Cycle(stuck));
+        }
+        Ok(order)
+    }
+
+    /// The transitive closure of dependencies of `roots` (including the
+    /// roots), in topological order — used to build a single workload
+    /// without touching unrelated tasks.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Graph::topo_order`], plus
+    /// [`BuildError::UnknownDependency`] for unknown roots.
+    pub fn subgraph_order(&self, roots: &[&str]) -> Result<Vec<String>, BuildError> {
+        let full = self.topo_order()?;
+        let mut wanted: BTreeSet<&str> = BTreeSet::new();
+        let mut stack: Vec<&str> = Vec::new();
+        for r in roots {
+            if !self.tasks.contains_key(*r) {
+                return Err(BuildError::UnknownDependency {
+                    task: "<root>".to_owned(),
+                    dependency: (*r).to_owned(),
+                });
+            }
+            stack.push(r);
+        }
+        while let Some(id) = stack.pop() {
+            if wanted.insert(id) {
+                for d in self.tasks[id].deps() {
+                    stack.push(d);
+                }
+            }
+        }
+        Ok(full.into_iter().filter(|t| wanted.contains(t.as_str())).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(id: &str, deps: &[&str]) -> Task {
+        let mut task = Task::new(id, || Ok(()));
+        for d in deps {
+            task = task.dep(*d);
+        }
+        task
+    }
+
+    #[test]
+    fn topo_order_respects_deps() {
+        let mut g = Graph::new();
+        g.add(t("c", &["b"])).unwrap();
+        g.add(t("b", &["a"])).unwrap();
+        g.add(t("a", &[])).unwrap();
+        assert_eq!(g.topo_order().unwrap(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut g = Graph::new();
+        g.add(t("a", &[])).unwrap();
+        assert_eq!(
+            g.add(t("a", &[])),
+            Err(BuildError::DuplicateTask("a".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_dep_rejected() {
+        let mut g = Graph::new();
+        g.add(t("a", &["ghost"])).unwrap();
+        assert!(matches!(
+            g.topo_order(),
+            Err(BuildError::UnknownDependency { .. })
+        ));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = Graph::new();
+        g.add(t("a", &["b"])).unwrap();
+        g.add(t("b", &["a"])).unwrap();
+        assert!(matches!(g.topo_order(), Err(BuildError::Cycle(_))));
+    }
+
+    #[test]
+    fn self_cycle_detected() {
+        let mut g = Graph::new();
+        g.add(t("a", &["a"])).unwrap();
+        assert!(matches!(g.topo_order(), Err(BuildError::Cycle(_))));
+    }
+
+    #[test]
+    fn order_is_deterministic() {
+        let build = || {
+            let mut g = Graph::new();
+            g.add(t("z", &[])).unwrap();
+            g.add(t("m", &["z"])).unwrap();
+            g.add(t("a", &["z"])).unwrap();
+            g.topo_order().unwrap()
+        };
+        assert_eq!(build(), build());
+        assert_eq!(build(), vec!["z", "a", "m"]);
+    }
+
+    #[test]
+    fn subgraph_only_pulls_ancestors() {
+        let mut g = Graph::new();
+        g.add(t("base", &[])).unwrap();
+        g.add(t("kernel", &["base"])).unwrap();
+        g.add(t("image", &["base"])).unwrap();
+        g.add(t("other", &[])).unwrap();
+        let order = g.subgraph_order(&["kernel"]).unwrap();
+        assert_eq!(order, vec!["base", "kernel"]);
+    }
+
+    #[test]
+    fn duplicate_dep_edges_ok() {
+        let mut g = Graph::new();
+        g.add(t("a", &[])).unwrap();
+        g.add(t("b", &["a", "a"])).unwrap();
+        assert_eq!(g.topo_order().unwrap(), vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Deterministic 128-bit content hashing.
+//!
+//! Fingerprints drive up-to-date checks, artifact naming, and the modelled
+//! "compilation" steps across the workspace. The function is a 128-bit
+//! FNV-1a variant: not cryptographic, but stable across platforms and runs,
+//! which is the property reproducible builds need.
+
+use std::fmt;
+
+const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// A 128-bit content fingerprint.
+///
+/// Displays as 32 lowercase hex digits.
+///
+/// ```rust
+/// use marshal_depgraph::Fingerprint;
+/// let a = Fingerprint::of(b"hello");
+/// let b = Fingerprint::of(b"hello");
+/// assert_eq!(a, b);
+/// assert_eq!(a.to_string().len(), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Fingerprint(pub u128);
+
+impl Fingerprint {
+    /// Hashes a single byte slice.
+    pub fn of(bytes: &[u8]) -> Fingerprint {
+        let mut h = Hasher128::new();
+        h.update(bytes);
+        h.finish()
+    }
+
+    /// A short 12-hex-digit prefix, for human-readable artifact names.
+    pub fn short(&self) -> String {
+        format!("{:032x}", self.0)[..12].to_owned()
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl std::str::FromStr for Fingerprint {
+    type Err = std::num::ParseIntError;
+
+    fn from_str(s: &str) -> Result<Fingerprint, Self::Err> {
+        u128::from_str_radix(s, 16).map(Fingerprint)
+    }
+}
+
+/// An incremental 128-bit FNV-1a hasher.
+///
+/// ```rust
+/// use marshal_depgraph::Hasher128;
+/// let mut h = Hasher128::new();
+/// h.update(b"a");
+/// h.update(b"b");
+/// assert_eq!(h.finish(), Hasher128::hash_all([b"ab".as_slice()]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hasher128 {
+    state: u128,
+}
+
+impl Default for Hasher128 {
+    fn default() -> Hasher128 {
+        Hasher128::new()
+    }
+}
+
+impl Hasher128 {
+    /// Creates a hasher at the FNV offset basis.
+    pub fn new() -> Hasher128 {
+        Hasher128 { state: OFFSET }
+    }
+
+    /// Feeds bytes into the hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u128;
+            self.state = self.state.wrapping_mul(PRIME);
+        }
+    }
+
+    /// Feeds a length-prefixed field, so `("ab","c")` and `("a","bc")`
+    /// hash differently.
+    pub fn update_field(&mut self, bytes: &[u8]) {
+        self.update(&(bytes.len() as u64).to_le_bytes());
+        self.update(bytes);
+    }
+
+    /// Feeds a `u64` in little-endian byte order.
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// Finishes and returns the fingerprint.
+    pub fn finish(&self) -> Fingerprint {
+        Fingerprint(self.state)
+    }
+
+    /// Hashes an iterator of byte slices as one stream.
+    pub fn hash_all<'a, I: IntoIterator<Item = &'a [u8]>>(parts: I) -> Fingerprint {
+        let mut h = Hasher128::new();
+        for p in parts {
+            h.update(p);
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(Fingerprint::of(b"abc"), Fingerprint::of(b"abc"));
+        assert_ne!(Fingerprint::of(b"abc"), Fingerprint::of(b"abd"));
+        assert_ne!(Fingerprint::of(b""), Fingerprint::of(b"\0"));
+    }
+
+    #[test]
+    fn field_framing_distinguishes_boundaries() {
+        let mut a = Hasher128::new();
+        a.update_field(b"ab");
+        a.update_field(b"c");
+        let mut b = Hasher128::new();
+        b.update_field(b"a");
+        b.update_field(b"bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let f = Fingerprint::of(b"roundtrip");
+        let s = f.to_string();
+        assert_eq!(s.parse::<Fingerprint>().unwrap(), f);
+        assert_eq!(f.short().len(), 12);
+        assert!(s.starts_with(&f.short()));
+    }
+
+    #[test]
+    fn empty_input_nonzero() {
+        assert_ne!(Fingerprint::of(b""), Fingerprint(0));
+    }
+}

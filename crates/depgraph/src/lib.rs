@@ -1,0 +1,50 @@
+//! # marshal-depgraph
+//!
+//! A doit-style incremental build engine, reproducing the dependency
+//! tracking FireMarshal gets from the `doit` Python package (§III-B of the
+//! paper): tasks form a DAG, each task carries a *fingerprint* of its
+//! inputs, and a persisted state database lets later builds skip any task
+//! whose fingerprint is unchanged and whose outputs still exist.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use marshal_depgraph::{Graph, StateDb, Task};
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), marshal_depgraph::BuildError> {
+//! let runs = Arc::new(AtomicUsize::new(0));
+//! let mut g = Graph::new();
+//! let r = runs.clone();
+//! g.add(Task::new("compile", move || { r.fetch_add(1, Ordering::SeqCst); Ok(()) })
+//!     .input(b"source-v1"))?;
+//! let r = runs.clone();
+//! g.add(Task::new("link", move || { r.fetch_add(1, Ordering::SeqCst); Ok(()) })
+//!     .dep("compile"))?;
+//!
+//! let mut db = StateDb::in_memory();
+//! let report = g.execute(&mut db)?;
+//! assert_eq!(report.executed.len(), 2);
+//! // Second build: nothing changed, everything is skipped.
+//! let report = g.execute(&mut db)?;
+//! assert!(report.executed.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod exec;
+pub mod graph;
+pub mod hash;
+pub mod state;
+pub mod task;
+
+pub use error::BuildError;
+pub use exec::BuildReport;
+pub use graph::Graph;
+pub use hash::{Fingerprint, Hasher128};
+pub use state::StateDb;
+pub use task::Task;

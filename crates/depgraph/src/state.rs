@@ -1,0 +1,183 @@
+//! The persistent build-state database.
+//!
+//! Maps task id → the cumulative fingerprint the task last executed with.
+//! Persisted as a sorted, line-oriented text file (`id\thash`), so the file
+//! itself is deterministic and diff-friendly.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::error::BuildError;
+use crate::hash::Fingerprint;
+
+/// Build-state database: last-built fingerprints per task.
+///
+/// ```rust
+/// use marshal_depgraph::{Fingerprint, StateDb};
+/// let mut db = StateDb::in_memory();
+/// db.record("kernel", Fingerprint::of(b"v1"));
+/// assert_eq!(db.last("kernel"), Some(Fingerprint::of(b"v1")));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StateDb {
+    entries: BTreeMap<String, Fingerprint>,
+    path: Option<PathBuf>,
+}
+
+impl StateDb {
+    /// Creates an empty database that is never written to disk.
+    pub fn in_memory() -> StateDb {
+        StateDb::default()
+    }
+
+    /// Opens (or creates) a database backed by the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::State`] if the file exists but cannot be read
+    /// or parsed.
+    pub fn open(path: impl Into<PathBuf>) -> Result<StateDb, BuildError> {
+        let path = path.into();
+        let mut db = StateDb {
+            entries: BTreeMap::new(),
+            path: Some(path.clone()),
+        };
+        if path.exists() {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| BuildError::State(format!("read {}: {e}", path.display())))?;
+            for (no, line) in text.lines().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let (id, hash) = line.split_once('\t').ok_or_else(|| {
+                    BuildError::State(format!("{}:{}: malformed line", path.display(), no + 1))
+                })?;
+                let fp = hash.parse::<Fingerprint>().map_err(|e| {
+                    BuildError::State(format!("{}:{}: bad hash: {e}", path.display(), no + 1))
+                })?;
+                db.entries.insert(id.to_owned(), fp);
+            }
+        }
+        Ok(db)
+    }
+
+    /// The fingerprint `task` last executed with, if any.
+    pub fn last(&self, task: &str) -> Option<Fingerprint> {
+        self.entries.get(task).copied()
+    }
+
+    /// Records that `task` executed with `fingerprint`.
+    pub fn record(&mut self, task: impl Into<String>, fingerprint: Fingerprint) {
+        self.entries.insert(task.into(), fingerprint);
+    }
+
+    /// Forgets a task (forcing its next build), returning whether it existed.
+    pub fn forget(&mut self, task: &str) -> bool {
+        self.entries.remove(task).is_some()
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// All recorded task ids, sorted.
+    pub fn task_ids(&self) -> Vec<String> {
+        self.entries.keys().cloned().collect()
+    }
+
+    /// Number of recorded tasks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Writes the database to its backing file (no-op for in-memory).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::State`] on I/O failure.
+    pub fn flush(&self) -> Result<(), BuildError> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| BuildError::State(format!("mkdir {}: {e}", dir.display())))?;
+        }
+        let mut out = String::new();
+        for (id, fp) in &self.entries {
+            out.push_str(id);
+            out.push('\t');
+            out.push_str(&fp.to_string());
+            out.push('\n');
+        }
+        std::fs::write(path, out)
+            .map_err(|e| BuildError::State(format!("write {}: {e}", path.display())))
+    }
+
+    /// The backing file, if any.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("marshal-depgraph-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn persist_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let file = dir.join("state.db");
+        let mut db = StateDb::open(&file).unwrap();
+        db.record("a", Fingerprint::of(b"1"));
+        db.record("b", Fingerprint::of(b"2"));
+        db.flush().unwrap();
+
+        let db2 = StateDb::open(&file).unwrap();
+        assert_eq!(db2.last("a"), Some(Fingerprint::of(b"1")));
+        assert_eq!(db2.last("b"), Some(Fingerprint::of(b"2")));
+        assert_eq!(db2.len(), 2);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn malformed_file_rejected() {
+        let dir = tmpdir("malformed");
+        let file = dir.join("state.db");
+        std::fs::write(&file, "no-tab-here\n").unwrap();
+        assert!(matches!(StateDb::open(&file), Err(BuildError::State(_))));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn forget_and_clear() {
+        let mut db = StateDb::in_memory();
+        db.record("a", Fingerprint::of(b"1"));
+        assert!(db.forget("a"));
+        assert!(!db.forget("a"));
+        db.record("b", Fingerprint::of(b"2"));
+        db.clear();
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn in_memory_flush_is_noop() {
+        let mut db = StateDb::in_memory();
+        db.record("a", Fingerprint::of(b"1"));
+        db.flush().unwrap();
+        assert!(db.path().is_none());
+    }
+}

@@ -1,0 +1,163 @@
+//! Task definitions.
+
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use crate::hash::{Fingerprint, Hasher128};
+
+/// The action a task performs when it is out of date.
+pub type Action = Arc<dyn Fn() -> Result<(), String> + Send + Sync>;
+
+/// A unit of build work.
+///
+/// A task is identified by a unique id, depends on other tasks by id,
+/// carries input bytes that are folded into its fingerprint, and may declare
+/// output files whose absence forces a re-run even when inputs are
+/// unchanged (mirroring `doit`'s `targets`).
+///
+/// ```rust
+/// use marshal_depgraph::Task;
+/// let t = Task::new("kernel", || Ok(()))
+///     .dep("initramfs")
+///     .input(b"config-fragment-v2")
+///     .output("/tmp/kernel.bin");
+/// assert_eq!(t.id(), "kernel");
+/// ```
+#[derive(Clone)]
+pub struct Task {
+    id: String,
+    deps: Vec<String>,
+    inputs: Vec<Vec<u8>>,
+    outputs: Vec<PathBuf>,
+    action: Action,
+}
+
+impl fmt::Debug for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Task")
+            .field("id", &self.id)
+            .field("deps", &self.deps)
+            .field("inputs", &self.inputs.len())
+            .field("outputs", &self.outputs)
+            .finish()
+    }
+}
+
+impl Task {
+    /// Creates a task with the given id and action.
+    pub fn new<F>(id: impl Into<String>, action: F) -> Task
+    where
+        F: Fn() -> Result<(), String> + Send + Sync + 'static,
+    {
+        Task {
+            id: id.into(),
+            deps: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            action: Arc::new(action),
+        }
+    }
+
+    /// Adds a dependency edge: this task runs after `dep`.
+    pub fn dep(mut self, dep: impl Into<String>) -> Task {
+        self.deps.push(dep.into());
+        self
+    }
+
+    /// Folds input bytes into the task fingerprint.
+    pub fn input(mut self, bytes: &[u8]) -> Task {
+        self.inputs.push(bytes.to_vec());
+        self
+    }
+
+    /// Declares an output file; if missing at build time the task re-runs.
+    pub fn output(mut self, path: impl Into<PathBuf>) -> Task {
+        self.outputs.push(path.into());
+        self
+    }
+
+    /// The unique task id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Dependency ids.
+    pub fn deps(&self) -> &[String] {
+        &self.deps
+    }
+
+    /// Declared output files.
+    pub fn outputs(&self) -> &[PathBuf] {
+        &self.outputs
+    }
+
+    /// Runs the task's action.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the action's error message.
+    pub fn run(&self) -> Result<(), String> {
+        (self.action)()
+    }
+
+    /// The fingerprint of this task's own inputs (not including deps).
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut h = Hasher128::new();
+        h.update_field(self.id.as_bytes());
+        for d in &self.deps {
+            h.update_field(d.as_bytes());
+        }
+        for i in &self.inputs {
+            h.update_field(i);
+        }
+        for o in &self.outputs {
+            h.update_field(o.to_string_lossy().as_bytes());
+        }
+        h.finish()
+    }
+
+    /// Whether every declared output currently exists on disk.
+    ///
+    /// Tasks with no declared outputs vacuously report `true`.
+    pub fn outputs_exist(&self) -> bool {
+        self.outputs.iter().all(|p| p.exists())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_changes_with_inputs() {
+        let a = Task::new("t", || Ok(())).input(b"one");
+        let b = Task::new("t", || Ok(())).input(b"two");
+        let c = Task::new("t", || Ok(())).input(b"one");
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_includes_identity_and_deps() {
+        let a = Task::new("a", || Ok(()));
+        let b = Task::new("b", || Ok(()));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let a2 = Task::new("a", || Ok(())).dep("x");
+        assert_ne!(a.fingerprint(), a2.fingerprint());
+    }
+
+    #[test]
+    fn missing_outputs_detected() {
+        let t = Task::new("t", || Ok(())).output("/definitely/not/here");
+        assert!(!t.outputs_exist());
+        let t = Task::new("t", || Ok(()));
+        assert!(t.outputs_exist());
+    }
+
+    #[test]
+    fn action_errors_propagate() {
+        let t = Task::new("t", || Err("nope".to_owned()));
+        assert_eq!(t.run(), Err("nope".to_owned()));
+    }
+}

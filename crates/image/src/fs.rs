@@ -1,0 +1,460 @@
+//! The in-memory filesystem tree.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Filesystem errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// Path does not exist.
+    NotFound(String),
+    /// Path exists but is a directory where a file was expected (or the
+    /// reverse).
+    WrongKind(String),
+    /// A component of the path is a file, so the path cannot be created.
+    NotADirectory(String),
+    /// Path is syntactically invalid (empty, not absolute, `..`).
+    BadPath(String),
+    /// The image exceeds its configured size limit.
+    TooLarge {
+        /// Bytes the image currently needs.
+        need: u64,
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "no such file or directory: {p}"),
+            FsError::WrongKind(p) => write!(f, "wrong node kind at {p}"),
+            FsError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            FsError::BadPath(p) => write!(f, "bad path: {p}"),
+            FsError::TooLarge { need, limit } => {
+                write!(f, "image needs {need} bytes, exceeds limit {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// A node in the tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// Regular file: contents plus an executable flag.
+    File {
+        /// File contents.
+        data: Vec<u8>,
+        /// Whether the execute bit is set.
+        exec: bool,
+    },
+    /// Directory with named children.
+    Dir(BTreeMap<String, Node>),
+    /// Symbolic link to another path.
+    Symlink(String),
+}
+
+impl Node {
+    /// Byte size of this node's payload (recursive for directories).
+    pub fn size(&self) -> u64 {
+        match self {
+            Node::File { data, .. } => data.len() as u64,
+            Node::Dir(children) => children.values().map(Node::size).sum(),
+            Node::Symlink(target) => target.len() as u64,
+        }
+    }
+}
+
+/// Splits an absolute guest path into validated components.
+///
+/// # Errors
+///
+/// Rejects relative paths, empty components other than the root, and `..`.
+pub fn split_path(path: &str) -> Result<Vec<&str>, FsError> {
+    if !path.starts_with('/') {
+        return Err(FsError::BadPath(path.to_owned()));
+    }
+    let mut out = Vec::new();
+    for comp in path.split('/') {
+        match comp {
+            "" | "." => {}
+            ".." => return Err(FsError::BadPath(path.to_owned())),
+            c => out.push(c),
+        }
+    }
+    Ok(out)
+}
+
+/// A deterministic in-memory filesystem image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsImage {
+    root: BTreeMap<String, Node>,
+    size_limit: Option<u64>,
+}
+
+impl Default for FsImage {
+    fn default() -> FsImage {
+        FsImage::new()
+    }
+}
+
+impl FsImage {
+    /// Creates an empty image with no size limit.
+    pub fn new() -> FsImage {
+        FsImage {
+            root: BTreeMap::new(),
+            size_limit: None,
+        }
+    }
+
+    /// Sets the `rootfs-size` limit in bytes (checked by [`FsImage::check_size`]
+    /// and on serialisation).
+    pub fn set_size_limit(&mut self, limit: Option<u64>) {
+        self.size_limit = limit;
+    }
+
+    /// The configured size limit, if any.
+    pub fn size_limit(&self) -> Option<u64> {
+        self.size_limit
+    }
+
+    /// Total payload bytes stored in the image.
+    pub fn total_size(&self) -> u64 {
+        self.root.values().map(Node::size).sum()
+    }
+
+    /// Verifies the image fits its size limit.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::TooLarge`] when over the limit.
+    pub fn check_size(&self) -> Result<(), FsError> {
+        if let Some(limit) = self.size_limit {
+            let need = self.total_size();
+            if need > limit {
+                return Err(FsError::TooLarge { need, limit });
+            }
+        }
+        Ok(())
+    }
+
+    fn lookup_dir_mut(
+        &mut self,
+        components: &[&str],
+        create: bool,
+        path: &str,
+    ) -> Result<&mut BTreeMap<String, Node>, FsError> {
+        let mut cur = &mut self.root;
+        for comp in components {
+            let entry = cur.entry((*comp).to_owned());
+            let node = match entry {
+                std::collections::btree_map::Entry::Occupied(o) => o.into_mut(),
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    if create {
+                        v.insert(Node::Dir(BTreeMap::new()))
+                    } else {
+                        return Err(FsError::NotFound(path.to_owned()));
+                    }
+                }
+            };
+            match node {
+                Node::Dir(children) => cur = children,
+                _ => return Err(FsError::NotADirectory(path.to_owned())),
+            }
+        }
+        Ok(cur)
+    }
+
+    /// Looks up a node, following no symlinks.
+    pub fn node(&self, path: &str) -> Option<&Node> {
+        let components = split_path(path).ok()?;
+        let mut cur = &self.root;
+        let (last, dirs) = components.split_last()?;
+        for comp in dirs {
+            match cur.get(*comp) {
+                Some(Node::Dir(children)) => cur = children,
+                _ => return None,
+            }
+        }
+        cur.get(*last)
+    }
+
+    /// Resolves a path, following symlinks (bounded depth).
+    pub fn resolve(&self, path: &str) -> Option<&Node> {
+        let mut current = path.to_owned();
+        for _ in 0..16 {
+            match self.node(&current)? {
+                Node::Symlink(target) => {
+                    current = if target.starts_with('/') {
+                        target.clone()
+                    } else {
+                        let parent = current.rsplit_once('/').map(|(p, _)| p).unwrap_or("");
+                        format!("{parent}/{target}")
+                    };
+                }
+                node => return Some(node),
+            }
+        }
+        None
+    }
+
+    /// Whether the path exists (without following a final symlink).
+    pub fn exists(&self, path: &str) -> bool {
+        path == "/" || self.node(path).is_some()
+    }
+
+    /// Creates a directory and all missing parents.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::BadPath`] / [`FsError::NotADirectory`].
+    pub fn mkdir_p(&mut self, path: &str) -> Result<(), FsError> {
+        let components = split_path(path)?;
+        self.lookup_dir_mut(&components, true, path)?;
+        Ok(())
+    }
+
+    /// Writes a regular (non-executable) file, creating parents.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::BadPath`] / [`FsError::NotADirectory`].
+    pub fn write_file(&mut self, path: &str, data: &[u8]) -> Result<(), FsError> {
+        self.write_node(
+            path,
+            Node::File {
+                data: data.to_vec(),
+                exec: false,
+            },
+        )
+    }
+
+    /// Writes an executable file, creating parents.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FsImage::write_file`].
+    pub fn write_exec(&mut self, path: &str, data: &[u8]) -> Result<(), FsError> {
+        self.write_node(
+            path,
+            Node::File {
+                data: data.to_vec(),
+                exec: true,
+            },
+        )
+    }
+
+    /// Creates a symlink at `path` pointing to `target`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FsImage::write_file`].
+    pub fn symlink(&mut self, path: &str, target: &str) -> Result<(), FsError> {
+        self.write_node(path, Node::Symlink(target.to_owned()))
+    }
+
+    /// Inserts an arbitrary node at `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::BadPath`] for the root or invalid paths,
+    /// [`FsError::NotADirectory`] when a parent is a file.
+    pub fn write_node(&mut self, path: &str, node: Node) -> Result<(), FsError> {
+        let components = split_path(path)?;
+        let Some((last, dirs)) = components.split_last() else {
+            return Err(FsError::BadPath(path.to_owned()));
+        };
+        let dir = self.lookup_dir_mut(dirs, true, path)?;
+        dir.insert((*last).to_owned(), node);
+        Ok(())
+    }
+
+    /// Reads a file's contents (following symlinks).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] or [`FsError::WrongKind`].
+    pub fn read_file(&self, path: &str) -> Result<&[u8], FsError> {
+        match self.resolve(path) {
+            Some(Node::File { data, .. }) => Ok(data),
+            Some(_) => Err(FsError::WrongKind(path.to_owned())),
+            None => Err(FsError::NotFound(path.to_owned())),
+        }
+    }
+
+    /// Whether `path` is an executable file (following symlinks).
+    pub fn is_executable(&self, path: &str) -> bool {
+        matches!(self.resolve(path), Some(Node::File { exec: true, .. }))
+    }
+
+    /// Removes a file, symlink, or directory subtree; returns whether it
+    /// existed.
+    pub fn remove(&mut self, path: &str) -> bool {
+        let Ok(components) = split_path(path) else {
+            return false;
+        };
+        let Some((last, dirs)) = components.split_last() else {
+            return false;
+        };
+        let Ok(dir) = self.lookup_dir_mut(dirs, false, path) else {
+            return false;
+        };
+        dir.remove(*last).is_some()
+    }
+
+    /// Lists the names in a directory.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] / [`FsError::WrongKind`].
+    pub fn list_dir(&self, path: &str) -> Result<Vec<String>, FsError> {
+        if path == "/" {
+            return Ok(self.root.keys().cloned().collect());
+        }
+        match self.resolve(path) {
+            Some(Node::Dir(children)) => Ok(children.keys().cloned().collect()),
+            Some(_) => Err(FsError::WrongKind(path.to_owned())),
+            None => Err(FsError::NotFound(path.to_owned())),
+        }
+    }
+
+    /// Depth-first walk over every path in the image, sorted.
+    ///
+    /// Yields `(absolute_path, node)` pairs; directories appear before their
+    /// contents.
+    pub fn walk(&self) -> Vec<(String, &Node)> {
+        fn rec<'a>(prefix: &str, dir: &'a BTreeMap<String, Node>, out: &mut Vec<(String, &'a Node)>) {
+            for (name, node) in dir {
+                let path = format!("{prefix}/{name}");
+                out.push((path.clone(), node));
+                if let Node::Dir(children) = node {
+                    rec(&path, children, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        rec("", &self.root, &mut out);
+        out
+    }
+
+    /// Number of file/symlink/directory nodes.
+    pub fn node_count(&self) -> usize {
+        self.walk().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut img = FsImage::new();
+        img.write_file("/etc/os-release", b"NAME=Buildroot").unwrap();
+        assert_eq!(img.read_file("/etc/os-release").unwrap(), b"NAME=Buildroot");
+        assert!(img.exists("/etc"));
+        assert!(img.exists("/etc/os-release"));
+        assert!(!img.exists("/etc/passwd"));
+    }
+
+    #[test]
+    fn parents_created() {
+        let mut img = FsImage::new();
+        img.write_file("/a/b/c/d.txt", b"deep").unwrap();
+        assert_eq!(img.list_dir("/a/b/c").unwrap(), vec!["d.txt"]);
+    }
+
+    #[test]
+    fn file_blocks_subpaths() {
+        let mut img = FsImage::new();
+        img.write_file("/a", b"file").unwrap();
+        assert_eq!(
+            img.write_file("/a/b", b"x"),
+            Err(FsError::NotADirectory("/a/b".to_owned()))
+        );
+    }
+
+    #[test]
+    fn bad_paths_rejected() {
+        let mut img = FsImage::new();
+        assert!(matches!(
+            img.write_file("relative", b""),
+            Err(FsError::BadPath(_))
+        ));
+        assert!(matches!(
+            img.write_file("/a/../b", b""),
+            Err(FsError::BadPath(_))
+        ));
+        assert!(matches!(img.write_file("/", b""), Err(FsError::BadPath(_))));
+    }
+
+    #[test]
+    fn symlinks_resolve() {
+        let mut img = FsImage::new();
+        img.write_exec("/bin/busybox", b"BB").unwrap();
+        img.symlink("/bin/sh", "busybox").unwrap();
+        img.symlink("/usr/bin/sh", "/bin/busybox").unwrap();
+        assert_eq!(img.read_file("/bin/sh").unwrap(), b"BB");
+        assert_eq!(img.read_file("/usr/bin/sh").unwrap(), b"BB");
+        assert!(img.is_executable("/bin/sh"));
+    }
+
+    #[test]
+    fn symlink_loop_bounded() {
+        let mut img = FsImage::new();
+        img.symlink("/a", "/b").unwrap();
+        img.symlink("/b", "/a").unwrap();
+        assert!(img.resolve("/a").is_none());
+    }
+
+    #[test]
+    fn remove_subtree() {
+        let mut img = FsImage::new();
+        img.write_file("/d/one", b"1").unwrap();
+        img.write_file("/d/two", b"2").unwrap();
+        assert!(img.remove("/d"));
+        assert!(!img.exists("/d"));
+        assert!(!img.remove("/d"));
+    }
+
+    #[test]
+    fn walk_sorted_dirs_first() {
+        let mut img = FsImage::new();
+        img.write_file("/z.txt", b"").unwrap();
+        img.write_file("/a/inner.txt", b"").unwrap();
+        let paths: Vec<String> = img.walk().into_iter().map(|(p, _)| p).collect();
+        assert_eq!(paths, vec!["/a", "/a/inner.txt", "/z.txt"]);
+    }
+
+    #[test]
+    fn size_limit_enforced() {
+        let mut img = FsImage::new();
+        img.set_size_limit(Some(10));
+        img.write_file("/big", &[0u8; 32]).unwrap();
+        assert_eq!(
+            img.check_size(),
+            Err(FsError::TooLarge { need: 32, limit: 10 })
+        );
+        img.set_size_limit(Some(1 << 20));
+        assert!(img.check_size().is_ok());
+    }
+
+    #[test]
+    fn total_size_counts_payloads() {
+        let mut img = FsImage::new();
+        img.write_file("/a", &[1; 10]).unwrap();
+        img.write_file("/d/b", &[2; 5]).unwrap();
+        img.symlink("/l", "/a").unwrap();
+        assert_eq!(img.total_size(), 10 + 5 + 2);
+    }
+
+    #[test]
+    fn list_root() {
+        let mut img = FsImage::new();
+        img.mkdir_p("/etc").unwrap();
+        img.mkdir_p("/bin").unwrap();
+        assert_eq!(img.list_dir("/").unwrap(), vec!["bin", "etc"]);
+    }
+}

@@ -1,0 +1,247 @@
+//! Overlay application: merging trees and host directories into images.
+//!
+//! Implements §III-B step 5a: "FireMarshal makes a copy of the parent's
+//! disk image and then copies over any files from the `file` or `overlay`
+//! options."
+
+use std::path::Path;
+
+use crate::fs::{FsError, FsImage, Node};
+
+impl FsImage {
+    /// Overlays another image on top of this one.
+    ///
+    /// Files and symlinks in `upper` replace same-named nodes here;
+    /// directories merge recursively. This is the core of parent-image
+    /// reuse: children start from a clone of the parent image and apply
+    /// their overlay.
+    pub fn apply_overlay(&mut self, upper: &FsImage) {
+        for (path, node) in upper.walk() {
+            // Overlay semantics: the upper layer wins even when a lower
+            // *file* blocks an upper *directory* (or a path through one) —
+            // remove the conflicting ancestor and retry.
+            let apply = |img: &mut FsImage| match node {
+                Node::Dir(_) => img.mkdir_p(&path),
+                other => img.write_node(&path, other.clone()),
+            };
+            if let Err(FsError::NotADirectory(_)) = apply(self) {
+                self.remove_conflicting_ancestor(&path);
+                // Bad paths cannot come out of walk(), so this succeeds.
+                let _ = apply(self);
+            }
+        }
+    }
+
+    /// Removes the first ancestor of `path` that exists but is not a
+    /// directory (clearing the way for an overlay write).
+    fn remove_conflicting_ancestor(&mut self, path: &str) {
+        let mut prefix = String::new();
+        for comp in path.split('/').filter(|c| !c.is_empty()) {
+            prefix.push('/');
+            prefix.push_str(comp);
+            if prefix == path {
+                break;
+            }
+            if matches!(
+                self.node(&prefix),
+                Some(Node::File { .. } | Node::Symlink(_))
+            ) {
+                self.remove(&prefix);
+                return;
+            }
+        }
+    }
+
+    /// Overlays a host directory tree rooted at `host_dir` onto `guest_root`.
+    ///
+    /// Host regular files become image files (executable bit preserved on
+    /// Unix), directories recurse, symlinks are copied verbatim. Entries are
+    /// visited in sorted order so the result is deterministic.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] when `host_dir` does not exist, or an I/O
+    /// failure mapped to [`FsError::BadPath`].
+    pub fn overlay_host_dir(&mut self, host_dir: &Path, guest_root: &str) -> Result<(), FsError> {
+        if !host_dir.is_dir() {
+            return Err(FsError::NotFound(host_dir.display().to_string()));
+        }
+        let mut entries: Vec<_> = std::fs::read_dir(host_dir)
+            .map_err(|e| FsError::BadPath(format!("{}: {e}", host_dir.display())))?
+            .filter_map(Result::ok)
+            .collect();
+        entries.sort_by_key(|e| e.file_name());
+        for entry in entries {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let guest_path = if guest_root == "/" {
+                format!("/{name}")
+            } else {
+                format!("{guest_root}/{name}")
+            };
+            let path = entry.path();
+            let meta = std::fs::symlink_metadata(&path)
+                .map_err(|e| FsError::BadPath(format!("{}: {e}", path.display())))?;
+            if meta.file_type().is_symlink() {
+                let target = std::fs::read_link(&path)
+                    .map_err(|e| FsError::BadPath(format!("{}: {e}", path.display())))?;
+                self.symlink(&guest_path, &target.to_string_lossy())?;
+            } else if meta.is_dir() {
+                self.mkdir_p(&guest_path)?;
+                self.overlay_host_dir(&path, &guest_path)?;
+            } else {
+                let data = std::fs::read(&path)
+                    .map_err(|e| FsError::BadPath(format!("{}: {e}", path.display())))?;
+                let exec = is_executable(&meta);
+                if exec {
+                    self.write_exec(&guest_path, &data)?;
+                } else {
+                    self.write_file(&guest_path, &data)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Copies a path (file or directory subtree) out of the image into a
+    /// host directory — used by output collection after a run.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] when `guest_path` is missing, or I/O failures
+    /// as [`FsError::BadPath`].
+    pub fn copy_out(&self, guest_path: &str, host_dest: &Path) -> Result<(), FsError> {
+        let node = self
+            .resolve(guest_path)
+            .ok_or_else(|| FsError::NotFound(guest_path.to_owned()))?;
+        copy_node_out(node, host_dest)
+    }
+}
+
+fn copy_node_out(node: &Node, dest: &Path) -> Result<(), FsError> {
+    match node {
+        Node::File { data, .. } => {
+            if let Some(parent) = dest.parent() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| FsError::BadPath(format!("{}: {e}", parent.display())))?;
+            }
+            std::fs::write(dest, data)
+                .map_err(|e| FsError::BadPath(format!("{}: {e}", dest.display())))
+        }
+        Node::Dir(children) => {
+            std::fs::create_dir_all(dest)
+                .map_err(|e| FsError::BadPath(format!("{}: {e}", dest.display())))?;
+            for (name, child) in children {
+                copy_node_out(child, &dest.join(name))?;
+            }
+            Ok(())
+        }
+        Node::Symlink(target) => {
+            // Materialise symlink contents as a file for output collection.
+            std::fs::write(dest, target.as_bytes())
+                .map_err(|e| FsError::BadPath(format!("{}: {e}", dest.display())))
+        }
+    }
+}
+
+#[cfg(unix)]
+fn is_executable(meta: &std::fs::Metadata) -> bool {
+    use std::os::unix::fs::PermissionsExt;
+    meta.permissions().mode() & 0o111 != 0
+}
+
+#[cfg(not(unix))]
+fn is_executable(_meta: &std::fs::Metadata) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("marshal-overlay-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn image_overlay_replaces_and_merges() {
+        let mut base = FsImage::new();
+        base.write_file("/etc/keep", b"keep").unwrap();
+        base.write_file("/etc/replace", b"old").unwrap();
+
+        let mut upper = FsImage::new();
+        upper.write_file("/etc/replace", b"new").unwrap();
+        upper.write_file("/bench/run", b"go").unwrap();
+
+        base.apply_overlay(&upper);
+        assert_eq!(base.read_file("/etc/keep").unwrap(), b"keep");
+        assert_eq!(base.read_file("/etc/replace").unwrap(), b"new");
+        assert_eq!(base.read_file("/bench/run").unwrap(), b"go");
+    }
+
+    #[test]
+    fn overlay_preserves_parent_unrelated_dirs() {
+        let mut base = FsImage::new();
+        base.write_file("/lib/modules/a.ko", b"A").unwrap();
+        let mut upper = FsImage::new();
+        upper.mkdir_p("/lib/modules").unwrap();
+        base.apply_overlay(&upper);
+        assert_eq!(base.read_file("/lib/modules/a.ko").unwrap(), b"A");
+    }
+
+    #[test]
+    fn host_dir_overlay() {
+        let dir = tmpdir("hostdir");
+        std::fs::create_dir_all(dir.join("sub")).unwrap();
+        std::fs::write(dir.join("top.txt"), b"top").unwrap();
+        std::fs::write(dir.join("sub/inner.txt"), b"inner").unwrap();
+
+        let mut img = FsImage::new();
+        img.overlay_host_dir(&dir, "/").unwrap();
+        assert_eq!(img.read_file("/top.txt").unwrap(), b"top");
+        assert_eq!(img.read_file("/sub/inner.txt").unwrap(), b"inner");
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn host_dir_missing_errors() {
+        let mut img = FsImage::new();
+        assert!(matches!(
+            img.overlay_host_dir(Path::new("/definitely/not/here"), "/"),
+            Err(FsError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn copy_out_roundtrip() {
+        let dir = tmpdir("copyout");
+        let mut img = FsImage::new();
+        img.write_file("/output/results.csv", b"a,b\n1,2\n").unwrap();
+        img.write_file("/output/nested/log.txt", b"log").unwrap();
+        img.copy_out("/output", &dir.join("out")).unwrap();
+        assert_eq!(
+            std::fs::read(dir.join("out/results.csv")).unwrap(),
+            b"a,b\n1,2\n"
+        );
+        assert_eq!(std::fs::read(dir.join("out/nested/log.txt")).unwrap(), b"log");
+        assert!(img.copy_out("/missing", &dir.join("x")).is_err());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn host_exec_bit_preserved() {
+        use std::os::unix::fs::PermissionsExt;
+        let dir = tmpdir("execbit");
+        let script = dir.join("run.sh");
+        std::fs::write(&script, b"#!/bin/sh\n").unwrap();
+        std::fs::set_permissions(&script, std::fs::Permissions::from_mode(0o755)).unwrap();
+        let mut img = FsImage::new();
+        img.overlay_host_dir(&dir, "/").unwrap();
+        assert!(img.is_executable("/run.sh"));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests on the filesystem-image substrate: format
+//! roundtrips and overlay algebra.
+
+use proptest::prelude::*;
+
+use marshal_image::{cpio, FsImage};
+
+/// A random file tree as (path, contents, exec) triples.
+fn arb_tree() -> impl Strategy<Value = Vec<(String, Vec<u8>, bool)>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec("[a-z0-9]{1,6}", 1..4)
+                .prop_map(|parts| format!("/{}", parts.join("/"))),
+            proptest::collection::vec(any::<u8>(), 0..64),
+            any::<bool>(),
+        ),
+        0..12,
+    )
+}
+
+fn build_image(tree: &[(String, Vec<u8>, bool)]) -> FsImage {
+    let mut img = FsImage::new();
+    for (path, data, exec) in tree {
+        // Later entries may conflict with earlier directories; skip those —
+        // the generator does not guarantee tree-consistency.
+        let result = if *exec {
+            img.write_exec(path, data)
+        } else {
+            img.write_file(path, data)
+        };
+        let _ = result;
+    }
+    img
+}
+
+proptest! {
+    #[test]
+    fn mimg_roundtrip(tree in arb_tree()) {
+        let img = build_image(&tree);
+        let back = FsImage::from_bytes(&img.to_bytes()).unwrap();
+        prop_assert_eq!(img, back);
+    }
+
+    #[test]
+    fn cpio_roundtrip(tree in arb_tree()) {
+        let img = build_image(&tree);
+        let back = cpio::unpack(&cpio::pack(&img)).unwrap();
+        prop_assert_eq!(img, back);
+    }
+
+    #[test]
+    fn serialisation_is_deterministic(tree in arb_tree()) {
+        let a = build_image(&tree).to_bytes();
+        let b = build_image(&tree).to_bytes();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = FsImage::from_bytes(&bytes);
+        let _ = cpio::unpack(&bytes);
+    }
+
+    /// Overlay is idempotent: applying the same upper twice changes nothing.
+    #[test]
+    fn overlay_idempotent(base in arb_tree(), upper in arb_tree()) {
+        let mut once = build_image(&base);
+        let upper_img = build_image(&upper);
+        once.apply_overlay(&upper_img);
+        let mut twice = once.clone();
+        twice.apply_overlay(&upper_img);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Overlay wins: every file of the upper layer is present afterwards
+    /// with the upper's contents.
+    #[test]
+    fn overlay_upper_wins(base in arb_tree(), upper in arb_tree()) {
+        let mut merged = build_image(&base);
+        let upper_img = build_image(&upper);
+        merged.apply_overlay(&upper_img);
+        for (path, node) in upper_img.walk() {
+            if let marshal_image::Node::File { data, .. } = node {
+                prop_assert_eq!(merged.read_file(&path).unwrap(), &data[..], "{}", path);
+            }
+        }
+    }
+
+    /// Sizes are additive-consistent: total_size equals the sum over walk().
+    #[test]
+    fn total_size_matches_walk(tree in arb_tree()) {
+        let img = build_image(&tree);
+        let sum: u64 = img
+            .walk()
+            .iter()
+            .map(|(_, n)| match n {
+                marshal_image::Node::File { data, .. } => data.len() as u64,
+                marshal_image::Node::Symlink(t) => t.len() as u64,
+                marshal_image::Node::Dir(_) => 0,
+            })
+            .sum();
+        prop_assert_eq!(img.total_size(), sum);
+    }
+}

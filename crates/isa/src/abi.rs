@@ -1,0 +1,79 @@
+//! The guest ABI: syscall numbers and calling conventions shared by every
+//! simulator in the workspace.
+//!
+//! Guest user programs request services with `ecall`; the syscall number
+//! goes in `a7` and arguments in `a0`–`a5`, mirroring the RISC-V Linux
+//! convention. Numbers for calls that exist in Linux reuse the Linux values
+//! so the assembly reads naturally; the handful of simulator-specific calls
+//! live above 2000.
+
+/// Syscall numbers.
+pub mod sys {
+    /// `exit(code)` — terminate the program.
+    pub const EXIT: u64 = 93;
+    /// `write(fd, buf, len) -> written` — fd 1/2 go to the serial console.
+    pub const WRITE: u64 = 64;
+    /// `read(fd, buf, len) -> nread`.
+    pub const READ: u64 = 63;
+    /// `open(path_cstr, flags) -> fd` (simplified; no mode argument).
+    pub const OPEN: u64 = 1024;
+    /// `close(fd)`.
+    pub const CLOSE: u64 = 57;
+    /// `argc() -> count` — number of program arguments.
+    pub const ARGC: u64 = 2000;
+    /// `argv(index, buf, cap) -> len` — copy argument `index` into `buf`.
+    pub const ARGV: u64 = 2001;
+    /// `mmap_remote(pages) -> vaddr` — map `pages` of *remote* memory
+    /// (backed by the PFA / software-paging model in cycle-exact simulation,
+    /// plain local memory in functional simulation).
+    pub const MMAP_REMOTE: u64 = 2002;
+    /// `trace(marker)` — emit a numbered trace marker into the serial log.
+    pub const TRACE: u64 = 2003;
+}
+
+/// `open` flags.
+pub mod flags {
+    /// Open for reading.
+    pub const O_RDONLY: u64 = 0;
+    /// Open for writing, create or truncate.
+    pub const O_WRONLY: u64 = 1;
+    /// Open for appending, create if missing.
+    pub const O_APPEND: u64 = 2;
+}
+
+/// Well-known file descriptors.
+pub mod fd {
+    /// Standard output (serial console).
+    pub const STDOUT: u64 = 1;
+    /// Standard error (serial console).
+    pub const STDERR: u64 = 2;
+    /// First descriptor handed out by `open`.
+    pub const FIRST_OPEN: u64 = 3;
+}
+
+/// Default virtual load address for user programs.
+pub const USER_BASE: u64 = 0x1_0000;
+
+/// Default initial stack pointer for user programs (grows down).
+pub const USER_STACK_TOP: u64 = 0x7f_f000;
+
+/// Default user address-space size in bytes.
+pub const USER_MEM_SIZE: usize = 0x80_0000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linux_compatible_numbers() {
+        assert_eq!(sys::EXIT, 93);
+        assert_eq!(sys::WRITE, 64);
+        assert_eq!(sys::READ, 63);
+    }
+
+    #[test]
+    fn layout_sane() {
+        assert!(USER_STACK_TOP > USER_BASE);
+        assert!((USER_STACK_TOP as usize) < USER_MEM_SIZE);
+    }
+}

@@ -1,0 +1,196 @@
+//! Memory abstractions used by the interpreter.
+//!
+//! The interpreter is generic over a [`Bus`], letting the functional
+//! simulators attach MMIO devices (UART, block device, PFA, NIC) while tests
+//! and user-mode execution use a simple [`FlatMemory`].
+
+use crate::interp::Trap;
+
+/// A byte-addressable memory bus.
+///
+/// Implementors provide naturally-aligned little-endian accesses of 1, 2, 4
+/// or 8 bytes. The interpreter performs all alignment checks before calling
+/// into the bus, so implementations may assume `size` divides `addr` only if
+/// they care about alignment themselves.
+pub trait Bus {
+    /// Loads `size` bytes (1, 2, 4, or 8) at `addr`, zero-extended into a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::LoadFault`] when the address is unmapped.
+    fn load(&mut self, addr: u64, size: usize) -> Result<u64, Trap>;
+
+    /// Stores the low `size` bytes of `value` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::StoreFault`] when the address is unmapped or read-only.
+    fn store(&mut self, addr: u64, size: usize, value: u64) -> Result<(), Trap>;
+
+    /// Fetches a 32-bit instruction word at `addr`.
+    ///
+    /// The default implementation issues a 4-byte load; devices may override
+    /// to fault on execution from MMIO space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::FetchFault`] (or a load fault) when unmapped.
+    fn fetch(&mut self, addr: u64) -> Result<u32, Trap> {
+        self.load(addr, 4).map(|v| v as u32).map_err(|t| match t {
+            Trap::LoadFault { addr } => Trap::FetchFault { addr },
+            other => other,
+        })
+    }
+}
+
+/// A flat, zero-initialised RAM starting at a configurable base address.
+///
+/// ```rust
+/// use marshal_isa::mem::{Bus, FlatMemory};
+/// let mut m = FlatMemory::new(4096);
+/// m.store(16, 8, 0xdead_beef).unwrap();
+/// assert_eq!(m.load(16, 8).unwrap(), 0xdead_beef);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatMemory {
+    base: u64,
+    data: Vec<u8>,
+}
+
+impl FlatMemory {
+    /// Creates a memory of `size` bytes based at address 0.
+    pub fn new(size: usize) -> FlatMemory {
+        FlatMemory::with_base(0, size)
+    }
+
+    /// Creates a memory of `size` bytes based at `base`.
+    pub fn with_base(base: u64, size: usize) -> FlatMemory {
+        FlatMemory {
+            base,
+            data: vec![0; size],
+        }
+    }
+
+    /// The base address of the mapped range.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The size of the mapped range in bytes.
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether `[addr, addr+len)` lies entirely within this memory.
+    pub fn contains(&self, addr: u64, len: usize) -> bool {
+        addr >= self.base && addr.saturating_add(len as u64) <= self.base + self.data.len() as u64
+    }
+
+    fn offset(&self, addr: u64, len: usize) -> Option<usize> {
+        if self.contains(addr, len) {
+            Some((addr - self.base) as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Copies `bytes` into memory starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::StoreFault`] if the range is not fully mapped.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) -> Result<(), Trap> {
+        let off = self
+            .offset(addr, bytes.len())
+            .ok_or(Trap::StoreFault { addr })?;
+        self.data[off..off + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::LoadFault`] if the range is not fully mapped.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Result<&[u8], Trap> {
+        let off = self.offset(addr, len).ok_or(Trap::LoadFault { addr })?;
+        Ok(&self.data[off..off + len])
+    }
+
+    /// Reads a NUL-terminated string starting at `addr` (at most `max` bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::LoadFault`] if the scan runs off mapped memory before
+    /// finding a terminator.
+    pub fn read_cstr(&self, addr: u64, max: usize) -> Result<String, Trap> {
+        let mut out = Vec::new();
+        for i in 0..max {
+            let b = self.read_bytes(addr + i as u64, 1)?[0];
+            if b == 0 {
+                break;
+            }
+            out.push(b);
+        }
+        Ok(String::from_utf8_lossy(&out).into_owned())
+    }
+}
+
+impl Bus for FlatMemory {
+    fn load(&mut self, addr: u64, size: usize) -> Result<u64, Trap> {
+        let off = self.offset(addr, size).ok_or(Trap::LoadFault { addr })?;
+        let mut v = 0u64;
+        for (i, b) in self.data[off..off + size].iter().enumerate() {
+            v |= (*b as u64) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    fn store(&mut self, addr: u64, size: usize, value: u64) -> Result<(), Trap> {
+        let off = self.offset(addr, size).ok_or(Trap::StoreFault { addr })?;
+        for i in 0..size {
+            self.data[off + i] = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn little_endian_roundtrip() {
+        let mut m = FlatMemory::new(64);
+        m.store(0, 4, 0x0403_0201).unwrap();
+        assert_eq!(m.load(0, 1).unwrap(), 0x01);
+        assert_eq!(m.load(1, 1).unwrap(), 0x02);
+        assert_eq!(m.load(0, 2).unwrap(), 0x0201);
+        assert_eq!(m.load(0, 8).unwrap(), 0x0403_0201);
+    }
+
+    #[test]
+    fn based_memory_faults_outside_range() {
+        let mut m = FlatMemory::with_base(0x8000_0000, 1024);
+        assert!(m.load(0, 4).is_err());
+        assert!(m.store(0x8000_0000 + 1021, 4, 0).is_err());
+        assert!(m.store(0x8000_0000, 8, 42).is_ok());
+        assert_eq!(m.load(0x8000_0000, 8).unwrap(), 42);
+    }
+
+    #[test]
+    fn cstr_read() {
+        let mut m = FlatMemory::new(64);
+        m.write_bytes(8, b"hello\0world").unwrap();
+        assert_eq!(m.read_cstr(8, 64).unwrap(), "hello");
+    }
+
+    #[test]
+    fn fetch_converts_fault_kind() {
+        let mut m = FlatMemory::new(16);
+        match m.fetch(1024) {
+            Err(Trap::FetchFault { addr }) => assert_eq!(addr, 1024),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

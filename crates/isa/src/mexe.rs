@@ -1,0 +1,285 @@
+//! `MEXE` — the deterministic executable object format.
+//!
+//! A tiny ELF-like container: entry point, loadable segments, and a symbol
+//! table. Serialisation is byte-stable: the same program always produces the
+//! same bytes, which is what makes FireMarshal artifacts content-addressable
+//! and reproducible.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   4  b"MEXE"
+//! version u32
+//! entry   u64
+//! nseg    u32
+//! nsym    u32
+//! per segment: vaddr u64, len u64, data [len]
+//! per symbol:  name_len u32, name [..], value u64   (sorted by name)
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::mem::FlatMemory;
+use crate::Trap;
+
+/// Format magic bytes.
+pub const MAGIC: &[u8; 4] = b"MEXE";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Error parsing a `MEXE` image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MexeError {
+    /// File shorter than its headers claim.
+    Truncated,
+    /// Magic bytes do not match.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Symbol name is not valid UTF-8.
+    BadSymbolName,
+}
+
+impl std::fmt::Display for MexeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MexeError::Truncated => write!(f, "truncated mexe image"),
+            MexeError::BadMagic => write!(f, "bad mexe magic"),
+            MexeError::BadVersion(v) => write!(f, "unsupported mexe version {v}"),
+            MexeError::BadSymbolName => write!(f, "symbol name is not valid utf-8"),
+        }
+    }
+}
+
+impl std::error::Error for MexeError {}
+
+/// A loadable segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Virtual load address.
+    pub vaddr: u64,
+    /// Raw bytes to load.
+    pub data: Vec<u8>,
+}
+
+/// An executable image: entry point, segments, and symbols.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MexeFile {
+    entry: u64,
+    segments: Vec<Segment>,
+    symbols: BTreeMap<String, u64>,
+}
+
+impl MexeFile {
+    /// Creates an image with the given entry point and no segments.
+    pub fn new(entry: u64) -> MexeFile {
+        MexeFile {
+            entry,
+            segments: Vec::new(),
+            symbols: BTreeMap::new(),
+        }
+    }
+
+    /// The program entry point.
+    pub fn entry(&self) -> u64 {
+        self.entry
+    }
+
+    /// The loadable segments.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// The symbol table (sorted by name).
+    pub fn symbols(&self) -> &BTreeMap<String, u64> {
+        &self.symbols
+    }
+
+    /// Looks up a symbol value by name.
+    pub fn symbol(&self, name: &str) -> Option<u64> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Appends a loadable segment.
+    pub fn push_segment(&mut self, vaddr: u64, data: Vec<u8>) {
+        self.segments.push(Segment { vaddr, data });
+    }
+
+    /// Defines (or redefines) a symbol.
+    pub fn define_symbol(&mut self, name: impl Into<String>, value: u64) {
+        self.symbols.insert(name.into(), value);
+    }
+
+    /// Total bytes of loadable data across all segments.
+    pub fn load_size(&self) -> usize {
+        self.segments.iter().map(|s| s.data.len()).sum()
+    }
+
+    /// Copies every segment into `mem`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] if any segment falls outside the memory range.
+    pub fn load_into(&self, mem: &mut FlatMemory) -> Result<(), Trap> {
+        for seg in &self.segments {
+            mem.write_bytes(seg.vaddr, &seg.data)?;
+        }
+        Ok(())
+    }
+
+    /// Serialises to the canonical byte representation.
+    ///
+    /// The output is deterministic: identical images yield identical bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.load_size());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.entry.to_le_bytes());
+        out.extend_from_slice(&(self.segments.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.symbols.len() as u32).to_le_bytes());
+        for seg in &self.segments {
+            out.extend_from_slice(&seg.vaddr.to_le_bytes());
+            out.extend_from_slice(&(seg.data.len() as u64).to_le_bytes());
+            out.extend_from_slice(&seg.data);
+        }
+        for (name, value) in &self.symbols {
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&value.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses the canonical byte representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MexeError`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<MexeFile, MexeError> {
+        let mut cur = Cursor { bytes, pos: 0 };
+        if cur.take(4)? != MAGIC {
+            return Err(MexeError::BadMagic);
+        }
+        let version = cur.u32()?;
+        if version != VERSION {
+            return Err(MexeError::BadVersion(version));
+        }
+        let entry = cur.u64()?;
+        let nseg = cur.u32()? as usize;
+        let nsym = cur.u32()? as usize;
+        let mut file = MexeFile::new(entry);
+        for _ in 0..nseg {
+            let vaddr = cur.u64()?;
+            let len = cur.u64()? as usize;
+            let data = cur.take(len)?.to_vec();
+            file.push_segment(vaddr, data);
+        }
+        for _ in 0..nsym {
+            let name_len = cur.u32()? as usize;
+            let name = std::str::from_utf8(cur.take(name_len)?)
+                .map_err(|_| MexeError::BadSymbolName)?
+                .to_owned();
+            let value = cur.u64()?;
+            file.symbols.insert(name, value);
+        }
+        Ok(file)
+    }
+
+    /// Whether `bytes` start with the `MEXE` magic.
+    pub fn sniff(bytes: &[u8]) -> bool {
+        bytes.len() >= 4 && &bytes[..4] == MAGIC
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], MexeError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(MexeError::Truncated);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, MexeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, MexeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MexeFile {
+        let mut f = MexeFile::new(0x1_0000);
+        f.push_segment(0x1_0000, vec![1, 2, 3, 4]);
+        f.push_segment(0x2_0000, vec![9; 100]);
+        f.define_symbol("_start", 0x1_0000);
+        f.define_symbol("data", 0x2_0000);
+        f
+    }
+
+    #[test]
+    fn roundtrip() {
+        let f = sample();
+        let bytes = f.to_bytes();
+        let g = MexeFile::from_bytes(&bytes).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn deterministic_bytes() {
+        assert_eq!(sample().to_bytes(), sample().to_bytes());
+    }
+
+    #[test]
+    fn symbol_order_does_not_matter() {
+        let mut a = MexeFile::new(0);
+        a.define_symbol("b", 2);
+        a.define_symbol("a", 1);
+        let mut b = MexeFile::new(0);
+        b.define_symbol("a", 1);
+        b.define_symbol("b", 2);
+        assert_eq!(a.to_bytes(), b.to_bytes());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(MexeFile::from_bytes(b"nope"), Err(MexeError::BadMagic));
+        assert_eq!(MexeFile::from_bytes(b"MEX"), Err(MexeError::Truncated));
+        let mut bytes = sample().to_bytes();
+        bytes.truncate(bytes.len() - 1);
+        assert_eq!(MexeFile::from_bytes(&bytes), Err(MexeError::Truncated));
+        let mut bad_ver = sample().to_bytes();
+        bad_ver[4] = 99;
+        assert_eq!(MexeFile::from_bytes(&bad_ver), Err(MexeError::BadVersion(99)));
+    }
+
+    #[test]
+    fn load_into_memory() {
+        let f = sample();
+        let mut mem = FlatMemory::new(1 << 20);
+        f.load_into(&mut mem).unwrap();
+        assert_eq!(mem.read_bytes(0x1_0000, 4).unwrap(), &[1, 2, 3, 4]);
+        assert_eq!(mem.read_bytes(0x2_0000, 3).unwrap(), &[9, 9, 9]);
+    }
+
+    #[test]
+    fn sniff_magic() {
+        assert!(MexeFile::sniff(&sample().to_bytes()));
+        assert!(!MexeFile::sniff(b"#!mscript"));
+    }
+}

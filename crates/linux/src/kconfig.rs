@@ -1,0 +1,324 @@
+//! The Kconfig-style option system.
+//!
+//! "To form the final Linux configuration, FireMarshal begins with the
+//! RISC-V default configuration. If needed, users can provide Linux kernel
+//! configuration 'fragments'... merged in order, with more recently defined
+//! options overwriting earlier duplicates" (§III-B step 4a).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::LinuxError;
+
+/// The value of one configuration option.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigValue {
+    /// `CONFIG_X=y` — built in.
+    Yes,
+    /// `CONFIG_X=m` — built as a module.
+    Module,
+    /// `# CONFIG_X is not set`.
+    No,
+    /// `CONFIG_X="string"`.
+    Str(String),
+    /// `CONFIG_X=123`.
+    Int(i64),
+}
+
+impl fmt::Display for ConfigValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigValue::Yes => write!(f, "y"),
+            ConfigValue::Module => write!(f, "m"),
+            ConfigValue::No => write!(f, "n"),
+            ConfigValue::Str(s) => write!(f, "\"{s}\""),
+            ConfigValue::Int(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A complete kernel configuration: option name (without the `CONFIG_`
+/// prefix) → value.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct KernelConfig {
+    options: BTreeMap<String, ConfigValue>,
+}
+
+impl KernelConfig {
+    /// An empty configuration.
+    pub fn new() -> KernelConfig {
+        KernelConfig::default()
+    }
+
+    /// The modelled RISC-V `defconfig` FireMarshal starts every build from.
+    pub fn riscv_defconfig() -> KernelConfig {
+        let mut c = KernelConfig::new();
+        for (k, v) in [
+            ("RISCV", ConfigValue::Yes),
+            ("64BIT", ConfigValue::Yes),
+            ("MMU", ConfigValue::Yes),
+            ("SMP", ConfigValue::Yes),
+            ("TTY", ConfigValue::Yes),
+            ("SERIAL_8250", ConfigValue::Yes),
+            ("SERIAL_OF_PLATFORM", ConfigValue::Yes),
+            ("BLK_DEV", ConfigValue::Yes),
+            ("BLK_DEV_INITRD", ConfigValue::Yes),
+            ("EXT4_FS", ConfigValue::Yes),
+            ("NET", ConfigValue::Yes),
+            ("INET", ConfigValue::Yes),
+            ("PCI", ConfigValue::Yes),
+            ("MODULES", ConfigValue::Yes),
+            ("SWAP", ConfigValue::Yes),
+            ("PROC_FS", ConfigValue::Yes),
+            ("SYSFS", ConfigValue::Yes),
+            ("DEVTMPFS", ConfigValue::Yes),
+            ("FRONTSWAP", ConfigValue::No),
+            ("PFA", ConfigValue::No),
+            ("DEBUG_INFO", ConfigValue::No),
+            ("PREEMPT", ConfigValue::No),
+            ("HZ", ConfigValue::Int(100)),
+            ("NR_CPUS", ConfigValue::Int(8)),
+            (
+                "DEFAULT_HOSTNAME",
+                ConfigValue::Str("(none)".to_owned()),
+            ),
+        ] {
+            c.options.insert(k.to_owned(), v);
+        }
+        c
+    }
+
+    /// Looks up an option (name without the `CONFIG_` prefix).
+    pub fn get(&self, name: &str) -> Option<&ConfigValue> {
+        self.options.get(name)
+    }
+
+    /// Whether the option is enabled (`y` or `m`).
+    pub fn is_enabled(&self, name: &str) -> bool {
+        matches!(
+            self.options.get(name),
+            Some(ConfigValue::Yes | ConfigValue::Module)
+        )
+    }
+
+    /// Sets an option directly.
+    pub fn set(&mut self, name: impl Into<String>, value: ConfigValue) {
+        self.options.insert(name.into(), value);
+    }
+
+    /// Number of options.
+    pub fn len(&self) -> usize {
+        self.options.len()
+    }
+
+    /// Whether there are no options.
+    pub fn is_empty(&self) -> bool {
+        self.options.is_empty()
+    }
+
+    /// Count of enabled (`y`/`m`) options — feeds the kernel size model.
+    pub fn enabled_count(&self) -> usize {
+        self.options
+            .values()
+            .filter(|v| matches!(v, ConfigValue::Yes | ConfigValue::Module))
+            .count()
+    }
+
+    /// Iterates options in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ConfigValue)> {
+        self.options.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Merges one fragment into this configuration; later lines (and later
+    /// fragments) overwrite earlier settings of the same option.
+    ///
+    /// # Errors
+    ///
+    /// [`LinuxError::BadFragment`] with the offending line number.
+    pub fn merge_fragment(&mut self, fragment: &str) -> Result<(), LinuxError> {
+        for (idx, raw) in fragment.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('#') {
+                // `# CONFIG_X is not set` or a plain comment.
+                let rest = rest.trim();
+                if let Some(name) = rest
+                    .strip_suffix("is not set")
+                    .map(str::trim)
+                    .and_then(|n| n.strip_prefix("CONFIG_"))
+                {
+                    if name.is_empty() {
+                        return Err(LinuxError::BadFragment {
+                            line: line_no,
+                            message: "empty option name".to_owned(),
+                        });
+                    }
+                    self.options.insert(name.to_owned(), ConfigValue::No);
+                }
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(LinuxError::BadFragment {
+                    line: line_no,
+                    message: format!("expected `CONFIG_X=value`, found `{line}`"),
+                });
+            };
+            let Some(name) = key.trim().strip_prefix("CONFIG_") else {
+                return Err(LinuxError::BadFragment {
+                    line: line_no,
+                    message: format!("option `{key}` missing CONFIG_ prefix"),
+                });
+            };
+            if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                return Err(LinuxError::BadFragment {
+                    line: line_no,
+                    message: format!("bad option name `{name}`"),
+                });
+            }
+            let value = value.trim();
+            let parsed = match value {
+                "y" | "Y" => ConfigValue::Yes,
+                "m" | "M" => ConfigValue::Module,
+                "n" | "N" => ConfigValue::No,
+                v if v.starts_with('"') && v.ends_with('"') && v.len() >= 2 => {
+                    ConfigValue::Str(v[1..v.len() - 1].to_owned())
+                }
+                v => match v.parse::<i64>() {
+                    Ok(n) => ConfigValue::Int(n),
+                    Err(_) => {
+                        return Err(LinuxError::BadFragment {
+                            line: line_no,
+                            message: format!("bad value `{v}` for CONFIG_{name}"),
+                        })
+                    }
+                },
+            };
+            self.options.insert(name.to_owned(), parsed);
+        }
+        Ok(())
+    }
+
+    /// Merges fragments in order; the paper's "merged in order, with more
+    /// recently defined options overwriting earlier duplicates".
+    ///
+    /// # Errors
+    ///
+    /// First [`LinuxError::BadFragment`] encountered.
+    pub fn merge_fragments<'a, I: IntoIterator<Item = &'a str>>(
+        &mut self,
+        fragments: I,
+    ) -> Result<(), LinuxError> {
+        for f in fragments {
+            self.merge_fragment(f)?;
+        }
+        Ok(())
+    }
+
+    /// Serialises to canonical `.config` text (sorted, deterministic).
+    pub fn to_config_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.options {
+            match value {
+                ConfigValue::No => {
+                    out.push_str(&format!("# CONFIG_{name} is not set\n"));
+                }
+                other => out.push_str(&format!("CONFIG_{name}={other}\n")),
+            }
+        }
+        out
+    }
+
+    /// A stable fingerprint of the full configuration.
+    pub fn fingerprint(&self) -> marshal_depgraph::Fingerprint {
+        marshal_depgraph::Fingerprint::of(self.to_config_text().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defconfig_sane() {
+        let c = KernelConfig::riscv_defconfig();
+        assert!(c.is_enabled("RISCV"));
+        assert!(c.is_enabled("64BIT"));
+        assert!(!c.is_enabled("PFA"));
+        assert_eq!(c.get("HZ"), Some(&ConfigValue::Int(100)));
+    }
+
+    #[test]
+    fn fragment_merge_order() {
+        let mut c = KernelConfig::riscv_defconfig();
+        c.merge_fragments(["CONFIG_PFA=y\n", "# CONFIG_PFA is not set\n"])
+            .unwrap();
+        assert!(!c.is_enabled("PFA"));
+        c.merge_fragment("CONFIG_PFA=y").unwrap();
+        assert!(c.is_enabled("PFA"));
+    }
+
+    #[test]
+    fn fragment_syntax() {
+        let mut c = KernelConfig::new();
+        c.merge_fragment(
+            "# a plain comment\nCONFIG_A=y\nCONFIG_B=m\nCONFIG_C=\"hello world\"\nCONFIG_D=42\n# CONFIG_E is not set\n\n",
+        )
+        .unwrap();
+        assert_eq!(c.get("A"), Some(&ConfigValue::Yes));
+        assert_eq!(c.get("B"), Some(&ConfigValue::Module));
+        assert_eq!(c.get("C"), Some(&ConfigValue::Str("hello world".into())));
+        assert_eq!(c.get("D"), Some(&ConfigValue::Int(42)));
+        assert_eq!(c.get("E"), Some(&ConfigValue::No));
+    }
+
+    #[test]
+    fn bad_fragments_rejected() {
+        let mut c = KernelConfig::new();
+        assert!(matches!(
+            c.merge_fragment("not a config line"),
+            Err(LinuxError::BadFragment { line: 1, .. })
+        ));
+        assert!(matches!(
+            c.merge_fragment("FOO=y"),
+            Err(LinuxError::BadFragment { .. })
+        ));
+        assert!(matches!(
+            c.merge_fragment("CONFIG_A=y\nCONFIG_B=maybe\n"),
+            Err(LinuxError::BadFragment { line: 2, .. })
+        ));
+        assert!(matches!(
+            c.merge_fragment("CONFIG_BAD NAME=y"),
+            Err(LinuxError::BadFragment { .. })
+        ));
+    }
+
+    #[test]
+    fn canonical_text_roundtrip() {
+        let mut c = KernelConfig::riscv_defconfig();
+        c.merge_fragment("CONFIG_PFA=y\nCONFIG_NAME=\"x\"\n").unwrap();
+        let text = c.to_config_text();
+        let mut c2 = KernelConfig::new();
+        c2.merge_fragment(&text).unwrap();
+        assert_eq!(c, c2);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let a = KernelConfig::riscv_defconfig();
+        let mut b = KernelConfig::riscv_defconfig();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.merge_fragment("CONFIG_PFA=y").unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn enabled_count() {
+        let mut c = KernelConfig::new();
+        c.merge_fragment("CONFIG_A=y\nCONFIG_B=m\n# CONFIG_C is not set\nCONFIG_D=5\n")
+            .unwrap();
+        assert_eq!(c.enabled_count(), 2);
+    }
+}

@@ -1,0 +1,147 @@
+//! The mscript abstract syntax tree.
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// String literal.
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// Variable reference.
+    Var(String),
+    /// List literal `[a, b, c]`.
+    List(Vec<Expr>),
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Indexing `base[index]`.
+    Index {
+        /// The indexed expression.
+        base: Box<Expr>,
+        /// The index.
+        index: Box<Expr>,
+    },
+    /// Function or builtin call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source line (for error messages).
+        line: usize,
+    },
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let name = expr`.
+    Let {
+        /// Variable name.
+        name: String,
+        /// Initialiser.
+        value: Expr,
+    },
+    /// `name = expr`.
+    Assign {
+        /// Variable name.
+        name: String,
+        /// New value.
+        value: Expr,
+    },
+    /// `base[index] = expr`.
+    IndexAssign {
+        /// Variable being indexed.
+        name: String,
+        /// Index expression.
+        index: Expr,
+        /// New value.
+        value: Expr,
+    },
+    /// `if cond { .. } else { .. }` (else-if chains nest in `otherwise`).
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then: Vec<Stmt>,
+        /// Else-branch.
+        otherwise: Vec<Stmt>,
+    },
+    /// `while cond { .. }`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `for name in expr { .. }`.
+    For {
+        /// Loop variable.
+        name: String,
+        /// Iterated expression (list or string).
+        iter: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `fn name(params) { .. }`.
+    Fn {
+        /// Function name.
+        name: String,
+        /// Parameter names.
+        params: Vec<String>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `return expr?`.
+    Return(Option<Expr>),
+    /// `break`.
+    Break,
+    /// `continue`.
+    Continue,
+    /// Bare expression (value of the last one is the script result).
+    Expr(Expr),
+}

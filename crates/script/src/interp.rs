@@ -1,0 +1,957 @@
+//! The mscript tree-walking interpreter.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::ast::{BinOp, Expr, Stmt, UnOp};
+use crate::parse::parse;
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Integer.
+    Int(i64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// Null.
+    Null,
+    /// List.
+    List(Vec<Value>),
+    /// String-keyed map.
+    Map(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Renders the value the way `str()` and `print()` do.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Int(v) => v.to_string(),
+            Value::Str(s) => s.clone(),
+            Value::Bool(b) => b.to_string(),
+            Value::Null => "null".to_owned(),
+            Value::List(items) => {
+                let inner: Vec<String> = items.iter().map(render_quoted).collect();
+                format!("[{}]", inner.join(", "))
+            }
+            Value::Map(m) => {
+                let inner: Vec<String> = m
+                    .iter()
+                    .map(|(k, v)| format!("{k}: {}", render_quoted(v)))
+                    .collect();
+                format!("{{{}}}", inner.join(", "))
+            }
+        }
+    }
+
+    /// The value's type name (`int`, `str`, `bool`, `null`, `list`, `map`).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Str(_) => "str",
+            Value::Bool(_) => "bool",
+            Value::Null => "null",
+            Value::List(_) => "list",
+            Value::Map(_) => "map",
+        }
+    }
+
+    /// Truthiness: `false`, `0`, `""`, `null`, `[]`, `{}` are false.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Int(v) => *v != 0,
+            Value::Str(s) => !s.is_empty(),
+            Value::Null => false,
+            Value::List(l) => !l.is_empty(),
+            Value::Map(m) => !m.is_empty(),
+        }
+    }
+}
+
+fn render_quoted(v: &Value) -> String {
+    match v {
+        Value::Str(s) => format!("\"{s}\""),
+        other => other.render(),
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+/// A runtime error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptError {
+    /// Source line when known.
+    pub line: Option<usize>,
+    /// Description.
+    pub message: String,
+}
+
+impl ScriptError {
+    /// Creates an error without line information.
+    pub fn msg(message: impl Into<String>) -> ScriptError {
+        ScriptError {
+            line: None,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "script error at line {line}: {}", self.message),
+            None => write!(f, "script error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+impl From<crate::parse::ParseError> for ScriptError {
+    fn from(e: crate::parse::ParseError) -> ScriptError {
+        ScriptError {
+            line: Some(e.line),
+            message: e.message,
+        }
+    }
+}
+
+/// Result of an [`Extern`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExternResult {
+    /// The extern does not implement this builtin; fall through to the
+    /// common library.
+    NotHandled,
+    /// Success.
+    Value(Value),
+    /// Failure (aborts the script).
+    Err(String),
+}
+
+/// Environment-specific capabilities injected into a script run.
+///
+/// The host build environment implements file access and cross-compilation;
+/// the guest environment implements serial output and program execution.
+pub trait Extern {
+    /// Attempts to handle a builtin call.
+    fn call(&mut self, name: &str, args: &[Value]) -> ExternResult;
+}
+
+/// An [`Extern`] that provides nothing — pure computation only.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoExtern;
+
+impl Extern for NoExtern {
+    fn call(&mut self, _name: &str, _args: &[Value]) -> ExternResult {
+        ExternResult::NotHandled
+    }
+}
+
+enum Flow {
+    Normal(Value),
+    Return(Value),
+    Break,
+    Continue,
+}
+
+/// The mscript interpreter.
+///
+/// Execution is bounded by a step budget (default 50 million) so scripts
+/// terminate deterministically even when buggy.
+#[derive(Debug)]
+pub struct Interp {
+    globals: BTreeMap<String, Value>,
+    fns: BTreeMap<String, (Vec<String>, Vec<Stmt>)>,
+    output: Vec<String>,
+    args: Vec<Value>,
+    steps: u64,
+    max_steps: u64,
+}
+
+impl Default for Interp {
+    fn default() -> Interp {
+        Interp::new()
+    }
+}
+
+impl Interp {
+    /// Creates an interpreter with the default step budget.
+    pub fn new() -> Interp {
+        Interp::with_max_steps(50_000_000)
+    }
+
+    /// Creates an interpreter with an explicit step budget.
+    pub fn with_max_steps(max_steps: u64) -> Interp {
+        Interp {
+            globals: BTreeMap::new(),
+            fns: BTreeMap::new(),
+            output: Vec::new(),
+            args: Vec::new(),
+            steps: 0,
+            max_steps,
+        }
+    }
+
+    /// Lines printed via `print` that were not captured by the extern.
+    pub fn output(&self) -> &[String] {
+        &self.output
+    }
+
+    /// Steps consumed by the last run.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Parses and runs a script; returns the value of its last expression
+    /// statement (or `Null`).
+    ///
+    /// `args` are exposed to the script through the `args()` builtin.
+    ///
+    /// # Errors
+    ///
+    /// Parse errors, runtime type errors, extern failures, or step-budget
+    /// exhaustion, all as [`ScriptError`].
+    pub fn run<E: Extern>(
+        &mut self,
+        source: &str,
+        ext: &mut E,
+        args: &[Value],
+    ) -> Result<Value, ScriptError> {
+        let stmts = parse(source)?;
+        self.args = args.to_vec();
+        self.steps = 0;
+        // Hoist function definitions so calls can precede definitions.
+        for s in &stmts {
+            if let Stmt::Fn { name, params, body } = s {
+                self.fns.insert(name.clone(), (params.clone(), body.clone()));
+            }
+        }
+        let mut last = Value::Null;
+        for s in &stmts {
+            match self.exec(s, ext, None)? {
+                Flow::Normal(v) => last = v,
+                Flow::Return(v) => return Ok(v),
+                Flow::Break | Flow::Continue => {
+                    return Err(ScriptError::msg("break/continue outside loop"))
+                }
+            }
+        }
+        Ok(last)
+    }
+
+    fn tick(&mut self) -> Result<(), ScriptError> {
+        self.steps += 1;
+        if self.steps > self.max_steps {
+            return Err(ScriptError::msg(format!(
+                "step budget exhausted ({} steps)",
+                self.max_steps
+            )));
+        }
+        Ok(())
+    }
+
+    fn exec<E: Extern>(
+        &mut self,
+        stmt: &Stmt,
+        ext: &mut E,
+        locals: Option<&mut BTreeMap<String, Value>>,
+    ) -> Result<Flow, ScriptError> {
+        // Reborrow pattern: locals is threaded through each call.
+        let mut locals = locals;
+        self.tick()?;
+        match stmt {
+            Stmt::Let { name, value } | Stmt::Assign { name, value } => {
+                let v = self.eval(value, ext, locals.as_deref_mut())?;
+                self.set_var(name, v, locals.as_deref_mut());
+                Ok(Flow::Normal(Value::Null))
+            }
+            Stmt::IndexAssign { name, index, value } => {
+                let idx = self.eval(index, ext, locals.as_deref_mut())?;
+                let val = self.eval(value, ext, locals.as_deref_mut())?;
+                let slot = self
+                    .var_mut(name, locals.as_deref_mut())
+                    .ok_or_else(|| ScriptError::msg(format!("undefined variable `{name}`")))?;
+                match (slot, idx) {
+                    (Value::List(items), Value::Int(i)) => {
+                        let i = i as usize;
+                        if i >= items.len() {
+                            return Err(ScriptError::msg(format!(
+                                "index {i} out of range (len {})",
+                                items.len()
+                            )));
+                        }
+                        items[i] = val;
+                    }
+                    (Value::Map(m), Value::Str(k)) => {
+                        m.insert(k, val);
+                    }
+                    (slot, idx) => {
+                        return Err(ScriptError::msg(format!(
+                            "cannot index {} with {}",
+                            slot.type_name(),
+                            idx.type_name()
+                        )))
+                    }
+                }
+                Ok(Flow::Normal(Value::Null))
+            }
+            Stmt::If {
+                cond,
+                then,
+                otherwise,
+            } => {
+                let branch = if self.eval(cond, ext, locals.as_deref_mut())?.truthy() {
+                    then
+                } else {
+                    otherwise
+                };
+                self.exec_block(branch, ext, locals.as_deref_mut())
+            }
+            Stmt::While { cond, body } => {
+                while self.eval(cond, ext, locals.as_deref_mut())?.truthy() {
+                    match self.exec_block(body, ext, locals.as_deref_mut())? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal(_) | Flow::Continue => {}
+                    }
+                }
+                Ok(Flow::Normal(Value::Null))
+            }
+            Stmt::For { name, iter, body } => {
+                let seq = self.eval(iter, ext, locals.as_deref_mut())?;
+                let items: Vec<Value> = match seq {
+                    Value::List(items) => items,
+                    Value::Str(s) => s.chars().map(|c| Value::Str(c.to_string())).collect(),
+                    Value::Map(m) => m.keys().map(|k| Value::Str(k.clone())).collect(),
+                    other => {
+                        return Err(ScriptError::msg(format!(
+                            "cannot iterate over {}",
+                            other.type_name()
+                        )))
+                    }
+                };
+                for item in items {
+                    self.set_var(name, item, locals.as_deref_mut());
+                    match self.exec_block(body, ext, locals.as_deref_mut())? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal(_) | Flow::Continue => {}
+                    }
+                }
+                Ok(Flow::Normal(Value::Null))
+            }
+            Stmt::Fn { name, params, body } => {
+                self.fns.insert(name.clone(), (params.clone(), body.clone()));
+                Ok(Flow::Normal(Value::Null))
+            }
+            Stmt::Return(expr) => {
+                let v = match expr {
+                    Some(e) => self.eval(e, ext, locals.as_deref_mut())?,
+                    None => Value::Null,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Break => Ok(Flow::Break),
+            Stmt::Continue => Ok(Flow::Continue),
+            Stmt::Expr(e) => Ok(Flow::Normal(self.eval(e, ext, locals.as_deref_mut())?)),
+        }
+    }
+
+    fn exec_block<E: Extern>(
+        &mut self,
+        stmts: &[Stmt],
+        ext: &mut E,
+        mut locals: Option<&mut BTreeMap<String, Value>>,
+    ) -> Result<Flow, ScriptError> {
+        let mut last = Value::Null;
+        for s in stmts {
+            match self.exec(s, ext, locals.as_deref_mut())? {
+                Flow::Normal(v) => last = v,
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal(last))
+    }
+
+    fn set_var(&mut self, name: &str, v: Value, locals: Option<&mut BTreeMap<String, Value>>) {
+        match locals {
+            Some(l) => {
+                l.insert(name.to_owned(), v);
+            }
+            None => {
+                self.globals.insert(name.to_owned(), v);
+            }
+        }
+    }
+
+    fn var_mut<'a>(
+        &'a mut self,
+        name: &str,
+        locals: Option<&'a mut BTreeMap<String, Value>>,
+    ) -> Option<&'a mut Value> {
+        if let Some(l) = locals {
+            if l.contains_key(name) {
+                return l.get_mut(name);
+            }
+        }
+        self.globals.get_mut(name)
+    }
+
+    fn var(&self, name: &str, locals: Option<&BTreeMap<String, Value>>) -> Option<Value> {
+        if let Some(l) = locals {
+            if let Some(v) = l.get(name) {
+                return Some(v.clone());
+            }
+        }
+        self.globals.get(name).cloned()
+    }
+
+    fn eval<E: Extern>(
+        &mut self,
+        expr: &Expr,
+        ext: &mut E,
+        mut locals: Option<&mut BTreeMap<String, Value>>,
+    ) -> Result<Value, ScriptError> {
+        self.tick()?;
+        match expr {
+            Expr::Int(v) => Ok(Value::Int(*v)),
+            Expr::Str(s) => Ok(Value::Str(s.clone())),
+            Expr::Bool(b) => Ok(Value::Bool(*b)),
+            Expr::Null => Ok(Value::Null),
+            Expr::Var(name) => self
+                .var(name, locals.as_deref())
+                .ok_or_else(|| ScriptError::msg(format!("undefined variable `{name}`"))),
+            Expr::List(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for i in items {
+                    out.push(self.eval(i, ext, locals.as_deref_mut())?);
+                }
+                Ok(Value::List(out))
+            }
+            Expr::Un { op, expr } => {
+                let v = self.eval(expr, ext, locals.as_deref_mut())?;
+                match (op, v) {
+                    (UnOp::Neg, Value::Int(v)) => Ok(Value::Int(v.wrapping_neg())),
+                    (UnOp::Not, v) => Ok(Value::Bool(!v.truthy())),
+                    (UnOp::Neg, v) => Err(ScriptError::msg(format!(
+                        "cannot negate {}",
+                        v.type_name()
+                    ))),
+                }
+            }
+            Expr::Bin { op, lhs, rhs } => {
+                // Short-circuit logic first.
+                if matches!(op, BinOp::And) {
+                    let l = self.eval(lhs, ext, locals.as_deref_mut())?;
+                    if !l.truthy() {
+                        return Ok(Value::Bool(false));
+                    }
+                    let r = self.eval(rhs, ext, locals.as_deref_mut())?;
+                    return Ok(Value::Bool(r.truthy()));
+                }
+                if matches!(op, BinOp::Or) {
+                    let l = self.eval(lhs, ext, locals.as_deref_mut())?;
+                    if l.truthy() {
+                        return Ok(Value::Bool(true));
+                    }
+                    let r = self.eval(rhs, ext, locals.as_deref_mut())?;
+                    return Ok(Value::Bool(r.truthy()));
+                }
+                let l = self.eval(lhs, ext, locals.as_deref_mut())?;
+                let r = self.eval(rhs, ext, locals.as_deref_mut())?;
+                binop(*op, l, r)
+            }
+            Expr::Index { base, index } => {
+                let b = self.eval(base, ext, locals.as_deref_mut())?;
+                let i = self.eval(index, ext, locals.as_deref_mut())?;
+                match (b, i) {
+                    (Value::List(items), Value::Int(i)) => {
+                        items.get(i as usize).cloned().ok_or_else(|| {
+                            ScriptError::msg(format!("index {i} out of range (len {})", items.len()))
+                        })
+                    }
+                    (Value::Str(s), Value::Int(i)) => {
+                        let chars: Vec<char> = s.chars().collect();
+                        chars
+                            .get(i as usize)
+                            .map(|c| Value::Str(c.to_string()))
+                            .ok_or_else(|| {
+                                ScriptError::msg(format!(
+                                    "index {i} out of range (len {})",
+                                    chars.len()
+                                ))
+                            })
+                    }
+                    (Value::Map(m), Value::Str(k)) => Ok(m.get(&k).cloned().unwrap_or(Value::Null)),
+                    (b, i) => Err(ScriptError::msg(format!(
+                        "cannot index {} with {}",
+                        b.type_name(),
+                        i.type_name()
+                    ))),
+                }
+            }
+            Expr::Call { name, args, line } => {
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.eval(a, ext, locals.as_deref_mut())?);
+                }
+                self.call(name, &argv, ext).map_err(|mut e| {
+                    if e.line.is_none() {
+                        e.line = Some(*line);
+                    }
+                    e
+                })
+            }
+        }
+    }
+
+    fn call<E: Extern>(
+        &mut self,
+        name: &str,
+        args: &[Value],
+        ext: &mut E,
+    ) -> Result<Value, ScriptError> {
+        // User-defined functions win over builtins.
+        if let Some((params, body)) = self.fns.get(name).cloned() {
+            if params.len() != args.len() {
+                return Err(ScriptError::msg(format!(
+                    "function `{name}` expects {} arguments, got {}",
+                    params.len(),
+                    args.len()
+                )));
+            }
+            let mut locals: BTreeMap<String, Value> = params
+                .into_iter()
+                .zip(args.iter().cloned())
+                .collect();
+            return match self.exec_block(&body, ext, Some(&mut locals))? {
+                Flow::Return(v) | Flow::Normal(v) => Ok(v),
+                Flow::Break | Flow::Continue => {
+                    Err(ScriptError::msg("break/continue outside loop"))
+                }
+            };
+        }
+        // Environment-specific builtins.
+        match ext.call(name, args) {
+            ExternResult::Value(v) => return Ok(v),
+            ExternResult::Err(m) => return Err(ScriptError::msg(m)),
+            ExternResult::NotHandled => {}
+        }
+        // Common library.
+        self.builtin(name, args)
+    }
+
+    fn builtin(&mut self, name: &str, args: &[Value]) -> Result<Value, ScriptError> {
+        let argn = args.len();
+        let bad = |msg: &str| Err(ScriptError::msg(format!("{name}: {msg}")));
+        match (name, args) {
+            ("print", _) => {
+                let line = args
+                    .iter()
+                    .map(Value::render)
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                self.output.push(line);
+                Ok(Value::Null)
+            }
+            ("args", []) => Ok(Value::List(self.args.clone())),
+            ("str", [v]) => Ok(Value::Str(v.render())),
+            ("int", [Value::Int(v)]) => Ok(Value::Int(*v)),
+            ("int", [Value::Str(s)]) => Ok(s
+                .trim()
+                .parse::<i64>()
+                .map(Value::Int)
+                .unwrap_or(Value::Null)),
+            ("int", [Value::Bool(b)]) => Ok(Value::Int(*b as i64)),
+            ("parse_int", [Value::Str(s)]) => Ok(s
+                .trim()
+                .parse::<i64>()
+                .map(Value::Int)
+                .unwrap_or(Value::Null)),
+            ("len", [Value::Str(s)]) => Ok(Value::Int(s.chars().count() as i64)),
+            ("len", [Value::List(l)]) => Ok(Value::Int(l.len() as i64)),
+            ("len", [Value::Map(m)]) => Ok(Value::Int(m.len() as i64)),
+            ("range", [Value::Int(n)]) => Ok(Value::List((0..*n).map(Value::Int).collect())),
+            ("range", [Value::Int(a), Value::Int(b)]) => {
+                Ok(Value::List((*a..*b).map(Value::Int).collect()))
+            }
+            ("push", [Value::List(l), v]) => {
+                let mut l = l.clone();
+                l.push(v.clone());
+                Ok(Value::List(l))
+            }
+            ("concat", [Value::List(a), Value::List(b)]) => {
+                let mut l = a.clone();
+                l.extend(b.iter().cloned());
+                Ok(Value::List(l))
+            }
+            ("sort", [Value::List(l)]) => {
+                let mut l = l.clone();
+                l.sort_by(cmp_values);
+                Ok(Value::List(l))
+            }
+            ("reverse", [Value::List(l)]) => {
+                let mut l = l.clone();
+                l.reverse();
+                Ok(Value::List(l))
+            }
+            ("contains", [Value::Str(s), Value::Str(sub)]) => Ok(Value::Bool(s.contains(sub))),
+            ("contains", [Value::List(l), v]) => Ok(Value::Bool(l.contains(v))),
+            ("contains", [Value::Map(m), Value::Str(k)]) => Ok(Value::Bool(m.contains_key(k))),
+            ("split", [Value::Str(s), Value::Str(sep)]) => {
+                if sep.is_empty() {
+                    return bad("empty separator");
+                }
+                Ok(Value::List(
+                    s.split(sep.as_str()).map(|p| Value::Str(p.to_owned())).collect(),
+                ))
+            }
+            ("split_whitespace", [Value::Str(s)]) => Ok(Value::List(
+                s.split_whitespace()
+                    .map(|p| Value::Str(p.to_owned()))
+                    .collect(),
+            )),
+            ("join", [Value::List(l), Value::Str(sep)]) => {
+                let parts: Vec<String> = l.iter().map(Value::render).collect();
+                Ok(Value::Str(parts.join(sep)))
+            }
+            ("lines", [Value::Str(s)]) => Ok(Value::List(
+                s.lines().map(|l| Value::Str(l.to_owned())).collect(),
+            )),
+            ("trim", [Value::Str(s)]) => Ok(Value::Str(s.trim().to_owned())),
+            ("starts_with", [Value::Str(s), Value::Str(p)]) => Ok(Value::Bool(s.starts_with(p))),
+            ("ends_with", [Value::Str(s), Value::Str(p)]) => Ok(Value::Bool(s.ends_with(p))),
+            ("replace", [Value::Str(s), Value::Str(from), Value::Str(to)]) => {
+                Ok(Value::Str(s.replace(from.as_str(), to)))
+            }
+            ("substr", [Value::Str(s), Value::Int(start), Value::Int(len)]) => {
+                let chars: Vec<char> = s.chars().collect();
+                let start = (*start).max(0) as usize;
+                let len = (*len).max(0) as usize;
+                Ok(Value::Str(
+                    chars.iter().skip(start).take(len).collect::<String>(),
+                ))
+            }
+            ("find", [Value::Str(s), Value::Str(sub)]) => Ok(Value::Int(
+                s.find(sub.as_str())
+                    .map(|b| s[..b].chars().count() as i64)
+                    .unwrap_or(-1),
+            )),
+            ("upper", [Value::Str(s)]) => Ok(Value::Str(s.to_uppercase())),
+            ("lower", [Value::Str(s)]) => Ok(Value::Str(s.to_lowercase())),
+            ("repeat", [Value::Str(s), Value::Int(n)]) => {
+                Ok(Value::Str(s.repeat((*n).max(0) as usize)))
+            }
+            ("map", []) => Ok(Value::Map(BTreeMap::new())),
+            ("get", [Value::Map(m), Value::Str(k)]) => {
+                Ok(m.get(k).cloned().unwrap_or(Value::Null))
+            }
+            ("get", [Value::Map(m), Value::Str(k), default]) => {
+                Ok(m.get(k).cloned().unwrap_or_else(|| default.clone()))
+            }
+            ("set", [Value::Map(m), Value::Str(k), v]) => {
+                let mut m = m.clone();
+                m.insert(k.clone(), v.clone());
+                Ok(Value::Map(m))
+            }
+            ("keys", [Value::Map(m)]) => Ok(Value::List(
+                m.keys().map(|k| Value::Str(k.clone())).collect(),
+            )),
+            ("min", [Value::Int(a), Value::Int(b)]) => Ok(Value::Int(*a.min(b))),
+            ("max", [Value::Int(a), Value::Int(b)]) => Ok(Value::Int(*a.max(b))),
+            ("abs", [Value::Int(v)]) => Ok(Value::Int(v.wrapping_abs())),
+            ("csv_row", [Value::List(fields)]) => {
+                let cells: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        let s = f.render();
+                        if s.contains(',') || s.contains('"') || s.contains('\n') {
+                            format!("\"{}\"", s.replace('"', "\"\""))
+                        } else {
+                            s
+                        }
+                    })
+                    .collect();
+                Ok(Value::Str(cells.join(",")))
+            }
+            ("type", [v]) => Ok(Value::Str(v.type_name().to_owned())),
+            _ => bad(&format!("unknown builtin or bad arguments (arity {argn})")),
+        }
+    }
+}
+
+fn cmp_values(a: &Value, b: &Value) -> std::cmp::Ordering {
+    match (a, b) {
+        (Value::Int(a), Value::Int(b)) => a.cmp(b),
+        (Value::Str(a), Value::Str(b)) => a.cmp(b),
+        _ => a.render().cmp(&b.render()),
+    }
+}
+
+fn binop(op: BinOp, l: Value, r: Value) -> Result<Value, ScriptError> {
+    use BinOp::*;
+    match (op, &l, &r) {
+        (Add, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_add(*b))),
+        (Sub, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_sub(*b))),
+        (Mul, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_mul(*b))),
+        (Div, Value::Int(a), Value::Int(b)) => {
+            if *b == 0 {
+                Err(ScriptError::msg("division by zero"))
+            } else {
+                Ok(Value::Int(a.wrapping_div(*b)))
+            }
+        }
+        (Mod, Value::Int(a), Value::Int(b)) => {
+            if *b == 0 {
+                Err(ScriptError::msg("modulo by zero"))
+            } else {
+                Ok(Value::Int(a.wrapping_rem(*b)))
+            }
+        }
+        (Add, Value::Str(a), b) => Ok(Value::Str(format!("{a}{}", b.render()))),
+        (Add, a, Value::Str(b)) => Ok(Value::Str(format!("{}{b}", a.render()))),
+        (Add, Value::List(a), Value::List(b)) => {
+            let mut out = a.clone();
+            out.extend(b.iter().cloned());
+            Ok(Value::List(out))
+        }
+        (Eq, a, b) => Ok(Value::Bool(a == b)),
+        (Ne, a, b) => Ok(Value::Bool(a != b)),
+        (Lt, Value::Int(a), Value::Int(b)) => Ok(Value::Bool(a < b)),
+        (Le, Value::Int(a), Value::Int(b)) => Ok(Value::Bool(a <= b)),
+        (Gt, Value::Int(a), Value::Int(b)) => Ok(Value::Bool(a > b)),
+        (Ge, Value::Int(a), Value::Int(b)) => Ok(Value::Bool(a >= b)),
+        (Lt, Value::Str(a), Value::Str(b)) => Ok(Value::Bool(a < b)),
+        (Le, Value::Str(a), Value::Str(b)) => Ok(Value::Bool(a <= b)),
+        (Gt, Value::Str(a), Value::Str(b)) => Ok(Value::Bool(a > b)),
+        (Ge, Value::Str(a), Value::Str(b)) => Ok(Value::Bool(a >= b)),
+        (op, l, r) => Err(ScriptError::msg(format!(
+            "cannot apply {op:?} to {} and {}",
+            l.type_name(),
+            r.type_name()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> (Value, Vec<String>) {
+        let mut i = Interp::new();
+        let v = i.run(src, &mut NoExtern, &[]).unwrap();
+        (v, i.output().to_vec())
+    }
+
+    #[test]
+    fn arithmetic_and_result() {
+        assert_eq!(run("1 + 2 * 3").0, Value::Int(7));
+        assert_eq!(run("(1 + 2) * 3").0, Value::Int(9));
+        assert_eq!(run("-5 % 3").0, Value::Int(-2));
+        assert_eq!(run("10 / 3").0, Value::Int(3));
+    }
+
+    #[test]
+    fn strings() {
+        assert_eq!(run(r#""a" + "b" + str(3)"#).0, Value::Str("ab3".into()));
+        assert_eq!(
+            run(r#"join(split("a,b,c", ","), "-")"#).0,
+            Value::Str("a-b-c".into())
+        );
+        assert_eq!(run(r#"trim("  x  ")"#).0, Value::Str("x".into()));
+        assert_eq!(run(r#"find("hello", "llo")"#).0, Value::Int(2));
+        assert_eq!(run(r#"find("hello", "z")"#).0, Value::Int(-1));
+        assert_eq!(run(r#"substr("hello", 1, 3)"#).0, Value::Str("ell".into()));
+        assert_eq!(run(r#"replace("aaa", "a", "b")"#).0, Value::Str("bbb".into()));
+    }
+
+    #[test]
+    fn control_flow() {
+        let src = r#"
+            let total = 0
+            for i in range(1, 11) {
+                if i % 2 == 0 { continue }
+                if i > 8 { break }
+                total = total + i
+            }
+            total
+        "#;
+        assert_eq!(run(src).0, Value::Int(1 + 3 + 5 + 7));
+    }
+
+    #[test]
+    fn functions_and_recursion() {
+        let src = r#"
+            fn fib(n) {
+                if n < 2 { return n }
+                return fib(n - 1) + fib(n - 2)
+            }
+            fib(12)
+        "#;
+        assert_eq!(run(src).0, Value::Int(144));
+    }
+
+    #[test]
+    fn function_locals_do_not_leak() {
+        let src = r#"
+            let x = 1
+            fn f(x) { x = 99 return x }
+            f(5)
+            x
+        "#;
+        assert_eq!(run(src).0, Value::Int(1));
+    }
+
+    #[test]
+    fn globals_visible_in_functions() {
+        let src = r#"
+            let base = 10
+            fn f(n) { return base + n }
+            f(5)
+        "#;
+        assert_eq!(run(src).0, Value::Int(15));
+    }
+
+    #[test]
+    fn lists_and_maps() {
+        let src = r#"
+            let l = [3, 1, 2]
+            l = push(l, 0)
+            l = sort(l)
+            let m = map()
+            m = set(m, "total", len(l))
+            m["first"] = l[0]
+            [m["total"], m["first"], get(m, "missing", -1)]
+        "#;
+        assert_eq!(
+            run(src).0,
+            Value::List(vec![Value::Int(4), Value::Int(0), Value::Int(-1)])
+        );
+    }
+
+    #[test]
+    fn print_capture() {
+        let (_, out) = run(r#"print("hello", 42) print("world")"#);
+        assert_eq!(out, vec!["hello 42", "world"]);
+    }
+
+    #[test]
+    fn csv_row_quoting() {
+        assert_eq!(
+            run(r#"csv_row(["a", "b,c", 3])"#).0,
+            Value::Str("a,\"b,c\",3".into())
+        );
+    }
+
+    #[test]
+    fn step_budget_stops_infinite_loop() {
+        let mut i = Interp::with_max_steps(10_000);
+        let err = i.run("while true { }", &mut NoExtern, &[]).unwrap_err();
+        assert!(err.message.contains("step budget"));
+    }
+
+    #[test]
+    fn runtime_errors() {
+        let mut i = Interp::new();
+        assert!(i.run("1 / 0", &mut NoExtern, &[]).is_err());
+        assert!(i.run("undefined_var", &mut NoExtern, &[]).is_err());
+        assert!(i.run("[1][5]", &mut NoExtern, &[]).is_err());
+        assert!(i.run(r#""a" - "b""#, &mut NoExtern, &[]).is_err());
+        let err = i.run("nosuchfn()", &mut NoExtern, &[]).unwrap_err();
+        assert!(err.line.is_some());
+    }
+
+    #[test]
+    fn script_args() {
+        let mut i = Interp::new();
+        let v = i
+            .run(
+                "let a = args() a[0] + \"-\" + str(len(a))",
+                &mut NoExtern,
+                &[Value::Str("x".into()), Value::Int(2)],
+            )
+            .unwrap();
+        assert_eq!(v, Value::Str("x-2".into()));
+    }
+
+    #[test]
+    fn extern_overrides() {
+        struct Cycles;
+        impl Extern for Cycles {
+            fn call(&mut self, name: &str, _args: &[Value]) -> ExternResult {
+                match name {
+                    "cycles" => ExternResult::Value(Value::Int(12345)),
+                    "fail" => ExternResult::Err("nope".to_owned()),
+                    _ => ExternResult::NotHandled,
+                }
+            }
+        }
+        let mut i = Interp::new();
+        assert_eq!(
+            i.run("cycles()", &mut Cycles, &[]).unwrap(),
+            Value::Int(12345)
+        );
+        assert!(i.run("fail()", &mut Cycles, &[]).is_err());
+        // Common library still reachable.
+        assert_eq!(i.run("len(\"abc\")", &mut Cycles, &[]).unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn short_circuit() {
+        // Division by zero on the RHS must not evaluate.
+        assert_eq!(run("false && (1 / 0 == 0)").0, Value::Bool(false));
+        assert_eq!(run("true || (1 / 0 == 0)").0, Value::Bool(true));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert_eq!(run(r#"if "" { 1 } else { 2 }"#).0, Value::Int(2));
+        assert_eq!(run("if [] { 1 } else { 2 }").0, Value::Int(2));
+        assert_eq!(run("if 0 { 1 } else { 2 }").0, Value::Int(2));
+        assert_eq!(run(r#"if "x" { 1 } else { 2 }"#).0, Value::Int(1));
+    }
+
+    #[test]
+    fn iterate_string_and_map() {
+        let src = r#"
+            let out = ""
+            for c in "abc" { out = out + c + "." }
+            let m = map()
+            m["k1"] = 1
+            m["k2"] = 2
+            for k in m { out = out + k }
+            out
+        "#;
+        assert_eq!(run(src).0, Value::Str("a.b.c.k1k2".into()));
+    }
+}

@@ -1,0 +1,295 @@
+//! The mscript lexer.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (escapes resolved).
+    Str(String),
+    /// Punctuation or operator, e.g. `+`, `==`, `{`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(v) => write!(f, "`{v}`"),
+            Tok::Str(_) => write!(f, "string literal"),
+            Tok::Punct(p) => write!(f, "`{p}`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// Lexing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const PUNCTS: &[&str] = &[
+    "==", "!=", "<=", ">=", "&&", "||", "+", "-", "*", "/", "%", "<", ">", "=", "(", ")", "{",
+    "}", "[", "]", ",", "!",
+];
+
+/// Tokenises mscript source.
+///
+/// # Errors
+///
+/// Returns [`LexError`] for unterminated strings, bad escapes, or unknown
+/// characters.
+pub fn lex(source: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'"' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(LexError {
+                            line,
+                            message: "unterminated string".to_owned(),
+                        });
+                    }
+                    match bytes[i] {
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\\' => {
+                            i += 1;
+                            let esc = bytes.get(i).copied().ok_or(LexError {
+                                line,
+                                message: "bad escape at end of input".to_owned(),
+                            })?;
+                            s.push(match esc {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'r' => '\r',
+                                b'0' => '\0',
+                                b'"' => '"',
+                                b'\\' => '\\',
+                                other => {
+                                    return Err(LexError {
+                                        line,
+                                        message: format!("bad escape `\\{}`", other as char),
+                                    })
+                                }
+                            });
+                            i += 1;
+                        }
+                        b'\n' => {
+                            return Err(LexError {
+                                line,
+                                message: "newline in string literal".to_owned(),
+                            })
+                        }
+                        b => {
+                            // Pass UTF-8 bytes through unchanged.
+                            let start = i;
+                            let len = utf8_len(b);
+                            i += len;
+                            if i > bytes.len() {
+                                return Err(LexError {
+                                    line,
+                                    message: "invalid utf-8".to_owned(),
+                                });
+                            }
+                            s.push_str(
+                                std::str::from_utf8(&bytes[start..i]).map_err(|_| LexError {
+                                    line,
+                                    message: "invalid utf-8".to_owned(),
+                                })?,
+                            );
+                        }
+                    }
+                }
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    line,
+                });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let text = std::str::from_utf8(&bytes[start..i]).expect("ascii");
+                let value = if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+                    i64::from_str_radix(&hex.replace('_', ""), 16)
+                } else {
+                    text.replace('_', "").parse::<i64>()
+                }
+                .map_err(|_| LexError {
+                    line,
+                    message: format!("bad number `{text}`"),
+                })?;
+                out.push(Spanned {
+                    tok: Tok::Int(value),
+                    line,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Spanned {
+                    tok: Tok::Ident(std::str::from_utf8(&bytes[start..i]).expect("ascii").to_owned()),
+                    line,
+                });
+            }
+            _ => {
+                let rest = &source[i..];
+                let Some(p) = PUNCTS.iter().find(|p| rest.starts_with(**p)) else {
+                    return Err(LexError {
+                        line,
+                        message: format!("unexpected character `{}`", c as char),
+                    });
+                };
+                out.push(Spanned {
+                    tok: Tok::Punct(p),
+                    line,
+                });
+                i += p.len();
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn basics() {
+        assert_eq!(
+            toks("let x = 42"),
+            vec![
+                Tok::Ident("let".into()),
+                Tok::Ident("x".into()),
+                Tok::Punct("="),
+                Tok::Int(42),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn multichar_operators_win() {
+        assert_eq!(
+            toks("a == b != c <= d >= e && f || g"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("=="),
+                Tok::Ident("b".into()),
+                Tok::Punct("!="),
+                Tok::Ident("c".into()),
+                Tok::Punct("<="),
+                Tok::Ident("d".into()),
+                Tok::Punct(">="),
+                Tok::Ident("e".into()),
+                Tok::Punct("&&"),
+                Tok::Ident("f".into()),
+                Tok::Punct("||"),
+                Tok::Ident("g".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            toks(r#""a\nb\"c""#),
+            vec![Tok::Str("a\nb\"c".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let spanned = lex("x # comment\ny\n").unwrap();
+        assert_eq!(spanned[0].line, 1);
+        assert_eq!(spanned[1].line, 2);
+    }
+
+    #[test]
+    fn hex_numbers() {
+        assert_eq!(toks("0x10")[0], Tok::Int(16));
+        assert_eq!(toks("1_000_000")[0], Tok::Int(1_000_000));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("@").is_err());
+        assert!(lex("\"bad\\qescape\"").is_err());
+        assert!(lex("12abc$").is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(toks("\"héllo→\"")[0], Tok::Str("héllo→".into()));
+    }
+}

@@ -1,0 +1,55 @@
+//! # marshal-script
+//!
+//! **mscript** — the deterministic scripting language that plays the role
+//! of shell scripts and Python hooks in the paper's workloads.
+//!
+//! FireMarshal workloads attach scripts at several lifecycle points:
+//! `host-init` (cross-compilation, Speckle-style), `guest-init` (one-shot
+//! image setup), `run`/`command` (the boot-time experiment), and
+//! `post-run-hook` (result extraction to CSV). Real shell would make builds
+//! unreproducible, so this reproduction gives those hooks a small, fully
+//! deterministic language instead.
+//!
+//! The language: `let`, assignment, `if`/`else`, `while`, `for .. in`,
+//! functions, integers/strings/bools/lists/maps, and a builtin library for
+//! string processing and CSV emission. Environment-specific capabilities
+//! (file access on the host, serial output and program execution in the
+//! guest) are provided through the [`Extern`] trait.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use marshal_script::{Interp, NoExtern, Value};
+//!
+//! let src = r#"
+//!     let total = 0
+//!     for i in range(10) {
+//!         total = total + i
+//!     }
+//!     print("sum=" + str(total))
+//!     total
+//! "#;
+//! let mut interp = Interp::new();
+//! let result = interp.run(src, &mut NoExtern, &[]).unwrap();
+//! assert_eq!(result, Value::Int(45));
+//! assert_eq!(interp.output(), ["sum=45"]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod hostenv;
+pub mod interp;
+pub mod lex;
+pub mod parse;
+
+pub use hostenv::HostEnv;
+pub use interp::{Extern, ExternResult, Interp, NoExtern, ScriptError, Value};
+
+/// Shebang line identifying an mscript file.
+pub const SHEBANG: &str = "#!mscript";
+
+/// Whether `text` looks like an mscript source file.
+pub fn is_mscript(text: &[u8]) -> bool {
+    text.starts_with(SHEBANG.as_bytes())
+}

@@ -1,0 +1,488 @@
+//! The mscript recursive-descent parser.
+
+use crate::ast::{BinOp, Expr, Stmt, UnOp};
+use crate::lex::{lex, Spanned, Tok};
+
+/// Parse error with a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<crate::lex::LexError> for ParseError {
+    fn from(e: crate::lex::LexError) -> ParseError {
+        ParseError {
+            line: e.line,
+            message: e.message,
+        }
+    }
+}
+
+/// Parses mscript source into a statement list.
+///
+/// A leading `#!mscript` shebang is skipped by the lexer's comment rule.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with line information.
+pub fn parse(source: &str) -> Result<Vec<Stmt>, ParseError> {
+    let toks = lex(source)?;
+    let mut p = Parser { toks, pos: 0 };
+    let body = p.parse_block_body(true)?;
+    Ok(body)
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Tok::Punct(found) if *found == p => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.error(format!("expected `{p}`, found {other}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(self.error(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn parse_block_body(&mut self, top_level: bool) -> Result<Vec<Stmt>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::Eof => {
+                    if top_level {
+                        return Ok(out);
+                    }
+                    return Err(self.error("unexpected end of input (missing `}`)"));
+                }
+                Tok::Punct("}") if !top_level => {
+                    self.bump();
+                    return Ok(out);
+                }
+                _ => out.push(self.parse_stmt()?),
+            }
+        }
+    }
+
+    fn parse_braced_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect_punct("{")?;
+        self.parse_block_body(false)
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        if let Tok::Ident(kw) = self.peek().clone() {
+            match kw.as_str() {
+                "let" => {
+                    self.bump();
+                    let name = self.expect_ident()?;
+                    self.expect_punct("=")?;
+                    let value = self.parse_expr()?;
+                    return Ok(Stmt::Let { name, value });
+                }
+                "if" => {
+                    self.bump();
+                    return self.parse_if();
+                }
+                "while" => {
+                    self.bump();
+                    let cond = self.parse_expr()?;
+                    let body = self.parse_braced_block()?;
+                    return Ok(Stmt::While { cond, body });
+                }
+                "for" => {
+                    self.bump();
+                    let name = self.expect_ident()?;
+                    let in_kw = self.expect_ident()?;
+                    if in_kw != "in" {
+                        return Err(self.error("expected `in` in for loop"));
+                    }
+                    let iter = self.parse_expr()?;
+                    let body = self.parse_braced_block()?;
+                    return Ok(Stmt::For { name, iter, body });
+                }
+                "fn" => {
+                    self.bump();
+                    let name = self.expect_ident()?;
+                    self.expect_punct("(")?;
+                    let mut params = Vec::new();
+                    if !matches!(self.peek(), Tok::Punct(")")) {
+                        loop {
+                            params.push(self.expect_ident()?);
+                            match self.peek() {
+                                Tok::Punct(",") => {
+                                    self.bump();
+                                }
+                                _ => break,
+                            }
+                        }
+                    }
+                    self.expect_punct(")")?;
+                    let body = self.parse_braced_block()?;
+                    return Ok(Stmt::Fn { name, params, body });
+                }
+                "return" => {
+                    self.bump();
+                    // `return` with no value: next token starts a new
+                    // statement or closes the block.
+                    let value = if matches!(self.peek(), Tok::Punct("}") | Tok::Eof) {
+                        None
+                    } else {
+                        Some(self.parse_expr()?)
+                    };
+                    return Ok(Stmt::Return(value));
+                }
+                "break" => {
+                    self.bump();
+                    return Ok(Stmt::Break);
+                }
+                "continue" => {
+                    self.bump();
+                    return Ok(Stmt::Continue);
+                }
+                _ => {}
+            }
+            // Assignment forms: `name = ...` / `name[idx] = ...`
+            if let Tok::Ident(name) = self.peek().clone() {
+                let next = self.toks.get(self.pos + 1).map(|s| &s.tok);
+                if matches!(next, Some(Tok::Punct("="))) {
+                    self.bump();
+                    self.bump();
+                    let value = self.parse_expr()?;
+                    return Ok(Stmt::Assign { name, value });
+                }
+                if matches!(next, Some(Tok::Punct("["))) {
+                    // Look ahead for `] =` to distinguish index-assign from
+                    // an index expression statement.
+                    if let Some(close) = self.find_matching_bracket(self.pos + 1) {
+                        if matches!(self.toks.get(close + 1).map(|s| &s.tok), Some(Tok::Punct("="))) {
+                            self.bump(); // name
+                            self.bump(); // [
+                            let index = self.parse_expr()?;
+                            self.expect_punct("]")?;
+                            self.expect_punct("=")?;
+                            let value = self.parse_expr()?;
+                            return Ok(Stmt::IndexAssign { name, index, value });
+                        }
+                    }
+                }
+            }
+        }
+        let e = self.parse_expr()?;
+        Ok(Stmt::Expr(e))
+    }
+
+    fn find_matching_bracket(&self, open: usize) -> Option<usize> {
+        let mut depth = 0i32;
+        for (i, s) in self.toks.iter().enumerate().skip(open) {
+            match s.tok {
+                Tok::Punct("[") => depth += 1,
+                Tok::Punct("]") => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(i);
+                    }
+                }
+                Tok::Eof => return None,
+                _ => {}
+            }
+        }
+        None
+    }
+
+    fn parse_if(&mut self) -> Result<Stmt, ParseError> {
+        let cond = self.parse_expr()?;
+        let then = self.parse_braced_block()?;
+        let otherwise = if let Tok::Ident(kw) = self.peek() {
+            if kw == "else" {
+                self.bump();
+                if let Tok::Ident(kw2) = self.peek() {
+                    if kw2 == "if" {
+                        self.bump();
+                        vec![self.parse_if()?]
+                    } else {
+                        self.parse_braced_block()?
+                    }
+                } else {
+                    self.parse_braced_block()?
+                }
+            } else {
+                Vec::new()
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If {
+            cond,
+            then,
+            otherwise,
+        })
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_bin(0)
+    }
+
+    fn parse_bin(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let Some((op, prec)) = self.peek_binop() else {
+                return Ok(lhs);
+            };
+            if prec < min_prec {
+                return Ok(lhs);
+            }
+            self.bump();
+            let rhs = self.parse_bin(prec + 1)?;
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn peek_binop(&self) -> Option<(BinOp, u8)> {
+        let p = match self.peek() {
+            Tok::Punct(p) => *p,
+            _ => return None,
+        };
+        Some(match p {
+            "||" => (BinOp::Or, 1),
+            "&&" => (BinOp::And, 2),
+            "==" => (BinOp::Eq, 3),
+            "!=" => (BinOp::Ne, 3),
+            "<" => (BinOp::Lt, 4),
+            "<=" => (BinOp::Le, 4),
+            ">" => (BinOp::Gt, 4),
+            ">=" => (BinOp::Ge, 4),
+            "+" => (BinOp::Add, 5),
+            "-" => (BinOp::Sub, 5),
+            "*" => (BinOp::Mul, 6),
+            "/" => (BinOp::Div, 6),
+            "%" => (BinOp::Mod, 6),
+            _ => return None,
+        })
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Tok::Punct("-") => {
+                self.bump();
+                Ok(Expr::Un {
+                    op: UnOp::Neg,
+                    expr: Box::new(self.parse_unary()?),
+                })
+            }
+            Tok::Punct("!") => {
+                self.bump();
+                Ok(Expr::Un {
+                    op: UnOp::Not,
+                    expr: Box::new(self.parse_unary()?),
+                })
+            }
+            _ => self.parse_postfix(),
+        }
+    }
+
+    /// Line of the most recently consumed token.
+    fn prev_line(&self) -> usize {
+        self.toks[self.pos.saturating_sub(1)].line
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.parse_primary()?;
+        loop {
+            match self.peek() {
+                // A `[` on a later line starts a new statement, not an index.
+                Tok::Punct("[") if self.line() == self.prev_line() => {
+                    self.bump();
+                    let index = self.parse_expr()?;
+                    self.expect_punct("]")?;
+                    e = Expr::Index {
+                        base: Box::new(e),
+                        index: Box::new(index),
+                    };
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        let line = self.line();
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr::Int(v)),
+            Tok::Str(s) => Ok(Expr::Str(s)),
+            Tok::Ident(name) => match name.as_str() {
+                "true" => Ok(Expr::Bool(true)),
+                "false" => Ok(Expr::Bool(false)),
+                "null" => Ok(Expr::Null),
+                _ => {
+                    // A `(` on a later line starts a new statement, not a call.
+                    if matches!(self.peek(), Tok::Punct("(")) && self.line() == self.prev_line() {
+                        self.bump();
+                        let mut args = Vec::new();
+                        if !matches!(self.peek(), Tok::Punct(")")) {
+                            loop {
+                                args.push(self.parse_expr()?);
+                                match self.peek() {
+                                    Tok::Punct(",") => {
+                                        self.bump();
+                                    }
+                                    _ => break,
+                                }
+                            }
+                        }
+                        self.expect_punct(")")?;
+                        Ok(Expr::Call { name, args, line })
+                    } else {
+                        Ok(Expr::Var(name))
+                    }
+                }
+            },
+            Tok::Punct("(") => {
+                let e = self.parse_expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Tok::Punct("[") => {
+                let mut items = Vec::new();
+                if !matches!(self.peek(), Tok::Punct("]")) {
+                    loop {
+                        items.push(self.parse_expr()?);
+                        match self.peek() {
+                            Tok::Punct(",") => {
+                                self.bump();
+                            }
+                            _ => break,
+                        }
+                    }
+                }
+                self.expect_punct("]")?;
+                Ok(Expr::List(items))
+            }
+            other => Err(ParseError {
+                line,
+                message: format!("unexpected {other}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence() {
+        let stmts = parse("1 + 2 * 3 == 7 && true").unwrap();
+        assert_eq!(stmts.len(), 1);
+        // ((1 + (2*3)) == 7) && true
+        let Stmt::Expr(Expr::Bin { op: BinOp::And, .. }) = &stmts[0] else {
+            panic!("top must be &&: {stmts:?}");
+        };
+    }
+
+    #[test]
+    fn statements() {
+        let src = r#"
+            let x = 1
+            x = x + 1
+            if x > 1 { print("big") } else if x == 1 { print("one") } else { print("small") }
+            while x < 10 { x = x + 1 }
+            for c in ["a", "b"] { print(c) }
+            fn add(a, b) { return a + b }
+            add(1, 2)
+        "#;
+        let stmts = parse(src).unwrap();
+        assert_eq!(stmts.len(), 7);
+    }
+
+    #[test]
+    fn index_assignment() {
+        let stmts = parse("m[0] = 5\nm[k] = m[k] + 1\n").unwrap();
+        assert!(matches!(stmts[0], Stmt::IndexAssign { .. }));
+        assert!(matches!(stmts[1], Stmt::IndexAssign { .. }));
+    }
+
+    #[test]
+    fn index_expression_statement() {
+        let stmts = parse("print(m[0])").unwrap();
+        assert!(matches!(stmts[0], Stmt::Expr(Expr::Call { .. })));
+    }
+
+    #[test]
+    fn return_without_value() {
+        let stmts = parse("fn f() { return }").unwrap();
+        let Stmt::Fn { body, .. } = &stmts[0] else {
+            panic!();
+        };
+        assert_eq!(body[0], Stmt::Return(None));
+    }
+
+    #[test]
+    fn nested_index() {
+        parse("grid[i][j]").unwrap();
+    }
+
+    #[test]
+    fn errors_with_lines() {
+        let err = parse("let x = )\nif").unwrap_err();
+        assert!(err.line >= 1);
+        assert!(parse("if x {").is_err());
+        assert!(parse("fn f( {").is_err());
+        assert!(parse(") bogus").is_err());
+    }
+
+    #[test]
+    fn shebang_is_comment() {
+        parse("#!mscript\nlet x = 1\n").unwrap();
+    }
+}

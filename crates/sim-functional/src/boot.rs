@@ -1,0 +1,540 @@
+//! The full-system boot flow: firmware → kernel → initramfs → init system
+//! → workload payload.
+//!
+//! Both functional simulators and the cycle-exact simulator drive this same
+//! flow with the same artifacts; only the [`Executor`] differs. This is the
+//! mechanism behind the paper's §III-E guarantee: "the workload outputs are
+//! not modified in any way between the launch and install commands; the
+//! exact same artifacts are run on both simulators."
+
+use marshal_firmware::BootBinary;
+use marshal_image::{initsys, FsImage};
+use marshal_isa::MexeFile;
+
+use crate::guest::{Executor, GuestEnv, GuestOs};
+use crate::machine::{LaunchMode, SimConfig, SimError, SimResult};
+use crate::syscall::{OsServices, UserRunner};
+
+/// Boots a Linux workload and runs its payload.
+///
+/// `disk` is required when the kernel's initramfs hands off to `/dev/vda`
+/// (normal builds) and unused for diskless (`--no-disk`) builds.
+///
+/// # Errors
+///
+/// [`SimError::BadArtifact`] for inconsistent artifacts (e.g. missing disk),
+/// plus any trap/budget/script error from the payload.
+pub fn simulate_linux<E: Executor>(
+    cfg: &SimConfig,
+    boot: &BootBinary,
+    disk: Option<&FsImage>,
+    mode: LaunchMode,
+    exec: &mut E,
+) -> Result<SimResult, SimError> {
+    // --- Simulator banner -------------------------------------------------
+    let mut preboot = Vec::new();
+    let args = if cfg.extra_args.is_empty() {
+        String::new()
+    } else {
+        format!(" {}", cfg.extra_args.join(" "))
+    };
+    preboot.push(format!(
+        "{}: starting full-system simulation{args}",
+        cfg.kind.name()
+    ));
+    for feature in &cfg.features {
+        preboot.push(format!("{}: feature `{feature}` enabled", cfg.kind.name()));
+    }
+
+    // --- Firmware ----------------------------------------------------------
+    for line in boot.firmware().banner().lines() {
+        preboot.push(line.to_owned());
+    }
+
+    // --- Kernel ------------------------------------------------------------
+    let kernel = boot.kernel();
+    let initramfs_img = kernel
+        .initramfs()
+        .unpack()
+        .map_err(|e| SimError::BadArtifact(e.to_string()))?;
+
+    // Start the OS on the initramfs; the /init script picks the real root.
+    let mut os = GuestOs::new(initramfs_img.clone(), cfg);
+    for line in preboot {
+        os.serial_line(&line);
+    }
+    os.dmesg(&kernel.banner());
+    os.dmesg(&format!(
+        "Machine model: firemarshal,{}",
+        cfg.kind.name()
+    ));
+    os.dmesg("Memory: 16384MB available");
+    let cpus = kernel
+        .config()
+        .get("NR_CPUS")
+        .and_then(|v| match v {
+            marshal_linux::ConfigValue::Int(n) => Some(*n),
+            _ => None,
+        })
+        .unwrap_or(1);
+    os.dmesg(&format!("smp: Brought up 1 node, {cpus} CPUs"));
+    if kernel.config().is_enabled("NET") {
+        os.dmesg("NET: Registered protocol family 2");
+    }
+    if kernel.config().is_enabled("SERIAL_8250") {
+        os.dmesg("Serial: 8250/16550 driver");
+    }
+    if kernel.config().is_enabled("PFA") {
+        os.dmesg("pfa: page fault accelerator driver registered");
+    }
+    // Boot work scales with the artifact like real load/decompress time.
+    os.account(0, boot.size() / 256);
+    os.dmesg(&format!(
+        "Unpacking initramfs... ({} modules)",
+        kernel.initramfs().module_names().len()
+    ));
+
+    // --- First-stage init (initramfs /init) --------------------------------
+    if os.image.exists(marshal_linux::initramfs::INIT_PATH) {
+        let init_src = String::from_utf8_lossy(
+            os.image
+                .read_file(marshal_linux::initramfs::INIT_PATH)
+                .expect("checked exists"),
+        )
+        .into_owned();
+        let mut env = GuestEnv::new(&mut os, exec);
+        env.run_script_source(&init_src, &[])?;
+    }
+
+    // --- Mount the real root -----------------------------------------------
+    let target = os.switch_root_target.clone();
+    let rootfs = match target.as_deref() {
+        Some("initramfs") => {
+            // Diskless: the initramfs payload IS the rootfs.
+            let mut root = os.image.clone();
+            root.remove(marshal_linux::initramfs::INIT_PATH);
+            root
+        }
+        Some(_dev) => disk
+            .ok_or_else(|| {
+                SimError::BadArtifact(
+                    "kernel wants a root block device but no disk image was provided".to_owned(),
+                )
+            })?
+            .clone(),
+        None => match disk {
+            Some(d) => d.clone(),
+            None => os.image.clone(),
+        },
+    };
+    os.image = rootfs;
+    os.image
+        .write_file("/etc/kernel-release", kernel.version().as_bytes())?;
+    os.dmesg("VFS: Mounted root (ext4 filesystem) readonly on device 254:0.");
+
+    // --- Init system --------------------------------------------------------
+    let systemd = os.image.exists("/etc/systemd/system");
+    if systemd {
+        os.serial_line("systemd[1]: Detected architecture riscv64.");
+        os.serial_line("systemd[1]: Reached target Local File Systems.");
+        os.serial_line("systemd[1]: Reached target Multi-User System.");
+    } else {
+        os.serial_line("Starting syslogd: OK");
+        os.serial_line("Starting network: OK");
+    }
+
+    // --- guest-init (one-shot, §III-B step 5b) ------------------------------
+    if initsys::guest_init_pending(&os.image) {
+        let src = String::from_utf8_lossy(
+            os.image
+                .read_file(initsys::GUEST_INIT_PATH)
+                .expect("pending implies present"),
+        )
+        .into_owned();
+        os.serial_line("firemarshal: running one-shot guest-init");
+        {
+            let mut env = GuestEnv::new(&mut os, exec);
+            env.run_script_source(&src, &[])?;
+        }
+        initsys::mark_guest_init_done(&mut os.image)?;
+        os.serial_line("firemarshal: guest-init complete");
+    }
+
+    // --- Workload payload ----------------------------------------------------
+    if matches!(mode, LaunchMode::Run) {
+        if os.image.exists(initsys::RUN_SCRIPT) {
+            let src = String::from_utf8_lossy(
+                os.image.read_file(initsys::RUN_SCRIPT).expect("exists"),
+            )
+            .into_owned();
+            if systemd {
+                os.serial_line("systemd[1]: Starting FireMarshal workload payload...");
+            } else {
+                os.serial_line("Starting firemarshal payload:");
+            }
+            let mut env = GuestEnv::new(&mut os, exec);
+            env.run_script_source(&src, &[])?;
+        } else {
+            os.serial_line("firemarshal: no run/command configured; interactive console");
+            os.serial_line("buildroot login: root (automatic login)");
+            os.serial_line("#");
+        }
+    }
+
+    os.dmesg("reboot: Power down");
+    let (serial, image, instructions, exit_code) = os.into_parts();
+    Ok(SimResult {
+        serial,
+        image: Some(image),
+        exit_code,
+        instructions,
+    })
+}
+
+/// Runs a bare-metal workload: the hard-coded `bin` executes directly on
+/// the hart with the console as its only device.
+///
+/// # Errors
+///
+/// [`SimError::BadArtifact`] for non-MEXE binaries; traps and budget errors
+/// from execution.
+pub fn simulate_bare(cfg: &SimConfig, bin: &[u8]) -> Result<SimResult, SimError> {
+    struct BareOs {
+        serial: String,
+    }
+    impl OsServices for BareOs {
+        fn serial_write(&mut self, bytes: &[u8]) {
+            self.serial.push_str(&String::from_utf8_lossy(bytes));
+        }
+        fn file_read(&mut self, _path: &str) -> Option<Vec<u8>> {
+            None
+        }
+        fn file_write(&mut self, _path: &str, _data: &[u8]) -> bool {
+            false
+        }
+    }
+
+    if !MexeFile::sniff(bin) {
+        return Err(SimError::BadArtifact(
+            "bare-metal workload binary is not a MEXE image".to_owned(),
+        ));
+    }
+    let exe = MexeFile::from_bytes(bin)
+        .map_err(|e| SimError::BadArtifact(format!("bare-metal binary: {e}")))?;
+    let mut os = BareOs {
+        serial: format!("{}: starting bare-metal simulation\n", cfg.kind.name()),
+    };
+    let mut runner = UserRunner::new(&exe, &[])?;
+    runner.bus.enable_uart();
+    let (exit_code, instructions) = runner.run(&mut os, cfg.max_instructions)?;
+    os.serial
+        .push_str(&format!("{}: exited with code {exit_code}\n", cfg.kind.name()));
+    Ok(SimResult {
+        serial: os.serial,
+        image: None,
+        exit_code,
+        instructions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guest::FunctionalExecutor;
+    use crate::machine::SimKind;
+    use marshal_firmware::{build_firmware, link_boot_binary, FirmwareBuild};
+    use marshal_image::{BootPayload, InitSystem};
+    use marshal_isa::abi;
+    use marshal_isa::asm::assemble;
+    use marshal_linux::kconfig::KernelConfig;
+    use marshal_linux::kernel::{build_kernel, KernelSource};
+    use marshal_linux::InitramfsSpec;
+
+    fn boot_binary(diskless_rootfs: Option<FsImage>) -> BootBinary {
+        let config = KernelConfig::riscv_defconfig();
+        let src = KernelSource::default_source();
+        let mut spec = InitramfsSpec::new().module("iceblk", "v1");
+        if let Some(rootfs) = diskless_rootfs {
+            spec = spec.embed_rootfs(rootfs);
+        }
+        let initramfs = spec.build(&config, &src).unwrap();
+        let kernel = build_kernel(&src, &config, &initramfs).unwrap();
+        let fw = build_firmware(&FirmwareBuild::default()).unwrap();
+        link_boot_binary(&fw, &kernel).unwrap()
+    }
+
+    fn disk_with_payload(cmd: &str) -> FsImage {
+        let mut img = FsImage::new();
+        img.write_file("/etc/hostname", b"buildroot").unwrap();
+        img.mkdir_p("/etc/init.d").unwrap();
+        let exe = assemble(
+            r#"
+        .data
+msg:    .ascii "payload ran\n"
+        .text
+_start:
+        li      a0, 1
+        la      a1, msg
+        li      a2, 12
+        li      a7, 64
+        ecall
+        li      a0, 0
+        li      a7, 93
+        ecall
+"#,
+            abi::USER_BASE,
+        )
+        .unwrap();
+        img.write_exec("/bin/payload", &exe.to_bytes()).unwrap();
+        InitSystem::Initd
+            .install_payload(&mut img, &BootPayload::Command(cmd.to_owned()))
+            .unwrap();
+        img
+    }
+
+    #[test]
+    fn full_boot_runs_payload() {
+        let cfg = SimConfig::new(SimKind::Qemu);
+        let boot = boot_binary(None);
+        let disk = disk_with_payload("/bin/payload");
+        let mut fexec = FunctionalExecutor;
+        let result =
+            simulate_linux(&cfg, &boot, Some(&disk), LaunchMode::Run, &mut fexec).unwrap();
+        let serial = &result.serial;
+        assert!(serial.contains("OpenSBI"), "firmware banner: {serial}");
+        assert!(serial.contains("Linux version"), "kernel banner");
+        assert!(serial.contains("iceblk: module loaded"), "module load");
+        assert!(serial.contains("payload ran"), "payload output: {serial}");
+        assert!(serial.contains("reboot: Power down"));
+        assert_eq!(result.exit_code, 0);
+        assert!(result.instructions > 0);
+    }
+
+    #[test]
+    fn boot_order_is_correct() {
+        let cfg = SimConfig::new(SimKind::Qemu);
+        let boot = boot_binary(None);
+        let disk = disk_with_payload("/bin/payload");
+        let mut fexec = FunctionalExecutor;
+        let result =
+            simulate_linux(&cfg, &boot, Some(&disk), LaunchMode::Run, &mut fexec).unwrap();
+        let s = &result.serial;
+        let fw = s.find("OpenSBI").unwrap();
+        let kernel = s.find("Linux version").unwrap();
+        let module = s.find("iceblk: module loaded").unwrap();
+        let init = s.find("Starting syslogd").unwrap();
+        let payload = s.find("payload ran").unwrap();
+        let off = s.find("reboot: Power down").unwrap();
+        assert!(fw < kernel && kernel < module && module < init && init < payload && payload < off);
+    }
+
+    #[test]
+    fn missing_disk_is_error() {
+        let cfg = SimConfig::new(SimKind::Qemu);
+        let boot = boot_binary(None);
+        let mut fexec = FunctionalExecutor;
+        assert!(matches!(
+            simulate_linux(&cfg, &boot, None, LaunchMode::Run, &mut fexec),
+            Err(SimError::BadArtifact(_))
+        ));
+    }
+
+    #[test]
+    fn diskless_boot_uses_embedded_rootfs() {
+        let rootfs = disk_with_payload("/bin/payload");
+        let cfg = SimConfig::new(SimKind::Qemu);
+        let boot = boot_binary(Some(rootfs));
+        let mut fexec = FunctionalExecutor;
+        let result = simulate_linux(&cfg, &boot, None, LaunchMode::Run, &mut fexec).unwrap();
+        assert!(result.serial.contains("switching root to initramfs"));
+        assert!(result.serial.contains("payload ran"));
+    }
+
+    #[test]
+    fn guest_init_runs_once_and_marks_done() {
+        let cfg = SimConfig::new(SimKind::Qemu);
+        let boot = boot_binary(None);
+        let mut disk = disk_with_payload("/bin/payload");
+        initsys::install_guest_init(
+            &mut disk,
+            "#!mscript\nprint(\"guest-init!\")\nwrite_file(\"/etc/setup-done\", \"yes\")\n",
+        )
+        .unwrap();
+        let mut fexec = FunctionalExecutor;
+        let result = simulate_linux(
+            &cfg,
+            &boot,
+            Some(&disk),
+            LaunchMode::GuestInit,
+            &mut fexec,
+        )
+        .unwrap();
+        assert!(result.serial.contains("guest-init!"));
+        // Payload NOT run in guest-init mode.
+        assert!(!result.serial.contains("payload ran"));
+        let image = result.image.unwrap();
+        assert_eq!(image.read_file("/etc/setup-done").unwrap(), b"yes");
+        assert!(!initsys::guest_init_pending(&image));
+
+        // Booting the post-init image again: guest-init must not re-run.
+        let result2 = simulate_linux(
+            &cfg,
+            &boot,
+            Some(&image),
+            LaunchMode::Run,
+            &mut fexec,
+        )
+        .unwrap();
+        assert!(!result2.serial.contains("guest-init!"));
+        assert!(result2.serial.contains("payload ran"));
+    }
+
+    #[test]
+    fn interactive_boot_without_payload() {
+        let cfg = SimConfig::new(SimKind::Qemu);
+        let boot = boot_binary(None);
+        let mut disk = FsImage::new();
+        disk.mkdir_p("/etc/init.d").unwrap();
+        let mut fexec = FunctionalExecutor;
+        let result =
+            simulate_linux(&cfg, &boot, Some(&disk), LaunchMode::Run, &mut fexec).unwrap();
+        assert!(result.serial.contains("interactive console"));
+    }
+
+    #[test]
+    fn systemd_images_print_systemd_lines() {
+        let cfg = SimConfig::new(SimKind::Qemu);
+        let boot = boot_binary(None);
+        let mut disk = FsImage::new();
+        InitSystem::Systemd
+            .install_payload(&mut disk, &BootPayload::Command("/bin/payload".into()))
+            .unwrap();
+        let exe = assemble("_start:\n li a0, 0\n li a7, 93\n ecall\n", abi::USER_BASE).unwrap();
+        disk.write_exec("/bin/payload", &exe.to_bytes()).unwrap();
+        let mut fexec = FunctionalExecutor;
+        let result =
+            simulate_linux(&cfg, &boot, Some(&disk), LaunchMode::Run, &mut fexec).unwrap();
+        assert!(result.serial.contains("Multi-User System"));
+        assert!(result.serial.contains("Starting FireMarshal workload payload"));
+    }
+
+    #[test]
+    fn bare_metal_runs() {
+        let cfg = SimConfig::new(SimKind::Spike);
+        let exe = assemble(
+            r#"
+        .data
+msg:    .ascii "bare metal ok\n"
+        .text
+_start:
+        li      a0, 1
+        la      a1, msg
+        li      a2, 14
+        li      a7, 64
+        ecall
+        li      a0, 0
+        li      a7, 93
+        ecall
+"#,
+            abi::USER_BASE,
+        )
+        .unwrap();
+        let result = simulate_bare(&cfg, &exe.to_bytes()).unwrap();
+        assert!(result.serial.contains("bare metal ok"));
+        assert_eq!(result.exit_code, 0);
+        assert!(result.image.is_none());
+        assert!(simulate_bare(&cfg, b"garbage").is_err());
+    }
+
+    #[test]
+    fn deterministic_serial_logs() {
+        let cfg = SimConfig::new(SimKind::Qemu);
+        let boot = boot_binary(None);
+        let disk = disk_with_payload("/bin/payload");
+        let mut fexec = FunctionalExecutor;
+        let a = simulate_linux(&cfg, &boot, Some(&disk), LaunchMode::Run, &mut fexec).unwrap();
+        let b = simulate_linux(&cfg, &boot, Some(&disk), LaunchMode::Run, &mut fexec).unwrap();
+        assert_eq!(a.serial, b.serial);
+        assert_eq!(a.instructions, b.instructions);
+    }
+
+    #[test]
+    fn different_simulators_differ_only_in_volatile_lines() {
+        let boot = boot_binary(None);
+        let disk = disk_with_payload("/bin/payload");
+        let mut fexec = FunctionalExecutor;
+        let q = simulate_linux(
+            &SimConfig::new(SimKind::Qemu),
+            &boot,
+            Some(&disk),
+            LaunchMode::Run,
+            &mut fexec,
+        )
+        .unwrap();
+        let s = simulate_linux(
+            &SimConfig::new(SimKind::Spike),
+            &boot,
+            Some(&disk),
+            LaunchMode::Run,
+            &mut fexec,
+        )
+        .unwrap();
+        // Raw logs differ (timestamps, banner)...
+        assert_ne!(q.serial, s.serial);
+        // ...but stripping the volatile prefix yields identical content.
+        let clean = |log: &str| -> Vec<String> {
+            log.lines()
+                .filter(|l| !l.starts_with("qemu") && !l.starts_with("spike"))
+                .map(|l| match l.find("] ") {
+                    Some(i) if l.starts_with('[') => l[i + 2..].to_owned(),
+                    _ => l.to_owned(),
+                })
+                .filter(|l| !l.starts_with("Machine model"))
+                .collect()
+        };
+        assert_eq!(clean(&q.serial), clean(&s.serial));
+    }
+}
+
+#[cfg(test)]
+mod mmio_tests {
+    use super::*;
+    use crate::machine::{SimConfig, SimKind};
+    use marshal_isa::abi;
+    use marshal_isa::asm::assemble;
+
+    #[test]
+    fn bare_metal_mmio_uart() {
+        // A driver-style program that writes the console through the
+        // memory-mapped UART instead of the syscall ABI (§IV-A-1 bare
+        // metal unit tests).
+        let src = r#"
+        .equ UART_TX, 0x60000000
+        .data
+msg:    .asciiz "mmio uart ok"
+        .text
+_start:
+        li      t0, UART_TX
+        la      t1, msg
+loop:
+        lbu     t2, 0(t1)
+        beqz    t2, done
+        # poll status (always ready in the model), then transmit
+        ld      t3, 0(t0)
+        sb      t2, 0(t0)
+        addi    t1, t1, 1
+        j       loop
+done:
+        li      t2, 10          # newline
+        sb      t2, 0(t0)
+        li      a0, 0
+        li      a7, 93
+        ecall
+"#;
+        let exe = assemble(src, abi::USER_BASE).unwrap();
+        let cfg = SimConfig::new(SimKind::Spike);
+        let result = simulate_bare(&cfg, &exe.to_bytes()).unwrap();
+        assert!(result.serial.contains("mmio uart ok\n"), "{}", result.serial);
+        assert_eq!(result.exit_code, 0);
+    }
+}

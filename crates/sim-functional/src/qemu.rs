@@ -1,0 +1,90 @@
+//! The QEMU-like front-end — the default simulator for `marshal launch`.
+
+use marshal_firmware::BootBinary;
+use marshal_image::FsImage;
+
+use crate::boot::{simulate_bare, simulate_linux};
+use crate::guest::FunctionalExecutor;
+use crate::machine::{LaunchMode, SimConfig, SimError, SimKind, SimResult};
+
+/// The QEMU-like full-system functional simulator.
+///
+/// ```rust
+/// use marshal_sim_functional::Qemu;
+/// let qemu = Qemu::new();
+/// assert_eq!(qemu.config().kind, marshal_sim_functional::SimKind::Qemu);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qemu {
+    config: SimConfig,
+}
+
+impl Default for Qemu {
+    fn default() -> Qemu {
+        Qemu::new()
+    }
+}
+
+impl Qemu {
+    /// A QEMU instance with default configuration.
+    pub fn new() -> Qemu {
+        Qemu {
+            config: SimConfig::new(SimKind::Qemu),
+        }
+    }
+
+    /// Adds extra arguments (the workload's `qemu-args` option).
+    pub fn with_args(mut self, args: &[String]) -> Qemu {
+        self.config.extra_args.extend(args.iter().cloned());
+        self
+    }
+
+    /// Overrides the instruction budget.
+    pub fn with_budget(mut self, max_instructions: u64) -> Qemu {
+        self.config.max_instructions = max_instructions;
+        self
+    }
+
+    /// The simulator configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Boots a Linux workload.
+    ///
+    /// # Errors
+    ///
+    /// See [`simulate_linux`].
+    pub fn launch(
+        &self,
+        boot: &BootBinary,
+        disk: Option<&FsImage>,
+        mode: LaunchMode,
+    ) -> Result<SimResult, SimError> {
+        let mut exec = FunctionalExecutor;
+        simulate_linux(&self.config, boot, disk, mode, &mut exec)
+    }
+
+    /// Runs a bare-metal binary.
+    ///
+    /// # Errors
+    ///
+    /// See [`simulate_bare`].
+    pub fn launch_bare(&self, bin: &[u8]) -> Result<SimResult, SimError> {
+        simulate_bare(&self.config, bin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_options() {
+        let q = Qemu::new()
+            .with_args(&["-m".to_owned(), "16G".to_owned()])
+            .with_budget(1234);
+        assert_eq!(q.config().extra_args, vec!["-m", "16G"]);
+        assert_eq!(q.config().max_instructions, 1234);
+    }
+}

@@ -1,0 +1,131 @@
+//! The Spike-like ISA simulator front-end.
+//!
+//! Workloads can point at a *custom* Spike binary (the `spike` option) —
+//! the PFA case study used a modified Spike carrying a golden model of the
+//! accelerator. Custom binaries are identified by name and contribute
+//! feature tags (e.g. `pfa-spike` → feature `pfa`).
+
+use marshal_firmware::BootBinary;
+use marshal_image::FsImage;
+
+use crate::boot::{simulate_bare, simulate_linux};
+use crate::guest::FunctionalExecutor;
+use crate::machine::{LaunchMode, SimConfig, SimError, SimKind, SimResult};
+
+/// The Spike-like ISA-level functional simulator.
+///
+/// ```rust
+/// use marshal_sim_functional::Spike;
+/// let spike = Spike::with_binary("pfa-spike");
+/// assert!(spike.config().has_feature("pfa"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Spike {
+    config: SimConfig,
+    binary: String,
+}
+
+impl Default for Spike {
+    fn default() -> Spike {
+        Spike::new()
+    }
+}
+
+impl Spike {
+    /// The stock Spike simulator.
+    pub fn new() -> Spike {
+        Spike {
+            config: SimConfig::new(SimKind::Spike),
+            binary: "spike".to_owned(),
+        }
+    }
+
+    /// A custom Spike build (the workload's `spike` option). Name segments
+    /// other than `spike` become feature tags: `pfa-spike` carries the PFA
+    /// golden model.
+    pub fn with_binary(name: &str) -> Spike {
+        let mut config = SimConfig::new(SimKind::Spike);
+        for part in name.split(['-', '_']) {
+            if !part.is_empty() && part != "spike" {
+                config.features.push(part.to_owned());
+            }
+        }
+        if !config.features.is_empty() {
+            config
+                .extra_args
+                .push(format!("(custom binary: {name})"));
+        }
+        Spike {
+            config,
+            binary: name.to_owned(),
+        }
+    }
+
+    /// Adds extra arguments (the workload's `spike-args` option).
+    pub fn with_args(mut self, args: &[String]) -> Spike {
+        self.config.extra_args.extend(args.iter().cloned());
+        self
+    }
+
+    /// Overrides the instruction budget.
+    pub fn with_budget(mut self, max_instructions: u64) -> Spike {
+        self.config.max_instructions = max_instructions;
+        self
+    }
+
+    /// The simulator configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The binary name this instance models.
+    pub fn binary(&self) -> &str {
+        &self.binary
+    }
+
+    /// Boots a Linux workload.
+    ///
+    /// # Errors
+    ///
+    /// See [`simulate_linux`].
+    pub fn launch(
+        &self,
+        boot: &BootBinary,
+        disk: Option<&FsImage>,
+        mode: LaunchMode,
+    ) -> Result<SimResult, SimError> {
+        let mut exec = FunctionalExecutor;
+        simulate_linux(&self.config, boot, disk, mode, &mut exec)
+    }
+
+    /// Runs a bare-metal binary (Spike's most common use in the paper's
+    /// unit-test workflow).
+    ///
+    /// # Errors
+    ///
+    /// See [`simulate_bare`].
+    pub fn launch_bare(&self, bin: &[u8]) -> Result<SimResult, SimError> {
+        simulate_bare(&self.config, bin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn custom_binary_features() {
+        let s = Spike::with_binary("pfa-spike");
+        assert!(s.config().has_feature("pfa"));
+        assert_eq!(s.binary(), "pfa-spike");
+        let stock = Spike::new();
+        assert!(stock.config().features.is_empty());
+    }
+
+    #[test]
+    fn multi_feature_binary() {
+        let s = Spike::with_binary("pfa-nic-spike");
+        assert!(s.config().has_feature("pfa"));
+        assert!(s.config().has_feature("nic"));
+    }
+}

@@ -1,0 +1,272 @@
+//! Hardware configurations for the cycle-exact simulator.
+
+/// Branch predictor selection and parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BpredConfig {
+    /// Always predict taken.
+    AlwaysTaken,
+    /// Always predict not-taken.
+    NeverTaken,
+    /// A bimodal (PC-indexed 2-bit counter) predictor.
+    Bimodal {
+        /// log2 of the counter table size.
+        table_bits: u32,
+    },
+    /// Gshare (global history XOR PC) — the BOOM v2 predictor of the
+    /// paper's SPEC2017 experiment.
+    Gshare {
+        /// Global history length in bits.
+        history_bits: u32,
+        /// log2 of the counter table size.
+        table_bits: u32,
+    },
+    /// A TAGE predictor — the newer BOOM predictor of the same experiment.
+    Tage {
+        /// Number of tagged tables.
+        tables: u32,
+        /// log2 of each tagged table's size.
+        table_bits: u32,
+        /// Shortest history length; lengths grow geometrically.
+        min_history: u32,
+        /// Longest history length.
+        max_history: u32,
+    },
+}
+
+impl BpredConfig {
+    /// A short display name (`gshare`, `tage`, ...).
+    pub fn name(&self) -> &'static str {
+        match self {
+            BpredConfig::AlwaysTaken => "always-taken",
+            BpredConfig::NeverTaken => "never-taken",
+            BpredConfig::Bimodal { .. } => "bimodal",
+            BpredConfig::Gshare { .. } => "gshare",
+            BpredConfig::Tage { .. } => "tage",
+        }
+    }
+
+    /// The paper's Gshare configuration (BOOM v2-like).
+    pub fn default_gshare() -> BpredConfig {
+        BpredConfig::Gshare {
+            history_bits: 12,
+            table_bits: 12,
+        }
+    }
+
+    /// The paper's TAGE configuration (modern BOOM-like).
+    pub fn default_tage() -> BpredConfig {
+        BpredConfig::Tage {
+            tables: 4,
+            table_bits: 10,
+            min_history: 4,
+            max_history: 64,
+        }
+    }
+}
+
+/// A set-associative cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets (power of two).
+    pub sets: u32,
+    /// Associativity.
+    pub ways: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+    /// Hit latency in cycles.
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// A 16 KiB, 4-way, 64 B-line L1.
+    pub fn l1_16k() -> CacheConfig {
+        CacheConfig {
+            sets: 64,
+            ways: 4,
+            line_bytes: 64,
+            hit_latency: 1,
+        }
+    }
+
+    /// A 256 KiB, 8-way unified L2 with a 10-cycle hit.
+    pub fn l2_256k() -> CacheConfig {
+        CacheConfig {
+            sets: 512,
+            ways: 8,
+            line_bytes: 64,
+            hit_latency: 10,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.sets as u64 * self.ways as u64 * self.line_bytes as u64
+    }
+}
+
+/// Core timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Pipeline refill penalty on a branch mispredict.
+    pub mispredict_penalty: u64,
+    /// Multiplier latency.
+    pub mul_latency: u64,
+    /// Divider latency.
+    pub div_latency: u64,
+    /// Penalty for an indirect jump whose target misses the BTB/RAS.
+    pub jalr_penalty: u64,
+    /// Modelled kernel cycles charged per syscall class (base cost).
+    pub syscall_base_cost: u64,
+}
+
+impl CoreConfig {
+    /// A Rocket-like in-order core.
+    pub fn rocket() -> CoreConfig {
+        CoreConfig {
+            mispredict_penalty: 3,
+            mul_latency: 4,
+            div_latency: 32,
+            jalr_penalty: 2,
+            syscall_base_cost: 500,
+        }
+    }
+
+    /// A BOOM-like out-of-order core (deeper pipeline, pricier redirects,
+    /// faster arithmetic).
+    pub fn boom() -> CoreConfig {
+        CoreConfig {
+            mispredict_penalty: 12,
+            mul_latency: 3,
+            div_latency: 24,
+            jalr_penalty: 6,
+            syscall_base_cost: 700,
+        }
+    }
+}
+
+/// Remote-memory support (the PFA case study).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemoteMemConfig {
+    /// No remote memory: `mmap_remote` regions behave as local DRAM.
+    None,
+    /// Software paging baseline: every first touch of a remote page traps
+    /// to the kernel, which performs the fetch synchronously.
+    SoftwarePaging(crate::pfa::RemoteTimings),
+    /// The Page Fault Accelerator: the fetch critical path is handled in
+    /// hardware; kernel bookkeeping is asynchronous (off the critical path).
+    Pfa(crate::pfa::RemoteTimings),
+}
+
+impl RemoteMemConfig {
+    /// A short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RemoteMemConfig::None => "none",
+            RemoteMemConfig::SoftwarePaging(_) => "software-paging",
+            RemoteMemConfig::Pfa(_) => "pfa",
+        }
+    }
+}
+
+/// A complete hardware configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HardwareConfig {
+    /// Configuration name (appears in simulation banners and reports).
+    pub name: String,
+    /// Core timing.
+    pub core: CoreConfig,
+    /// Branch predictor.
+    pub bpred: BpredConfig,
+    /// Instruction cache.
+    pub icache: CacheConfig,
+    /// Data cache.
+    pub dcache: CacheConfig,
+    /// Optional unified L2 cache between the L1s and DRAM.
+    pub l2: Option<CacheConfig>,
+    /// DRAM access latency in cycles (beyond the last cache level).
+    pub dram_latency: u64,
+    /// Remote-memory support.
+    pub remote: RemoteMemConfig,
+    /// Clock frequency in MHz (converts cycles to reported seconds).
+    pub freq_mhz: u64,
+}
+
+impl HardwareConfig {
+    /// A Rocket-like in-order SoC with a bimodal predictor.
+    pub fn rocket() -> HardwareConfig {
+        HardwareConfig {
+            name: "rocket".to_owned(),
+            core: CoreConfig::rocket(),
+            bpred: BpredConfig::Bimodal { table_bits: 10 },
+            icache: CacheConfig::l1_16k(),
+            dcache: CacheConfig::l1_16k(),
+            l2: None,
+            dram_latency: 40,
+            remote: RemoteMemConfig::None,
+            freq_mhz: 1000,
+        }
+    }
+
+    /// BOOM with the older Gshare predictor (the paper's first SPEC2017
+    /// configuration).
+    pub fn boom_gshare() -> HardwareConfig {
+        HardwareConfig {
+            name: "boom-gshare".to_owned(),
+            core: CoreConfig::boom(),
+            bpred: BpredConfig::default_gshare(),
+            icache: CacheConfig::l1_16k(),
+            dcache: CacheConfig::l1_16k(),
+            l2: Some(CacheConfig::l2_256k()),
+            dram_latency: 40,
+            remote: RemoteMemConfig::None,
+            freq_mhz: 1000,
+        }
+    }
+
+    /// BOOM with the TAGE-based predictor (the paper's second SPEC2017
+    /// configuration).
+    pub fn boom_tage() -> HardwareConfig {
+        HardwareConfig {
+            name: "boom-tage".to_owned(),
+            bpred: BpredConfig::default_tage(),
+            ..HardwareConfig::boom_gshare()
+        }
+    }
+
+    /// Replaces the branch predictor (keeps everything else).
+    pub fn with_bpred(mut self, bpred: BpredConfig) -> HardwareConfig {
+        self.name = format!("{}+{}", self.name, bpred.name());
+        self.bpred = bpred;
+        self
+    }
+
+    /// Enables remote memory in the given mode.
+    pub fn with_remote(mut self, remote: RemoteMemConfig) -> HardwareConfig {
+        self.name = format!("{}+{}", self.name, remote.name());
+        self.remote = remote;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_sane() {
+        let g = HardwareConfig::boom_gshare();
+        let t = HardwareConfig::boom_tage();
+        assert_eq!(g.bpred.name(), "gshare");
+        assert_eq!(t.bpred.name(), "tage");
+        assert_eq!(g.core, t.core, "only the predictor differs");
+        assert_eq!(g.icache.capacity(), 16 << 10);
+    }
+
+    #[test]
+    fn builders_rename() {
+        let hw = HardwareConfig::rocket().with_bpred(BpredConfig::AlwaysTaken);
+        assert!(hw.name.contains("always-taken"));
+        let hw = hw.with_remote(RemoteMemConfig::Pfa(crate::pfa::RemoteTimings::default()));
+        assert!(hw.name.contains("pfa"));
+    }
+}

@@ -1,0 +1,55 @@
+//! The built-in base workload specs every other workload inherits from.
+
+/// `br-base.json`: the Buildroot base (§IV-A-2: "a bare-bones Linux
+/// distribution designed for embedded workloads").
+pub const BR_BASE: &str = r#"{
+    "name": "br-base",
+    "distro": "buildroot",
+    "rootfs-size": "256MiB"
+}"#;
+
+/// `fedora-base.json`: the full-featured distribution used for end-to-end
+/// benchmarks (§IV-A-3).
+pub const FEDORA_BASE: &str = r#"{
+    "name": "fedora-base",
+    "distro": "fedora",
+    "rootfs-size": "2GiB"
+}"#;
+
+/// `bare-metal.json`: no kernel, no image — the workload's `bin` runs on
+/// the hart directly.
+pub const BARE_METAL: &str = r#"{
+    "name": "bare-metal",
+    "distro": "bare-metal"
+}"#;
+
+/// All `(file name, text)` pairs.
+pub fn all() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("br-base.json", BR_BASE),
+        ("fedora-base.json", FEDORA_BASE),
+        ("bare-metal.json", BARE_METAL),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marshal_config::WorkloadSpec;
+
+    #[test]
+    fn bases_parse() {
+        for (name, text) in all() {
+            let (spec, warnings) = WorkloadSpec::parse_str(text, name).unwrap();
+            assert!(warnings.is_empty(), "{name}: {warnings:?}");
+            assert!(spec.distro.is_some(), "{name} must set a distro");
+            assert!(spec.base.is_none(), "{name} must be a root base");
+        }
+    }
+
+    #[test]
+    fn buildroot_size_parses() {
+        let (spec, _) = WorkloadSpec::parse_str(BR_BASE, "br-base.json").unwrap();
+        assert_eq!(spec.rootfs_size, Some(256 << 20));
+    }
+}

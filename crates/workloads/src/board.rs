@@ -1,0 +1,116 @@
+//! The Chipyard-like board: the reproduction of §III-A-2's board
+//! requirements (Linux source, firmware, drivers, base workloads) for a
+//! RocketChip-generator-style SoC.
+
+use marshal_core::Board;
+use marshal_image::FsImage;
+use marshal_linux::kernel::KernelSource;
+
+/// Builds the standard board.
+///
+/// Provides:
+/// - the default kernel tree plus the PFA case study's `pfa-linux` tree,
+/// - the `iceblk` (block device) and `icenet` (NIC) platform drivers,
+/// - Buildroot and Fedora base images with working init-system layouts.
+pub fn chipyard_board() -> Board {
+    let mut board = Board::minimal("chipyard-rocket");
+    board.kernel_sources.insert(
+        "pfa-linux".to_owned(),
+        KernelSource::custom("pfa-linux", "5.7.0-pfa", vec!["pfa".to_owned()]),
+    );
+    board.drivers = vec![
+        ("iceblk".to_owned(), "iceblk-v1".to_owned()),
+        ("icenet".to_owned(), "icenet-v1".to_owned()),
+    ];
+    board.distro_images.insert("buildroot".to_owned(), buildroot_image());
+    board.distro_images.insert("fedora".to_owned(), fedora_image());
+    board
+}
+
+/// The Buildroot base image: busybox-style layout with a SysV init.
+fn buildroot_image() -> FsImage {
+    let mut img = FsImage::new();
+    let w = |img: &mut FsImage, p: &str, d: &[u8]| {
+        img.write_file(p, d).expect("static path");
+    };
+    w(&mut img, "/etc/os-release", b"NAME=Buildroot\nVERSION_ID=2020.02\nID=buildroot\n");
+    w(&mut img, "/etc/hostname", b"buildroot");
+    w(&mut img, "/etc/passwd", b"root::0:0:root:/root:/bin/sh\n");
+    w(&mut img, "/etc/profile", b"# buildroot profile\nexport PATH=/bin:/usr/bin\n");
+    img.mkdir_p("/etc/init.d").expect("static path");
+    img.write_exec("/etc/init.d/S01syslogd", b"#!mscript\n# start syslog\n")
+        .expect("static path");
+    img.write_exec("/etc/init.d/S40network", b"#!mscript\n# bring up network\n")
+        .expect("static path");
+    img.write_exec("/bin/busybox", b"#!mscript\nprint(\"BusyBox v1.31 multi-call binary\")\n")
+        .expect("static path");
+    img.symlink("/bin/sh", "busybox").expect("static path");
+    for dir in ["/bin", "/usr/bin", "/root", "/tmp", "/output", "/dev", "/proc", "/sys", "/lib/modules"] {
+        img.mkdir_p(dir).expect("static path");
+    }
+    img
+}
+
+/// The Fedora base image: systemd layout with a package database
+/// (guest-init's `install_packages` writes markers here).
+fn fedora_image() -> FsImage {
+    let mut img = FsImage::new();
+    let w = |img: &mut FsImage, p: &str, d: &[u8]| {
+        img.write_file(p, d).expect("static path");
+    };
+    w(&mut img, "/etc/os-release", b"NAME=Fedora\nVERSION_ID=31\nID=fedora\n");
+    w(&mut img, "/etc/hostname", b"fedora-riscv");
+    w(&mut img, "/etc/passwd", b"root::0:0:root:/root:/bin/bash\n");
+    img.mkdir_p("/etc/systemd/system/multi-user.target.wants")
+        .expect("static path");
+    w(
+        &mut img,
+        "/etc/systemd/system/getty.target",
+        b"[Unit]\nDescription=Login Prompts\n",
+    );
+    img.write_exec("/bin/bash", b"#!mscript\nprint(\"GNU bash, version 5.0\")\n")
+        .expect("static path");
+    img.write_exec("/usr/bin/dnf", b"#!mscript\nprint(\"dnf (modelled)\")\n")
+        .expect("static path");
+    for dir in [
+        "/bin",
+        "/usr/bin",
+        "/usr/share/packages",
+        "/root",
+        "/tmp",
+        "/output",
+        "/dev",
+        "/proc",
+        "/sys",
+        "/var/log",
+        "/lib/modules",
+    ] {
+        img.mkdir_p(dir).expect("static path");
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn board_provides_case_study_pieces() {
+        let b = chipyard_board();
+        assert_eq!(b.name, "chipyard-rocket");
+        assert!(b.kernel_source(Some("pfa-linux")).unwrap().has_feature("pfa"));
+        assert_eq!(b.drivers.len(), 2);
+        let br = b.distro_image("buildroot").unwrap();
+        assert!(br.exists("/etc/init.d/S01syslogd"));
+        assert!(br.is_executable("/bin/sh"));
+        let fedora = b.distro_image("fedora").unwrap();
+        assert!(fedora.exists("/etc/systemd/system"));
+        assert!(fedora.exists("/usr/share/packages"));
+    }
+
+    #[test]
+    fn images_are_deterministic() {
+        assert_eq!(buildroot_image().to_bytes(), buildroot_image().to_bytes());
+        assert_eq!(fedora_image().to_bytes(), fedora_image().to_bytes());
+    }
+}

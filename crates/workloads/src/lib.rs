@@ -1,0 +1,51 @@
+//! # marshal-workloads
+//!
+//! The standard boards, base workloads, and benchmark suites that ship
+//! with the FireMarshal reproduction:
+//!
+//! - [`board`]: the Chipyard-like board (kernel sources incl. `pfa-linux`,
+//!   iceblk/icenet drivers, Buildroot and Fedora base images).
+//! - [`bases`]: the built-in base workload specs (`br-base.json`,
+//!   `fedora-base.json`, `bare-metal.json`).
+//! - [`runtime`]: the shared guest assembly runtime (print/exit helpers)
+//!   every benchmark links against.
+//! - [`intspeed`]: the SPEC2017-intspeed-shaped suite — ten synthetic
+//!   benchmarks whose branch/memory behaviour mimics their namesakes
+//!   (§IV-B, Listing 2; SPEC itself is licensed so the programs are
+//!   substitutes, see DESIGN.md).
+//! - [`pfa`]: the Page Fault Accelerator case-study workloads
+//!   (§IV-A, Listing 1).
+//! - [`coremark`]: a CoreMark-like self-checking benchmark.
+//! - [`dnn`]: an ONNX-runtime-style DNN inference workload on the Fedora
+//!   base (guest-init installed dependencies).
+//! - [`registry`]: one-call setup materialising everything into a workload
+//!   directory and returning the board + search path.
+//!
+//! ## Example
+//!
+//! ```rust,no_run
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let setup = marshal_workloads::setup(std::path::Path::new("./marshal-workdir"))?;
+//! let mut builder = marshal_core::Builder::new(
+//!     setup.board,
+//!     setup.search,
+//!     "./marshal-workdir",
+//! )?;
+//! let products = builder.build("intspeed.json", &Default::default())?;
+//! assert_eq!(products.jobs.len(), 10);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bases;
+pub mod board;
+pub mod coremark;
+pub mod dnn;
+pub mod intspeed;
+pub mod pfa;
+pub mod registry;
+pub mod runtime;
+
+pub use registry::{setup, Setup};

@@ -1,0 +1,211 @@
+//! The education case study (§IV-C, Fig. 7): students tune a kernel
+//! routine against a fixed workload definition; development happens on
+//! fast functional simulation, grading on deterministic cycle-exact
+//! simulation — and the staff reproduces every student's number exactly.
+//!
+//! ```text
+//! cargo run --release --example education
+//! ```
+
+use marshal_core::{install, launch, BuildOptions, Builder};
+use marshal_sim_rtl::HardwareConfig;
+
+/// A student's submission: a matrix-multiply inner loop. The "assignment"
+/// ships two variants — naive and tuned — as mscript-assembled sources.
+fn student_workload(root: &std::path::Path, variant: &str, body: &str) -> std::path::PathBuf {
+    let dir = root.join(format!("student-{variant}"));
+    std::fs::create_dir_all(dir.join("overlay/bin")).unwrap();
+    std::fs::write(
+        dir.join("assignment.json"),
+        r#"{
+            "name": "assignment",
+            "base": "br-base.json",
+            "host-init": "build.ms",
+            "overlay": "overlay",
+            "command": "/bin/matmul",
+            "testing": { "refDir": "refs" }
+        }"#,
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("build.ms"),
+        "#!mscript\nassemble(\"matmul.s\", \"overlay/bin/matmul\")\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("matmul.s"),
+        marshal_workloads::runtime::compose_benchmark("matmul", body),
+    )
+    .unwrap();
+    std::fs::create_dir_all(dir.join("refs")).unwrap();
+    std::fs::write(dir.join("refs/uartlog"), "matmul checksum: 112640\n").unwrap();
+    dir
+}
+
+/// Naive version: recomputes the row base address inside the inner loop.
+const NAIVE: &str = r#"
+        .data
+        .align 3
+mat:    .space 2048            # 16x16 u64
+        .text
+bench_main:
+        # fill matrix with i+j
+        li      t0, 0
+fill_i: li      t1, 0
+fill_j: slli    t2, t0, 4
+        add     t2, t2, t1
+        slli    t2, t2, 3
+        la      t3, mat
+        add     t2, t3, t2
+        add     t4, t0, t1
+        sd      t4, 0(t2)
+        addi    t1, t1, 1
+        li      t5, 16
+        blt     t1, t5, fill_j
+        addi    t0, t0, 1
+        blt     t0, t5, fill_i
+        # C[i][j] accumulation with redundant address math (slow)
+        li      s2, 0          # checksum
+        li      s3, 30         # passes
+pass:   li      t0, 0
+mi:     li      t1, 0
+mj:     li      t2, 0
+        li      t6, 0          # acc
+mk:     # a = mat[i][k] (recompute base every time)
+        slli    t3, t0, 4
+        add     t3, t3, t2
+        slli    t3, t3, 3
+        la      t4, mat
+        add     t3, t4, t3
+        ld      t3, 0(t3)
+        # b = mat[k][j]
+        slli    t5, t2, 4
+        add     t5, t5, t1
+        slli    t5, t5, 3
+        add     t5, t4, t5
+        ld      t5, 0(t5)
+        mul     t3, t3, t5
+        add     t6, t6, t3
+        addi    t2, t2, 1
+        li      t5, 16
+        blt     t2, t5, mk
+        add     s2, s2, t6
+        addi    t1, t1, 1
+        li      t5, 16
+        blt     t1, t5, mj
+        addi    t0, t0, 1
+        li      t5, 16
+        blt     t0, t5, mi
+        addi    s3, s3, -1
+        bnez    s3, pass
+        slli    a0, s2, 47
+        srli    a0, a0, 47
+        ret
+"#;
+
+/// Tuned version: hoists row pointers out of the inner loop (fewer
+/// instructions, same results).
+const TUNED: &str = r#"
+        .data
+        .align 3
+mat:    .space 2048
+        .text
+bench_main:
+        li      t0, 0
+fill_i: li      t1, 0
+fill_j: slli    t2, t0, 4
+        add     t2, t2, t1
+        slli    t2, t2, 3
+        la      t3, mat
+        add     t2, t3, t2
+        add     t4, t0, t1
+        sd      t4, 0(t2)
+        addi    t1, t1, 1
+        li      t5, 16
+        blt     t1, t5, fill_j
+        addi    t0, t0, 1
+        blt     t0, t5, fill_i
+        li      s2, 0
+        li      s3, 30
+pass:   li      t0, 0
+mi:     # row pointer hoisted out of the j/k loops
+        la      s4, mat
+        slli    t3, t0, 7      # i*16*8
+        add     s4, s4, t3     # &mat[i][0]
+        li      t1, 0
+mj:     la      s5, mat
+        slli    t3, t1, 3
+        add     s5, s5, t3     # &mat[0][j]
+        li      t2, 0
+        li      t6, 0
+        mv      s6, s4         # a-ptr walks the row
+        mv      s7, s5         # b-ptr walks the column
+mk:     ld      t3, 0(s6)
+        ld      t5, 0(s7)
+        mul     t3, t3, t5
+        add     t6, t6, t3
+        addi    s6, s6, 8
+        addi    s7, s7, 128    # next row, same column
+        addi    t2, t2, 1
+        li      t5, 16
+        blt     t2, t5, mk
+        add     s2, s2, t6
+        addi    t1, t1, 1
+        li      t5, 16
+        blt     t1, t5, mj
+        addi    t0, t0, 1
+        li      t5, 16
+        blt     t0, t5, mi
+        addi    s3, s3, -1
+        bnez    s3, pass
+        slli    a0, s2, 47
+        srli    a0, a0, 47
+        ret
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let root = std::env::temp_dir().join(format!("firemarshal-edu-{}", std::process::id()));
+    std::fs::create_dir_all(&root)?;
+    let hw = HardwareConfig::rocket();
+
+    println!("== education workflow (Fig. 7): develop functionally, grade cycle-exactly ==\n");
+    let mut graded = Vec::new();
+    for (variant, body) in [("naive", NAIVE), ("tuned", TUNED)] {
+        let dir = student_workload(&root, variant, body);
+        let setup = marshal_workloads::setup(&root)?;
+        let mut search = setup.search;
+        search.add_dir(&dir);
+        let mut builder = Builder::new(
+            setup.board,
+            search,
+            root.join(format!("work-{variant}")),
+        )?;
+        let products = builder.build("assignment.json", &BuildOptions::default())?;
+
+        // Development loop: fast functional simulation + reference test.
+        let run = launch::launch_workload(&builder, &products)?;
+        let outcomes = marshal_core::test::compare_run(
+            &products,
+            &[(run.jobs[0].job.clone(), run.jobs[0].serial.clone())],
+        )?;
+        println!("[{variant}] functional check: {outcomes:?} (correctness first!)");
+
+        // Grading: deterministic cycle-exact measurement, twice (student
+        // and staff must agree to the cycle).
+        let student =
+            install::run_job_cycle_exact(&products.jobs[0], hw.clone())?.report.counters.cycles;
+        let staff =
+            install::run_job_cycle_exact(&products.jobs[0], hw.clone())?.report.counters.cycles;
+        assert_eq!(student, staff, "grading must be reproducible");
+        println!("[{variant}] graded cycles: {student} (staff re-run: {staff})\n");
+        graded.push((variant, student));
+    }
+    let naive = graded[0].1 as f64;
+    let tuned = graded[1].1 as f64;
+    println!(
+        "tuned submission speedup: {:.2}x — same checksum, fewer cycles; the grade is the cycle count",
+        naive / tuned
+    );
+    let _ = std::fs::remove_dir_all(root);
+    Ok(())
+}

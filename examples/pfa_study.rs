@@ -1,0 +1,114 @@
+//! The Page Fault Accelerator case study (§IV-A, Figs. 4–5).
+//!
+//! Follows the paper's exact methodology:
+//! 1. functional verification of the latency microbenchmark on the
+//!    `pfa-spike` golden model (`launch`),
+//! 2. cycle-exact runs of the *unmodified* workload (`install`) on two
+//!    hardware configurations — the software-paging baseline and the PFA —
+//! 3. the Fig. 5 per-step latency breakdown of a remote page fault.
+//!
+//! ```text
+//! cargo run --release --example pfa_study
+//! ```
+
+use marshal_core::{install, launch, BuildOptions, Builder};
+use marshal_sim_rtl::pfa::RemoteTimings;
+use marshal_sim_rtl::{HardwareConfig, RemoteMemConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let root = std::env::temp_dir().join(format!("firemarshal-pfa-{}", std::process::id()));
+    std::fs::create_dir_all(&root)?;
+    let setup = marshal_workloads::setup(&root)?;
+    let mut builder = Builder::new(setup.board, setup.search, root.join("work"))?;
+
+    println!("building latency-microbenchmark (client + bare-metal server)...");
+    let products = builder.build("latency-microbenchmark.json", &BuildOptions::default())?;
+
+    // --- Phase 1: functional verification on the golden model ------------
+    println!("\n== functional verification (pfa-spike golden model) ==");
+    let run = launch::launch_workload(&builder, &products)?;
+    for line in run.jobs[0].serial.lines().filter(|l| l.contains("latency-ubench")) {
+        println!("  | {line}");
+    }
+    let outcomes = marshal_core::test::compare_run(
+        &products,
+        &run.jobs
+            .iter()
+            .map(|j| (j.job.clone(), j.serial.clone()))
+            .collect::<Vec<_>>(),
+    )?;
+    println!("reference check: {outcomes:?}");
+
+    // --- Phase 2: cycle-exact runs, baseline vs. PFA ----------------------
+    let timings = RemoteTimings::default();
+    let configs = [
+        ("software-paging (baseline)", RemoteMemConfig::SoftwarePaging(timings)),
+        ("page-fault accelerator", RemoteMemConfig::Pfa(timings)),
+    ];
+    let mut reports = Vec::new();
+    for (label, remote) in configs {
+        let hw = HardwareConfig::rocket().with_remote(remote);
+        let node = install::run_job_cycle_exact(&products.jobs[0], hw)?;
+        println!("\n== cycle-exact: {label} ==");
+        for line in node
+            .result
+            .serial
+            .lines()
+            .filter(|l| l.contains("cycles=") || l.contains("faults="))
+        {
+            println!("  | {line}");
+        }
+        let pfa = node.report.pfa.expect("remote memory modelled");
+        println!(
+            "  {} remote faults, mean critical-path latency {} cycles",
+            pfa.faults,
+            pfa.mean_latency()
+        );
+        reports.push((label, node.report.clone(), pfa));
+    }
+
+    // --- Fig. 5: per-step latency breakdown -------------------------------
+    println!("\n=== Fig. 5: remote page fault latency breakdown (cycles/fault) ===");
+    print!("{:>24}", "step");
+    for (label, _, _) in &reports {
+        print!(" {:>26}", label.split(' ').next().unwrap());
+    }
+    println!();
+    let steps = reports[0].2.step_breakdown();
+    for (i, (step, _)) in steps.iter().enumerate() {
+        print!("{step:>24}");
+        for (_, _, pfa) in &reports {
+            let v = pfa.step_breakdown()[i].1;
+            print!(" {v:>26}");
+        }
+        println!();
+    }
+    print!("{:>24}", "TOTAL (critical path)");
+    for (_, _, pfa) in &reports {
+        print!(" {:>26}", pfa.mean_latency());
+    }
+    println!();
+    print!("{:>24}", "deferred bookkeeping");
+    for (_, _, pfa) in &reports {
+        print!(
+            " {:>26}",
+            pfa.deferred_bookkeeping_cycles / pfa.faults.max(1)
+        );
+    }
+    println!();
+
+    let baseline = reports[0].2.mean_latency() as f64;
+    let accel = reports[1].2.mean_latency() as f64;
+    println!(
+        "\nPFA speedup on the fault critical path: {:.2}x  (kernel work moved off the critical path)",
+        baseline / accel
+    );
+    println!(
+        "end-to-end client cycles: baseline {} vs PFA {} ({:.2}x)",
+        reports[0].1.counters.cycles,
+        reports[1].1.counters.cycles,
+        reports[0].1.counters.cycles as f64 / reports[1].1.counters.cycles as f64
+    );
+    let _ = std::fs::remove_dir_all(root);
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! The `marshal` command-line tool (Table I of the paper).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match marshal_core::cli::parse_args(&args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    // `help` needs no workload setup (and must not create a workdir).
+    if matches!(parsed.command, marshal_core::cli::Command::Help) {
+        println!("{}", marshal_core::cli::USAGE);
+        return ExitCode::SUCCESS;
+    }
+    let setup = match marshal_workloads::setup(std::path::Path::new(&parsed.workdir)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: workload setup failed: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let (code, log) = marshal_core::cli::run_command(&parsed, setup.board, setup.search);
+    for line in log {
+        println!("{line}");
+    }
+    ExitCode::from(code as u8)
+}

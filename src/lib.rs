@@ -1,0 +1,22 @@
+//! # firemarshal
+//!
+//! Umbrella crate for the FireMarshal reproduction (ISPASS 2021): re-exports
+//! every workspace crate under one roof and hosts the `marshal` binary, the
+//! integration tests, and the runnable examples.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-figure reproduction index.
+
+#![warn(missing_docs)]
+
+pub use marshal_config as config;
+pub use marshal_core as core;
+pub use marshal_depgraph as depgraph;
+pub use marshal_firmware as firmware;
+pub use marshal_image as image;
+pub use marshal_isa as isa;
+pub use marshal_linux as linux;
+pub use marshal_script as script;
+pub use marshal_sim_functional as sim_functional;
+pub use marshal_sim_rtl as sim_rtl;
+pub use marshal_workloads as workloads;

@@ -1,0 +1,23 @@
+//! Shared helpers for the integration tests.
+
+use std::path::PathBuf;
+
+/// Creates (and clears) a unique scratch directory for one test.
+#[allow(dead_code)]
+pub fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "firemarshal-it-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("create scratch dir");
+    d
+}
+
+/// Builds a ready-to-use Builder over the bundled workloads.
+#[allow(dead_code)]
+pub fn builder_in(root: &std::path::Path) -> marshal_core::Builder {
+    let setup = marshal_workloads::setup(root).expect("materialise workloads");
+    marshal_core::Builder::new(setup.board, setup.search, root.join("work"))
+        .expect("create builder")
+}

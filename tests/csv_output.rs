@@ -1,0 +1,78 @@
+//! E7 (Listing 3): the post-run hook emits
+//! `name,RealTime,UserTime,KernelTime,score` CSV rows from collected job
+//! outputs.
+
+mod common;
+
+use marshal_core::{launch, BuildOptions};
+
+#[test]
+fn intspeed_hook_emits_listing3_csv() {
+    let root = common::tmpdir("csv");
+    let mut builder = common::builder_in(&root);
+    // Build the full suite, but launch just two jobs (keeps the functional
+    // run quick) and invoke the hook over them.
+    let products = builder.build("intspeed.json", &BuildOptions::default()).unwrap();
+    assert_eq!(products.jobs.len(), 10);
+
+    let j0 = launch::launch_job(&builder, &products, 0).unwrap();
+    let j9 = launch::launch_job(&builder, &products, 9).unwrap();
+    assert!(j0.serial.contains("600.perlbench_s checksum:"), "{}", j0.serial);
+    assert!(j9.serial.contains("657.xz_s checksum:"));
+    // Outputs collected per job.
+    assert!(j0.job_dir.join("output/600.perlbench_s.status").exists());
+    assert!(j0.job_dir.join("stats").exists());
+
+    // Run the hook over the two job dirs.
+    let (hook_src, _) = marshal_core::output::load_hook_script(
+        products.top_spec.post_run_hook.as_deref().unwrap(),
+        products.source_dir.as_deref(),
+    )
+    .unwrap();
+    let run_root = builder.run_dir(&products.workload);
+    let log = marshal_core::output::run_post_hook(
+        &hook_src,
+        &run_root,
+        &[j0.job.clone(), j9.job.clone()],
+    )
+    .unwrap();
+    assert!(log.iter().any(|l| l.contains("wrote results.csv")), "{log:?}");
+
+    let csv = std::fs::read_to_string(run_root.join("results.csv")).unwrap();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines[0], "name,RealTime,UserTime,KernelTime,score");
+    assert_eq!(lines.len(), 3, "{csv}");
+    for line in &lines[1..] {
+        let fields: Vec<&str> = line.split(',').collect();
+        assert_eq!(fields.len(), 5, "{line}");
+        // name like 600.perlbench_s; times like 1.234; score like 1.07
+        assert!(fields[0].ends_with("_s"));
+        for value in &fields[1..] {
+            assert!(
+                value.chars().all(|c| c.is_ascii_digit() || c == '.'),
+                "{line}"
+            );
+            assert!(value.contains('.'), "{line}");
+        }
+    }
+    assert!(lines[1].starts_with("600.perlbench_s,"));
+    assert!(lines[2].starts_with("657.xz_s,"));
+    std::fs::remove_dir_all(root).unwrap();
+}
+
+#[test]
+fn csv_quoting_in_script_library() {
+    // The csv_row builtin quotes embedded commas/quotes per RFC 4180.
+    let mut interp = marshal_script::Interp::new();
+    let v = interp
+        .run(
+            r#"csv_row(["a,b", "plain", "say \"hi\""])"#,
+            &mut marshal_script::NoExtern,
+            &[],
+        )
+        .unwrap();
+    assert_eq!(
+        v,
+        marshal_script::Value::Str("\"a,b\",plain,\"say \"\"hi\"\"\"".into())
+    );
+}

@@ -1,0 +1,95 @@
+//! E10 (§IV-C): "students were able to obtain repeatable results down to
+//! an exact cycle-count of each executing application and course staff
+//! could reproduce these results for grading purposes."
+
+mod common;
+
+use marshal_core::{BuildOptions, JobKind};
+use marshal_firmware::BootBinary;
+use marshal_image::FsImage;
+use marshal_sim_functional::LaunchMode;
+use marshal_sim_rtl::{FireSim, HardwareConfig};
+
+#[test]
+fn cycle_counts_repeat_exactly() {
+    let root = common::tmpdir("determinism");
+    let mut builder = common::builder_in(&root);
+    let products = builder.build("coremark.json", &BuildOptions::default()).unwrap();
+    let JobKind::Linux {
+        boot_path,
+        disk_path,
+    } = &products.jobs[0].kind
+    else {
+        panic!();
+    };
+    let boot = BootBinary::from_bytes(&std::fs::read(boot_path).unwrap()).unwrap();
+    let disk =
+        FsImage::from_bytes(&std::fs::read(disk_path.as_ref().unwrap()).unwrap()).unwrap();
+
+    for hw in [
+        HardwareConfig::rocket(),
+        HardwareConfig::boom_gshare(),
+        HardwareConfig::boom_tage(),
+    ] {
+        let name = hw.name.clone();
+        let sim = FireSim::new(hw);
+        let (r1, p1) = sim.launch(&boot, Some(&disk), LaunchMode::Run).unwrap();
+        let (r2, p2) = sim.launch(&boot, Some(&disk), LaunchMode::Run).unwrap();
+        assert_eq!(
+            p1.counters.cycles, p2.counters.cycles,
+            "{name}: cycle counts must repeat exactly"
+        );
+        assert_eq!(p1.counters, p2.counters, "{name}: all counters repeat");
+        assert_eq!(r1.serial, r2.serial, "{name}: serial repeats");
+    }
+    std::fs::remove_dir_all(root).unwrap();
+}
+
+#[test]
+fn grading_scenario_staff_reproduces_student_result() {
+    // §IV-C: the student runs in one directory, the staff in another; the
+    // staff reproduces the student's exact measurement from the shared
+    // workload spec alone.
+    let student_root = common::tmpdir("det-student");
+    let staff_root = common::tmpdir("det-staff");
+    let measure = |root: &std::path::Path| -> u64 {
+        let mut builder = common::builder_in(root);
+        let products = builder.build("coremark.json", &BuildOptions::default()).unwrap();
+        let node = marshal_core::install::run_job_cycle_exact(
+            &products.jobs[0],
+            HardwareConfig::boom_tage(),
+        )
+        .unwrap();
+        node.report.counters.cycles
+    };
+    let student_cycles = measure(&student_root);
+    let staff_cycles = measure(&staff_root);
+    assert_eq!(student_cycles, staff_cycles);
+    std::fs::remove_dir_all(student_root).unwrap();
+    std::fs::remove_dir_all(staff_root).unwrap();
+}
+
+#[test]
+fn different_hardware_different_cycles_same_behaviour() {
+    // Determinism also means configuration changes are cleanly visible:
+    // different cores differ in cycles but never in behaviour.
+    let root = common::tmpdir("det-hw");
+    let mut builder = common::builder_in(&root);
+    let products = builder.build("hello.json", &BuildOptions::default()).unwrap();
+    let rocket =
+        marshal_core::install::run_job_cycle_exact(&products.jobs[0], HardwareConfig::rocket())
+            .unwrap();
+    let boom =
+        marshal_core::install::run_job_cycle_exact(&products.jobs[0], HardwareConfig::boom_tage())
+            .unwrap();
+    assert_eq!(
+        rocket.report.counters.instructions,
+        boom.report.counters.instructions
+    );
+    assert_ne!(rocket.report.counters.cycles, boom.report.counters.cycles);
+    assert_eq!(
+        marshal_core::clean_output(&rocket.result.serial),
+        marshal_core::clean_output(&boom.result.serial)
+    );
+    std::fs::remove_dir_all(root).unwrap();
+}

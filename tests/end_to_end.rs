@@ -1,0 +1,176 @@
+//! E3 (Fig. 2): the typical FireMarshal flow — configuration files are
+//! built into a boot binary and rootfs, launched in functional and
+//! cycle-exact simulation, and run outputs are collected and compared
+//! against known-good outputs.
+
+mod common;
+
+use marshal_core::{launch, BuildOptions, TestOutcome};
+use marshal_sim_rtl::HardwareConfig;
+
+#[test]
+fn fig2_flow_quickstart() {
+    let root = common::tmpdir("fig2");
+    let mut builder = common::builder_in(&root);
+
+    // Spec -> build.
+    let products = builder.build("hello.json", &BuildOptions::default()).unwrap();
+    assert_eq!(products.jobs.len(), 1);
+
+    // Launch in functional simulation.
+    let run = launch::launch_workload(&builder, &products).unwrap();
+    assert!(run.jobs[0].serial.contains("Hello from FireMarshal!"));
+    assert!(run.jobs[0].job_dir.join("uartlog").exists());
+    assert!(run.jobs[0].job_dir.join("output/hello.txt").exists());
+    assert!(run.jobs[0].job_dir.join("stats").exists());
+
+    // Launch the SAME artifacts in cycle-exact simulation.
+    let node =
+        marshal_core::install::run_job_cycle_exact(&products.jobs[0], HardwareConfig::rocket())
+            .unwrap();
+    assert!(node.result.serial.contains("Hello from FireMarshal!"));
+    assert!(node.report.counters.cycles > node.report.counters.instructions);
+
+    // Compare outputs against the known-good reference — both simulators'
+    // logs must pass the same reference check.
+    let functional = marshal_core::test::compare_run(
+        &products,
+        &[(run.jobs[0].job.clone(), run.jobs[0].serial.clone())],
+    )
+    .unwrap();
+    assert_eq!(functional, vec![TestOutcome::Pass]);
+    let cycle_exact = marshal_core::test::compare_run(
+        &products,
+        &[(node.name.clone(), node.result.serial.clone())],
+    )
+    .unwrap();
+    assert_eq!(cycle_exact, vec![TestOutcome::Pass]);
+
+    std::fs::remove_dir_all(root).unwrap();
+}
+
+#[test]
+fn fig2_flow_multi_job_workload() {
+    // The PFA latency microbenchmark: one Linux client + one bare-metal
+    // server, exactly Listing 1's shape.
+    let root = common::tmpdir("fig2-jobs");
+    let mut builder = common::builder_in(&root);
+    let products = builder
+        .build("latency-microbenchmark.json", &BuildOptions::default())
+        .unwrap();
+    assert_eq!(products.jobs.len(), 2);
+    assert!(products.jobs[0].name.ends_with("client"));
+    assert!(products.jobs[1].name.ends_with("server"));
+
+    let run = launch::launch_workload(&builder, &products).unwrap();
+    assert!(run.jobs[0].serial.contains("latency-ubench faults=64"));
+    assert!(run.jobs[1].serial.contains("pfa-server checksum: 1"));
+    // The client runs on the custom pfa-spike simulator (the golden model).
+    assert!(run.jobs[0].serial.contains("spike"), "{}", run.jobs[0].serial);
+    assert!(run.jobs[0].serial.contains("feature `pfa` enabled"));
+
+    // The post-run hook produced the combined CSV.
+    let csv = std::fs::read_to_string(run.run_root.join("latency.csv")).unwrap();
+    assert!(csv.starts_with("job,faults,avg_cycles,min_cycles,max_cycles"));
+    assert!(csv.contains("client,64,"));
+
+    // Reference comparison passes for both jobs.
+    let outcomes = marshal_core::test::compare_run(
+        &products,
+        &run.jobs
+            .iter()
+            .map(|j| (j.job.clone(), j.serial.clone()))
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    assert!(outcomes.iter().all(|o| matches!(o, TestOutcome::Pass)), "{outcomes:?}");
+
+    std::fs::remove_dir_all(root).unwrap();
+}
+
+#[test]
+fn guest_init_fedora_flow() {
+    // A Fedora workload whose guest-init installs packages at build time
+    // (§IV-A-3's end-to-end benchmark flow).
+    let root = common::tmpdir("fedora-gi");
+    let wl_dir = root.join("user-workloads");
+    std::fs::create_dir_all(&wl_dir).unwrap();
+    std::fs::write(
+        wl_dir.join("deps.json"),
+        r#"{
+            "name": "deps",
+            "base": "fedora-base.json",
+            "guest-init": "install-deps.ms",
+            "command": "/usr/bin/dnf"
+        }"#,
+    )
+    .unwrap();
+    std::fs::write(
+        wl_dir.join("install-deps.ms"),
+        "#!mscript\ninstall_packages(\"python3\", \"numpy\")\n",
+    )
+    .unwrap();
+
+    let setup = marshal_workloads::setup(&root).unwrap();
+    let mut search = setup.search;
+    search.add_dir(&wl_dir);
+    let mut builder = marshal_core::Builder::new(setup.board, search, root.join("work")).unwrap();
+    let products = builder.build("deps.json", &BuildOptions::default()).unwrap();
+    let run = launch::launch_workload(&builder, &products).unwrap();
+
+    // guest-init ran at BUILD time, not at launch.
+    assert!(!run.jobs[0].serial.contains("running one-shot guest-init"));
+    // ... but its effects are in the image: packages are installed and the
+    // systemd flow starts the payload.
+    assert!(run.jobs[0].serial.contains("Multi-User System"));
+    assert!(run.jobs[0].serial.contains("dnf (modelled)"));
+
+    std::fs::remove_dir_all(root).unwrap();
+}
+
+#[test]
+fn onnx_workload_fedora_end_to_end() {
+    // The §IV-B ONNX-runtime-style workload: Fedora base, guest-init
+    // package installation at build time, systemd-launched payload, and a
+    // passing reference test on both simulator tiers.
+    let root = common::tmpdir("onnx");
+    let mut builder = common::builder_in(&root);
+    let products = builder
+        .build("onnx-infer.json", &BuildOptions::default())
+        .unwrap();
+    let run = launch::launch_workload(&builder, &products).unwrap();
+    let serial = &run.jobs[0].serial;
+    assert!(serial.contains("Multi-User System"), "systemd boot: {serial}");
+    assert!(serial.contains("onnx-infer checksum:"));
+    // guest-init already ran at build time; its package markers are baked
+    // into the image.
+    let marshal_core::JobKind::Linux { disk_path, .. } = &products.jobs[0].kind else {
+        panic!()
+    };
+    let disk = marshal_image::FsImage::from_bytes(
+        &std::fs::read(disk_path.as_ref().unwrap()).unwrap(),
+    )
+    .unwrap();
+    assert!(disk.exists("/usr/share/packages/onnxruntime"));
+
+    let outcomes = marshal_core::test::compare_run(
+        &products,
+        &[(run.jobs[0].job.clone(), run.jobs[0].serial.clone())],
+    )
+    .unwrap();
+    assert_eq!(outcomes, vec![TestOutcome::Pass]);
+
+    // Same artifacts, cycle-exact, same reference pass.
+    let node = marshal_core::install::run_job_cycle_exact(
+        &products.jobs[0],
+        HardwareConfig::boom_tage(),
+    )
+    .unwrap();
+    let outcomes = marshal_core::test::compare_run(
+        &products,
+        &[(node.name.clone(), node.result.serial.clone())],
+    )
+    .unwrap();
+    assert_eq!(outcomes, vec![TestOutcome::Pass]);
+    std::fs::remove_dir_all(root).unwrap();
+}

@@ -1,0 +1,107 @@
+//! E12: the paper's Listings 1 and 2, parsed, inherited, and expanded
+//! exactly as printed — against the real bundled workload tree.
+
+mod common;
+
+use marshal_config::{expand_jobs, resolve_workload};
+
+#[test]
+fn listing1_pfa_base_resolves() {
+    let root = common::tmpdir("listing1-base");
+    let setup = marshal_workloads::setup(&root).unwrap();
+    let w = resolve_workload(&setup.search, "pfa-base.json").unwrap();
+    assert_eq!(w.chain, vec!["br-base", "pfa-base"]);
+    assert_eq!(w.spec.distro.as_deref(), Some("buildroot"));
+    assert_eq!(w.spec.host_init.as_deref(), Some("cross-compile.ms"));
+    let linux = w.spec.linux.as_ref().unwrap();
+    assert_eq!(linux.source.as_deref(), Some("pfa-linux"));
+    assert_eq!(linux.config, vec!["pfa-linux.kfrag"]);
+    assert_eq!(w.spec.overlay.as_deref(), Some("pfa-test-root"));
+    assert_eq!(w.spec.spike.as_deref(), Some("pfa-spike"));
+    std::fs::remove_dir_all(root).unwrap();
+}
+
+#[test]
+fn listing1_microbenchmark_jobs_expand() {
+    let root = common::tmpdir("listing1-jobs");
+    let setup = marshal_workloads::setup(&root).unwrap();
+    let w = resolve_workload(&setup.search, "latency-microbenchmark.json").unwrap();
+    let jobs = expand_jobs(&setup.search, &w).unwrap();
+    assert_eq!(jobs.len(), 2);
+
+    // The client inherits pfa-base's whole stack and layers pfa.kfrag on
+    // top of pfa-linux.kfrag (merge order matters: later wins).
+    let client = &jobs[0].workload.spec;
+    assert_eq!(jobs[0].qualified_name, "latency-microbenchmark.client");
+    let linux = client.linux.as_ref().unwrap();
+    assert_eq!(linux.config, vec!["pfa-linux.kfrag", "pfa.kfrag"]);
+    assert_eq!(client.spike.as_deref(), Some("pfa-spike"));
+    assert_eq!(client.overlay.as_deref(), Some("pfa-test-root"));
+
+    // The server is bare-metal and inherits nothing from pfa-base.
+    let server = &jobs[1].workload.spec;
+    assert_eq!(server.distro.as_deref(), Some("bare-metal"));
+    assert_eq!(server.bin.as_deref(), Some("serve.mexe"));
+    assert_eq!(server.spike, None);
+    std::fs::remove_dir_all(root).unwrap();
+}
+
+#[test]
+fn listing2_intspeed_shape() {
+    let root = common::tmpdir("listing2");
+    let setup = marshal_workloads::setup(&root).unwrap();
+    let w = resolve_workload(&setup.search, "intspeed.json").unwrap();
+    assert_eq!(
+        w.spec.host_init.as_deref(),
+        Some("speckle-build.ms intspeed ref")
+    );
+    assert_eq!(w.spec.overlay.as_deref(), Some("overlay/intspeed/ref"));
+    assert_eq!(w.spec.rootfs_size, Some(3 << 30));
+    assert_eq!(w.spec.outputs, vec!["/output"]);
+    assert_eq!(w.spec.post_run_hook.as_deref(), Some("handle-results.ms"));
+
+    let jobs = expand_jobs(&setup.search, &w).unwrap();
+    assert_eq!(jobs.len(), 10, "one job per intspeed benchmark");
+    assert_eq!(jobs[0].qualified_name, "intspeed.600.perlbench_s");
+    assert_eq!(jobs[9].qualified_name, "intspeed.657.xz_s");
+    for job in &jobs {
+        // "Each job differs only in the command option."
+        let spec = &job.workload.spec;
+        assert!(spec.command.as_deref().unwrap().starts_with("/intspeed.sh "));
+        assert_eq!(spec.rootfs_size, Some(3 << 30));
+        assert_eq!(spec.outputs, vec!["/output"]);
+        assert_eq!(spec.distro.as_deref(), Some("buildroot"));
+    }
+    std::fs::remove_dir_all(root).unwrap();
+}
+
+#[test]
+fn keystone_style_base_switching() {
+    // §IV-D: "Enabling Keystone is as simple as switching the base option
+    // in a workload from the board default to keystone-base.json."
+    let root = common::tmpdir("keystone");
+    let wl = root.join("user");
+    std::fs::create_dir_all(&wl).unwrap();
+    std::fs::write(
+        wl.join("keystone-base.json"),
+        r#"{"name":"keystone-base","base":"br-base.json",
+            "linux":{"config":"CONFIG_KEYSTONE=y"},
+            "firmware":{"use":"bbl"}}"#,
+    )
+    .unwrap();
+    std::fs::write(
+        wl.join("experiment.json"),
+        r#"{"name":"experiment","base":"keystone-base.json","command":"/bin/busybox"}"#,
+    )
+    .unwrap();
+    let setup = marshal_workloads::setup(&root).unwrap();
+    let mut search = setup.search;
+    search.add_dir(&wl);
+    let w = resolve_workload(&search, "experiment.json").unwrap();
+    assert_eq!(w.chain, vec!["br-base", "keystone-base", "experiment"]);
+    assert_eq!(
+        w.spec.firmware.as_ref().unwrap().kind,
+        Some(marshal_config::FirmwareKind::Bbl)
+    );
+    std::fs::remove_dir_all(root).unwrap();
+}
