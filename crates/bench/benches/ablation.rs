@@ -3,7 +3,7 @@
 //! capacity, and mispredict penalty. These demonstrate that the Fig. 5 /
 //! Fig. 6 shapes come from the modelled mechanisms, not from tuning.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use marshal_bench::{criterion_group, criterion_main, Criterion};
 use marshal_isa::abi;
 use marshal_isa::asm::assemble;
 use marshal_sim_rtl::{BpredConfig, CacheConfig, FireSim, HardwareConfig};
@@ -62,7 +62,12 @@ fn bench_ablation(c: &mut Criterion) {
     let mcf = bin_for("605.mcf_s");
     println!("== ablation: D-cache capacity (605.mcf_s, 64 KiB working set) ==");
     println!("{:>10} {:>12} {:>12}", "capacity", "miss-rate", "cycles");
-    for (label, sets) in [("4KiB", 16u32), ("16KiB", 64), ("64KiB", 256), ("256KiB", 1024)] {
+    for (label, sets) in [
+        ("4KiB", 16u32),
+        ("16KiB", 64),
+        ("64KiB", 256),
+        ("256KiB", 1024),
+    ] {
         let mut hw = HardwareConfig::rocket();
         hw.dcache = CacheConfig {
             sets,
@@ -91,13 +96,19 @@ fn bench_ablation(c: &mut Criterion) {
 
     // --- Ablation 4b: L2 presence on the cache-hostile benchmark ----------
     println!("== ablation: unified L2 (605.mcf_s) ==");
-    for (label, l2) in [("no L2", None), ("256KiB L2", Some(marshal_sim_rtl::CacheConfig::l2_256k()))] {
+    for (label, l2) in [
+        ("no L2", None),
+        ("256KiB L2", Some(marshal_sim_rtl::CacheConfig::l2_256k())),
+    ] {
         let mut hw = HardwareConfig::rocket();
         hw.l2 = l2;
         let report = run(hw, &mcf);
         match report.l2 {
-            Some(s) => println!("  {label:>10}: {:>9} cycles (L2 miss-rate {:.1}%)",
-                report.counters.cycles, s.miss_rate() * 100.0),
+            Some(s) => println!(
+                "  {label:>10}: {:>9} cycles (L2 miss-rate {:.1}%)",
+                report.counters.cycles,
+                s.miss_rate() * 100.0
+            ),
             None => println!("  {label:>10}: {:>9} cycles", report.counters.cycles),
         }
     }
@@ -107,7 +118,10 @@ fn bench_ablation(c: &mut Criterion) {
     println!("== ablation: RDMA fetch cost vs link speed (4 KiB pages) ==");
     println!("{:>16} {:>12}", "link (B/cycle)", "rdma cycles");
     for bpc in [1u64, 3, 6, 12] {
-        let nic = NicModel { link_bytes_per_cycle: bpc, ..NicModel::default() };
+        let nic = NicModel {
+            link_bytes_per_cycle: bpc,
+            ..NicModel::default()
+        };
         println!("{bpc:>16} {:>12}", nic.rdma_read(4096));
     }
     println!("== ablation: RDMA fetch cost vs page size (25GbE-class link) ==");

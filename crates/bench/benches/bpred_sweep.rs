@@ -2,7 +2,7 @@
 //! binaries timed under Gshare and TAGE (plus static baselines for
 //! context), as in the paper's BOOM v2 vs. TAGE study.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use marshal_bench::{criterion_group, criterion_main, Criterion};
 use marshal_isa::abi;
 use marshal_isa::asm::assemble;
 use marshal_sim_rtl::{BpredConfig, FireSim, HardwareConfig};
@@ -11,7 +11,12 @@ use marshal_workloads::intspeed;
 fn bench_bpred(c: &mut Criterion) {
     // Print the Fig. 6 underlying data: cycles per predictor for a
     // predictor-sensitive subset of the suite.
-    let subset = ["600.perlbench_s", "620.omnetpp_s", "641.leela_s", "648.exchange2_s"];
+    let subset = [
+        "600.perlbench_s",
+        "620.omnetpp_s",
+        "641.leela_s",
+        "648.exchange2_s",
+    ];
     let predictors = [
         ("never", BpredConfig::NeverTaken),
         ("bimodal", BpredConfig::Bimodal { table_bits: 12 }),

@@ -1,7 +1,7 @@
 //! E4 (Fig. 3): the outputs of the build command — artifact sizes and
 //! build cost for disk vs. `--no-disk` (initramfs-embedded) builds.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use marshal_bench::{criterion_group, criterion_main, Criterion};
 use marshal_core::{BuildOptions, JobKind};
 
 fn bench_build_outputs(c: &mut Criterion) {
@@ -16,6 +16,7 @@ fn bench_build_outputs(c: &mut Criterion) {
                 &BuildOptions {
                     no_disk,
                     force: true,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -49,6 +50,7 @@ fn bench_build_outputs(c: &mut Criterion) {
                         &BuildOptions {
                             no_disk,
                             force: true,
+                            ..Default::default()
                         },
                     )
                     .unwrap();

@@ -2,7 +2,7 @@
 //! the cost of a full boot + payload on each simulator tier (the paper's
 //! functional-first methodology relies on the speed gap).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use marshal_bench::{criterion_group, criterion_main, Criterion};
 use marshal_core::{BuildOptions, JobKind};
 use marshal_firmware::BootBinary;
 use marshal_image::FsImage;
@@ -12,7 +12,9 @@ use marshal_sim_rtl::{FireSim, HardwareConfig};
 fn bench_determinism(c: &mut Criterion) {
     let root = marshal_bench::scratch("det");
     let mut builder = marshal_bench::builder_in(&root);
-    let products = builder.build("coremark.json", &BuildOptions::default()).unwrap();
+    let products = builder
+        .build("coremark.json", &BuildOptions::default())
+        .unwrap();
     let JobKind::Linux {
         boot_path,
         disk_path,
@@ -21,8 +23,7 @@ fn bench_determinism(c: &mut Criterion) {
         panic!()
     };
     let boot = BootBinary::from_bytes(&std::fs::read(boot_path).unwrap()).unwrap();
-    let disk =
-        FsImage::from_bytes(&std::fs::read(disk_path.as_ref().unwrap()).unwrap()).unwrap();
+    let disk = FsImage::from_bytes(&std::fs::read(disk_path.as_ref().unwrap()).unwrap()).unwrap();
 
     // Print the §IV-C data: repeated cycle counts.
     let sim = FireSim::new(HardwareConfig::boom_tage());

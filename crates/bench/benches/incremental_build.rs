@@ -1,7 +1,7 @@
 //! E9 (§III-B): the dependency tracking system "to avoid unnecessary
 //! rebuilding" — full build vs. no-op rebuild vs. leaf-change rebuild.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use marshal_bench::{criterion_group, criterion_main, Criterion};
 use marshal_core::BuildOptions;
 
 fn bench_incremental(c: &mut Criterion) {
@@ -9,24 +9,46 @@ fn bench_incremental(c: &mut Criterion) {
     let mut builder = marshal_bench::builder_in(&root);
 
     // Print the §III-B data: task counts per scenario.
-    let full = builder.build("coremark.json", &BuildOptions::default()).unwrap();
-    let noop = builder.build("coremark.json", &BuildOptions::default()).unwrap();
+    let full = builder
+        .build("coremark.json", &BuildOptions::default())
+        .unwrap();
+    let noop = builder
+        .build("coremark.json", &BuildOptions::default())
+        .unwrap();
     let src = root.join("workloads/coremark/src/coremark.s");
     let original = std::fs::read_to_string(&src).unwrap();
     std::fs::write(&src, original.replace("li      s4, 40", "li      s4, 41")).unwrap();
-    let leaf = builder.build("coremark.json", &BuildOptions::default()).unwrap();
+    let leaf = builder
+        .build("coremark.json", &BuildOptions::default())
+        .unwrap();
     std::fs::write(&src, &original).unwrap();
-    builder.build("coremark.json", &BuildOptions::default()).unwrap();
+    builder
+        .build("coremark.json", &BuildOptions::default())
+        .unwrap();
     println!("== §III-B dependency tracking (tasks executed / total) ==");
-    println!("  full build:        {:>2} / {}", full.report.executed.len(), full.report.total());
-    println!("  no-op rebuild:     {:>2} / {}", noop.report.executed.len(), noop.report.total());
-    println!("  leaf-change:       {:>2} / {}", leaf.report.executed.len(), leaf.report.total());
+    println!(
+        "  full build:        {:>2} / {}",
+        full.report.executed.len(),
+        full.report.total()
+    );
+    println!(
+        "  no-op rebuild:     {:>2} / {}",
+        noop.report.executed.len(),
+        noop.report.total()
+    );
+    println!(
+        "  leaf-change:       {:>2} / {}",
+        leaf.report.executed.len(),
+        leaf.report.total()
+    );
 
     let mut group = c.benchmark_group("incremental_build");
     group.sample_size(10);
     group.bench_function("noop_rebuild", |b| {
         b.iter(|| {
-            let products = builder.build("coremark.json", &BuildOptions::default()).unwrap();
+            let products = builder
+                .build("coremark.json", &BuildOptions::default())
+                .unwrap();
             assert!(products.report.executed.is_empty());
             products.jobs.len()
         })

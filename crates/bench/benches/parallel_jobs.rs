@@ -4,7 +4,7 @@
 //!
 //! Measures a multi-node cycle-exact cluster run serially vs. in parallel.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use marshal_bench::{criterion_group, criterion_main, Criterion};
 use marshal_isa::abi;
 use marshal_isa::asm::assemble;
 use marshal_sim_rtl::{FireSim, HardwareConfig, NodePayload};

@@ -1,7 +1,7 @@
 //! E5 (Fig. 5): the PFA latency microbenchmark — per-step latency of a
 //! remote page fault, software-paging baseline vs. the accelerator.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use marshal_bench::{criterion_group, criterion_main, Criterion};
 use marshal_sim_rtl::pfa::{RemoteMemory, RemoteMode, RemoteTimings};
 
 const PAGE: u64 = 4096;

@@ -160,7 +160,11 @@ pub fn merge_specs(child: WorkloadSpec, parent: WorkloadSpec) -> WorkloadSpec {
             .chain(child.spike_args)
             .collect(),
         qemu: child.qemu.or(parent.qemu),
-        qemu_args: parent.qemu_args.into_iter().chain(child.qemu_args).collect(),
+        qemu_args: parent
+            .qemu_args
+            .into_iter()
+            .chain(child.qemu_args)
+            .collect(),
         bin: child.bin.or(parent.bin),
         img: child.img.or(parent.img),
         rootfs_size: child.rootfs_size.or(parent.rootfs_size),
@@ -235,8 +239,14 @@ mod tests {
     #[test]
     fn child_overrides_scalars() {
         let sp = sp(&[
-            ("p.json", r#"{"name":"p","command":"parent-cmd","spike":"spike-a"}"#),
-            ("c.json", r#"{"name":"c","base":"p.json","command":"child-cmd"}"#),
+            (
+                "p.json",
+                r#"{"name":"p","command":"parent-cmd","spike":"spike-a"}"#,
+            ),
+            (
+                "c.json",
+                r#"{"name":"c","base":"p.json","command":"child-cmd"}"#,
+            ),
         ]);
         let w = resolve_workload(&sp, "c.json").unwrap();
         assert_eq!(w.spec.command.as_deref(), Some("child-cmd"));
@@ -258,7 +268,10 @@ mod tests {
     fn lists_append() {
         let sp = sp(&[
             ("p.json", r#"{"name":"p","outputs":["/a"],"files":["pa"]}"#),
-            ("c.json", r#"{"name":"c","base":"p.json","outputs":["/b"],"files":["cb"]}"#),
+            (
+                "c.json",
+                r#"{"name":"c","base":"p.json","outputs":["/b"],"files":["cb"]}"#,
+            ),
         ]);
         let w = resolve_workload(&sp, "c.json").unwrap();
         assert_eq!(w.spec.outputs, vec!["/a", "/b"]);

@@ -221,7 +221,9 @@ impl<'a> Parser<'a> {
                         );
                     }
                     other => {
-                        return Err(self.error(format!("bad escape `\\{:?}`", other.map(|b| b as char))))
+                        return Err(
+                            self.error(format!("bad escape `\\{:?}`", other.map(|b| b as char)))
+                        )
                     }
                 },
                 Some(b) if b < 0x20 => return Err(self.error("control character in string")),
@@ -321,10 +323,7 @@ mod tests {
         .unwrap();
         let jobs = v.get("jobs").unwrap().as_array().unwrap();
         assert_eq!(jobs.len(), 2);
-        assert_eq!(
-            jobs[1].get("bin").and_then(Value::as_str),
-            Some("serve")
-        );
+        assert_eq!(jobs[1].get("bin").and_then(Value::as_str), Some("serve"));
     }
 
     #[test]
@@ -338,10 +337,7 @@ mod tests {
 
     #[test]
     fn comments_and_trailing_commas() {
-        let v = parse(
-            "{\n  // a comment\n  \"a\": 1, # another\n  \"b\": [1, 2,],\n}\n",
-        )
-        .unwrap();
+        let v = parse("{\n  // a comment\n  \"a\": 1, # another\n  \"b\": [1, 2,],\n}\n").unwrap();
         assert_eq!(v.get("a").and_then(Value::as_int), Some(1));
         assert_eq!(v.get("b").unwrap().as_array().unwrap().len(), 2);
     }

@@ -151,12 +151,13 @@ impl WorkloadSpec {
     /// # Errors
     ///
     /// Propagates parse errors and type errors as [`ConfigError`].
-    pub fn parse_str(text: &str, file_name: &str) -> Result<(WorkloadSpec, Vec<String>), ConfigError> {
+    pub fn parse_str(
+        text: &str,
+        file_name: &str,
+    ) -> Result<(WorkloadSpec, Vec<String>), ConfigError> {
         let value = if file_name.ends_with(".yaml") || file_name.ends_with(".yml") {
             crate::yaml::parse(text)?
-        } else if file_name.ends_with(".json") {
-            crate::json::parse(text)?
-        } else if text.trim_start().starts_with('{') {
+        } else if file_name.ends_with(".json") || text.trim_start().starts_with('{') {
             crate::json::parse(text)?
         } else {
             crate::yaml::parse(text)?
@@ -170,7 +171,10 @@ impl WorkloadSpec {
     ///
     /// Returns [`ConfigError::Invalid`] for non-object documents, wrongly
     /// typed options, or an invalid `rootfs-size`.
-    pub fn from_value(value: &Value, origin: &str) -> Result<(WorkloadSpec, Vec<String>), ConfigError> {
+    pub fn from_value(
+        value: &Value,
+        origin: &str,
+    ) -> Result<(WorkloadSpec, Vec<String>), ConfigError> {
         let obj = value
             .as_object()
             .ok_or_else(|| ConfigError::invalid(origin, "workload must be an object"))?;
@@ -199,9 +203,9 @@ impl WorkloadSpec {
                     spec.rootfs_size = Some(parse_size(v, origin)?);
                 }
                 "files" => {
-                    let items = v.as_array().ok_or_else(|| {
-                        ConfigError::invalid(origin, "`files` must be an array")
-                    })?;
+                    let items = v
+                        .as_array()
+                        .ok_or_else(|| ConfigError::invalid(origin, "`files` must be an array"))?;
                     for item in items {
                         spec.files.push(parse_file_mapping(item, origin)?);
                     }
@@ -210,9 +214,9 @@ impl WorkloadSpec {
                 "firmware" => spec.firmware = Some(parse_firmware(v, origin)?),
                 "testing" => spec.testing = Some(parse_testing(v, origin)?),
                 "jobs" => {
-                    let items = v.as_array().ok_or_else(|| {
-                        ConfigError::invalid(origin, "`jobs` must be an array")
-                    })?;
+                    let items = v
+                        .as_array()
+                        .ok_or_else(|| ConfigError::invalid(origin, "`jobs` must be an array"))?;
                     for item in items {
                         let (job, mut w) = WorkloadSpec::from_value(item, origin)?;
                         if job.name.is_empty() {
@@ -316,12 +320,12 @@ fn parse_file_mapping(v: &Value, origin: &str) -> Result<FileMapping, ConfigErro
             })
         }
         Value::Array(pair) if pair.len() == 2 => {
-            let host = pair[0]
-                .as_str()
-                .ok_or_else(|| ConfigError::invalid(origin, "file mapping host must be a string"))?;
-            let guest = pair[1]
-                .as_str()
-                .ok_or_else(|| ConfigError::invalid(origin, "file mapping guest must be a string"))?;
+            let host = pair[0].as_str().ok_or_else(|| {
+                ConfigError::invalid(origin, "file mapping host must be a string")
+            })?;
+            let guest = pair[1].as_str().ok_or_else(|| {
+                ConfigError::invalid(origin, "file mapping guest must be a string")
+            })?;
             Ok(FileMapping {
                 host: host.to_owned(),
                 guest: guest.to_owned(),
@@ -344,9 +348,9 @@ fn parse_linux(v: &Value, origin: &str) -> Result<LinuxSpec, ConfigError> {
             "source" => spec.source = str_opt(v, origin, "linux.source")?,
             "config" => spec.config = str_list(v, origin, "linux.config")?,
             "modules" => {
-                let m = v
-                    .as_object()
-                    .ok_or_else(|| ConfigError::invalid(origin, "`linux.modules` must be an object"))?;
+                let m = v.as_object().ok_or_else(|| {
+                    ConfigError::invalid(origin, "`linux.modules` must be an object")
+                })?;
                 for (name, src) in m {
                     let src = src.as_str().ok_or_else(|| {
                         ConfigError::invalid(origin, "`linux.modules` values must be strings")
@@ -403,14 +407,19 @@ fn parse_testing(v: &Value, origin: &str) -> Result<TestingSpec, ConfigError> {
     let mut spec = TestingSpec::default();
     for (key, v) in obj {
         match key.as_str() {
-            "refDir" | "ref-dir" | "ref_dir" => spec.ref_dir = str_opt(v, origin, "testing.refDir")?,
+            "refDir" | "ref-dir" | "ref_dir" => {
+                spec.ref_dir = str_opt(v, origin, "testing.refDir")?
+            }
             "timeout" => {
                 spec.timeout = match v {
                     Value::Int(n) if *n >= 0 => Some(*n as u64),
                     other => {
                         return Err(ConfigError::invalid(
                             origin,
-                            format!("`testing.timeout` must be a non-negative int, found {}", other.kind()),
+                            format!(
+                                "`testing.timeout` must be a non-negative int, found {}",
+                                other.kind()
+                            ),
                         ))
                     }
                 }
@@ -431,11 +440,15 @@ fn parse_testing(v: &Value, origin: &str) -> Result<TestingSpec, ConfigError> {
 fn parse_size(v: &Value, origin: &str) -> Result<u64, ConfigError> {
     match v {
         Value::Int(n) if *n >= 0 => Ok(*n as u64),
-        Value::Str(s) => parse_size_str(s)
-            .ok_or_else(|| ConfigError::invalid(origin, format!("bad size `{s}`"))),
+        Value::Str(s) => {
+            parse_size_str(s).ok_or_else(|| ConfigError::invalid(origin, format!("bad size `{s}`")))
+        }
         other => Err(ConfigError::invalid(
             origin,
-            format!("`rootfs-size` must be an int or string, found {}", other.kind()),
+            format!(
+                "`rootfs-size` must be an int or string, found {}",
+                other.kind()
+            ),
         )),
     }
 }
@@ -585,7 +598,8 @@ mod tests {
 
     #[test]
     fn file_mappings() {
-        let src = r#"{"name":"x","files":["bench/a.out",{"host":"b","guest":"/usr/bin/b"},["c","/c2"]]}"#;
+        let src =
+            r#"{"name":"x","files":["bench/a.out",{"host":"b","guest":"/usr/bin/b"},["c","/c2"]]}"#;
         let (spec, _) = WorkloadSpec::parse_str(src, "x.json").unwrap();
         assert_eq!(spec.files.len(), 3);
         assert_eq!(spec.files[0].guest, "/a.out");
@@ -595,8 +609,7 @@ mod tests {
 
     #[test]
     fn boot_payload_priority() {
-        let (spec, _) =
-            WorkloadSpec::parse_str(r#"{"name":"x","command":"c"}"#, "x.json").unwrap();
+        let (spec, _) = WorkloadSpec::parse_str(r#"{"name":"x","command":"c"}"#, "x.json").unwrap();
         assert_eq!(spec.boot_payload(), Some("c"));
         let (spec, _) = WorkloadSpec::parse_str(r#"{"name":"x","run":"r.sh"}"#, "x.json").unwrap();
         assert_eq!(spec.boot_payload(), Some("r.sh"));

@@ -51,7 +51,11 @@ impl SearchPath {
     ///
     /// Built-ins lose to any same-named file found in a directory, mirroring
     /// how FireMarshal lets users shadow standard workloads.
-    pub fn add_builtin(&mut self, name: impl Into<String>, text: impl Into<String>) -> &mut SearchPath {
+    pub fn add_builtin(
+        &mut self,
+        name: impl Into<String>,
+        text: impl Into<String>,
+    ) -> &mut SearchPath {
         self.builtins.insert(name.into(), text.into());
         self
     }

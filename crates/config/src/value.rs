@@ -207,7 +207,10 @@ mod tests {
     fn json_serialisation_deterministic() {
         let v = Value::Object(BTreeMap::from([
             ("z".to_owned(), Value::Int(1)),
-            ("a".to_owned(), Value::Array(vec![Value::Bool(true), Value::Null])),
+            (
+                "a".to_owned(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
         ]));
         assert_eq!(v.to_json(), r#"{"a":[true,null],"z":1}"#);
     }

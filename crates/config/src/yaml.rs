@@ -80,11 +80,11 @@ fn strip_comment(line: &str) -> &str {
         match b {
             b'\'' if !in_double => in_single = !in_single,
             b'"' if !in_single => in_double = !in_double,
-            b'#' if !in_single && !in_double => {
+            b'#' if !in_single && !in_double
                 // YAML comments must be preceded by whitespace or line start.
-                if i == 0 || bytes[i - 1] == b' ' || bytes[i - 1] == b'\t' {
-                    return &line[..i];
-                }
+                && (i == 0 || bytes[i - 1] == b' ' || bytes[i - 1] == b'\t') =>
+            {
+                return &line[..i];
             }
             _ => {}
         }
@@ -134,12 +134,7 @@ impl YamlParser {
                 }
             } else if let Some((key, val_text)) = split_mapping_entry(&rest) {
                 // `- key: value` starts an inline mapping.
-                items.push(self.parse_mapping_with_first(
-                    key,
-                    val_text,
-                    rest_offset,
-                    number,
-                )?);
+                items.push(self.parse_mapping_with_first(key, val_text, rest_offset, number)?);
             } else {
                 items.push(parse_scalar(&rest, number)?);
             }
@@ -268,10 +263,8 @@ fn find_mapping_colon(text: &str) -> Option<usize> {
             b'[' | b'{' => depth += 1,
             b']' | b'}' => depth -= 1,
             b'"' | b'\'' => return None, // quoted mid-key unsupported here
-            b':' if depth == 0 => {
-                if i + 1 == bytes.len() || bytes[i + 1] == b' ' {
-                    return Some(i);
-                }
+            b':' if depth == 0 && (i + 1 == bytes.len() || bytes[i + 1] == b' ') => {
+                return Some(i);
             }
             _ => {}
         }
@@ -283,14 +276,22 @@ fn parse_scalar(text: &str, line: usize) -> Result<Value, ConfigError> {
     let text = text.trim();
     if text.starts_with('"') {
         if !(text.ends_with('"') && text.len() >= 2) {
-            return Err(ConfigError::parse(line, 1, "unterminated double-quoted scalar"));
+            return Err(ConfigError::parse(
+                line,
+                1,
+                "unterminated double-quoted scalar",
+            ));
         }
         // Reuse the JSON string parser for escapes.
         return crate::json::parse(text);
     }
     if text.starts_with('\'') {
         if !(text.ends_with('\'') && text.len() >= 2) {
-            return Err(ConfigError::parse(line, 1, "unterminated single-quoted scalar"));
+            return Err(ConfigError::parse(
+                line,
+                1,
+                "unterminated single-quoted scalar",
+            ));
         }
         return Ok(Value::Str(text[1..text.len() - 1].replace("''", "'")));
     }
@@ -339,7 +340,9 @@ fn parse_flow(text: &str, line: usize) -> Result<Value, ConfigError> {
             }
             let colon = find_mapping_colon(part)
                 .or_else(|| part.find(':'))
-                .ok_or_else(|| ConfigError::parse(line, 1, "expected `key: value` in flow mapping"))?;
+                .ok_or_else(|| {
+                    ConfigError::parse(line, 1, "expected `key: value` in flow mapping")
+                })?;
             let key = part[..colon].trim().trim_matches('"').trim_matches('\'');
             let value = parse_scalar(part[colon + 1..].trim(), line)?;
             map.insert(key.to_owned(), value);
@@ -390,7 +393,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(
-            v.get("linux").unwrap().get("source").and_then(Value::as_str),
+            v.get("linux")
+                .unwrap()
+                .get("source")
+                .and_then(Value::as_str),
             Some("pfa-linux")
         );
     }
@@ -445,7 +451,10 @@ mod tests {
             Some("quoted # not comment")
         );
         assert_eq!(v.get("g").and_then(Value::as_str), Some("single 'quoted'"));
-        assert_eq!(v.get("h").and_then(Value::as_str), Some("plain string here"));
+        assert_eq!(
+            v.get("h").and_then(Value::as_str),
+            Some("plain string here")
+        );
     }
 
     #[test]

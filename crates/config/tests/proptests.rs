@@ -1,134 +1,178 @@
 //! Property-based tests: JSON roundtrips, JSON/YAML agreement, inheritance
 //! merge laws, and size parsing.
-
-use proptest::prelude::*;
+//!
+//! Uses the in-repo `marshal-qcheck` harness (offline build environment);
+//! every case derives from a fixed seed and replays deterministically.
 
 use marshal_config::inherit::merge_specs;
 use marshal_config::schema::parse_size_str;
 use marshal_config::{json, Value, WorkloadSpec};
+use marshal_qcheck::{cases, Rng};
 
-fn arb_value(depth: u32) -> BoxedStrategy<Value> {
-    let leaf = prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i64>().prop_map(Value::Int),
-        "[a-zA-Z0-9 _./-]{0,16}".prop_map(Value::Str),
-    ];
-    if depth == 0 {
-        return leaf.boxed();
+const STR_CHARS: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 _./-";
+
+fn arb_value(rng: &mut Rng, depth: u32) -> Value {
+    // Weighted like the original proptest strategy: mostly leaves.
+    let choice = if depth == 0 {
+        rng.range_u64(0, 4)
+    } else {
+        rng.range_u64(0, 6)
+    };
+    match choice {
+        0 => Value::Null,
+        1 => Value::Bool(rng.bool()),
+        2 => Value::Int(rng.any_i64()),
+        3 => Value::Str(rng.string_of(STR_CHARS, 0, 17)),
+        4 => Value::Array(
+            (0..rng.range_usize(0, 4))
+                .map(|_| arb_value(rng, depth - 1))
+                .collect(),
+        ),
+        _ => Value::Object(
+            (0..rng.range_usize(0, 4))
+                .map(|_| {
+                    let key = format!(
+                        "{}{}",
+                        rng.lowercase(1, 2),
+                        rng.string_of("abcdefghijklmnopqrstuvwxyz0123456789_-", 0, 9)
+                    );
+                    (key, arb_value(rng, depth - 1))
+                })
+                .collect(),
+        ),
     }
-    prop_oneof![
-        4 => leaf,
-        1 => proptest::collection::vec(arb_value(depth - 1), 0..4).prop_map(Value::Array),
-        1 => proptest::collection::btree_map("[a-z][a-z0-9_-]{0,8}", arb_value(depth - 1), 0..4)
-            .prop_map(Value::Object),
-    ]
-    .boxed()
 }
 
-proptest! {
-    #[test]
-    fn json_roundtrip(v in arb_value(3)) {
+#[test]
+fn json_roundtrip() {
+    cases(256, |rng| {
+        let v = arb_value(rng, 3);
         let text = v.to_json();
         let back = json::parse(&text).unwrap();
-        prop_assert_eq!(v, back);
-    }
+        assert_eq!(v, back);
+    });
+}
 
-    #[test]
-    fn json_parse_never_panics(s in "\\PC{0,64}") {
+#[test]
+fn json_parse_never_panics() {
+    cases(512, |rng| {
+        let s = rng.printable(0, 64);
         let _ = json::parse(&s);
-    }
+    });
+}
 
-    #[test]
-    fn yaml_parse_never_panics(s in "\\PC{0,64}") {
+#[test]
+fn yaml_parse_never_panics() {
+    cases(512, |rng| {
+        let s = rng.printable(0, 64);
         let _ = marshal_config::yaml::parse(&s);
-    }
+    });
+}
 
-    #[test]
-    fn yaml_scalar_agrees_with_json(n in any::<i64>(), key in "[a-z]{1,8}") {
+#[test]
+fn yaml_scalar_agrees_with_json() {
+    cases(128, |rng| {
+        let n = rng.any_i64();
+        let key = rng.lowercase(1, 9);
         let yaml = marshal_config::yaml::parse(&format!("{key}: {n}\n")).unwrap();
         let json = json::parse(&format!("{{\"{key}\": {n}}}")).unwrap();
-        prop_assert_eq!(yaml, json);
-    }
-
-    #[test]
-    fn size_parsing_scales(n in 1u64..1000) {
-        prop_assert_eq!(parse_size_str(&format!("{n}KiB")), Some(n << 10));
-        prop_assert_eq!(parse_size_str(&format!("{n}MiB")), Some(n << 20));
-        prop_assert_eq!(parse_size_str(&format!("{n}B")), Some(n));
-    }
+        assert_eq!(yaml, json);
+    });
 }
 
-fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
-    (
-        "[a-z]{1,8}",
-        proptest::option::of("[a-z]{1,8}\\.ms"),
-        proptest::option::of("/[a-z]{1,8}"),
-        proptest::collection::vec("/[a-z]{1,6}", 0..3),
-        proptest::collection::vec("[a-z]{1,6}\\.kfrag", 0..3),
-    )
-        .prop_map(|(name, host_init, command, outputs, fragments)| {
-            let mut spec = WorkloadSpec {
-                name,
-                host_init,
-                command,
-                outputs,
-                ..WorkloadSpec::default()
-            };
-            if !fragments.is_empty() {
-                spec.linux = Some(marshal_config::LinuxSpec {
-                    source: None,
-                    config: fragments,
-                    modules: Default::default(),
-                });
-            }
-            spec
-        })
+#[test]
+fn size_parsing_scales() {
+    cases(256, |rng| {
+        let n = rng.range_u64(1, 1000);
+        assert_eq!(parse_size_str(&format!("{n}KiB")), Some(n << 10));
+        assert_eq!(parse_size_str(&format!("{n}MiB")), Some(n << 20));
+        assert_eq!(parse_size_str(&format!("{n}B")), Some(n));
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn arb_spec(rng: &mut Rng) -> WorkloadSpec {
+    let name = rng.lowercase(1, 9);
+    let host_init = rng.bool().then(|| format!("{}.ms", rng.lowercase(1, 9)));
+    let command = rng.bool().then(|| format!("/{}", rng.lowercase(1, 9)));
+    let outputs: Vec<String> = (0..rng.range_usize(0, 3))
+        .map(|_| format!("/{}", rng.lowercase(1, 7)))
+        .collect();
+    let fragments: Vec<String> = (0..rng.range_usize(0, 3))
+        .map(|_| format!("{}.kfrag", rng.lowercase(1, 7)))
+        .collect();
+    let mut spec = WorkloadSpec {
+        name,
+        host_init,
+        command,
+        outputs,
+        ..WorkloadSpec::default()
+    };
+    if !fragments.is_empty() {
+        spec.linux = Some(marshal_config::LinuxSpec {
+            source: None,
+            config: fragments,
+            modules: Default::default(),
+        });
+    }
+    spec
+}
 
-    /// merge(a, merge(b, c)) == merge(merge(a, b), c): inheritance chains
-    /// can be flattened in any order.
-    #[test]
-    fn merge_is_associative(a in arb_spec(), b in arb_spec(), c in arb_spec()) {
+/// merge(a, merge(b, c)) == merge(merge(a, b), c): inheritance chains
+/// can be flattened in any order.
+#[test]
+fn merge_is_associative() {
+    cases(128, |rng| {
+        let (a, b, c) = (arb_spec(rng), arb_spec(rng), arb_spec(rng));
         let left = merge_specs(a.clone(), merge_specs(b.clone(), c.clone()));
         let right = merge_specs(merge_specs(a, b), c);
-        prop_assert_eq!(left, right);
-    }
+        assert_eq!(left, right);
+    });
+}
 
-    /// Merging onto a default (empty) parent preserves the child.
-    #[test]
-    fn merge_with_empty_parent_is_identity(a in arb_spec()) {
+/// Merging onto a default (empty) parent preserves the child.
+#[test]
+fn merge_with_empty_parent_is_identity() {
+    cases(128, |rng| {
+        let a = arb_spec(rng);
         let merged = merge_specs(a.clone(), WorkloadSpec::default());
-        prop_assert_eq!(merged.name, a.name);
-        prop_assert_eq!(merged.host_init, a.host_init);
-        prop_assert_eq!(merged.command, a.command);
-        prop_assert_eq!(merged.outputs, a.outputs);
-    }
+        assert_eq!(merged.name, a.name);
+        assert_eq!(merged.host_init, a.host_init);
+        assert_eq!(merged.command, a.command);
+        assert_eq!(merged.outputs, a.outputs);
+    });
+}
 
-    /// A child with nothing set inherits the parent wholesale (except name
-    /// and jobs).
-    #[test]
-    fn empty_child_inherits_parent(p in arb_spec()) {
+/// A child with nothing set inherits the parent wholesale (except name
+/// and jobs).
+#[test]
+fn empty_child_inherits_parent() {
+    cases(128, |rng| {
+        let p = arb_spec(rng);
         let child = WorkloadSpec {
             name: "child".to_owned(),
             ..WorkloadSpec::default()
         };
         let merged = merge_specs(child, p.clone());
-        prop_assert_eq!(merged.host_init, p.host_init);
-        prop_assert_eq!(merged.command, p.command);
-        prop_assert_eq!(merged.outputs, p.outputs);
-        prop_assert_eq!(merged.linux, p.linux);
-    }
+        assert_eq!(merged.host_init, p.host_init);
+        assert_eq!(merged.command, p.command);
+        assert_eq!(merged.outputs, p.outputs);
+        assert_eq!(merged.linux, p.linux);
+    });
+}
 
-    /// Fragment merge order: parent fragments always precede the child's.
-    #[test]
-    fn fragment_order_preserved(a in arb_spec(), b in arb_spec()) {
+/// Fragment merge order: parent fragments always precede the child's.
+#[test]
+fn fragment_order_preserved() {
+    cases(128, |rng| {
+        let (a, b) = (arb_spec(rng), arb_spec(rng));
         let merged = merge_specs(a.clone(), b.clone());
-        let frags = |s: &WorkloadSpec| s.linux.as_ref().map(|l| l.config.clone()).unwrap_or_default();
+        let frags = |s: &WorkloadSpec| {
+            s.linux
+                .as_ref()
+                .map(|l| l.config.clone())
+                .unwrap_or_default()
+        };
         let expect: Vec<String> = frags(&b).into_iter().chain(frags(&a)).collect();
-        prop_assert_eq!(frags(&merged), expect);
-    }
+        assert_eq!(frags(&merged), expect);
+    });
 }

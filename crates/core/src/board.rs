@@ -40,7 +40,8 @@ impl Board {
         let mut br = FsImage::new();
         br.write_file("/etc/os-release", b"NAME=Buildroot\nVERSION_ID=2020.02\n")
             .expect("static path");
-        br.write_file("/etc/hostname", b"buildroot").expect("static path");
+        br.write_file("/etc/hostname", b"buildroot")
+            .expect("static path");
         br.mkdir_p("/etc/init.d").expect("static path");
         br.mkdir_p("/output").expect("static path");
         br.mkdir_p("/root").expect("static path");
@@ -50,7 +51,9 @@ impl Board {
         fedora
             .write_file("/etc/os-release", b"NAME=Fedora\nVERSION_ID=31\n")
             .expect("static path");
-        fedora.write_file("/etc/hostname", b"fedora").expect("static path");
+        fedora
+            .write_file("/etc/hostname", b"fedora")
+            .expect("static path");
         fedora.mkdir_p("/etc/systemd/system").expect("static path");
         fedora.mkdir_p("/usr/share/packages").expect("static path");
         fedora.mkdir_p("/output").expect("static path");
@@ -104,7 +107,10 @@ mod tests {
             KernelSource::custom("pfa-linux", "5.7.0-pfa", vec!["pfa".into()]),
         );
         assert_eq!(b.kernel_source(None).unwrap().id(), "linux-default");
-        assert_eq!(b.kernel_source(Some("pfa-linux")).unwrap().id(), "pfa-linux");
+        assert_eq!(
+            b.kernel_source(Some("pfa-linux")).unwrap().id(),
+            "pfa-linux"
+        );
         assert!(b.kernel_source(Some("missing")).is_none());
     }
 }

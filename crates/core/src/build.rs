@@ -13,9 +13,7 @@
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
-use marshal_config::{
-    expand_jobs, resolve_workload, SearchPath, WorkloadSpec,
-};
+use marshal_config::{expand_jobs, resolve_workload, SearchPath, WorkloadSpec};
 use marshal_depgraph::{BuildReport, Graph, StateDb, Task};
 use marshal_firmware::{build_firmware, link_boot_binary, BootBinary, FirmwareBuild};
 use marshal_image::{initsys, BootPayload, FsImage, InitSystem};
@@ -35,6 +33,10 @@ pub struct BuildOptions {
     pub no_disk: bool,
     /// Ignore the state database and rebuild everything.
     pub force: bool,
+    /// On task failure, keep building every job not downstream of the
+    /// failure and report the aggregate (`--keep-going`). Without it the
+    /// first failure aborts the build.
+    pub keep_going: bool,
 }
 
 /// What kind of artifact a job produced.
@@ -103,12 +105,21 @@ impl Builder {
     ) -> Result<Builder, MarshalError> {
         let workdir = workdir.into();
         let db = StateDb::open(workdir.join("state.db"))?;
+        if let Some(note) = db.recovery() {
+            eprintln!("warning: {note}");
+        }
         Ok(Builder {
             board,
             search,
             workdir,
             db,
         })
+    }
+
+    /// If opening the state database recovered from corruption, the
+    /// human-readable account (also printed to stderr at open time).
+    pub fn state_recovery(&self) -> Option<&str> {
+        self.db.recovery()
     }
 
     /// The board this builder targets.
@@ -160,9 +171,7 @@ impl Builder {
     /// disk (hooks, overlays, and `bin` resolve relative to it).
     pub fn source_dir(&self, name: &str) -> Option<PathBuf> {
         match self.search.locate(name) {
-            Some(marshal_config::search::Located::File(p)) => {
-                p.parent().map(Path::to_path_buf)
-            }
+            Some(marshal_config::search::Located::File(p)) => p.parent().map(Path::to_path_buf),
             _ => None,
         }
     }
@@ -216,18 +225,18 @@ impl Builder {
         // --- per-job tasks -------------------------------------------------
         let mut job_plans = Vec::new();
         for job in &jobs {
-            let plan = self.plan_job(
-                &mut graph,
-                &store,
-                job,
-                options,
-                source_dir.as_deref(),
-            )?;
+            let plan = self.plan_job(&mut graph, &store, job, options, source_dir.as_deref())?;
             job_plans.push(plan);
         }
 
         let roots: Vec<&str> = job_plans.iter().map(|p| p.final_task.as_str()).collect();
-        let report = graph.execute_roots(&mut self.db, &roots)?;
+        let opts = marshal_depgraph::ExecOptions {
+            keep_going: options.keep_going,
+            threads: 1,
+        };
+        let report = graph.execute_roots_with(&mut self.db, &roots, &opts)?;
+        // Flush even when keep-going recorded partial progress: the
+        // successful subtrees stay incremental on the next attempt.
         self.db.flush()?;
 
         let jobs = job_plans
@@ -264,9 +273,7 @@ impl Builder {
         // Bare-metal jobs: a hard-coded binary, usually built by host-init.
         if spec.distro.as_deref() == Some("bare-metal") || spec.bin.is_some() {
             let bin_name = spec.bin.clone().ok_or_else(|| {
-                MarshalError::Other(format!(
-                    "bare-metal job `{qualified}` needs a `bin` option"
-                ))
+                MarshalError::Other(format!("bare-metal job `{qualified}` needs a `bin` option"))
             })?;
             let src = source_dir
                 .map(|d| d.join(&bin_name))
@@ -282,8 +289,9 @@ impl Builder {
             let task = Task::new(task_id.clone(), move || {
                 // Copy the (possibly host-init-generated) binary into the
                 // artifact directory.
-                let data = std::fs::read(&src).map_err(|e| format!("read {}: {e}", src.display()))?;
-                std::fs::write(&bin_out, data).map_err(|e| format!("write {}: {e}", bin_out.display()))
+                let data =
+                    std::fs::read(&src).map_err(|e| format!("read {}: {e}", src.display()))?;
+                crate::integrity::write_artifact(&bin_out, &data)
             })
             .input(bin_name.as_bytes())
             .input(&bin_input_hash(source_dir, &bin_name))
@@ -303,16 +311,12 @@ impl Builder {
                 "workload `{qualified}` resolves to no distro; its root base must set one"
             ))
         })?;
-        let base_image = self
-            .board
-            .distro_image(&distro)
-            .cloned()
-            .ok_or_else(|| {
-                MarshalError::Other(format!(
-                    "board `{}` provides no `{distro}` base image",
-                    self.board.name
-                ))
-            })?;
+        let base_image = self.board.distro_image(&distro).cloned().ok_or_else(|| {
+            MarshalError::Other(format!(
+                "board `{}` provides no `{distro}` base image",
+                self.board.name
+            ))
+        })?;
         let init_system = InitSystem::for_distro(&distro).ok_or_else(|| {
             MarshalError::Other(format!("distro `{distro}` has no init system mapping"))
         })?;
@@ -332,7 +336,11 @@ impl Builder {
                     &task_id,
                     store,
                     level,
-                    if i == 0 { Some(base_image.clone()) } else { None },
+                    if i == 0 {
+                        Some(base_image.clone())
+                    } else {
+                        None
+                    },
                     prev_key.clone(),
                     key.clone(),
                     source_dir,
@@ -366,8 +374,7 @@ impl Builder {
                 }
                 image.set_size_limit(spec_for_task.rootfs_size);
                 image.check_size().map_err(|e| e.to_string())?;
-                std::fs::write(&disk_out, image.to_bytes())
-                    .map_err(|e| format!("write {}: {e}", disk_out.display()))?;
+                crate::integrity::write_artifact(&disk_out, &image.to_bytes())?;
                 store_image(&store, &format!("job:{}", spec_for_task.name), image)
             })
             .dep(chain_task.clone())
@@ -400,8 +407,7 @@ impl Builder {
                     },
                 )
                 .map_err(|e| e.to_string())?;
-                std::fs::write(&boot_out, boot.to_bytes())
-                    .map_err(|e| format!("write {}: {e}", boot_out.display()))
+                crate::integrity::write_artifact(&boot_out, &boot.to_bytes())
             })
             .input(format!("{:?}", spec.linux).as_bytes())
             .input(format!("{:?}", spec.firmware).as_bytes())
@@ -420,7 +426,11 @@ impl Builder {
             spec: spec.clone(),
             kind: JobKind::Linux {
                 boot_path,
-                disk_path: if options.no_disk { None } else { Some(disk_path) },
+                disk_path: if options.no_disk {
+                    None
+                } else {
+                    Some(disk_path)
+                },
             },
             final_task: boot_id,
         })
@@ -454,22 +464,21 @@ impl Builder {
             .map(|f| {
                 self.locate_in_sources(&f.host, source_dir)
                     .map(|p| (p, f.guest.clone()))
-                    .ok_or_else(|| {
-                        MarshalError::Other(format!("file `{}` not found", f.host))
-                    })
+                    .ok_or_else(|| MarshalError::Other(format!("file `{}` not found", f.host)))
             })
             .collect::<Result<_, _>>()?;
-        let guest_init = match &level.guest_init {
-            Some(gi) => {
-                let path = self
-                    .locate_in_sources(gi, source_dir)
-                    .ok_or_else(|| MarshalError::Other(format!("guest-init `{gi}` not found")))?;
-                Some(std::fs::read_to_string(&path).map_err(|e| {
-                    MarshalError::Io(format!("guest-init {}: {e}", path.display()))
-                })?)
-            }
-            None => None,
-        };
+        let guest_init =
+            match &level.guest_init {
+                Some(gi) => {
+                    let path = self.locate_in_sources(gi, source_dir).ok_or_else(|| {
+                        MarshalError::Other(format!("guest-init `{gi}` not found"))
+                    })?;
+                    Some(std::fs::read_to_string(&path).map_err(|e| {
+                        MarshalError::Io(format!("guest-init {}: {e}", path.display()))
+                    })?)
+                }
+                None => None,
+            };
         let hard_img = match &level.img {
             Some(img) => {
                 let path = self
@@ -519,8 +528,7 @@ impl Builder {
                     .map_err(|e| format!("overlay: {e}"))?;
             }
             for (p, guest) in &files {
-                let data =
-                    std::fs::read(p).map_err(|e| format!("read {}: {e}", p.display()))?;
+                let data = std::fs::read(p).map_err(|e| format!("read {}: {e}", p.display()))?;
                 image
                     .write_exec(guest, &data)
                     .map_err(|e| format!("file {guest}: {e}"))?;
@@ -681,10 +689,7 @@ fn split_command(line: &str) -> (String, Vec<String>) {
     (script, parts.map(str::to_owned).collect())
 }
 
-fn hash_host_dir(
-    h: &mut marshal_depgraph::Hasher128,
-    dir: &Path,
-) -> Result<(), MarshalError> {
+fn hash_host_dir(h: &mut marshal_depgraph::Hasher128, dir: &Path) -> Result<(), MarshalError> {
     let mut entries: Vec<_> = std::fs::read_dir(dir)
         .map_err(|e| MarshalError::Io(format!("read {}: {e}", dir.display())))?
         .filter_map(Result::ok)

@@ -19,8 +19,12 @@ use crate::build::{BuildOptions, Builder};
 use crate::clean::clean_workload;
 use crate::error::MarshalError;
 use crate::install::install_workload;
-use crate::launch::launch_workload;
+use crate::launch::{launch_workload, LaunchOptions};
 use crate::test::{test_workload, TestOutcome};
+
+/// Process exit code for a watchdog-terminated launch (`timeout(1)`'s
+/// convention, distinct from ordinary failure).
+pub const EXIT_TIMED_OUT: i32 = 124;
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,7 +42,7 @@ pub struct CliArgs {
 /// One of Table I's commands.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
-    /// `build [--no-disk] [--force] <workload>`.
+    /// `build [--no-disk] [--force] [--keep-going] <workload>`.
     Build {
         /// Target workload file.
         workload: String,
@@ -46,21 +50,27 @@ pub enum Command {
         no_disk: bool,
         /// Rebuild everything.
         force: bool,
+        /// Keep building independent subtrees past a task failure.
+        keep_going: bool,
     },
-    /// `launch [--job NAME] <workload>`.
+    /// `launch [--job NAME] [--timeout-insts N] <workload>`.
     Launch {
         /// Target workload file.
         workload: String,
         /// Launch only the named job.
         job: Option<String>,
+        /// Guest watchdog budget in instructions.
+        timeout_insts: Option<u64>,
     },
-    /// `test [--manual DIR] <workload>`.
+    /// `test [--manual DIR] [--timeout-insts N] <workload>`.
     Test {
         /// Target workload file.
         workload: String,
         /// Compare pre-existing outputs in this run directory instead of
         /// launching (the paper's `test --manual` for RTL-simulator runs).
         manual: Option<String>,
+        /// Guest watchdog budget in instructions.
+        timeout_insts: Option<u64>,
     },
     /// `install [--hw CONFIG] [--sim CONNECTOR] <workload>`.
     Install {
@@ -82,9 +92,16 @@ pub enum Command {
 
 /// Usage text.
 pub const USAGE: &str = "usage: marshal [-d DIR]... [--workdir DIR] [-v] <build|launch|test|install|clean> [options] <workload>
-  build   [--no-disk] [--force]   construct the filesystem image and boot-binary
-  launch  [--job NAME]            launch the workload in functional simulation
-  test    [--manual DIR]          compare outputs against a reference (build+launch, or a prior run dir)
+  build   [--no-disk] [--force] [--keep-going]
+                                  construct the filesystem image and boot-binary;
+                                  --keep-going builds past failures (only dependents
+                                  of a failed task are skipped) and reports them all
+  launch  [--job NAME] [--timeout-insts N]
+                                  launch the workload in functional simulation;
+                                  --timeout-insts bounds guest instructions before the
+                                  watchdog kills a hung payload (exit code 124)
+  test    [--manual DIR] [--timeout-insts N]
+                                  compare outputs against a reference (build+launch, or a prior run dir)
   install [--hw CONFIG] [--sim C] generate RTL simulator configuration (firesim/vcs/verilator)
   clean                           remove built artifacts and state";
 
@@ -105,10 +122,17 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, MarshalError> {
         match it.next() {
             None => return Err(err("missing command")),
             Some(a) if a == "-d" || a == "--dir" => {
-                search_dirs.push(it.next().ok_or_else(|| err("-d needs a directory"))?.clone());
+                search_dirs.push(
+                    it.next()
+                        .ok_or_else(|| err("-d needs a directory"))?
+                        .clone(),
+                );
             }
             Some(a) if a == "--workdir" => {
-                workdir = it.next().ok_or_else(|| err("--workdir needs a path"))?.clone();
+                workdir = it
+                    .next()
+                    .ok_or_else(|| err("--workdir needs a path"))?
+                    .clone();
             }
             Some(a) if a == "-v" || a == "--verbose" => verbose = true,
             Some(a) if a == "help" || a == "--help" || a == "-h" => {
@@ -127,8 +151,10 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, MarshalError> {
     // Per-command options and the workload argument.
     let mut no_disk = false;
     let mut force = false;
+    let mut keep_going = false;
     let mut job = None;
     let mut manual = None;
+    let mut timeout_insts = None;
     let mut hw = "boom-tage".to_owned();
     let mut connector = "firesim".to_owned();
     let mut workload = None;
@@ -136,13 +162,36 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, MarshalError> {
         match a.as_str() {
             "--no-disk" => no_disk = true,
             "--force" => force = true,
+            "--keep-going" => keep_going = true,
+            "--timeout-insts" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| err("--timeout-insts needs an instruction count"))?;
+                timeout_insts = Some(n.parse::<u64>().map_err(|_| {
+                    err(&format!(
+                        "--timeout-insts: `{n}` is not an instruction count"
+                    ))
+                })?);
+            }
             "--job" => job = Some(it.next().ok_or_else(|| err("--job needs a name"))?.clone()),
             "--manual" => {
-                manual = Some(it.next().ok_or_else(|| err("--manual needs a directory"))?.clone())
+                manual = Some(
+                    it.next()
+                        .ok_or_else(|| err("--manual needs a directory"))?
+                        .clone(),
+                )
             }
-            "--hw" => hw = it.next().ok_or_else(|| err("--hw needs a config name"))?.clone(),
+            "--hw" => {
+                hw = it
+                    .next()
+                    .ok_or_else(|| err("--hw needs a config name"))?
+                    .clone()
+            }
             "--sim" => {
-                connector = it.next().ok_or_else(|| err("--sim needs a connector name"))?.clone()
+                connector = it
+                    .next()
+                    .ok_or_else(|| err("--sim needs a connector name"))?
+                    .clone()
             }
             other if other.starts_with('-') => {
                 return Err(err(&format!("unknown option `{other}`")))
@@ -154,22 +203,28 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, MarshalError> {
             }
         }
     }
-    let need_workload =
-        || workload.clone().ok_or_else(|| err("missing workload argument"));
+    let need_workload = || {
+        workload
+            .clone()
+            .ok_or_else(|| err("missing workload argument"))
+    };
 
     let command = match command_word.as_str() {
         "build" => Command::Build {
             workload: need_workload()?,
             no_disk,
             force,
+            keep_going,
         },
         "launch" => Command::Launch {
             workload: need_workload()?,
             job,
+            timeout_insts,
         },
         "test" => Command::Test {
             workload: need_workload()?,
             manual,
+            timeout_insts,
         },
         "install" => Command::Install {
             workload: need_workload()?,
@@ -203,11 +258,7 @@ pub fn hardware_by_name(name: &str) -> Option<HardwareConfig> {
 ///
 /// The caller provides the board and the base search path (normally from
 /// `marshal-workloads`).
-pub fn run_command(
-    args: &CliArgs,
-    board: Board,
-    mut search: SearchPath,
-) -> (i32, Vec<String>) {
+pub fn run_command(args: &CliArgs, board: Board, mut search: SearchPath) -> (i32, Vec<String>) {
     let mut log = Vec::new();
     for d in &args.search_dirs {
         search.add_dir(d);
@@ -231,10 +282,12 @@ pub fn run_command(
             workload,
             no_disk,
             force,
+            keep_going,
         } => {
             let opts = BuildOptions {
                 no_disk: *no_disk,
                 force: *force,
+                keep_going: *keep_going,
             };
             match builder.build(workload, &opts) {
                 Ok(products) => {
@@ -248,27 +301,63 @@ pub fn run_command(
                     for j in &products.jobs {
                         log.push(format!("  {}", j.name));
                     }
+                    // Under --keep-going a failed build still returns its
+                    // report: summarise exactly what failed and what was
+                    // skipped as a dependent, and exit nonzero.
+                    if !products.report.success() {
+                        for (id, why) in &products.report.failed {
+                            log.push(format!("FAILED {id}: {why}"));
+                        }
+                        for id in &products.report.poisoned {
+                            log.push(format!("skipped {id}: depends on a failed task"));
+                        }
+                        log.push(format!(
+                            "build finished with {} failure(s); {} dependent task(s) skipped",
+                            products.report.failed.len(),
+                            products.report.poisoned.len()
+                        ));
+                        return (1, log);
+                    }
                     (0, log)
                 }
                 Err(e) => fail!(e),
             }
         }
-        Command::Launch { workload, job } => {
+        Command::Launch {
+            workload,
+            job,
+            timeout_insts,
+        } => {
             let products = match builder.build(workload, &BuildOptions::default()) {
                 Ok(p) => p,
                 Err(e) => fail!(e),
             };
+            let launch_opts = LaunchOptions {
+                timeout_insts: *timeout_insts,
+            };
             match job {
                 Some(job_name) => {
-                    let Some(index) =
-                        products.jobs.iter().position(|j| j.name.ends_with(job_name.as_str()))
+                    let Some(index) = products
+                        .jobs
+                        .iter()
+                        .position(|j| j.name.ends_with(job_name.as_str()))
                     else {
                         fail!(format!("no job named `{job_name}`"));
                     };
-                    match crate::launch::launch_job(&builder, &products, index) {
+                    match crate::launch::launch_job(&builder, &products, index, &launch_opts) {
                         Ok(out) => {
                             if args.verbose {
                                 log.extend(out.serial.lines().map(str::to_owned));
+                            }
+                            if out.timed_out {
+                                log.push(format!(
+                                    "job `{}` TIMED OUT after {} instructions; partial \
+                                     uartlog and outputs salvaged in {}",
+                                    out.job,
+                                    out.instructions,
+                                    out.job_dir.display()
+                                ));
+                                return (EXIT_TIMED_OUT, log);
                             }
                             log.push(format!(
                                 "job `{}` exited {} ({} instructions), outputs in {}",
@@ -282,16 +371,27 @@ pub fn run_command(
                         Err(e) => fail!(e),
                     }
                 }
-                None => match launch_workload(&builder, &products) {
+                None => match launch_workload(&builder, &products, &launch_opts) {
                     Ok(run) => {
                         for j in &run.jobs {
                             if args.verbose {
                                 log.extend(j.serial.lines().map(str::to_owned));
                             }
-                            log.push(format!("job `{}` exited {}", j.job, j.exit_code));
+                            if j.timed_out {
+                                log.push(format!(
+                                    "job `{}` TIMED OUT after {} instructions (partial \
+                                     outputs salvaged)",
+                                    j.job, j.instructions
+                                ));
+                            } else {
+                                log.push(format!("job `{}` exited {}", j.job, j.exit_code));
+                            }
                         }
                         log.extend(run.hook_log.iter().cloned());
                         log.push(format!("outputs in {}", run.run_root.display()));
+                        if run.jobs.iter().any(|j| j.timed_out) {
+                            return (EXIT_TIMED_OUT, log);
+                        }
                         let ok = run.jobs.iter().all(|j| j.exit_code == 0);
                         (if ok { 0 } else { 1 }, log)
                     }
@@ -299,7 +399,11 @@ pub fn run_command(
                 },
             }
         }
-        Command::Test { workload, manual } => {
+        Command::Test {
+            workload,
+            manual,
+            timeout_insts,
+        } => {
             let outcomes_result = match manual {
                 Some(dir) => {
                     // `test --manual`: compare outputs a simulator already
@@ -320,10 +424,7 @@ pub fn run_command(
                                     std::fs::read_to_string(&log)
                                         .map(|s| (j.name.clone(), s))
                                         .map_err(|e| {
-                                            MarshalError::Io(format!(
-                                                "read {}: {e}",
-                                                log.display()
-                                            ))
+                                            MarshalError::Io(format!("read {}: {e}", log.display()))
                                         })
                                 })
                                 .collect();
@@ -332,7 +433,14 @@ pub fn run_command(
                         Err(e) => Err(e),
                     }
                 }
-                None => test_workload(&mut builder, workload, &BuildOptions::default()),
+                None => test_workload(
+                    &mut builder,
+                    workload,
+                    &BuildOptions::default(),
+                    &LaunchOptions {
+                        timeout_insts: *timeout_insts,
+                    },
+                ),
             };
             match outcomes_result {
                 Ok(outcomes) => {
@@ -345,6 +453,13 @@ pub fn run_command(
                             }
                             TestOutcome::Fail { job, missing } => {
                                 log.push(format!("FAIL {job}: missing `{missing}`"));
+                                code = 1;
+                            }
+                            TestOutcome::TimedOut { job, instructions } => {
+                                log.push(format!(
+                                    "FAIL {job}: watchdog timeout after {instructions} \
+                                     instructions (hung payload; partial uartlog salvaged)"
+                                ));
                                 code = 1;
                             }
                         }
@@ -394,7 +509,9 @@ pub fn run_command(
         }
         Command::Clean { workload } => match clean_workload(&mut builder, workload) {
             Ok(n) => {
-                log.push(format!("cleaned `{workload}` ({n} state entries forgotten)"));
+                log.push(format!(
+                    "cleaned `{workload}` ({n} state entries forgotten)"
+                ));
                 (0, log)
             }
             Err(e) => fail!(e),
@@ -419,15 +536,59 @@ mod tests {
             Command::Build {
                 workload: "intspeed.json".into(),
                 no_disk: true,
-                force: false
+                force: false,
+                keep_going: false
             }
         );
     }
 
     #[test]
+    fn parse_keep_going() {
+        let args = parse(&["build", "--keep-going", "w.json"]).unwrap();
+        assert!(matches!(
+            args.command,
+            Command::Build {
+                keep_going: true,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parse_timeout_insts() {
+        let args = parse(&["launch", "--timeout-insts", "5000", "w.json"]).unwrap();
+        assert_eq!(
+            args.command,
+            Command::Launch {
+                workload: "w.json".into(),
+                job: None,
+                timeout_insts: Some(5000)
+            }
+        );
+        let args = parse(&["test", "--timeout-insts", "9", "w.json"]).unwrap();
+        assert!(matches!(
+            args.command,
+            Command::Test {
+                timeout_insts: Some(9),
+                ..
+            }
+        ));
+        assert!(parse(&["launch", "--timeout-insts", "soon", "w.json"]).is_err());
+        assert!(parse(&["launch", "--timeout-insts"]).is_err());
+    }
+
+    #[test]
     fn parse_global_options() {
         let args = parse(&[
-            "-d", "/w", "--workdir", "/tmp/wd", "-v", "launch", "--job", "client", "w.json",
+            "-d",
+            "/w",
+            "--workdir",
+            "/tmp/wd",
+            "-v",
+            "launch",
+            "--job",
+            "client",
+            "w.json",
         ])
         .unwrap();
         assert_eq!(args.search_dirs, vec!["/w"]);
@@ -437,7 +598,8 @@ mod tests {
             args.command,
             Command::Launch {
                 workload: "w.json".into(),
-                job: Some("client".into())
+                job: Some("client".into()),
+                timeout_insts: None
             }
         );
     }
@@ -454,7 +616,9 @@ mod tests {
             }
         );
         let args = parse(&["install", "--sim", "vcs", "w.json"]).unwrap();
-        assert!(matches!(args.command, Command::Install { ref connector, .. } if connector == "vcs"));
+        assert!(
+            matches!(args.command, Command::Install { ref connector, .. } if connector == "vcs")
+        );
     }
 
     #[test]

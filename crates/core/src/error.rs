@@ -19,6 +19,9 @@ pub enum MarshalError {
     Image(marshal_image::FsError),
     /// Host script (host-init / post-run-hook) failures.
     Script(String),
+    /// An on-disk artifact failed its integrity check (bit-rot, torn
+    /// write, or outside modification).
+    Corrupt(String),
     /// Host I/O failures.
     Io(String),
     /// Anything else (bad CLI usage, missing artifacts, ...).
@@ -35,6 +38,7 @@ impl fmt::Display for MarshalError {
             MarshalError::Firmware(e) => write!(f, "firmware: {e}"),
             MarshalError::Image(e) => write!(f, "image: {e}"),
             MarshalError::Script(m) => write!(f, "script: {m}"),
+            MarshalError::Corrupt(m) => write!(f, "corrupt artifact: {m}"),
             MarshalError::Io(m) => write!(f, "io: {m}"),
             MarshalError::Other(m) => write!(f, "{m}"),
         }

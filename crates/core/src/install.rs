@@ -102,10 +102,7 @@ impl InstallManifest {
                             MarshalError::Other("job missing `primary`".to_owned())
                         })?,
                     ),
-                    disk: j
-                        .get("disk")
-                        .and_then(Value::as_str)
-                        .map(PathBuf::from),
+                    disk: j.get("disk").and_then(Value::as_str).map(PathBuf::from),
                 })
             })
             .collect::<Result<Vec<_>, MarshalError>>()?;
@@ -275,6 +272,8 @@ mod tests {
     fn malformed_manifest_rejected() {
         assert!(InstallManifest::from_json("{}").is_err());
         assert!(InstallManifest::from_json("not json").is_err());
-        assert!(InstallManifest::from_json(r#"{"workload":"x","jobs":[{"kind":"linux"}]}"#).is_err());
+        assert!(
+            InstallManifest::from_json(r#"{"workload":"x","jobs":[{"kind":"linux"}]}"#).is_err()
+        );
     }
 }

@@ -11,6 +11,15 @@ use crate::build::{BuildProducts, Builder, JobArtifacts, JobKind};
 use crate::error::MarshalError;
 use crate::output::{collect_outputs, load_hook_script, run_post_hook};
 
+/// Options for the `launch` command.
+#[derive(Debug, Clone, Default)]
+pub struct LaunchOptions {
+    /// Guest watchdog budget (`--timeout-insts`): maximum guest
+    /// instructions before a hung payload is terminated. `None` keeps the
+    /// simulator default.
+    pub timeout_insts: Option<u64>,
+}
+
 /// The result of launching one job.
 #[derive(Debug, Clone)]
 pub struct LaunchOutput {
@@ -22,30 +31,33 @@ pub struct LaunchOutput {
     pub exit_code: i64,
     /// Guest instructions executed.
     pub instructions: u64,
+    /// Whether the guest watchdog terminated a hung payload. The serial
+    /// log and whatever outputs the guest produced are still collected.
+    pub timed_out: bool,
     /// Directory holding `uartlog` and collected outputs.
     pub job_dir: PathBuf,
 }
 
-/// Reads a job's built artifacts back from disk.
+/// Reads a job's built artifacts back from disk, verifying each against
+/// its checksum sidecar (see [`crate::integrity`]).
 ///
 /// # Errors
 ///
 /// [`MarshalError::Other`] when artifacts are missing or malformed (run
-/// `build` first).
+/// `build` first); [`MarshalError::Corrupt`] when an artifact no longer
+/// matches its recorded checksum (run `build --force` to rebuild).
 pub fn load_artifacts(job: &JobArtifacts) -> Result<LoadedJob, MarshalError> {
     match &job.kind {
         JobKind::Linux {
             boot_path,
             disk_path,
         } => {
-            let boot_bytes = std::fs::read(boot_path)
-                .map_err(|e| MarshalError::Io(format!("read {}: {e}", boot_path.display())))?;
+            let boot_bytes = crate::integrity::read_verified(boot_path)?;
             let boot = BootBinary::from_bytes(&boot_bytes)
                 .map_err(|e| MarshalError::Other(format!("boot binary: {e}")))?;
             let disk = match disk_path {
                 Some(p) => {
-                    let bytes = std::fs::read(p)
-                        .map_err(|e| MarshalError::Io(format!("read {}: {e}", p.display())))?;
+                    let bytes = crate::integrity::read_verified(p)?;
                     Some(
                         FsImage::from_bytes(&bytes)
                             .map_err(|e| MarshalError::Other(format!("disk image: {e}")))?,
@@ -56,14 +68,17 @@ pub fn load_artifacts(job: &JobArtifacts) -> Result<LoadedJob, MarshalError> {
             Ok(LoadedJob::Linux { boot, disk })
         }
         JobKind::Bare { bin_path } => {
-            let bin = std::fs::read(bin_path)
-                .map_err(|e| MarshalError::Io(format!("read {}: {e}", bin_path.display())))?;
+            let bin = crate::integrity::read_verified(bin_path)?;
             Ok(LoadedJob::Bare { bin })
         }
     }
 }
 
 /// In-memory artifacts of a built job.
+///
+/// The `Linux` variant dominates in size and in frequency — boxing it would
+/// add an allocation per job for no saving in the common case.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum LoadedJob {
     /// Linux: boot binary + optional disk.
@@ -81,28 +96,38 @@ pub enum LoadedJob {
 }
 
 /// Runs one job in the functional simulator the workload selects: a custom
-/// Spike when the `spike` option is set, QEMU otherwise.
+/// Spike when the `spike` option is set, QEMU otherwise. `opts.timeout_insts`
+/// overrides the guest watchdog's instruction budget.
 ///
 /// # Errors
 ///
 /// Simulation and artifact errors.
-pub fn simulate_job(job: &JobArtifacts) -> Result<SimResult, MarshalError> {
+pub fn simulate_job(job: &JobArtifacts, opts: &LaunchOptions) -> Result<SimResult, MarshalError> {
     let loaded = load_artifacts(job)?;
+    let budget = opts.timeout_insts;
+    let spike = |bin: &str| {
+        let mut s = Spike::with_binary(bin).with_args(&job.spec.spike_args);
+        if let Some(n) = budget {
+            s = s.with_budget(n);
+        }
+        s
+    };
+    let qemu = || {
+        let mut q = Qemu::new().with_args(&job.spec.qemu_args);
+        if let Some(n) = budget {
+            q = q.with_budget(n);
+        }
+        q
+    };
     let result = match (&loaded, &job.spec.spike) {
         (LoadedJob::Linux { boot, disk }, Some(spike_bin)) => {
-            Spike::with_binary(spike_bin)
-                .with_args(&job.spec.spike_args)
-                .launch(boot, disk.as_ref(), LaunchMode::Run)?
+            spike(spike_bin).launch(boot, disk.as_ref(), LaunchMode::Run)?
         }
-        (LoadedJob::Linux { boot, disk }, None) => Qemu::new()
-            .with_args(&job.spec.qemu_args)
-            .launch(boot, disk.as_ref(), LaunchMode::Run)?,
-        (LoadedJob::Bare { bin }, Some(spike_bin)) => {
-            Spike::with_binary(spike_bin)
-                .with_args(&job.spec.spike_args)
-                .launch_bare(bin)?
+        (LoadedJob::Linux { boot, disk }, None) => {
+            qemu().launch(boot, disk.as_ref(), LaunchMode::Run)?
         }
-        (LoadedJob::Bare { bin }, None) => Qemu::new().launch_bare(bin)?,
+        (LoadedJob::Bare { bin }, Some(spike_bin)) => spike(spike_bin).launch_bare(bin)?,
+        (LoadedJob::Bare { bin }, None) => qemu().launch_bare(bin)?,
     };
     Ok(result)
 }
@@ -116,6 +141,7 @@ pub fn launch_job(
     builder: &Builder,
     products: &BuildProducts,
     index: usize,
+    opts: &LaunchOptions,
 ) -> Result<LaunchOutput, MarshalError> {
     let job = products.jobs.get(index).ok_or_else(|| {
         MarshalError::Other(format!(
@@ -123,14 +149,32 @@ pub fn launch_job(
             products.workload
         ))
     })?;
-    let result = simulate_job(job)?;
+    let result = simulate_job(job, opts)?;
     let job_dir = builder.run_dir(&products.workload).join(&job.name);
-    collect_outputs(
-        &job_dir,
-        &result.serial,
-        result.image.as_ref(),
-        &job.spec.outputs,
-    )?;
+    if result.timed_out {
+        // The watchdog killed the guest mid-run: salvage what it produced
+        // (uartlog always, declared outputs when they exist) instead of
+        // failing collection on outputs it never got to write.
+        let missed = crate::output::salvage_outputs(
+            &job_dir,
+            &result.serial,
+            result.image.as_ref(),
+            &job.spec.outputs,
+        )?;
+        for path in &missed {
+            eprintln!(
+                "warning: {}: output `{path}` missing after watchdog timeout",
+                job.name
+            );
+        }
+    } else {
+        collect_outputs(
+            &job_dir,
+            &result.serial,
+            result.image.as_ref(),
+            &job.spec.outputs,
+        )?;
+    }
     // Functional simulation has no timing model: report instruction counts
     // as pseudo-cycles (like wall-clock on QEMU, only roughly meaningful).
     crate::output::write_stats(
@@ -146,6 +190,7 @@ pub fn launch_job(
         serial: result.serial,
         exit_code: result.exit_code,
         instructions: result.instructions,
+        timed_out: result.timed_out,
         job_dir,
     })
 }
@@ -170,16 +215,16 @@ pub struct WorkloadRun {
 pub fn launch_workload(
     builder: &Builder,
     products: &BuildProducts,
+    opts: &LaunchOptions,
 ) -> Result<WorkloadRun, MarshalError> {
     let run_root = builder.run_dir(&products.workload);
     let mut jobs = Vec::with_capacity(products.jobs.len());
     for i in 0..products.jobs.len() {
-        jobs.push(launch_job(builder, products, i)?);
+        jobs.push(launch_job(builder, products, i, opts)?);
     }
     let hook_log = match &products.top_spec.post_run_hook {
         Some(hook) => {
-            let (source, mut extra_args) =
-                load_hook_script(hook, products.source_dir.as_deref())?;
+            let (source, mut extra_args) = load_hook_script(hook, products.source_dir.as_deref())?;
             let mut args: Vec<String> = jobs.iter().map(|j| j.job.clone()).collect();
             args.append(&mut extra_args);
             run_post_hook(&source, &run_root, &args)?

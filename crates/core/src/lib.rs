@@ -28,7 +28,7 @@
 //!     r#"{"name":"hello","distro":"buildroot","command":"/bin/hello"}"#);
 //! let mut builder = Builder::new(board, search, "./marshal-workdir")?;
 //! let products = builder.build("hello.json", &Default::default())?;
-//! let output = marshal_core::launch::launch_job(&builder, &products, 0)?;
+//! let output = marshal_core::launch::launch_job(&builder, &products, 0, &Default::default())?;
 //! println!("{}", output.serial);
 //! # Ok(())
 //! # }
@@ -39,10 +39,12 @@
 pub mod board;
 pub mod build;
 pub mod clean;
-pub mod connector;
 pub mod cli;
+pub mod connector;
 pub mod error;
+pub mod faultinject;
 pub mod install;
+pub mod integrity;
 pub mod launch;
 pub mod output;
 pub mod test;
@@ -51,5 +53,5 @@ pub use board::Board;
 pub use build::{BuildOptions, BuildProducts, Builder, JobArtifacts, JobKind};
 pub use error::MarshalError;
 pub use install::InstallManifest;
-pub use launch::LaunchOutput;
+pub use launch::{LaunchOptions, LaunchOutput};
 pub use test::{clean_output, TestOutcome};

@@ -49,6 +49,41 @@ pub fn collect_outputs(
     Ok(())
 }
 
+/// Best-effort variant of [`collect_outputs`] for watchdog-terminated
+/// runs: the serial log is always written, declared `outputs` paths are
+/// copied out when present, and the ones the guest never produced are
+/// returned instead of failing the whole collection.
+///
+/// # Errors
+///
+/// Only host I/O failures — a missing guest output is not an error here.
+pub fn salvage_outputs(
+    job_dir: &Path,
+    serial: &str,
+    image: Option<&FsImage>,
+    outputs: &[String],
+) -> Result<Vec<String>, MarshalError> {
+    std::fs::create_dir_all(job_dir)
+        .map_err(|e| MarshalError::Io(format!("mkdir {}: {e}", job_dir.display())))?;
+    std::fs::write(job_dir.join(SERIAL_LOG), serial)
+        .map_err(|e| MarshalError::Io(format!("write uartlog: {e}")))?;
+    let mut missed = Vec::new();
+    for guest_path in outputs {
+        let Some(image) = image else {
+            missed.push(guest_path.clone());
+            continue;
+        };
+        let base = guest_path
+            .rsplit('/')
+            .find(|p| !p.is_empty())
+            .unwrap_or("output");
+        if image.copy_out(guest_path, &job_dir.join(base)).is_err() {
+            missed.push(guest_path.clone());
+        }
+    }
+    Ok(missed)
+}
+
 /// Writes a job's `stats` file: the timing summary post-run hooks parse
 /// (functional launches report instruction counts; cycle-exact runs report
 /// modelled cycles split into user/kernel time).
@@ -113,9 +148,7 @@ pub fn load_hook_script(
     let file = parts.next().unwrap_or("");
     let args: Vec<String> = parts.map(str::to_owned).collect();
     let dir = source_dir.ok_or_else(|| {
-        MarshalError::Other(format!(
-            "hook `{hook}` needs a workload source directory"
-        ))
+        MarshalError::Other(format!("hook `{hook}` needs a workload source directory"))
     })?;
     let path: PathBuf = dir.join(file);
     let source = std::fs::read_to_string(&path)
@@ -138,7 +171,8 @@ mod tests {
     fn collects_serial_and_outputs() {
         let dir = tmpdir("collect");
         let mut img = FsImage::new();
-        img.write_file("/output/results.csv", b"name,score\nx,1\n").unwrap();
+        img.write_file("/output/results.csv", b"name,score\nx,1\n")
+            .unwrap();
         collect_outputs(
             &dir.join("job0"),
             "serial text\n",
@@ -163,6 +197,24 @@ mod tests {
         let img = FsImage::new();
         let err = collect_outputs(&dir, "", Some(&img), &["/output".to_owned()]).unwrap_err();
         assert!(err.to_string().contains("/output"));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn salvage_tolerates_missing_outputs() {
+        let dir = tmpdir("salvage");
+        let mut img = FsImage::new();
+        img.write_file("/output/partial.csv", b"x\n").unwrap();
+        let missed = salvage_outputs(
+            &dir.join("job0"),
+            "partial serial\n",
+            Some(&img),
+            &["/output".to_owned(), "/results/final.csv".to_owned()],
+        )
+        .unwrap();
+        assert_eq!(missed, vec!["/results/final.csv".to_owned()]);
+        assert!(dir.join("job0").join(SERIAL_LOG).exists());
+        assert!(dir.join("job0/output/partial.csv").exists());
         std::fs::remove_dir_all(dir).unwrap();
     }
 

@@ -11,7 +11,7 @@ use std::path::Path;
 
 use crate::build::{BuildOptions, BuildProducts, Builder};
 use crate::error::MarshalError;
-use crate::launch::launch_workload;
+use crate::launch::{launch_workload, LaunchOptions};
 
 /// The outcome of testing one job.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,6 +26,14 @@ pub enum TestOutcome {
         /// The first reference line that was not matched.
         missing: String,
     },
+    /// The guest watchdog terminated a hung payload — a test failure with
+    /// its own diagnostic, since the output is incomplete by construction.
+    TimedOut {
+        /// The job that hung.
+        job: String,
+        /// Instructions executed before the watchdog fired.
+        instructions: u64,
+    },
     /// The workload declares no `testing.refDir`.
     NoReference,
 }
@@ -33,7 +41,10 @@ pub enum TestOutcome {
 impl TestOutcome {
     /// Whether this outcome counts as success (passing or vacuous).
     pub fn passed(&self) -> bool {
-        !matches!(self, TestOutcome::Fail { .. })
+        !matches!(
+            self,
+            TestOutcome::Fail { .. } | TestOutcome::TimedOut { .. }
+        )
     }
 }
 
@@ -71,9 +82,16 @@ pub fn clean_output(log: &str) -> Vec<String> {
 /// Lines containing measurement values that legitimately differ between
 /// functional and cycle-exact simulation.
 fn volatile(line: &str) -> bool {
-    ["cycles=", "cycles:", "instret=", "RealTime", "UserTime", "KernelTime"]
-        .iter()
-        .any(|p| line.contains(p))
+    [
+        "cycles=",
+        "cycles:",
+        "instret=",
+        "RealTime",
+        "UserTime",
+        "KernelTime",
+    ]
+    .iter()
+    .any(|p| line.contains(p))
 }
 
 /// Whether `reference` appears as an in-order subsequence of `output`.
@@ -134,10 +152,27 @@ pub fn test_workload(
     builder: &mut Builder,
     name: &str,
     options: &BuildOptions,
+    launch_opts: &LaunchOptions,
 ) -> Result<Vec<TestOutcome>, MarshalError> {
     let products = builder.build(name, options)?;
-    let run = launch_workload(builder, &products)?;
-    compare_run(&products, &run.jobs.iter().map(|j| (j.job.clone(), j.serial.clone())).collect::<Vec<_>>())
+    let run = launch_workload(builder, &products, launch_opts)?;
+    let serials: Vec<(String, String)> = run
+        .jobs
+        .iter()
+        .map(|j| (j.job.clone(), j.serial.clone()))
+        .collect();
+    let mut outcomes = compare_run(&products, &serials)?;
+    // A watchdog-terminated job can never legitimately pass: its output is
+    // incomplete no matter what the reference happens to match.
+    for (outcome, job) in outcomes.iter_mut().zip(&run.jobs) {
+        if job.timed_out {
+            *outcome = TestOutcome::TimedOut {
+                job: job.job.clone(),
+                instructions: job.instructions,
+            };
+        }
+    }
+    Ok(outcomes)
 }
 
 /// Compares already-produced serial logs against the workload's reference —
@@ -207,12 +242,34 @@ mod tests {
         assert!(subset_match(&[], &output).is_ok());
     }
 
+    /// A unique, self-cleaning temp directory. Uniqueness comes from a
+    /// process-wide counter on top of the pid, so concurrently running
+    /// tests (and stale dirs from a crashed run) can never collide; the
+    /// Drop guard cleans up even when an assertion panics mid-test.
+    struct TempDir(std::path::PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static NEXT: AtomicU64 = AtomicU64::new(0);
+            let n = NEXT.fetch_add(1, Ordering::Relaxed);
+            let d =
+                std::env::temp_dir().join(format!("marshal-test-{tag}-{}-{n}", std::process::id()));
+            std::fs::create_dir_all(&d).unwrap();
+            TempDir(d)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
     #[test]
     fn compare_against_reference_file() {
-        let dir = std::env::temp_dir().join(format!("marshal-test-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        std::fs::create_dir_all(&dir).unwrap();
-        let ref_path = dir.join("uartlog");
+        let dir = TempDir::new("compare");
+        let ref_path = dir.0.join("uartlog");
         std::fs::write(&ref_path, "payload ran\n").unwrap();
         let sim_log = "[    0.000001] boot\npayload ran\n[    0.000002] reboot: Power down\n";
         assert_eq!(
@@ -224,7 +281,6 @@ mod tests {
             compare_with_reference("j", bad_log, &ref_path).unwrap(),
             TestOutcome::Fail { .. }
         ));
-        std::fs::remove_dir_all(dir).unwrap();
     }
 
     #[test]
@@ -234,6 +290,11 @@ mod tests {
         assert!(!TestOutcome::Fail {
             job: "x".into(),
             missing: "y".into()
+        }
+        .passed());
+        assert!(!TestOutcome::TimedOut {
+            job: "x".into(),
+            instructions: 9
         }
         .passed());
     }

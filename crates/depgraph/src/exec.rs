@@ -1,4 +1,5 @@
-//! Build execution: up-to-date checking and (optionally parallel) running.
+//! Build execution: up-to-date checking and (optionally parallel) running,
+//! with fail-fast and keep-going failure policies.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Condvar, Mutex};
@@ -7,36 +8,86 @@ use crate::error::BuildError;
 use crate::graph::Graph;
 use crate::hash::{Fingerprint, Hasher128};
 use crate::state::StateDb;
+use crate::task::Task;
 
-/// What a build did: which tasks executed and which were skipped as
-/// up-to-date, in execution order.
+/// Options controlling how a graph is executed.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// After a task fails, keep building every task that is not a
+    /// transitive dependent of a failure, then return an aggregated
+    /// [`BuildReport`] instead of bailing on the first error (the
+    /// equivalent of `make -k`). When `false` (the default) the first
+    /// failure aborts the build with [`BuildError::TaskFailed`].
+    pub keep_going: bool,
+    /// Number of worker threads; `0` or `1` runs serially.
+    pub threads: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            keep_going: false,
+            threads: 1,
+        }
+    }
+}
+
+/// What a build did: which tasks executed, which were skipped as
+/// up-to-date, which failed, and which were poisoned (never attempted
+/// because a transitive dependency failed), in execution order.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BuildReport {
     /// Tasks whose actions ran.
     pub executed: Vec<String>,
     /// Tasks skipped because they were up to date.
     pub skipped: Vec<String>,
+    /// Tasks whose action failed after exhausting the retry budget, with
+    /// the failure message. Non-empty only under
+    /// [`ExecOptions::keep_going`]; fail-fast mode reports the first
+    /// failure as an error instead.
+    pub failed: Vec<(String, String)>,
+    /// Tasks never attempted because a transitive dependency failed.
+    pub poisoned: Vec<String>,
 }
 
 impl BuildReport {
     /// Total tasks considered.
     pub fn total(&self) -> usize {
-        self.executed.len() + self.skipped.len()
+        self.executed.len() + self.skipped.len() + self.failed.len() + self.poisoned.len()
     }
 
     /// Whether the named task executed.
     pub fn ran(&self, id: &str) -> bool {
         self.executed.iter().any(|t| t == id)
     }
+
+    /// Whether every task succeeded (nothing failed or poisoned).
+    pub fn success(&self) -> bool {
+        self.failed.is_empty() && self.poisoned.is_empty()
+    }
+}
+
+/// Runs a task's action, re-running on failure until the task's retry
+/// budget is exhausted. Deterministic: a fixed attempt count, no clock.
+fn run_with_retries(task: &Task) -> Result<(), String> {
+    let budget = task.retry_budget();
+    let mut attempt = 0;
+    loop {
+        match task.run() {
+            Ok(()) => return Ok(()),
+            Err(_) if attempt < budget => attempt += 1,
+            Err(message) if budget > 0 => {
+                return Err(format!("{message} (after {} attempts)", attempt + 1))
+            }
+            Err(message) => return Err(message),
+        }
+    }
 }
 
 /// Computes each task's *cumulative* fingerprint: its own inputs combined
 /// with the cumulative fingerprints of its dependencies, so an input change
 /// anywhere below a task changes that task's fingerprint too.
-fn cumulative_fingerprints(
-    graph: &Graph,
-    order: &[String],
-) -> BTreeMap<String, Fingerprint> {
+fn cumulative_fingerprints(graph: &Graph, order: &[String]) -> BTreeMap<String, Fingerprint> {
     let mut out: BTreeMap<String, Fingerprint> = BTreeMap::new();
     for id in order {
         let task = graph.get(id).expect("topo order returns known ids");
@@ -71,8 +122,7 @@ impl Graph {
     /// Graph validation errors, or [`BuildError::TaskFailed`] from the first
     /// failing action.
     pub fn execute(&self, db: &mut StateDb) -> Result<BuildReport, BuildError> {
-        let order = self.topo_order()?;
-        self.execute_order(db, &order)
+        self.execute_with(db, &ExecOptions::default())
     }
 
     /// Serially builds only `roots` and their transitive dependencies.
@@ -85,37 +135,40 @@ impl Graph {
         db: &mut StateDb,
         roots: &[&str],
     ) -> Result<BuildReport, BuildError> {
-        let order = self.subgraph_order(roots)?;
-        self.execute_order(db, &order)
+        self.execute_roots_with(db, roots, &ExecOptions::default())
     }
 
-    fn execute_order(
+    /// Builds every task under the given [`ExecOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Graph validation errors. With `keep_going` unset, also the first
+    /// task failure; with it set, task failures land in
+    /// [`BuildReport::failed`] / [`BuildReport::poisoned`] and the call
+    /// returns `Ok`.
+    pub fn execute_with(
         &self,
         db: &mut StateDb,
-        order: &[String],
+        opts: &ExecOptions,
     ) -> Result<BuildReport, BuildError> {
-        let fps = cumulative_fingerprints(self, order);
-        let mut report = BuildReport::default();
-        let mut dirty: BTreeSet<&str> = BTreeSet::new();
-        for id in order {
-            let task = self.get(id).expect("known id");
-            let fp = fps[id.as_str()];
-            let dep_ran = task.deps().iter().any(|d| dirty.contains(d.as_str()));
-            let up_to_date =
-                !dep_ran && db.last(id) == Some(fp) && task.outputs_exist();
-            if up_to_date {
-                report.skipped.push(id.clone());
-                continue;
-            }
-            task.run().map_err(|message| BuildError::TaskFailed {
-                task: id.clone(),
-                message,
-            })?;
-            db.record(id.clone(), fp);
-            dirty.insert(id.as_str());
-            report.executed.push(id.clone());
-        }
-        Ok(report)
+        let order = self.topo_order()?;
+        self.dispatch(db, &order, opts)
+    }
+
+    /// Builds only `roots` and their transitive dependencies under the
+    /// given [`ExecOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Graph::execute_with`].
+    pub fn execute_roots_with(
+        &self,
+        db: &mut StateDb,
+        roots: &[&str],
+        opts: &ExecOptions,
+    ) -> Result<BuildReport, BuildError> {
+        let order = self.subgraph_order(roots)?;
+        self.dispatch(db, &order, opts)
     }
 
     /// Builds every task with up to `threads` workers running independent
@@ -130,9 +183,83 @@ impl Graph {
         db: &mut StateDb,
         threads: usize,
     ) -> Result<BuildReport, BuildError> {
-        let order = self.topo_order()?;
-        let fps = cumulative_fingerprints(self, &order);
-        let threads = threads.max(1);
+        self.execute_with(
+            db,
+            &ExecOptions {
+                keep_going: false,
+                threads,
+            },
+        )
+    }
+
+    fn dispatch(
+        &self,
+        db: &mut StateDb,
+        order: &[String],
+        opts: &ExecOptions,
+    ) -> Result<BuildReport, BuildError> {
+        if opts.threads > 1 {
+            self.execute_parallel_order(db, order, opts)
+        } else {
+            self.execute_order(db, order, opts)
+        }
+    }
+
+    fn execute_order(
+        &self,
+        db: &mut StateDb,
+        order: &[String],
+        opts: &ExecOptions,
+    ) -> Result<BuildReport, BuildError> {
+        let fps = cumulative_fingerprints(self, order);
+        let mut report = BuildReport::default();
+        let mut dirty: BTreeSet<&str> = BTreeSet::new();
+        // Failed tasks and their transitive dependents: never attempted.
+        let mut dead: BTreeSet<&str> = BTreeSet::new();
+        for id in order {
+            let task = self.get(id).expect("known id");
+            if task.deps().iter().any(|d| dead.contains(d.as_str())) {
+                dead.insert(id.as_str());
+                report.poisoned.push(id.clone());
+                continue;
+            }
+            let fp = fps[id.as_str()];
+            let dep_ran = task.deps().iter().any(|d| dirty.contains(d.as_str()));
+            let up_to_date = !dep_ran && db.last(id) == Some(fp) && task.outputs_exist();
+            if up_to_date {
+                report.skipped.push(id.clone());
+                continue;
+            }
+            match run_with_retries(task) {
+                Ok(()) => {
+                    db.record(id.clone(), fp);
+                    dirty.insert(id.as_str());
+                    report.executed.push(id.clone());
+                }
+                Err(message) if opts.keep_going => {
+                    dead.insert(id.as_str());
+                    report.failed.push((id.clone(), message));
+                }
+                Err(message) => {
+                    return Err(BuildError::TaskFailed {
+                        task: id.clone(),
+                        message,
+                    })
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    fn execute_parallel_order(
+        &self,
+        db: &mut StateDb,
+        order: &[String],
+        opts: &ExecOptions,
+    ) -> Result<BuildReport, BuildError> {
+        let fps = cumulative_fingerprints(self, order);
+        let threads = opts.threads.max(1);
+        let keep_going = opts.keep_going;
 
         struct Shared<'g> {
             graph: &'g Graph,
@@ -144,19 +271,49 @@ impl Graph {
             remaining_deps: BTreeMap<String, usize>,
             ready: Vec<String>,
             dirty: BTreeSet<String>,
+            /// Failed tasks and their transitive dependents.
+            dead: BTreeSet<String>,
             executed: Vec<String>,
             skipped: Vec<String>,
+            poisoned: Vec<String>,
             pending: usize,
             failures: BTreeMap<String, String>,
             new_fps: BTreeMap<String, Fingerprint>,
+        }
+
+        /// Decrements children's outstanding-dependency counts after `id`
+        /// settles (succeeded, failed, or poisoned), readying any child
+        /// whose dependencies have all settled. Children outside `order`
+        /// (when building a root subset) are ignored.
+        fn settle(st: &mut SchedState, graph: &Graph, id: &str) {
+            st.pending -= 1;
+            for t in graph.iter() {
+                if !t.deps().iter().any(|d| d == id) {
+                    continue;
+                }
+                if let Some(rem) = st.remaining_deps.get_mut(t.id()) {
+                    // Counts were initialised over unique deps.
+                    *rem = rem.saturating_sub(1);
+                    if *rem == 0 {
+                        st.ready.push(t.id().to_owned());
+                    }
+                }
+            }
+            st.ready.sort();
         }
 
         let mut sched = SchedState {
             pending: order.len(),
             ..SchedState::default()
         };
-        for id in &order {
-            let n = self.get(id).unwrap().deps().iter().collect::<BTreeSet<_>>().len();
+        for id in order {
+            let n = self
+                .get(id)
+                .unwrap()
+                .deps()
+                .iter()
+                .collect::<BTreeSet<_>>()
+                .len();
             sched.remaining_deps.insert(id.clone(), n);
             if n == 0 {
                 sched.ready.push(id.clone());
@@ -176,28 +333,40 @@ impl Graph {
             for _ in 0..threads {
                 scope.spawn(|| {
                     loop {
-                        let id = {
+                        // Claim a ready task, classifying it while the lock
+                        // is held: a task whose dependency died is poisoned
+                        // and settles without running.
+                        let (id, dep_ran) = {
                             let mut st = shared.state.lock().unwrap();
                             loop {
-                                if st.pending == 0 || !st.failures.is_empty() {
+                                if st.pending == 0 || (!keep_going && !st.failures.is_empty()) {
                                     return;
                                 }
                                 if let Some(id) = st.ready.pop() {
-                                    break id;
+                                    let task = shared.graph.get(&id).unwrap();
+                                    if task.deps().iter().any(|d| st.dead.contains(d)) {
+                                        st.dead.insert(id.clone());
+                                        st.poisoned.push(id.clone());
+                                        settle(&mut st, shared.graph, &id);
+                                        shared.cv.notify_all();
+                                        continue;
+                                    }
+                                    let dep_ran =
+                                        task.deps().iter().any(|d| st.dirty.contains(d.as_str()));
+                                    break (id, dep_ran);
                                 }
                                 st = shared.cv.wait(st).unwrap();
                             }
                         };
                         let task = shared.graph.get(&id).unwrap();
                         let fp = fps[&id];
-                        let (dep_ran, last) = {
-                            let st = shared.state.lock().unwrap();
-                            let dep_ran =
-                                task.deps().iter().any(|d| st.dirty.contains(d.as_str()));
-                            (dep_ran, last_fps[&id])
+                        let up_to_date =
+                            !dep_ran && last_fps[&id] == Some(fp) && task.outputs_exist();
+                        let result = if up_to_date {
+                            Ok(false)
+                        } else {
+                            run_with_retries(task).map(|_| true)
                         };
-                        let up_to_date = !dep_ran && last == Some(fp) && task.outputs_exist();
-                        let result = if up_to_date { Ok(false) } else { task.run().map(|_| true) };
 
                         let mut st = shared.state.lock().unwrap();
                         match result {
@@ -209,25 +378,16 @@ impl Graph {
                                 } else {
                                     st.skipped.push(id.clone());
                                 }
-                                st.pending -= 1;
-                                // Unlock children.
-                                for t in shared.graph.iter() {
-                                    if t.deps().iter().any(|d| d == &id) {
-                                        let rem = st.remaining_deps.get_mut(t.id()).unwrap();
-                                        let uniq: BTreeSet<&String> = t.deps().iter().collect();
-                                        let _ = uniq;
-                                        *rem = rem.saturating_sub(
-                                            t.deps().iter().filter(|d| *d == &id).collect::<BTreeSet<_>>().len(),
-                                        );
-                                        if *rem == 0 {
-                                            st.ready.push(t.id().to_owned());
-                                        }
-                                    }
-                                }
-                                st.ready.sort();
+                                settle(&mut st, shared.graph, &id);
                             }
                             Err(message) => {
                                 st.failures.insert(id.clone(), message);
+                                if keep_going {
+                                    // The failure cone keeps settling so
+                                    // independent subtrees can finish.
+                                    st.dead.insert(id.clone());
+                                    settle(&mut st, shared.graph, &id);
+                                }
                             }
                         }
                         shared.cv.notify_all();
@@ -237,15 +397,30 @@ impl Graph {
         });
 
         let st = shared.state.into_inner().unwrap();
-        if let Some((task, message)) = st.failures.into_iter().next() {
-            return Err(BuildError::TaskFailed { task, message });
+        if !keep_going {
+            if let Some((task, message)) = st.failures.into_iter().next() {
+                return Err(BuildError::TaskFailed { task, message });
+            }
+            for (id, fp) in st.new_fps {
+                db.record(id, fp);
+            }
+            return Ok(BuildReport {
+                executed: st.executed,
+                skipped: st.skipped,
+                failed: Vec::new(),
+                poisoned: Vec::new(),
+            });
         }
+        // Keep-going: successful subtrees are recorded even when other
+        // subtrees failed, so a fixed failure resumes incrementally.
         for (id, fp) in st.new_fps {
             db.record(id, fp);
         }
         Ok(BuildReport {
             executed: st.executed,
             skipped: st.skipped,
+            failed: st.failures.into_iter().collect(),
+            poisoned: st.poisoned,
         })
     }
 }
@@ -286,6 +461,33 @@ mod tests {
             .dep("b"),
         )
         .unwrap();
+        g
+    }
+
+    /// A diamond with one failing leg plus an independent subtree:
+    ///
+    /// ```text
+    ///   bad ──► mid ──► top        good ──► side
+    /// ```
+    fn failure_cone_graph(ran: &Arc<Mutex<Vec<&'static str>>>) -> Graph {
+        let mut g = Graph::new();
+        g.add(Task::new("bad", || Err("kaboom".into()))).unwrap();
+        for (id, dep) in [
+            ("mid", Some("bad")),
+            ("top", Some("mid")),
+            ("good", None),
+            ("side", Some("good")),
+        ] {
+            let ran = ran.clone();
+            let mut t = Task::new(id, move || {
+                ran.lock().unwrap().push(id);
+                Ok(())
+            });
+            if let Some(d) = dep {
+                t = t.dep(d);
+            }
+            g.add(t).unwrap();
+        }
         g
     }
 
@@ -338,6 +540,127 @@ mod tests {
         );
         // Nothing recorded for the failed task.
         assert_eq!(db.last("bad"), None);
+    }
+
+    #[test]
+    fn keep_going_builds_outside_failure_cone() {
+        let ran = Arc::new(Mutex::new(Vec::new()));
+        let g = failure_cone_graph(&ran);
+        let mut db = StateDb::in_memory();
+        let opts = ExecOptions {
+            keep_going: true,
+            threads: 1,
+        };
+        let report = g.execute_with(&mut db, &opts).unwrap();
+        assert!(!report.success());
+        assert_eq!(report.failed, vec![("bad".to_owned(), "kaboom".to_owned())]);
+        let mut poisoned = report.poisoned.clone();
+        poisoned.sort();
+        assert_eq!(poisoned, vec!["mid", "top"]);
+        let mut executed = report.executed.clone();
+        executed.sort();
+        assert_eq!(executed, vec!["good", "side"]);
+        // Poisoned tasks never ran, and nothing in the cone was recorded.
+        assert_eq!(ran.lock().unwrap().len(), 2);
+        assert_eq!(db.last("bad"), None);
+        assert_eq!(db.last("mid"), None);
+        // The independent subtree was recorded: a second keep-going build
+        // skips it and only re-reports the failure cone.
+        let report = g.execute_with(&mut db, &opts).unwrap();
+        let mut skipped = report.skipped.clone();
+        skipped.sort();
+        assert_eq!(skipped, vec!["good", "side"]);
+        assert_eq!(report.failed.len(), 1);
+    }
+
+    #[test]
+    fn keep_going_parallel_matches_serial() {
+        for threads in [2, 8] {
+            let ran = Arc::new(Mutex::new(Vec::new()));
+            let g = failure_cone_graph(&ran);
+            let mut db = StateDb::in_memory();
+            let report = g
+                .execute_with(
+                    &mut db,
+                    &ExecOptions {
+                        keep_going: true,
+                        threads,
+                    },
+                )
+                .unwrap();
+            assert_eq!(report.failed.len(), 1, "threads={threads}");
+            let mut poisoned = report.poisoned.clone();
+            poisoned.sort();
+            assert_eq!(poisoned, vec!["mid", "top"], "threads={threads}");
+            let mut executed = report.executed.clone();
+            executed.sort();
+            assert_eq!(executed, vec!["good", "side"], "threads={threads}");
+            assert_eq!(report.total(), 5, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn keep_going_all_green_matches_default() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let g = counting_graph(&counter, b"v1");
+        let mut db = StateDb::in_memory();
+        let report = g
+            .execute_with(
+                &mut db,
+                &ExecOptions {
+                    keep_going: true,
+                    threads: 1,
+                },
+            )
+            .unwrap();
+        assert!(report.success());
+        assert_eq!(report.executed, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn retries_rerun_flaky_tasks() {
+        // Fails twice, then succeeds; a budget of 2 retries absorbs it.
+        let attempts = Arc::new(AtomicUsize::new(0));
+        let a = attempts.clone();
+        let mut g = Graph::new();
+        g.add(
+            Task::new("flaky", move || {
+                if a.fetch_add(1, Ordering::SeqCst) < 2 {
+                    Err("transient".into())
+                } else {
+                    Ok(())
+                }
+            })
+            .retries(2),
+        )
+        .unwrap();
+        let mut db = StateDb::in_memory();
+        let report = g.execute(&mut db).unwrap();
+        assert_eq!(report.executed, vec!["flaky"]);
+        assert_eq!(attempts.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn retries_are_bounded() {
+        let attempts = Arc::new(AtomicUsize::new(0));
+        let a = attempts.clone();
+        let mut g = Graph::new();
+        g.add(
+            Task::new("hopeless", move || {
+                a.fetch_add(1, Ordering::SeqCst);
+                Err("always".into())
+            })
+            .retries(3),
+        )
+        .unwrap();
+        let mut db = StateDb::in_memory();
+        let err = g.execute(&mut db).unwrap_err();
+        // 1 initial + 3 retries, then the error reports the attempt count.
+        assert_eq!(attempts.load(Ordering::SeqCst), 4);
+        assert!(matches!(
+            err,
+            BuildError::TaskFailed { ref message, .. } if message == "always (after 4 attempts)"
+        ));
     }
 
     #[test]
@@ -431,13 +754,41 @@ mod tests {
     }
 
     #[test]
+    fn keep_going_roots_subset() {
+        // Root subsets compose with keep-going: only the requested
+        // subtree is considered, and its failure cone is still tracked.
+        let ran = Arc::new(Mutex::new(Vec::new()));
+        let g = failure_cone_graph(&ran);
+        let mut db = StateDb::in_memory();
+        let report = g
+            .execute_roots_with(
+                &mut db,
+                &["top", "side"],
+                &ExecOptions {
+                    keep_going: true,
+                    threads: 2,
+                },
+            )
+            .unwrap();
+        assert_eq!(report.failed.len(), 1);
+        let mut poisoned = report.poisoned.clone();
+        poisoned.sort();
+        assert_eq!(poisoned, vec!["mid", "top"]);
+        assert_eq!(report.total(), 5);
+    }
+
+    #[test]
     fn report_helpers() {
         let r = BuildReport {
             executed: vec!["a".into()],
             skipped: vec!["b".into(), "c".into()],
+            failed: vec![("d".into(), "boom".into())],
+            poisoned: vec!["e".into()],
         };
-        assert_eq!(r.total(), 3);
+        assert_eq!(r.total(), 5);
         assert!(r.ran("a"));
         assert!(!r.ran("b"));
+        assert!(!r.success());
+        assert!(BuildReport::default().success());
     }
 }

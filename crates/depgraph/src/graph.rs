@@ -140,7 +140,10 @@ impl Graph {
                 }
             }
         }
-        Ok(full.into_iter().filter(|t| wanted.contains(t.as_str())).collect())
+        Ok(full
+            .into_iter()
+            .filter(|t| wanted.contains(t.as_str()))
+            .collect())
     }
 }
 

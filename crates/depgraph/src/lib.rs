@@ -43,7 +43,7 @@ pub mod state;
 pub mod task;
 
 pub use error::BuildError;
-pub use exec::BuildReport;
+pub use exec::{BuildReport, ExecOptions};
 pub use graph::Graph;
 pub use hash::{Fingerprint, Hasher128};
 pub use state::StateDb;

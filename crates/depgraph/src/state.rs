@@ -3,12 +3,27 @@
 //! Maps task id → the cumulative fingerprint the task last executed with.
 //! Persisted as a sorted, line-oriented text file (`id\thash`), so the file
 //! itself is deterministic and diff-friendly.
+//!
+//! # Crash safety
+//!
+//! [`StateDb::flush`] writes atomically (temp file + rename), so a crash
+//! mid-flush leaves either the old file or the new file, never a torn one.
+//! The file carries a `#fm-state` header recording the entry count and a
+//! content checksum; [`StateDb::open`] verifies both, so truncation or
+//! bit-rot is detected even when each surviving line parses cleanly. A
+//! corrupt file is quarantined to `<path>.corrupt` and the build proceeds
+//! with a cold cache (everything rebuilds) instead of failing — losing
+//! incrementality is recoverable, acting on corrupt state is not.
 
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 use crate::error::BuildError;
 use crate::hash::Fingerprint;
+
+/// Magic prefix of the integrity header line.
+const HEADER_PREFIX: &str = "#fm-state v1 ";
 
 /// Build-state database: last-built fingerprints per task.
 ///
@@ -22,6 +37,7 @@ use crate::hash::Fingerprint;
 pub struct StateDb {
     entries: BTreeMap<String, Fingerprint>,
     path: Option<PathBuf>,
+    recovery: Option<String>,
 }
 
 impl StateDb {
@@ -32,33 +48,76 @@ impl StateDb {
 
     /// Opens (or creates) a database backed by the file at `path`.
     ///
+    /// A corrupt state file (truncated, bit-flipped, malformed, or holding
+    /// duplicate task ids) is quarantined to `<path>.corrupt` and an empty
+    /// database is returned; [`StateDb::recovery`] describes what happened
+    /// so callers can warn. Corruption therefore costs a full rebuild, not
+    /// a failed one.
+    ///
     /// # Errors
     ///
-    /// Returns [`BuildError::State`] if the file exists but cannot be read
-    /// or parsed.
+    /// Returns [`BuildError::State`] only for real I/O failures: the file
+    /// exists but cannot be read, or the quarantine rename fails.
     pub fn open(path: impl Into<PathBuf>) -> Result<StateDb, BuildError> {
         let path = path.into();
         let mut db = StateDb {
             entries: BTreeMap::new(),
             path: Some(path.clone()),
+            recovery: None,
         };
-        if path.exists() {
-            let text = std::fs::read_to_string(&path)
-                .map_err(|e| BuildError::State(format!("read {}: {e}", path.display())))?;
-            for (no, line) in text.lines().enumerate() {
-                if line.trim().is_empty() {
-                    continue;
-                }
-                let (id, hash) = line.split_once('\t').ok_or_else(|| {
-                    BuildError::State(format!("{}:{}: malformed line", path.display(), no + 1))
+        if !path.exists() {
+            return Ok(db);
+        }
+        let bytes = std::fs::read(&path)
+            .map_err(|e| BuildError::State(format!("read {}: {e}", path.display())))?;
+        // Invalid UTF-8 is corruption (bit-rot), not an I/O failure.
+        let parsed = match String::from_utf8(bytes) {
+            Ok(text) => parse_state_file(&text, &path),
+            Err(_) => Err(BuildError::State(format!(
+                "{}: not valid UTF-8",
+                path.display()
+            ))),
+        };
+        match parsed {
+            Ok(entries) => db.entries = entries,
+            Err(BuildError::State(why)) => {
+                let quarantine = path.with_extension("db.corrupt");
+                std::fs::rename(&path, &quarantine).map_err(|e| {
+                    BuildError::State(format!(
+                        "quarantine {} -> {}: {e}",
+                        path.display(),
+                        quarantine.display()
+                    ))
                 })?;
-                let fp = hash.parse::<Fingerprint>().map_err(|e| {
-                    BuildError::State(format!("{}:{}: bad hash: {e}", path.display(), no + 1))
-                })?;
-                db.entries.insert(id.to_owned(), fp);
+                db.recovery = Some(format!(
+                    "state database corrupt ({why}); quarantined to {} and starting \
+                     with a cold cache — everything will rebuild",
+                    quarantine.display()
+                ));
             }
+            Err(other) => return Err(other),
         }
         Ok(db)
+    }
+
+    /// Parses a state file, failing on any inconsistency. Exposed for
+    /// tests that need to distinguish "corrupt" from "recovered".
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::State`] describing the first malformed line, bad
+    /// hash, duplicate id, or integrity-header mismatch.
+    pub fn parse_strict(
+        text: &str,
+        path: &Path,
+    ) -> Result<BTreeMap<String, Fingerprint>, BuildError> {
+        parse_state_file(text, path)
+    }
+
+    /// If [`StateDb::open`] recovered from a corrupt file, the
+    /// human-readable account of what it did; `None` for a clean open.
+    pub fn recovery(&self) -> Option<&str> {
+        self.recovery.as_deref()
     }
 
     /// The fingerprint `task` last executed with, if any.
@@ -98,6 +157,9 @@ impl StateDb {
 
     /// Writes the database to its backing file (no-op for in-memory).
     ///
+    /// The write is atomic: content goes to `<path>.tmp` first and is
+    /// renamed into place, so a crash never leaves a torn file.
+    ///
     /// # Errors
     ///
     /// Returns [`BuildError::State`] on I/O failure.
@@ -109,15 +171,31 @@ impl StateDb {
             std::fs::create_dir_all(dir)
                 .map_err(|e| BuildError::State(format!("mkdir {}: {e}", dir.display())))?;
         }
-        let mut out = String::new();
+        let mut body = String::new();
         for (id, fp) in &self.entries {
-            out.push_str(id);
-            out.push('\t');
-            out.push_str(&fp.to_string());
-            out.push('\n');
+            body.push_str(id);
+            body.push('\t');
+            body.push_str(&fp.to_string());
+            body.push('\n');
         }
-        std::fs::write(path, out)
-            .map_err(|e| BuildError::State(format!("write {}: {e}", path.display())))
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{HEADER_PREFIX}n={} sum={}",
+            self.entries.len(),
+            Fingerprint::of(body.as_bytes())
+        );
+        out.push_str(&body);
+        let tmp = path.with_extension("db.tmp");
+        std::fs::write(&tmp, out)
+            .map_err(|e| BuildError::State(format!("write {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, path).map_err(|e| {
+            BuildError::State(format!(
+                "rename {} -> {}: {e}",
+                tmp.display(),
+                path.display()
+            ))
+        })
     }
 
     /// The backing file, if any.
@@ -126,12 +204,123 @@ impl StateDb {
     }
 }
 
+/// Shortens a line for inclusion in an error message.
+fn excerpt(line: &str) -> String {
+    const MAX: usize = 60;
+    if line.chars().count() <= MAX {
+        format!("{line:?}")
+    } else {
+        let cut: String = line.chars().take(MAX).collect();
+        format!("{cut:?}…")
+    }
+}
+
+fn parse_state_file(text: &str, path: &Path) -> Result<BTreeMap<String, Fingerprint>, BuildError> {
+    let mut entries = BTreeMap::new();
+    let mut header: Option<(usize, String)> = None;
+    let mut body = String::new();
+    // `flush` always writes at least the header line, so an existing empty
+    // file can only be the stub of a torn write.
+    if text.trim().is_empty() {
+        return Err(BuildError::State(format!(
+            "{}: empty state file (likely truncated)",
+            path.display()
+        )));
+    }
+    for (no, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(HEADER_PREFIX) {
+            // "n=<count> sum=<hash>"
+            let mut count = None;
+            let mut sum = None;
+            for field in rest.split_whitespace() {
+                if let Some(v) = field.strip_prefix("n=") {
+                    count = v.parse::<usize>().ok();
+                } else if let Some(v) = field.strip_prefix("sum=") {
+                    sum = Some(v.to_owned());
+                }
+            }
+            match (count, sum) {
+                (Some(n), Some(s)) => header = Some((n, s)),
+                _ => {
+                    return Err(BuildError::State(format!(
+                        "{}:{}: malformed integrity header: {}",
+                        path.display(),
+                        no + 1,
+                        excerpt(line)
+                    )))
+                }
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            // A comment line that is not a valid header can only come from
+            // damage (e.g. a header line truncated mid-write): rejecting it
+            // is what makes truncation detectable.
+            return Err(BuildError::State(format!(
+                "{}:{}: unrecognised header line: {}",
+                path.display(),
+                no + 1,
+                excerpt(line)
+            )));
+        }
+        let (id, hash) = line.split_once('\t').ok_or_else(|| {
+            BuildError::State(format!(
+                "{}:{}: malformed line (expected id\\thash): {}",
+                path.display(),
+                no + 1,
+                excerpt(line)
+            ))
+        })?;
+        let fp = hash.parse::<Fingerprint>().map_err(|e| {
+            BuildError::State(format!(
+                "{}:{}: bad hash ({e}): {}",
+                path.display(),
+                no + 1,
+                excerpt(line)
+            ))
+        })?;
+        if entries.insert(id.to_owned(), fp).is_some() {
+            return Err(BuildError::State(format!(
+                "{}:{}: duplicate task id: {}",
+                path.display(),
+                no + 1,
+                excerpt(line)
+            )));
+        }
+        body.push_str(line);
+        body.push('\n');
+    }
+    if let Some((count, sum)) = header {
+        if count != entries.len() {
+            return Err(BuildError::State(format!(
+                "{}: truncated: header records {count} entries, found {}",
+                path.display(),
+                entries.len()
+            )));
+        }
+        let actual = Fingerprint::of(body.as_bytes()).to_string();
+        if actual != sum {
+            return Err(BuildError::State(format!(
+                "{}: checksum mismatch: header says {sum}, content hashes to {actual}",
+                path.display()
+            )));
+        }
+    }
+    Ok(entries)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!("marshal-depgraph-test-{tag}-{}", std::process::id()));
+        let d = std::env::temp_dir().join(format!(
+            "marshal-depgraph-test-{tag}-{}",
+            std::process::id()
+        ));
         let _ = std::fs::remove_dir_all(&d);
         std::fs::create_dir_all(&d).unwrap();
         d
@@ -147,6 +336,7 @@ mod tests {
         db.flush().unwrap();
 
         let db2 = StateDb::open(&file).unwrap();
+        assert!(db2.recovery().is_none());
         assert_eq!(db2.last("a"), Some(Fingerprint::of(b"1")));
         assert_eq!(db2.last("b"), Some(Fingerprint::of(b"2")));
         assert_eq!(db2.len(), 2);
@@ -154,11 +344,132 @@ mod tests {
     }
 
     #[test]
-    fn malformed_file_rejected() {
+    fn headerless_legacy_file_still_loads() {
+        let dir = tmpdir("legacy");
+        let file = dir.join("state.db");
+        let fp = Fingerprint::of(b"1");
+        std::fs::write(&file, format!("a\t{fp}\n")).unwrap();
+        let db = StateDb::open(&file).unwrap();
+        assert!(db.recovery().is_none());
+        assert_eq!(db.last("a"), Some(fp));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn malformed_file_quarantined_and_recovered() {
         let dir = tmpdir("malformed");
         let file = dir.join("state.db");
         std::fs::write(&file, "no-tab-here\n").unwrap();
-        assert!(matches!(StateDb::open(&file), Err(BuildError::State(_))));
+        let db = StateDb::open(&file).unwrap();
+        // Recovery: empty db, note set, original quarantined.
+        assert!(db.is_empty());
+        let note = db.recovery().expect("recovery note");
+        assert!(note.contains("malformed line"), "{note}");
+        assert!(
+            note.contains("no-tab-here"),
+            "error carries the offending line: {note}"
+        );
+        assert!(!file.exists());
+        assert!(dir.join("state.db.corrupt").exists());
+        // A fresh open after quarantine is clean.
+        let db = StateDb::open(&file).unwrap();
+        assert!(db.recovery().is_none());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_file_detected() {
+        let dir = tmpdir("truncated");
+        let file = dir.join("state.db");
+        let mut db = StateDb::open(&file).unwrap();
+        for i in 0..10 {
+            db.record(format!("task{i}"), Fingerprint::of(&[i]));
+        }
+        db.flush().unwrap();
+        // Drop the last two lines, as a torn write would.
+        let text = std::fs::read_to_string(&file).unwrap();
+        let kept: Vec<&str> = text.lines().take(9).collect();
+        std::fs::write(&file, kept.join("\n")).unwrap();
+        let db = StateDb::open(&file).unwrap();
+        assert!(db.is_empty());
+        assert!(
+            db.recovery().unwrap().contains("truncated"),
+            "{:?}",
+            db.recovery()
+        );
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn bitflip_detected_by_checksum() {
+        let dir = tmpdir("bitflip");
+        let file = dir.join("state.db");
+        let mut db = StateDb::open(&file).unwrap();
+        db.record("aa", Fingerprint::of(b"1"));
+        db.record("bb", Fingerprint::of(b"2"));
+        db.flush().unwrap();
+        // Corrupt one character of a task id: every line still parses, so
+        // only the checksum catches it.
+        let text = std::fs::read_to_string(&file).unwrap();
+        let flipped = text.replace("\nbb\t", "\nbz\t");
+        assert_ne!(text, flipped);
+        std::fs::write(&file, flipped).unwrap();
+        let db = StateDb::open(&file).unwrap();
+        assert!(db.is_empty());
+        assert!(
+            db.recovery().unwrap().contains("checksum"),
+            "{:?}",
+            db.recovery()
+        );
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let dir = tmpdir("dup");
+        let file = dir.join("state.db");
+        let fp = Fingerprint::of(b"1");
+        let text = format!("a\t{fp}\na\t{fp}\n");
+        let err = StateDb::parse_strict(&text, &file).unwrap_err();
+        assert!(matches!(err, BuildError::State(ref m) if m.contains("duplicate task id")));
+        // And open() recovers from it.
+        std::fs::write(&file, text).unwrap();
+        let db = StateDb::open(&file).unwrap();
+        assert!(
+            db.recovery().unwrap().contains("duplicate"),
+            "{:?}",
+            db.recovery()
+        );
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn bad_hash_error_carries_line_excerpt() {
+        let file = PathBuf::from("state.db");
+        let err = StateDb::parse_strict("task\tnot-a-hash\n", &file).unwrap_err();
+        let BuildError::State(msg) = err else {
+            panic!("wrong variant")
+        };
+        assert!(msg.contains("bad hash"), "{msg}");
+        assert!(msg.contains("not-a-hash"), "{msg}");
+        // Long lines are truncated, not dumped wholesale.
+        let long = format!("task\t{}\n", "x".repeat(500));
+        let BuildError::State(msg) = StateDb::parse_strict(&long, &file).unwrap_err() else {
+            panic!("wrong variant")
+        };
+        assert!(msg.len() < 200, "excerpt should be bounded: {}", msg.len());
+        assert!(msg.contains('…'), "{msg}");
+    }
+
+    #[test]
+    fn flush_leaves_no_temp_file() {
+        let dir = tmpdir("atomic");
+        let file = dir.join("state.db");
+        let mut db = StateDb::open(&file).unwrap();
+        db.record("a", Fingerprint::of(b"1"));
+        db.flush().unwrap();
+        assert!(file.exists());
+        assert!(!dir.join("state.db.tmp").exists());
         std::fs::remove_dir_all(dir).unwrap();
     }
 

@@ -30,6 +30,7 @@ pub struct Task {
     deps: Vec<String>,
     inputs: Vec<Vec<u8>>,
     outputs: Vec<PathBuf>,
+    retries: u32,
     action: Action,
 }
 
@@ -55,6 +56,7 @@ impl Task {
             deps: Vec::new(),
             inputs: Vec::new(),
             outputs: Vec::new(),
+            retries: 0,
             action: Arc::new(action),
         }
     }
@@ -75,6 +77,21 @@ impl Task {
     pub fn output(mut self, path: impl Into<PathBuf>) -> Task {
         self.outputs.push(path.into());
         self
+    }
+
+    /// Marks the task as retryable: on failure its action is re-run up to
+    /// `n` additional times before the failure is reported. Retries are
+    /// deterministic — a fixed attempt budget, no wall-clock backoff — so
+    /// a build with a persistently failing task behaves identically on
+    /// every run.
+    pub fn retries(mut self, n: u32) -> Task {
+        self.retries = n;
+        self
+    }
+
+    /// The retry budget set with [`Task::retries`] (0 = fail on first error).
+    pub fn retry_budget(&self) -> u32 {
+        self.retries
     }
 
     /// The unique task id.
@@ -159,5 +176,20 @@ mod tests {
     fn action_errors_propagate() {
         let t = Task::new("t", || Err("nope".to_owned()));
         assert_eq!(t.run(), Err("nope".to_owned()));
+    }
+
+    #[test]
+    fn retry_budget_defaults_to_zero() {
+        assert_eq!(Task::new("t", || Ok(())).retry_budget(), 0);
+        assert_eq!(Task::new("t", || Ok(())).retries(3).retry_budget(), 3);
+    }
+
+    #[test]
+    fn retry_budget_does_not_change_fingerprint() {
+        // Retry policy is execution behaviour, not content: changing it must
+        // not invalidate previously built state.
+        let a = Task::new("t", || Ok(())).input(b"x");
+        let b = Task::new("t", || Ok(())).input(b"x").retries(2);
+        assert_eq!(a.fingerprint(), b.fingerprint());
     }
 }

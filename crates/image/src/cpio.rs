@@ -90,13 +90,10 @@ pub fn unpack(bytes: &[u8]) -> Result<FsImage, ImageFormatError> {
             "x" => img.write_exec(&path, data)?,
             "d" => img.mkdir_p(&path)?,
             "l" => {
-                let target =
-                    std::str::from_utf8(data).map_err(|_| ImageFormatError::BadPath)?;
+                let target = std::str::from_utf8(data).map_err(|_| ImageFormatError::BadPath)?;
                 img.symlink(&path, target)?;
             }
-            other => {
-                return Err(ImageFormatError::BadTag(other.bytes().next().unwrap_or(0)))
-            }
+            other => return Err(ImageFormatError::BadTag(other.bytes().next().unwrap_or(0))),
         }
     }
 }
@@ -107,7 +104,8 @@ mod tests {
 
     fn sample() -> FsImage {
         let mut img = FsImage::new();
-        img.write_exec("/init", b"#!mscript\nprint(\"init\")\n").unwrap();
+        img.write_exec("/init", b"#!mscript\nprint(\"init\")\n")
+            .unwrap();
         img.write_file("/lib/modules/iceblk.ko", b"MODULE").unwrap();
         img.symlink("/sbin/init", "/init").unwrap();
         img.mkdir_p("/dev").unwrap();

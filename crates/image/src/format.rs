@@ -17,7 +17,7 @@
 //!   data_len u64, data bytes (file contents / symlink target / empty)
 //! ```
 
-use crate::fs::{FsImage, FsError, Node};
+use crate::fs::{FsError, FsImage, Node};
 
 /// Format magic bytes.
 pub const MAGIC: &[u8; 4] = b"MIMG";
@@ -129,8 +129,8 @@ impl FsImage {
                 1 => img.write_exec(&path, data)?,
                 2 => img.mkdir_p(&path)?,
                 3 => {
-                    let target = std::str::from_utf8(data)
-                        .map_err(|_| ImageFormatError::BadPath)?;
+                    let target =
+                        std::str::from_utf8(data).map_err(|_| ImageFormatError::BadPath)?;
                     img.symlink(&path, target)?;
                 }
                 t => return Err(ImageFormatError::BadTag(t)),
@@ -198,7 +198,10 @@ mod tests {
 
     #[test]
     fn garbage_rejected() {
-        assert_eq!(FsImage::from_bytes(b"nope"), Err(ImageFormatError::BadMagic));
+        assert_eq!(
+            FsImage::from_bytes(b"nope"),
+            Err(ImageFormatError::BadMagic)
+        );
         assert_eq!(FsImage::from_bytes(b"MI"), Err(ImageFormatError::Truncated));
         assert_eq!(
             FsImage::from_bytes(b"XIMG\x01\x00\x00\x00"),
@@ -206,7 +209,10 @@ mod tests {
         );
         let mut bytes = sample().to_bytes();
         bytes.truncate(bytes.len() - 2);
-        assert_eq!(FsImage::from_bytes(&bytes), Err(ImageFormatError::Truncated));
+        assert_eq!(
+            FsImage::from_bytes(&bytes),
+            Err(ImageFormatError::Truncated)
+        );
         let mut extra = sample().to_bytes();
         extra.push(0);
         assert!(matches!(

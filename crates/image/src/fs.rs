@@ -325,7 +325,11 @@ impl FsImage {
     /// Yields `(absolute_path, node)` pairs; directories appear before their
     /// contents.
     pub fn walk(&self) -> Vec<(String, &Node)> {
-        fn rec<'a>(prefix: &str, dir: &'a BTreeMap<String, Node>, out: &mut Vec<(String, &'a Node)>) {
+        fn rec<'a>(
+            prefix: &str,
+            dir: &'a BTreeMap<String, Node>,
+            out: &mut Vec<(String, &'a Node)>,
+        ) {
             for (name, node) in dir {
                 let path = format!("{prefix}/{name}");
                 out.push((path.clone(), node));
@@ -352,7 +356,8 @@ mod tests {
     #[test]
     fn write_read_roundtrip() {
         let mut img = FsImage::new();
-        img.write_file("/etc/os-release", b"NAME=Buildroot").unwrap();
+        img.write_file("/etc/os-release", b"NAME=Buildroot")
+            .unwrap();
         assert_eq!(img.read_file("/etc/os-release").unwrap(), b"NAME=Buildroot");
         assert!(img.exists("/etc"));
         assert!(img.exists("/etc/os-release"));
@@ -435,7 +440,10 @@ mod tests {
         img.write_file("/big", &[0u8; 32]).unwrap();
         assert_eq!(
             img.check_size(),
-            Err(FsError::TooLarge { need: 32, limit: 10 })
+            Err(FsError::TooLarge {
+                need: 32,
+                limit: 10
+            })
         );
         img.set_size_limit(Some(1 << 20));
         assert!(img.check_size().is_ok());

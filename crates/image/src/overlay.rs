@@ -219,14 +219,18 @@ mod tests {
     fn copy_out_roundtrip() {
         let dir = tmpdir("copyout");
         let mut img = FsImage::new();
-        img.write_file("/output/results.csv", b"a,b\n1,2\n").unwrap();
+        img.write_file("/output/results.csv", b"a,b\n1,2\n")
+            .unwrap();
         img.write_file("/output/nested/log.txt", b"log").unwrap();
         img.copy_out("/output", &dir.join("out")).unwrap();
         assert_eq!(
             std::fs::read(dir.join("out/results.csv")).unwrap(),
             b"a,b\n1,2\n"
         );
-        assert_eq!(std::fs::read(dir.join("out/nested/log.txt")).unwrap(), b"log");
+        assert_eq!(
+            std::fs::read(dir.join("out/nested/log.txt")).unwrap(),
+            b"log"
+        );
         assert!(img.copy_out("/missing", &dir.join("x")).is_err());
         std::fs::remove_dir_all(dir).unwrap();
     }

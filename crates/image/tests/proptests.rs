@@ -1,21 +1,23 @@
 //! Property-based tests on the filesystem-image substrate: format
 //! roundtrips and overlay algebra.
-
-use proptest::prelude::*;
+//!
+//! Uses the in-repo `marshal-qcheck` harness (offline build environment);
+//! every case derives from a fixed seed and replays deterministically.
 
 use marshal_image::{cpio, FsImage};
+use marshal_qcheck::{cases, Rng};
 
 /// A random file tree as (path, contents, exec) triples.
-fn arb_tree() -> impl Strategy<Value = Vec<(String, Vec<u8>, bool)>> {
-    proptest::collection::vec(
-        (
-            proptest::collection::vec("[a-z0-9]{1,6}", 1..4)
-                .prop_map(|parts| format!("/{}", parts.join("/"))),
-            proptest::collection::vec(any::<u8>(), 0..64),
-            any::<bool>(),
-        ),
-        0..12,
-    )
+fn arb_tree(rng: &mut Rng) -> Vec<(String, Vec<u8>, bool)> {
+    (0..rng.range_usize(0, 12))
+        .map(|_| {
+            let parts: Vec<String> = (0..rng.range_usize(1, 4))
+                .map(|_| rng.string_of("abcdefghijklmnopqrstuvwxyz0123456789", 1, 7))
+                .collect();
+            let path = format!("/{}", parts.join("/"));
+            (path, rng.bytes_in(0, 64), rng.bool())
+        })
+        .collect()
 }
 
 fn build_image(tree: &[(String, Vec<u8>, bool)]) -> FsImage {
@@ -33,63 +35,77 @@ fn build_image(tree: &[(String, Vec<u8>, bool)]) -> FsImage {
     img
 }
 
-proptest! {
-    #[test]
-    fn mimg_roundtrip(tree in arb_tree()) {
-        let img = build_image(&tree);
+#[test]
+fn mimg_roundtrip() {
+    cases(128, |rng| {
+        let img = build_image(&arb_tree(rng));
         let back = FsImage::from_bytes(&img.to_bytes()).unwrap();
-        prop_assert_eq!(img, back);
-    }
+        assert_eq!(img, back);
+    });
+}
 
-    #[test]
-    fn cpio_roundtrip(tree in arb_tree()) {
-        let img = build_image(&tree);
+#[test]
+fn cpio_roundtrip() {
+    cases(128, |rng| {
+        let img = build_image(&arb_tree(rng));
         let back = cpio::unpack(&cpio::pack(&img)).unwrap();
-        prop_assert_eq!(img, back);
-    }
+        assert_eq!(img, back);
+    });
+}
 
-    #[test]
-    fn serialisation_is_deterministic(tree in arb_tree()) {
+#[test]
+fn serialisation_is_deterministic() {
+    cases(128, |rng| {
+        let tree = arb_tree(rng);
         let a = build_image(&tree).to_bytes();
         let b = build_image(&tree).to_bytes();
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    #[test]
-    fn parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn parser_never_panics() {
+    cases(256, |rng| {
+        let bytes = rng.bytes_in(0, 256);
         let _ = FsImage::from_bytes(&bytes);
         let _ = cpio::unpack(&bytes);
-    }
+    });
+}
 
-    /// Overlay is idempotent: applying the same upper twice changes nothing.
-    #[test]
-    fn overlay_idempotent(base in arb_tree(), upper in arb_tree()) {
-        let mut once = build_image(&base);
-        let upper_img = build_image(&upper);
+/// Overlay is idempotent: applying the same upper twice changes nothing.
+#[test]
+fn overlay_idempotent() {
+    cases(128, |rng| {
+        let mut once = build_image(&arb_tree(rng));
+        let upper_img = build_image(&arb_tree(rng));
         once.apply_overlay(&upper_img);
         let mut twice = once.clone();
         twice.apply_overlay(&upper_img);
-        prop_assert_eq!(once, twice);
-    }
+        assert_eq!(once, twice);
+    });
+}
 
-    /// Overlay wins: every file of the upper layer is present afterwards
-    /// with the upper's contents.
-    #[test]
-    fn overlay_upper_wins(base in arb_tree(), upper in arb_tree()) {
-        let mut merged = build_image(&base);
-        let upper_img = build_image(&upper);
+/// Overlay wins: every file of the upper layer is present afterwards
+/// with the upper's contents.
+#[test]
+fn overlay_upper_wins() {
+    cases(128, |rng| {
+        let mut merged = build_image(&arb_tree(rng));
+        let upper_img = build_image(&arb_tree(rng));
         merged.apply_overlay(&upper_img);
         for (path, node) in upper_img.walk() {
             if let marshal_image::Node::File { data, .. } = node {
-                prop_assert_eq!(merged.read_file(&path).unwrap(), &data[..], "{}", path);
+                assert_eq!(merged.read_file(&path).unwrap(), &data[..], "{}", path);
             }
         }
-    }
+    });
+}
 
-    /// Sizes are additive-consistent: total_size equals the sum over walk().
-    #[test]
-    fn total_size_matches_walk(tree in arb_tree()) {
-        let img = build_image(&tree);
+/// Sizes are additive-consistent: total_size equals the sum over walk().
+#[test]
+fn total_size_matches_walk() {
+    cases(128, |rng| {
+        let img = build_image(&arb_tree(rng));
         let sum: u64 = img
             .walk()
             .iter()
@@ -99,6 +115,6 @@ proptest! {
                 marshal_image::Node::Dir(_) => 0,
             })
             .sum();
-        prop_assert_eq!(img.total_size(), sum);
-    }
+        assert_eq!(img.total_size(), sum);
+    });
 }

@@ -60,6 +60,10 @@ pub const USER_STACK_TOP: u64 = 0x7f_f000;
 /// Default user address-space size in bytes.
 pub const USER_MEM_SIZE: usize = 0x80_0000;
 
+// Layout invariants, checked at compile time.
+const _: () = assert!(USER_STACK_TOP > USER_BASE);
+const _: () = assert!((USER_STACK_TOP as usize) < USER_MEM_SIZE);
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,11 +73,5 @@ mod tests {
         assert_eq!(sys::EXIT, 93);
         assert_eq!(sys::WRITE, 64);
         assert_eq!(sys::READ, 63);
-    }
-
-    #[test]
-    fn layout_sane() {
-        assert!(USER_STACK_TOP > USER_BASE);
-        assert!((USER_STACK_TOP as usize) < USER_MEM_SIZE);
     }
 }

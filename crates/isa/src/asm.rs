@@ -60,10 +60,16 @@ enum Operand {
 #[derive(Debug, Clone)]
 enum Item {
     Label(String),
-    Inst { mnemonic: String, ops: Vec<Operand> },
+    Inst {
+        mnemonic: String,
+        ops: Vec<Operand>,
+    },
     Bytes(Vec<u8>),
     /// `.word`/`.dword` entries that may reference symbols.
-    Words { size: usize, values: Vec<DataValue> },
+    Words {
+        size: usize,
+        values: Vec<DataValue>,
+    },
     Align(u64),
     Space(usize, u8),
 }
@@ -185,7 +191,9 @@ fn find_label_colon(s: &str) -> Option<usize> {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_' || c == '.')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_alphabetic() || c == '_' || c == '.')
         && s.chars()
             .all(|c| c.is_alphanumeric() || c == '_' || c == '.' || c == '$')
 }
@@ -363,7 +371,11 @@ fn parse_int(s: &str, line: usize, equs: &BTreeMap<String, i64>) -> Result<i64, 
     let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
         i64::from_str_radix(&hex.replace('_', ""), 16)
             .ok()
-            .or_else(|| u64::from_str_radix(&hex.replace('_', ""), 16).ok().map(|v| v as i64))
+            .or_else(|| {
+                u64::from_str_radix(&hex.replace('_', ""), 16)
+                    .ok()
+                    .map(|v| v as i64)
+            })
     } else if let Some(bin) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
         i64::from_str_radix(&bin.replace('_', ""), 2).ok()
     } else if body.starts_with('\'') && body.ends_with('\'') && body.len() >= 3 {
@@ -434,9 +446,7 @@ const DATA_ALIGN: u64 = 4096;
 fn item_size(item: &SourceItem, cursor: u64) -> Result<u64, AsmError> {
     Ok(match &item.item {
         Item::Label(_) => 0,
-        Item::Inst { mnemonic, ops } => {
-            4 * expand_count(mnemonic, ops, item.line)? as u64
-        }
+        Item::Inst { mnemonic, ops } => 4 * expand_count(mnemonic, ops, item.line)? as u64,
         Item::Bytes(b) => b.len() as u64,
         Item::Words { size, values } => (size * values.len()) as u64,
         Item::Align(a) => {
@@ -531,12 +541,12 @@ fn layout_and_encode(items: &[SourceItem], base: u64) -> Result<MexeFile, AsmErr
                 let rem = *cursor % a;
                 if rem != 0 {
                     let pad = (a - rem) as usize;
-                    buf.extend(std::iter::repeat(0u8).take(pad));
+                    buf.extend(std::iter::repeat_n(0u8, pad));
                     *cursor += pad as u64;
                 }
             }
             Item::Space(n, fill) => {
-                buf.extend(std::iter::repeat(*fill).take(*n));
+                buf.extend(std::iter::repeat_n(*fill, *n));
                 *cursor += *n as u64;
             }
         }
@@ -642,7 +652,10 @@ impl Ctx<'_> {
         match op {
             Some(Operand::Mem(off, base)) => Ok((*off, *base)),
             Some(Operand::Reg(r)) => Ok((0, *r)),
-            _ => Err(AsmError::new(self.line, "expected memory operand `off(reg)`")),
+            _ => Err(AsmError::new(
+                self.line,
+                "expected memory operand `off(reg)`",
+            )),
         }
     }
 }
@@ -671,14 +684,15 @@ fn expand(
 ) -> Result<Vec<Inst>, AsmError> {
     let ctx = Ctx { pc, symbols, line };
     let one = |i: Inst| Ok(vec![i]);
-    let branch = |cond: BranchCond, rs1: Reg, rs2: Reg, target: &Operand| -> Result<Vec<Inst>, AsmError> {
-        Ok(vec![Inst::Branch {
-            cond,
-            rs1,
-            rs2,
-            offset: ctx.branch_offset(target)?,
-        }])
-    };
+    let branch =
+        |cond: BranchCond, rs1: Reg, rs2: Reg, target: &Operand| -> Result<Vec<Inst>, AsmError> {
+            Ok(vec![Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset: ctx.branch_offset(target)?,
+            }])
+        };
 
     let get = |i: usize| ops.get(i);
     match mnemonic {
@@ -738,7 +752,10 @@ fn expand(
                 _ => BranchCond::Geu,
             };
             if ops.len() != 3 {
-                return Err(AsmError::new(line, format!("{mnemonic} needs `rs1, rs2, target`")));
+                return Err(AsmError::new(
+                    line,
+                    format!("{mnemonic} needs `rs1, rs2, target`"),
+                ));
             }
             branch(cond, ctx.reg(get(0))?, ctx.reg(get(1))?, &ops[2])
         }
@@ -750,7 +767,10 @@ fn expand(
                 _ => BranchCond::Geu,
             };
             if ops.len() != 3 {
-                return Err(AsmError::new(line, format!("{mnemonic} needs `rs1, rs2, target`")));
+                return Err(AsmError::new(
+                    line,
+                    format!("{mnemonic} needs `rs1, rs2, target`"),
+                ));
             }
             // Swap operands: bgt a,b == blt b,a
             branch(cond, ctx.reg(get(1))?, ctx.reg(get(0))?, &ops[2])
@@ -763,7 +783,10 @@ fn expand(
                 _ => BranchCond::Ge,
             };
             if ops.len() != 2 {
-                return Err(AsmError::new(line, format!("{mnemonic} needs `rs, target`")));
+                return Err(AsmError::new(
+                    line,
+                    format!("{mnemonic} needs `rs, target`"),
+                ));
             }
             branch(cond, ctx.reg(get(0))?, Reg::ZERO, &ops[1])
         }
@@ -824,7 +847,10 @@ fn expand(
                 _ => AluImmOp::Sraiw,
             };
             if ops.len() != 3 {
-                return Err(AsmError::new(line, format!("{mnemonic} needs `rd, rs1, imm`")));
+                return Err(AsmError::new(
+                    line,
+                    format!("{mnemonic} needs `rd, rs1, imm`"),
+                ));
             }
             one(Inst::AluImm {
                 op,
@@ -868,7 +894,10 @@ fn expand(
                 _ => AluOp::Remuw,
             };
             if ops.len() != 3 {
-                return Err(AsmError::new(line, format!("{mnemonic} needs `rd, rs1, rs2`")));
+                return Err(AsmError::new(
+                    line,
+                    format!("{mnemonic} needs `rd, rs1, rs2`"),
+                ));
             }
             one(Inst::Alu {
                 op,
@@ -888,7 +917,10 @@ fn expand(
                 _ => CsrOp::Rc,
             };
             if ops.len() != 3 {
-                return Err(AsmError::new(line, format!("{mnemonic} needs `rd, csr, rs1`")));
+                return Err(AsmError::new(
+                    line,
+                    format!("{mnemonic} needs `rd, csr, rs1`"),
+                ));
             }
             one(Inst::Csr {
                 op,
@@ -910,13 +942,19 @@ fn expand(
                 Some(Operand::Imm(v)) => *v,
                 // `li rd, label` is rejected (size would depend on layout);
                 // use `la` for addresses.
-                _ => return Err(AsmError::new(line, "li needs `rd, imm` (use `la` for symbols)")),
+                _ => {
+                    return Err(AsmError::new(
+                        line,
+                        "li needs `rd, imm` (use `la` for symbols)",
+                    ))
+                }
             };
             Ok(materialize_li(rd, imm))
         }
         "la" => {
             let rd = ctx.reg(get(0))?;
-            let target = ctx.resolve(get(1).ok_or_else(|| AsmError::new(line, "la needs symbol"))?)?;
+            let target =
+                ctx.resolve(get(1).ok_or_else(|| AsmError::new(line, "la needs symbol"))?)?;
             let rel = target - pc as i64;
             let lo12 = (rel << 52) >> 52;
             let hi = rel - lo12;
@@ -986,7 +1024,8 @@ fn expand(
         }),
         "j" => one(Inst::Jal {
             rd: Reg::ZERO,
-            offset: ctx.branch_offset(get(0).ok_or_else(|| AsmError::new(line, "j needs target"))?)?,
+            offset: ctx
+                .branch_offset(get(0).ok_or_else(|| AsmError::new(line, "j needs target"))?)?,
         }),
         "jr" => one(Inst::Jalr {
             rd: Reg::ZERO,

@@ -74,7 +74,10 @@ fn imm_j(word: u32) -> i64 {
     let b11 = (word >> 20) & 1;
     let b10_1 = (word >> 21) & 0x3ff;
     let b20 = (word >> 31) & 1;
-    sign_extend((b20 << 20) | (b19_12 << 12) | (b11 << 11) | (b10_1 << 1), 21)
+    sign_extend(
+        (b20 << 20) | (b19_12 << 12) | (b11 << 11) | (b10_1 << 1),
+        21,
+    )
 }
 
 fn decode_branch(word: u32) -> Result<Inst, DecodeError> {

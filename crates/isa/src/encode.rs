@@ -112,7 +112,7 @@ fn u_type(opcode: u32, rd: Reg, imm: i64) -> Result<u32, EncodeError> {
         )));
     }
     let upper = imm >> 12;
-    if upper < -(1 << 19) || upper >= (1 << 19) {
+    if !(-(1 << 19)..(1 << 19)).contains(&upper) {
         return Err(EncodeError::new(format!(
             "U-type immediate {imm:#x} out of range"
         )));
@@ -264,11 +264,9 @@ pub fn encode(inst: &Inst) -> Result<u32, EncodeError> {
         Inst::Fence => Ok(OPC_MISC_MEM | funct3(0b000) | (0b0000_1111_1111u32 << 20)),
         Inst::Ecall => Ok(OPC_SYSTEM),
         Inst::Ebreak => Ok(OPC_SYSTEM | (1 << 20)),
-        Inst::Csr { op, rd, rs1, csr } => Ok(OPC_SYSTEM
-            | rd_f(rd)
-            | funct3(op.funct3())
-            | rs1_f(rs1)
-            | ((csr as u32) << 20)),
+        Inst::Csr { op, rd, rs1, csr } => {
+            Ok(OPC_SYSTEM | rd_f(rd) | funct3(op.funct3()) | rs1_f(rs1) | ((csr as u32) << 20))
+        }
         Inst::CsrImm { op, rd, zimm, csr } => {
             if zimm >= 32 {
                 return Err(EncodeError::new(format!("csr zimm {zimm} out of range")));

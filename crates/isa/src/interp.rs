@@ -250,7 +250,7 @@ impl Cpu {
             } => {
                 let addr = self.read_reg(rs1).wrapping_add(offset as u64);
                 let size = width.bytes();
-                if addr % size as u64 != 0 {
+                if !addr.is_multiple_of(size as u64) {
                     return Err(Trap::Misaligned { addr });
                 }
                 let raw = bus.load(addr, size)?;
@@ -259,7 +259,8 @@ impl Cpu {
                     crate::inst::MemWidth::H => raw as u16 as i16 as i64 as u64,
                     crate::inst::MemWidth::W => raw as u32 as i32 as i64 as u64,
                     crate::inst::MemWidth::D => raw,
-                    crate::inst::MemWidth::Bu | crate::inst::MemWidth::Hu
+                    crate::inst::MemWidth::Bu
+                    | crate::inst::MemWidth::Hu
                     | crate::inst::MemWidth::Wu => raw,
                 };
                 self.write_reg(rd, value);
@@ -273,7 +274,7 @@ impl Cpu {
             } => {
                 let addr = self.read_reg(rs1).wrapping_add(offset as u64);
                 let size = width.bytes();
-                if addr % size as u64 != 0 {
+                if !addr.is_multiple_of(size as u64) {
                     return Err(Trap::Misaligned { addr });
                 }
                 bus.store(addr, size, self.read_reg(rs2))?;
@@ -433,13 +434,7 @@ fn alu(op: AluOp, a: u64, b: u64) -> u64 {
                 (a / b) as u64
             }
         }
-        AluOp::Divu => {
-            if b == 0 {
-                u64::MAX
-            } else {
-                a / b
-            }
-        }
+        AluOp::Divu => a.checked_div(b).unwrap_or(u64::MAX),
         AluOp::Rem => {
             let (a, b) = (a as i64, b as i64);
             if b == 0 {
@@ -471,7 +466,7 @@ fn alu(op: AluOp, a: u64, b: u64) -> u64 {
         }
         AluOp::Divuw => {
             let (a, b) = (a as u32, b as u32);
-            let v = if b == 0 { u32::MAX } else { a / b };
+            let v = a.checked_div(b).unwrap_or(u32::MAX);
             v as i32 as i64 as u64
         }
         AluOp::Remw => {
@@ -616,11 +611,17 @@ mod tests {
     fn division_edge_cases() {
         assert_eq!(alu(AluOp::Div, 7, 0), u64::MAX);
         assert_eq!(alu(AluOp::Rem, 7, 0), 7);
-        assert_eq!(alu(AluOp::Div, i64::MIN as u64, -1i64 as u64), i64::MIN as u64);
+        assert_eq!(
+            alu(AluOp::Div, i64::MIN as u64, -1i64 as u64),
+            i64::MIN as u64
+        );
         assert_eq!(alu(AluOp::Rem, i64::MIN as u64, -1i64 as u64), 0);
         assert_eq!(alu(AluOp::Divu, 7, 0), u64::MAX);
         assert_eq!(alu(AluOp::Remu, 7, 0), 7);
-        assert_eq!(alu(AluOp::Divw, i32::MIN as u64, -1i64 as u64), i32::MIN as i64 as u64);
+        assert_eq!(
+            alu(AluOp::Divw, i32::MIN as u64, -1i64 as u64),
+            i32::MIN as i64 as u64
+        );
     }
 
     #[test]

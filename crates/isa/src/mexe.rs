@@ -265,7 +265,10 @@ mod tests {
         assert_eq!(MexeFile::from_bytes(&bytes), Err(MexeError::Truncated));
         let mut bad_ver = sample().to_bytes();
         bad_ver[4] = 99;
-        assert_eq!(MexeFile::from_bytes(&bad_ver), Err(MexeError::BadVersion(99)));
+        assert_eq!(
+            MexeFile::from_bytes(&bad_ver),
+            Err(MexeError::BadVersion(99))
+        );
     }
 
     #[test]

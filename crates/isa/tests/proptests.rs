@@ -1,7 +1,10 @@
 //! Property-based tests for the ISA substrate: encode/decode roundtrips,
 //! `li` materialisation, ALU semantics, and MEXE serialisation.
+//!
+//! Uses the in-repo `marshal-qcheck` harness (offline build environment);
+//! every case derives from a fixed seed and replays deterministically.
 
-use proptest::prelude::*;
+use std::collections::BTreeMap;
 
 use marshal_isa::asm::{assemble, materialize_li};
 use marshal_isa::decode::decode;
@@ -10,124 +13,114 @@ use marshal_isa::inst::{AluImmOp, AluOp, BranchCond, Inst, MemWidth, Reg};
 use marshal_isa::interp::{Cpu, StepOutcome};
 use marshal_isa::mem::{Bus, FlatMemory};
 use marshal_isa::MexeFile;
+use marshal_qcheck::{cases, Rng};
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(|i| Reg::new(i).unwrap())
+fn arb_reg(rng: &mut Rng) -> Reg {
+    Reg::new(rng.range_u64(0, 32) as u8).unwrap()
 }
 
-fn arb_inst() -> impl Strategy<Value = Inst> {
-    let imm12 = -2048i64..2048;
-    let br_off = (-2048i64..2048).prop_map(|v| v * 2);
-    let jal_off = (-100_000i64..100_000).prop_map(|v| v * 2);
-    prop_oneof![
-        (arb_reg(), -0x7_ffffi64..0x7_ffff).prop_map(|(rd, v)| Inst::Lui { rd, imm: v << 12 }),
-        (arb_reg(), -0x7_ffffi64..0x7_ffff).prop_map(|(rd, v)| Inst::Auipc { rd, imm: v << 12 }),
-        (arb_reg(), jal_off).prop_map(|(rd, offset)| Inst::Jal { rd, offset }),
-        (arb_reg(), arb_reg(), imm12.clone())
-            .prop_map(|(rd, rs1, offset)| Inst::Jalr { rd, rs1, offset }),
-        (
-            prop_oneof![
-                Just(BranchCond::Eq),
-                Just(BranchCond::Ne),
-                Just(BranchCond::Lt),
-                Just(BranchCond::Ge),
-                Just(BranchCond::Ltu),
-                Just(BranchCond::Geu)
-            ],
-            arb_reg(),
-            arb_reg(),
-            br_off
-        )
-            .prop_map(|(cond, rs1, rs2, offset)| Inst::Branch {
-                cond,
-                rs1,
-                rs2,
-                offset
-            }),
-        (
-            prop_oneof![
-                Just(MemWidth::B),
-                Just(MemWidth::H),
-                Just(MemWidth::W),
-                Just(MemWidth::D),
-                Just(MemWidth::Bu),
-                Just(MemWidth::Hu),
-                Just(MemWidth::Wu)
-            ],
-            arb_reg(),
-            arb_reg(),
-            imm12.clone()
-        )
-            .prop_map(|(width, rd, rs1, offset)| Inst::Load {
-                width,
-                rd,
-                rs1,
-                offset
-            }),
-        (
-            prop_oneof![
-                Just(MemWidth::B),
-                Just(MemWidth::H),
-                Just(MemWidth::W),
-                Just(MemWidth::D)
-            ],
-            arb_reg(),
-            arb_reg(),
-            imm12.clone()
-        )
-            .prop_map(|(width, rs2, rs1, offset)| Inst::Store {
-                width,
-                rs2,
-                rs1,
-                offset
-            }),
-        (
-            prop_oneof![
-                Just(AluImmOp::Addi),
-                Just(AluImmOp::Slti),
-                Just(AluImmOp::Sltiu),
-                Just(AluImmOp::Xori),
-                Just(AluImmOp::Ori),
-                Just(AluImmOp::Andi),
-                Just(AluImmOp::Addiw)
-            ],
-            arb_reg(),
-            arb_reg(),
-            imm12
-        )
-            .prop_map(|(op, rd, rs1, imm)| Inst::AluImm { op, rd, rs1, imm }),
-        (
-            prop_oneof![
-                Just(AluOp::Add),
-                Just(AluOp::Sub),
-                Just(AluOp::Sll),
-                Just(AluOp::Xor),
-                Just(AluOp::Mul),
-                Just(AluOp::Div),
-                Just(AluOp::Remu),
-                Just(AluOp::Addw),
-                Just(AluOp::Sraw)
-            ],
-            arb_reg(),
-            arb_reg(),
-            arb_reg()
-        )
-            .prop_map(|(op, rd, rs1, rs2)| Inst::Alu { op, rd, rs1, rs2 }),
-    ]
+fn arb_inst(rng: &mut Rng) -> Inst {
+    let imm12 = |rng: &mut Rng| rng.range_i64(-2048, 2048);
+    match rng.range_u64(0, 9) {
+        0 => Inst::Lui {
+            rd: arb_reg(rng),
+            imm: rng.range_i64(-0x7_ffff, 0x7_ffff) << 12,
+        },
+        1 => Inst::Auipc {
+            rd: arb_reg(rng),
+            imm: rng.range_i64(-0x7_ffff, 0x7_ffff) << 12,
+        },
+        2 => Inst::Jal {
+            rd: arb_reg(rng),
+            offset: rng.range_i64(-100_000, 100_000) * 2,
+        },
+        3 => Inst::Jalr {
+            rd: arb_reg(rng),
+            rs1: arb_reg(rng),
+            offset: imm12(rng),
+        },
+        4 => Inst::Branch {
+            cond: *rng.pick(&[
+                BranchCond::Eq,
+                BranchCond::Ne,
+                BranchCond::Lt,
+                BranchCond::Ge,
+                BranchCond::Ltu,
+                BranchCond::Geu,
+            ]),
+            rs1: arb_reg(rng),
+            rs2: arb_reg(rng),
+            offset: rng.range_i64(-2048, 2048) * 2,
+        },
+        5 => Inst::Load {
+            width: *rng.pick(&[
+                MemWidth::B,
+                MemWidth::H,
+                MemWidth::W,
+                MemWidth::D,
+                MemWidth::Bu,
+                MemWidth::Hu,
+                MemWidth::Wu,
+            ]),
+            rd: arb_reg(rng),
+            rs1: arb_reg(rng),
+            offset: imm12(rng),
+        },
+        6 => Inst::Store {
+            width: *rng.pick(&[MemWidth::B, MemWidth::H, MemWidth::W, MemWidth::D]),
+            rs2: arb_reg(rng),
+            rs1: arb_reg(rng),
+            offset: imm12(rng),
+        },
+        7 => Inst::AluImm {
+            op: *rng.pick(&[
+                AluImmOp::Addi,
+                AluImmOp::Slti,
+                AluImmOp::Sltiu,
+                AluImmOp::Xori,
+                AluImmOp::Ori,
+                AluImmOp::Andi,
+                AluImmOp::Addiw,
+            ]),
+            rd: arb_reg(rng),
+            rs1: arb_reg(rng),
+            imm: imm12(rng),
+        },
+        _ => Inst::Alu {
+            op: *rng.pick(&[
+                AluOp::Add,
+                AluOp::Sub,
+                AluOp::Sll,
+                AluOp::Xor,
+                AluOp::Mul,
+                AluOp::Div,
+                AluOp::Remu,
+                AluOp::Addw,
+                AluOp::Sraw,
+            ]),
+            rd: arb_reg(rng),
+            rs1: arb_reg(rng),
+            rs2: arb_reg(rng),
+        },
+    }
 }
 
-proptest! {
-    #[test]
-    fn encode_decode_roundtrip(inst in arb_inst()) {
+#[test]
+fn encode_decode_roundtrip() {
+    cases(512, |rng| {
+        let inst = arb_inst(rng);
         let word = encode(&inst).unwrap();
         let back = decode(word).unwrap();
-        prop_assert_eq!(inst, back);
-    }
+        assert_eq!(inst, back);
+    });
+}
 
-    #[test]
-    fn li_materialises_any_constant(imm in any::<i64>()) {
+#[test]
+fn li_materialises_any_constant() {
+    cases(256, |rng| {
+        let imm = rng.any_i64();
         let insts = materialize_li(Reg::A0, imm);
-        prop_assert!(insts.len() <= 8, "li expansion too long: {}", insts.len());
+        assert!(insts.len() <= 8, "li expansion too long: {}", insts.len());
         // Execute the sequence and verify the result.
         let mut mem = FlatMemory::new(1 << 12);
         for (i, inst) in insts.iter().enumerate() {
@@ -141,68 +134,106 @@ proptest! {
             match cpu.step(&mut mem).unwrap() {
                 StepOutcome::Retired(_) => {}
                 StepOutcome::Ecall => break,
-                other => prop_assert!(false, "unexpected {:?}", other),
+                other => panic!("unexpected {other:?}"),
             }
         }
-        prop_assert_eq!(cpu.read_reg(Reg::A0) as i64, imm);
-    }
+        assert_eq!(cpu.read_reg(Reg::A0) as i64, imm);
+    });
+}
 
-    #[test]
-    fn mexe_roundtrip(entry in any::<u64>(), segs in proptest::collection::vec(
-        (0u64..1 << 30, proptest::collection::vec(any::<u8>(), 0..256)), 0..4),
-        syms in proptest::collection::btree_map("[a-z_][a-z0-9_]{0,12}", any::<u64>(), 0..6))
-    {
+#[test]
+fn mexe_roundtrip() {
+    cases(128, |rng| {
+        let entry = rng.any_u64();
         let mut f = MexeFile::new(entry);
-        for (vaddr, data) in segs {
-            f.push_segment(vaddr, data);
+        for _ in 0..rng.range_usize(0, 4) {
+            let vaddr = rng.range_u64(0, 1 << 30);
+            f.push_segment(vaddr, rng.bytes_in(0, 256));
+        }
+        let mut syms = BTreeMap::new();
+        for _ in 0..rng.range_usize(0, 6) {
+            let name = format!(
+                "{}{}",
+                rng.string_of("abcdefghijklmnopqrstuvwxyz_", 1, 2),
+                rng.string_of("abcdefghijklmnopqrstuvwxyz0123456789_", 0, 13)
+            );
+            syms.insert(name, rng.any_u64());
         }
         for (name, value) in syms {
             f.define_symbol(name, value);
         }
         let bytes = f.to_bytes();
         let g = MexeFile::from_bytes(&bytes).unwrap();
-        prop_assert_eq!(f, g);
-    }
+        assert_eq!(f, g);
+    });
+}
 
-    #[test]
-    fn division_never_traps(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn division_never_traps() {
+    cases(256, |rng| {
+        let a = rng.any_u64();
+        let b = rng.any_u64();
         // RISC-V defines results for div-by-zero and overflow: execution
         // must retire normally for every operand pair.
         let mut mem = FlatMemory::new(256);
-        for (i, op) in [AluOp::Div, AluOp::Divu, AluOp::Rem, AluOp::Remu,
-                        AluOp::Divw, AluOp::Divuw, AluOp::Remw, AluOp::Remuw]
-            .iter()
-            .enumerate()
+        for (i, op) in [
+            AluOp::Div,
+            AluOp::Divu,
+            AluOp::Rem,
+            AluOp::Remu,
+            AluOp::Divw,
+            AluOp::Divuw,
+            AluOp::Remw,
+            AluOp::Remuw,
+        ]
+        .iter()
+        .enumerate()
         {
-            let w = encode(&Inst::Alu { op: *op, rd: Reg::A2, rs1: Reg::A0, rs2: Reg::A1 }).unwrap();
+            let w = encode(&Inst::Alu {
+                op: *op,
+                rd: Reg::A2,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+            })
+            .unwrap();
             mem.store(4 * i as u64, 4, w as u64).unwrap();
         }
-        mem.store(32, 4, encode(&Inst::Ecall).unwrap() as u64).unwrap();
+        mem.store(32, 4, encode(&Inst::Ecall).unwrap() as u64)
+            .unwrap();
         let mut cpu = Cpu::new(0);
         cpu.write_reg(Reg::A0, a);
         cpu.write_reg(Reg::A1, b);
         let out = cpu.run(&mut mem, 64).unwrap();
-        prop_assert_eq!(out, Some(StepOutcome::Ecall));
-    }
-
-    #[test]
-    fn flat_memory_store_load(addr in 0u64..4000, val in any::<u64>(),
-                              size in prop_oneof![Just(1usize), Just(2), Just(4), Just(8)]) {
-        let mut m = FlatMemory::new(4096);
-        prop_assume!(addr as usize + size <= 4096);
-        m.store(addr, size, val).unwrap();
-        let mask = if size == 8 { u64::MAX } else { (1u64 << (8 * size)) - 1 };
-        prop_assert_eq!(m.load(addr, size).unwrap(), val & mask);
-    }
+        assert_eq!(out, Some(StepOutcome::Ecall));
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn flat_memory_store_load() {
+    cases(256, |rng| {
+        let addr = rng.range_u64(0, 4000);
+        let val = rng.any_u64();
+        let size = *rng.pick(&[1usize, 2, 4, 8]);
+        if addr as usize + size > 4096 {
+            return;
+        }
+        let mut m = FlatMemory::new(4096);
+        m.store(addr, size, val).unwrap();
+        let mask = if size == 8 {
+            u64::MAX
+        } else {
+            (1u64 << (8 * size)) - 1
+        };
+        assert_eq!(m.load(addr, size).unwrap(), val & mask);
+    });
+}
 
-    #[test]
-    fn assembled_programs_are_deterministic(n in 1u32..64) {
+#[test]
+fn assembled_programs_are_deterministic() {
+    cases(64, |rng| {
         // A generated program of n additions always assembles to identical
         // bytes and computes the expected sum.
+        let n = rng.range_u64(1, 64) as u32;
         let mut src = String::from("_start:\n li a0, 0\n");
         for i in 1..=n {
             src.push_str(&format!(" addi a0, a0, {}\n", i % 100));
@@ -210,47 +241,49 @@ proptest! {
         src.push_str(" ecall\n");
         let a = assemble(&src, 0x1_0000).unwrap();
         let b = assemble(&src, 0x1_0000).unwrap();
-        prop_assert_eq!(a.to_bytes(), b.to_bytes());
+        assert_eq!(a.to_bytes(), b.to_bytes());
         let mut mem = FlatMemory::new(1 << 20);
         a.load_into(&mut mem).unwrap();
         let mut cpu = Cpu::new(a.entry());
         cpu.run(&mut mem, 10_000).unwrap();
         let expected: u64 = (1..=n as u64).map(|i| i % 100).sum();
-        prop_assert_eq!(cpu.read_reg(Reg::A0), expected);
-    }
+        assert_eq!(cpu.read_reg(Reg::A0), expected);
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The assembler is total: arbitrary text is either assembled or
-    /// rejected with a line-numbered error, never a panic.
-    #[test]
-    fn assembler_never_panics(src in "\\PC{0,200}") {
+/// The assembler is total: arbitrary text is either assembled or
+/// rejected with a line-numbered error, never a panic.
+#[test]
+fn assembler_never_panics() {
+    cases(256, |rng| {
+        let src = rng.printable(0, 200);
         let _ = assemble(&src, 0x1_0000);
-    }
+    });
+}
 
-    /// Structured fuzz: random well-formed-ish instruction streams.
-    #[test]
-    fn assembler_handles_fragment_soup(
-        fragments in proptest::collection::vec(
-            prop_oneof![
-                Just("  nop".to_owned()),
-                Just("lbl:".to_owned()),
-                Just("  j lbl".to_owned()),
-                Just("  beqz a0, lbl".to_owned()),
-                (0i64..4096).prop_map(|n| format!("  li a0, {n}")),
-                ( -2048i64..2048).prop_map(|n| format!("  addi a1, a1, {n}")),
-                Just("  .data".to_owned()),
-                Just("  .word 1, 2, 3".to_owned()),
-                Just("  .asciiz \"x\"".to_owned()),
-                Just("  .text".to_owned()),
-                Just("  mul a0, a1, a2".to_owned()),
-                Just("  ld a0, 0(sp)".to_owned()),
-            ],
-            0..20,
-        )
-    ) {
+/// Structured fuzz: random well-formed-ish instruction streams.
+#[test]
+fn assembler_handles_fragment_soup() {
+    let fixed = [
+        "  nop",
+        "lbl:",
+        "  j lbl",
+        "  beqz a0, lbl",
+        "  .data",
+        "  .word 1, 2, 3",
+        "  .asciiz \"x\"",
+        "  .text",
+        "  mul a0, a1, a2",
+        "  ld a0, 0(sp)",
+    ];
+    cases(256, |rng| {
+        let fragments: Vec<String> = (0..rng.range_usize(0, 20))
+            .map(|_| match rng.range_u64(0, 12) {
+                10 => format!("  li a0, {}", rng.range_i64(0, 4096)),
+                11 => format!("  addi a1, a1, {}", rng.range_i64(-2048, 2048)),
+                i => fixed[i as usize].to_owned(),
+            })
+            .collect();
         // `lbl` is always defined once, at the start of the text section
         // (branches from .data to .text may legitimately exceed their
         // encoding range, which is an expected assembler error, not a
@@ -273,9 +306,13 @@ proptest! {
             .collect();
         let text = format!("lbl:\n{}", src.join("\n"));
         let result = assemble(&text, 0x1_0000);
-        prop_assert!(result.is_ok(), "fragment soup must assemble: {:?}\n{text}", result.err());
+        assert!(
+            result.is_ok(),
+            "fragment soup must assemble: {:?}\n{text}",
+            result.err()
+        );
         // Assembly is deterministic.
         let again = assemble(&text, 0x1_0000).unwrap();
-        prop_assert_eq!(result.unwrap().to_bytes(), again.to_bytes());
-    }
+        assert_eq!(result.unwrap().to_bytes(), again.to_bytes());
+    });
 }

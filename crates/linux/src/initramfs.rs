@@ -30,7 +30,11 @@ impl InitramfsSpec {
     }
 
     /// Adds a kernel module (name, source id) to build and embed.
-    pub fn module(mut self, name: impl Into<String>, source_id: impl Into<String>) -> InitramfsSpec {
+    pub fn module(
+        mut self,
+        name: impl Into<String>,
+        source_id: impl Into<String>,
+    ) -> InitramfsSpec {
         self.modules.push((name.into(), source_id.into()));
         self
     }
@@ -57,7 +61,11 @@ impl InitramfsSpec {
     /// # Errors
     ///
     /// Module build failures ([`LinuxError::Build`]) or image errors.
-    pub fn build(&self, config: &KernelConfig, source: &KernelSource) -> Result<InitramfsArtifact, LinuxError> {
+    pub fn build(
+        &self,
+        config: &KernelConfig,
+        source: &KernelSource,
+    ) -> Result<InitramfsArtifact, LinuxError> {
         let mut img = FsImage::new();
         let mut built: Vec<ModuleArtifact> = Vec::new();
         for (name, src) in &self.modules {
@@ -195,7 +203,9 @@ mod tests {
     #[test]
     fn module_build_failure_propagates() {
         let mut config = KernelConfig::riscv_defconfig();
-        config.merge_fragment("# CONFIG_MODULES is not set").unwrap();
+        config
+            .merge_fragment("# CONFIG_MODULES is not set")
+            .unwrap();
         let src = KernelSource::default_source();
         assert!(InitramfsSpec::new()
             .module("icenet", "v1")

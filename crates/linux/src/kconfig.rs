@@ -78,10 +78,7 @@ impl KernelConfig {
             ("PREEMPT", ConfigValue::No),
             ("HZ", ConfigValue::Int(100)),
             ("NR_CPUS", ConfigValue::Int(8)),
-            (
-                "DEFAULT_HOSTNAME",
-                ConfigValue::Str("(none)".to_owned()),
-            ),
+            ("DEFAULT_HOSTNAME", ConfigValue::Str("(none)".to_owned())),
         ] {
             c.options.insert(k.to_owned(), v);
         }
@@ -298,7 +295,8 @@ mod tests {
     #[test]
     fn canonical_text_roundtrip() {
         let mut c = KernelConfig::riscv_defconfig();
-        c.merge_fragment("CONFIG_PFA=y\nCONFIG_NAME=\"x\"\n").unwrap();
+        c.merge_fragment("CONFIG_PFA=y\nCONFIG_NAME=\"x\"\n")
+            .unwrap();
         let text = c.to_config_text();
         let mut c2 = KernelConfig::new();
         c2.merge_fragment(&text).unwrap();

@@ -207,7 +207,11 @@ impl KernelArtifact {
         }
         write_field(&mut out, self.config.to_config_text().as_bytes());
         write_field(&mut out, self.initramfs.archive());
-        out.extend_from_slice(&if self.initramfs.is_diskless() { [1u8] } else { [0u8] });
+        out.extend_from_slice(&if self.initramfs.is_diskless() {
+            [1u8]
+        } else {
+            [0u8]
+        });
         out
     }
 
@@ -230,8 +234,7 @@ impl KernelArtifact {
             return Err(LinuxError::Build("bad kernel magic".to_owned()));
         }
         let read_field = |pos: &mut usize| -> Result<Vec<u8>, LinuxError> {
-            let len =
-                u64::from_le_bytes(take(pos, 8)?.try_into().unwrap()) as usize;
+            let len = u64::from_le_bytes(take(pos, 8)?.try_into().unwrap()) as usize;
             Ok(take(pos, len)?.to_vec())
         };
         let version = String::from_utf8(read_field(&mut pos)?)
@@ -253,11 +256,7 @@ impl KernelArtifact {
         let archive = read_field(&mut pos)?;
         let diskless = take(&mut pos, 1)?[0] == 1;
         // Rebuild via the same path so every derived field is consistent.
-        let initramfs = ReassembledInitramfs {
-            archive,
-            diskless,
-        }
-        .into_artifact()?;
+        let initramfs = ReassembledInitramfs { archive, diskless }.into_artifact()?;
         let source = KernelSource::custom(source_id, version, features);
         build_kernel(&source, &config, &initramfs)
     }
@@ -284,7 +283,11 @@ impl ReassembledInitramfs {
                 }
             }
         }
-        Ok(InitramfsArtifact::from_raw(self.archive, names, self.diskless))
+        Ok(InitramfsArtifact::from_raw(
+            self.archive,
+            names,
+            self.diskless,
+        ))
     }
 }
 
@@ -333,7 +336,9 @@ mod tests {
         let cfg = KernelConfig::riscv_defconfig();
         let initramfs = InitramfsSpec::new().build(&cfg, &src).unwrap();
         let mut no_riscv = cfg.clone();
-        no_riscv.merge_fragment("# CONFIG_RISCV is not set").unwrap();
+        no_riscv
+            .merge_fragment("# CONFIG_RISCV is not set")
+            .unwrap();
         assert!(build_kernel(&src, &no_riscv, &initramfs).is_err());
         let mut no_initrd = cfg.clone();
         no_initrd
@@ -350,7 +355,10 @@ mod tests {
         assert_eq!(back.version(), k.version());
         assert_eq!(back.config_fingerprint(), k.config_fingerprint());
         assert_eq!(back.fingerprint(), k.fingerprint());
-        assert_eq!(back.initramfs().module_names(), k.initramfs().module_names());
+        assert_eq!(
+            back.initramfs().module_names(),
+            k.initramfs().module_names()
+        );
     }
 
     #[test]

@@ -124,7 +124,9 @@ mod tests {
     #[test]
     fn requires_modules_enabled() {
         let mut config = KernelConfig::riscv_defconfig();
-        config.merge_fragment("# CONFIG_MODULES is not set").unwrap();
+        config
+            .merge_fragment("# CONFIG_MODULES is not set")
+            .unwrap();
         assert!(matches!(
             build_module("icenet", "v", &config),
             Err(LinuxError::Build(_))

@@ -79,9 +79,8 @@ impl Extern for HostEnv {
         let result = (|| -> Result<Option<Value>, String> {
             match name {
                 "print" => {
-                    self.log.push(
-                        args.iter().map(Value::render).collect::<Vec<_>>().join(" "),
-                    );
+                    self.log
+                        .push(args.iter().map(Value::render).collect::<Vec<_>>().join(" "));
                     Ok(Some(Value::Null))
                 }
                 "read_file" => {
@@ -137,7 +136,9 @@ impl Extern for HostEnv {
                         .map(|e| e.file_name().to_string_lossy().into_owned())
                         .collect();
                     names.sort();
-                    Ok(Some(Value::List(names.into_iter().map(Value::Str).collect())))
+                    Ok(Some(Value::List(
+                        names.into_iter().map(Value::Str).collect(),
+                    )))
                 }
                 "copy" => {
                     let src = self.resolve(self.str_arg(args, 0, name)?)?;
@@ -146,9 +147,8 @@ impl Extern for HostEnv {
                         std::fs::create_dir_all(parent)
                             .map_err(|e| format!("mkdir {}: {e}", parent.display()))?;
                     }
-                    std::fs::copy(&src, &dst).map_err(|e| {
-                        format!("copy {} -> {}: {e}", src.display(), dst.display())
-                    })?;
+                    std::fs::copy(&src, &dst)
+                        .map_err(|e| format!("copy {} -> {}: {e}", src.display(), dst.display()))?;
                     Ok(Some(Value::Null))
                 }
                 // Cross-compilation: the Speckle substitute. Assembles a
@@ -172,8 +172,8 @@ impl Extern for HostEnv {
                 "assemble_str" => {
                     let source = self.str_arg(args, 0, name)?;
                     let out_path = self.resolve(self.str_arg(args, 1, name)?)?;
-                    let exe = assemble(source, abi::USER_BASE)
-                        .map_err(|e| format!("assemble: {e}"))?;
+                    let exe =
+                        assemble(source, abi::USER_BASE).map_err(|e| format!("assemble: {e}"))?;
                     if let Some(parent) = out_path.parent() {
                         std::fs::create_dir_all(parent)
                             .map_err(|e| format!("mkdir {}: {e}", parent.display()))?;
@@ -230,9 +230,7 @@ mod tests {
         let dir = tmpdir("sandbox");
         let mut env = HostEnv::new(&dir);
         let mut i = Interp::new();
-        assert!(i
-            .run(r#"read_file("/etc/passwd")"#, &mut env, &[])
-            .is_err());
+        assert!(i.run(r#"read_file("/etc/passwd")"#, &mut env, &[]).is_err());
         assert!(i
             .run(r#"read_file("../outside.txt")"#, &mut env, &[])
             .is_err());
@@ -249,12 +247,8 @@ mod tests {
         .unwrap();
         let mut env = HostEnv::new(&dir);
         let mut i = Interp::new();
-        i.run(
-            r#"assemble("prog.s", "overlay/bin/prog")"#,
-            &mut env,
-            &[],
-        )
-        .unwrap();
+        i.run(r#"assemble("prog.s", "overlay/bin/prog")"#, &mut env, &[])
+            .unwrap();
         let bytes = std::fs::read(dir.join("overlay/bin/prog")).unwrap();
         assert!(marshal_isa::MexeFile::sniff(&bytes));
         let exe = marshal_isa::MexeFile::from_bytes(&bytes).unwrap();

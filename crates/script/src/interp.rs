@@ -253,7 +253,8 @@ impl Interp {
         // Hoist function definitions so calls can precede definitions.
         for s in &stmts {
             if let Stmt::Fn { name, params, body } = s {
-                self.fns.insert(name.clone(), (params.clone(), body.clone()));
+                self.fns
+                    .insert(name.clone(), (params.clone(), body.clone()));
             }
         }
         let mut last = Value::Null;
@@ -371,7 +372,8 @@ impl Interp {
                 Ok(Flow::Normal(Value::Null))
             }
             Stmt::Fn { name, params, body } => {
-                self.fns.insert(name.clone(), (params.clone(), body.clone()));
+                self.fns
+                    .insert(name.clone(), (params.clone(), body.clone()));
                 Ok(Flow::Normal(Value::Null))
             }
             Stmt::Return(expr) => {
@@ -383,7 +385,7 @@ impl Interp {
             }
             Stmt::Break => Ok(Flow::Break),
             Stmt::Continue => Ok(Flow::Continue),
-            Stmt::Expr(e) => Ok(Flow::Normal(self.eval(e, ext, locals.as_deref_mut())?)),
+            Stmt::Expr(e) => Ok(Flow::Normal(self.eval(e, ext, locals)?)),
         }
     }
 
@@ -463,10 +465,9 @@ impl Interp {
                 match (op, v) {
                     (UnOp::Neg, Value::Int(v)) => Ok(Value::Int(v.wrapping_neg())),
                     (UnOp::Not, v) => Ok(Value::Bool(!v.truthy())),
-                    (UnOp::Neg, v) => Err(ScriptError::msg(format!(
-                        "cannot negate {}",
-                        v.type_name()
-                    ))),
+                    (UnOp::Neg, v) => {
+                        Err(ScriptError::msg(format!("cannot negate {}", v.type_name())))
+                    }
                 }
             }
             Expr::Bin { op, lhs, rhs } => {
@@ -497,7 +498,10 @@ impl Interp {
                 match (b, i) {
                     (Value::List(items), Value::Int(i)) => {
                         items.get(i as usize).cloned().ok_or_else(|| {
-                            ScriptError::msg(format!("index {i} out of range (len {})", items.len()))
+                            ScriptError::msg(format!(
+                                "index {i} out of range (len {})",
+                                items.len()
+                            ))
                         })
                     }
                     (Value::Str(s), Value::Int(i)) => {
@@ -550,10 +554,8 @@ impl Interp {
                     args.len()
                 )));
             }
-            let mut locals: BTreeMap<String, Value> = params
-                .into_iter()
-                .zip(args.iter().cloned())
-                .collect();
+            let mut locals: BTreeMap<String, Value> =
+                params.into_iter().zip(args.iter().cloned()).collect();
             return match self.exec_block(&body, ext, Some(&mut locals))? {
                 Flow::Return(v) | Flow::Normal(v) => Ok(v),
                 Flow::Break | Flow::Continue => {
@@ -576,11 +578,7 @@ impl Interp {
         let bad = |msg: &str| Err(ScriptError::msg(format!("{name}: {msg}")));
         match (name, args) {
             ("print", _) => {
-                let line = args
-                    .iter()
-                    .map(Value::render)
-                    .collect::<Vec<_>>()
-                    .join(" ");
+                let line = args.iter().map(Value::render).collect::<Vec<_>>().join(" ");
                 self.output.push(line);
                 Ok(Value::Null)
             }
@@ -633,7 +631,9 @@ impl Interp {
                     return bad("empty separator");
                 }
                 Ok(Value::List(
-                    s.split(sep.as_str()).map(|p| Value::Str(p.to_owned())).collect(),
+                    s.split(sep.as_str())
+                        .map(|p| Value::Str(p.to_owned()))
+                        .collect(),
                 ))
             }
             ("split_whitespace", [Value::Str(s)]) => Ok(Value::List(
@@ -673,9 +673,7 @@ impl Interp {
                 Ok(Value::Str(s.repeat((*n).max(0) as usize)))
             }
             ("map", []) => Ok(Value::Map(BTreeMap::new())),
-            ("get", [Value::Map(m), Value::Str(k)]) => {
-                Ok(m.get(k).cloned().unwrap_or(Value::Null))
-            }
+            ("get", [Value::Map(m), Value::Str(k)]) => Ok(m.get(k).cloned().unwrap_or(Value::Null)),
             ("get", [Value::Map(m), Value::Str(k), default]) => {
                 Ok(m.get(k).cloned().unwrap_or_else(|| default.clone()))
             }
@@ -792,7 +790,10 @@ mod tests {
         assert_eq!(run(r#"find("hello", "llo")"#).0, Value::Int(2));
         assert_eq!(run(r#"find("hello", "z")"#).0, Value::Int(-1));
         assert_eq!(run(r#"substr("hello", 1, 3)"#).0, Value::Str("ell".into()));
-        assert_eq!(run(r#"replace("aaa", "a", "b")"#).0, Value::Str("bbb".into()));
+        assert_eq!(
+            run(r#"replace("aaa", "a", "b")"#).0,
+            Value::Str("bbb".into())
+        );
     }
 
     #[test]
@@ -923,7 +924,10 @@ mod tests {
         );
         assert!(i.run("fail()", &mut Cycles, &[]).is_err());
         // Common library still reachable.
-        assert_eq!(i.run("len(\"abc\")", &mut Cycles, &[]).unwrap(), Value::Int(3));
+        assert_eq!(
+            i.run("len(\"abc\")", &mut Cycles, &[]).unwrap(),
+            Value::Int(3)
+        );
     }
 
     #[test]

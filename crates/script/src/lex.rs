@@ -56,8 +56,8 @@ impl fmt::Display for LexError {
 impl std::error::Error for LexError {}
 
 const PUNCTS: &[&str] = &[
-    "==", "!=", "<=", ">=", "&&", "||", "+", "-", "*", "/", "%", "<", ">", "=", "(", ")", "{",
-    "}", "[", "]", ",", "!",
+    "==", "!=", "<=", ">=", "&&", "||", "+", "-", "*", "/", "%", "<", ">", "=", "(", ")", "{", "}",
+    "[", "]", ",", "!",
 ];
 
 /// Tokenises mscript source.
@@ -138,12 +138,12 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, LexError> {
                                     message: "invalid utf-8".to_owned(),
                                 });
                             }
-                            s.push_str(
-                                std::str::from_utf8(&bytes[start..i]).map_err(|_| LexError {
+                            s.push_str(std::str::from_utf8(&bytes[start..i]).map_err(|_| {
+                                LexError {
                                     line,
                                     message: "invalid utf-8".to_owned(),
-                                })?,
-                            );
+                                }
+                            })?);
                         }
                     }
                 }
@@ -158,7 +158,9 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, LexError> {
                     i += 1;
                 }
                 let text = std::str::from_utf8(&bytes[start..i]).expect("ascii");
-                let value = if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+                let value = if let Some(hex) =
+                    text.strip_prefix("0x").or_else(|| text.strip_prefix("0X"))
+                {
                     i64::from_str_radix(&hex.replace('_', ""), 16)
                 } else {
                     text.replace('_', "").parse::<i64>()
@@ -178,7 +180,11 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, LexError> {
                     i += 1;
                 }
                 out.push(Spanned {
-                    tok: Tok::Ident(std::str::from_utf8(&bytes[start..i]).expect("ascii").to_owned()),
+                    tok: Tok::Ident(
+                        std::str::from_utf8(&bytes[start..i])
+                            .expect("ascii")
+                            .to_owned(),
+                    ),
                     line,
                 });
             }

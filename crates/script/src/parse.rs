@@ -201,7 +201,10 @@ impl Parser {
                     // Look ahead for `] =` to distinguish index-assign from
                     // an index expression statement.
                     if let Some(close) = self.find_matching_bracket(self.pos + 1) {
-                        if matches!(self.toks.get(close + 1).map(|s| &s.tok), Some(Tok::Punct("="))) {
+                        if matches!(
+                            self.toks.get(close + 1).map(|s| &s.tok),
+                            Some(Tok::Punct("="))
+                        ) {
                             self.bump(); // name
                             self.bump(); // [
                             let index = self.parse_expr()?;

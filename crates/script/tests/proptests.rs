@@ -1,59 +1,75 @@
 //! Property-based tests for mscript: the parser never panics, evaluation
 //! is deterministic, and arithmetic matches Rust semantics.
+//!
+//! Uses the in-repo `marshal-qcheck` harness (offline build environment);
+//! every case derives from a fixed seed and replays deterministically.
 
-use proptest::prelude::*;
-
+use marshal_qcheck::cases;
 use marshal_script::{Interp, NoExtern, Value};
 
-proptest! {
-    /// The lexer/parser are total: any input is either parsed or rejected
-    /// with an error, never a panic.
-    #[test]
-    fn parser_never_panics(src in "\\PC{0,128}") {
+/// The lexer/parser are total: any input is either parsed or rejected
+/// with an error, never a panic.
+#[test]
+fn parser_never_panics() {
+    cases(512, |rng| {
+        let src = rng.printable(0, 128);
         let _ = marshal_script::parse::parse(&src);
-    }
+    });
+}
 
-    /// Structured fuzz: statements assembled from fragments never panic
-    /// the interpreter (errors are fine).
-    #[test]
-    fn interp_never_panics(
-        fragments in proptest::collection::vec(
-            prop_oneof![
-                Just("let x = 1".to_owned()),
-                Just("x = x + 1".to_owned()),
-                Just("print(x)".to_owned()),
-                Just("if x > 2 { x = 0 }".to_owned()),
-                Just("while x < 3 { x = x + 1 }".to_owned()),
-                Just("let l = [1, 2, 3]".to_owned()),
-                Just("l = push(l, x)".to_owned()),
-                Just("undefined_thing()".to_owned()),
-                Just("x = l[9]".to_owned()),
-                Just("x = 1 / 0".to_owned()),
-                (0i64..100).prop_map(|n| format!("x = {n}")),
-            ],
-            0..12,
-        )
-    ) {
-        let src = fragments.join("\n");
+/// Structured fuzz: statements assembled from fragments never panic
+/// the interpreter (errors are fine).
+#[test]
+fn interp_never_panics() {
+    let fixed = [
+        "let x = 1",
+        "x = x + 1",
+        "print(x)",
+        "if x > 2 { x = 0 }",
+        "while x < 3 { x = x + 1 }",
+        "let l = [1, 2, 3]",
+        "l = push(l, x)",
+        "undefined_thing()",
+        "x = l[9]",
+        "x = 1 / 0",
+    ];
+    cases(256, |rng| {
+        let src: Vec<String> = (0..rng.range_usize(0, 12))
+            .map(|_| {
+                if rng.range_u64(0, 11) == 10 {
+                    format!("x = {}", rng.range_i64(0, 100))
+                } else {
+                    (*rng.pick(&fixed)).to_owned()
+                }
+            })
+            .collect();
+        let src = src.join("\n");
         let mut i = Interp::with_max_steps(100_000);
         let _ = i.run(&src, &mut NoExtern, &[]);
-    }
+    });
+}
 
-    /// Integer arithmetic agrees with Rust's wrapping semantics.
-    #[test]
-    fn arithmetic_matches_rust(a in -10_000i64..10_000, b in -10_000i64..10_000) {
+/// Integer arithmetic agrees with Rust's wrapping semantics.
+#[test]
+fn arithmetic_matches_rust() {
+    cases(256, |rng| {
+        let a = rng.range_i64(-10_000, 10_000);
+        let b = rng.range_i64(-10_000, 10_000);
         let mut i = Interp::new();
         let v = i
             .run(&format!("{a} + {b} * 2 - ({a} - {b})"), &mut NoExtern, &[])
             .unwrap();
-        prop_assert_eq!(v, Value::Int(a + b * 2 - (a - b)));
-    }
+        assert_eq!(v, Value::Int(a + b * 2 - (a - b)));
+    });
+}
 
-    /// String builtins roundtrip: join(split(s, sep), sep) == s when s has
-    /// no leading/trailing separators issues (identity holds generally for
-    /// split/join pairs).
-    #[test]
-    fn split_join_roundtrip(parts in proptest::collection::vec("[a-z0-9]{0,6}", 1..6)) {
+/// String builtins roundtrip: join(split(s, sep), sep) == s.
+#[test]
+fn split_join_roundtrip() {
+    cases(256, |rng| {
+        let parts: Vec<String> = (0..rng.range_usize(1, 6))
+            .map(|_| rng.string_of("abcdefghijklmnopqrstuvwxyz0123456789", 0, 7))
+            .collect();
         let s = parts.join(",");
         let mut i = Interp::new();
         let v = i
@@ -63,12 +79,15 @@ proptest! {
                 &[],
             )
             .unwrap();
-        prop_assert_eq!(v, Value::Str(s));
-    }
+        assert_eq!(v, Value::Str(s));
+    });
+}
 
-    /// Evaluation is deterministic: same program, same output.
-    #[test]
-    fn evaluation_deterministic(seed in 0u64..10_000) {
+/// Evaluation is deterministic: same program, same output.
+#[test]
+fn evaluation_deterministic() {
+    cases(64, |rng| {
+        let seed = rng.range_u64(0, 10_000);
         let src = format!(
             r#"
             let state = {seed}
@@ -84,15 +103,18 @@ proptest! {
             let mut i = Interp::new();
             i.run(&src, &mut NoExtern, &[]).unwrap()
         };
-        prop_assert_eq!(run(), run());
-    }
+        assert_eq!(run(), run());
+    });
+}
 
-    /// The step budget always terminates nested loops.
-    #[test]
-    fn budget_always_terminates(n in 1u64..5) {
+/// The step budget always terminates nested loops.
+#[test]
+fn budget_always_terminates() {
+    cases(16, |rng| {
+        let n = rng.range_u64(1, 5);
         let src = "while true { let x = 1 }";
         let mut i = Interp::with_max_steps(n * 1000);
         let err = i.run(src, &mut NoExtern, &[]).unwrap_err();
-        prop_assert!(err.message.contains("step budget"));
-    }
+        assert!(err.message.contains("step budget"));
+    });
 }

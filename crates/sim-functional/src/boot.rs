@@ -12,8 +12,20 @@ use marshal_image::{initsys, FsImage};
 use marshal_isa::MexeFile;
 
 use crate::guest::{Executor, GuestEnv, GuestOs};
-use crate::machine::{LaunchMode, SimConfig, SimError, SimResult};
+use crate::machine::{LaunchMode, SimConfig, SimError, SimResult, WATCHDOG_EXIT_CODE};
 use crate::syscall::{OsServices, UserRunner};
+
+/// Whether a payload error means the guest hung and the watchdog fired.
+///
+/// Budget exhaustion reaches us three ways: as [`SimError::Budget`]
+/// directly, stringified through mscript as a [`SimError::Script`], or —
+/// most reliably — as an exhausted budget counter on the OS (executors
+/// account the consumed budget before reporting the error).
+fn watchdog_fired(err: &SimError, os: &GuestOs) -> bool {
+    os.remaining_budget().is_err()
+        || matches!(err, SimError::Budget { .. })
+        || matches!(err, SimError::Script(m) if m.contains("instruction budget exhausted"))
+}
 
 /// Boots a Linux workload and runs its payload.
 ///
@@ -64,10 +76,7 @@ pub fn simulate_linux<E: Executor>(
         os.serial_line(&line);
     }
     os.dmesg(&kernel.banner());
-    os.dmesg(&format!(
-        "Machine model: firemarshal,{}",
-        cfg.kind.name()
-    ));
+    os.dmesg(&format!("Machine model: firemarshal,{}", cfg.kind.name()));
     os.dmesg("Memory: 16384MB available");
     let cpus = kernel
         .config()
@@ -161,19 +170,39 @@ pub fn simulate_linux<E: Executor>(
     }
 
     // --- Workload payload ----------------------------------------------------
+    // Boot problems (init scripts, guest-init) stay hard errors: a broken
+    // image is a build defect, not a hung workload. Only the payload phase
+    // runs under the watchdog — budget exhaustion there terminates the
+    // guest and salvages the partial serial log and image instead of
+    // throwing everything away.
+    let mut timed_out = false;
     if matches!(mode, LaunchMode::Run) {
         if os.image.exists(initsys::RUN_SCRIPT) {
-            let src = String::from_utf8_lossy(
-                os.image.read_file(initsys::RUN_SCRIPT).expect("exists"),
-            )
-            .into_owned();
+            let src =
+                String::from_utf8_lossy(os.image.read_file(initsys::RUN_SCRIPT).expect("exists"))
+                    .into_owned();
             if systemd {
                 os.serial_line("systemd[1]: Starting FireMarshal workload payload...");
             } else {
                 os.serial_line("Starting firemarshal payload:");
             }
-            let mut env = GuestEnv::new(&mut os, exec);
-            env.run_script_source(&src, &[])?;
+            let payload_err = {
+                let mut env = GuestEnv::new(&mut os, exec);
+                env.run_script_source(&src, &[]).err()
+            };
+            if let Some(e) = payload_err {
+                if watchdog_fired(&e, &os) {
+                    timed_out = true;
+                    os.serial_line(&format!(
+                        "firemarshal: watchdog: instruction budget exhausted \
+                         ({} instructions); terminating hung guest",
+                        cfg.max_instructions
+                    ));
+                    os.last_exit = WATCHDOG_EXIT_CODE;
+                } else {
+                    return Err(e);
+                }
+            }
         } else {
             os.serial_line("firemarshal: no run/command configured; interactive console");
             os.serial_line("buildroot login: root (automatic login)");
@@ -181,13 +210,16 @@ pub fn simulate_linux<E: Executor>(
         }
     }
 
-    os.dmesg("reboot: Power down");
+    if !timed_out {
+        os.dmesg("reboot: Power down");
+    }
     let (serial, image, instructions, exit_code) = os.into_parts();
     Ok(SimResult {
         serial,
         image: Some(image),
         exit_code,
         instructions,
+        timed_out,
     })
 }
 
@@ -226,14 +258,30 @@ pub fn simulate_bare(cfg: &SimConfig, bin: &[u8]) -> Result<SimResult, SimError>
     };
     let mut runner = UserRunner::new(&exe, &[])?;
     runner.bus.enable_uart();
-    let (exit_code, instructions) = runner.run(&mut os, cfg.max_instructions)?;
-    os.serial
-        .push_str(&format!("{}: exited with code {exit_code}\n", cfg.kind.name()));
+    let (exit_code, instructions, timed_out) = match runner.run(&mut os, cfg.max_instructions) {
+        Ok((code, insts)) => (code, insts, false),
+        Err(SimError::Budget { limit }) => {
+            os.serial.push_str(&format!(
+                "{}: watchdog: instruction budget exhausted ({limit} instructions); \
+                 terminating hung guest\n",
+                cfg.kind.name()
+            ));
+            (WATCHDOG_EXIT_CODE, limit, true)
+        }
+        Err(e) => return Err(e),
+    };
+    if !timed_out {
+        os.serial.push_str(&format!(
+            "{}: exited with code {exit_code}\n",
+            cfg.kind.name()
+        ));
+    }
     Ok(SimResult {
         serial: os.serial,
         image: None,
         exit_code,
         instructions,
+        timed_out,
     })
 }
 
@@ -298,8 +346,7 @@ _start:
         let boot = boot_binary(None);
         let disk = disk_with_payload("/bin/payload");
         let mut fexec = FunctionalExecutor;
-        let result =
-            simulate_linux(&cfg, &boot, Some(&disk), LaunchMode::Run, &mut fexec).unwrap();
+        let result = simulate_linux(&cfg, &boot, Some(&disk), LaunchMode::Run, &mut fexec).unwrap();
         let serial = &result.serial;
         assert!(serial.contains("OpenSBI"), "firmware banner: {serial}");
         assert!(serial.contains("Linux version"), "kernel banner");
@@ -316,8 +363,7 @@ _start:
         let boot = boot_binary(None);
         let disk = disk_with_payload("/bin/payload");
         let mut fexec = FunctionalExecutor;
-        let result =
-            simulate_linux(&cfg, &boot, Some(&disk), LaunchMode::Run, &mut fexec).unwrap();
+        let result = simulate_linux(&cfg, &boot, Some(&disk), LaunchMode::Run, &mut fexec).unwrap();
         let s = &result.serial;
         let fw = s.find("OpenSBI").unwrap();
         let kernel = s.find("Linux version").unwrap();
@@ -361,14 +407,8 @@ _start:
         )
         .unwrap();
         let mut fexec = FunctionalExecutor;
-        let result = simulate_linux(
-            &cfg,
-            &boot,
-            Some(&disk),
-            LaunchMode::GuestInit,
-            &mut fexec,
-        )
-        .unwrap();
+        let result =
+            simulate_linux(&cfg, &boot, Some(&disk), LaunchMode::GuestInit, &mut fexec).unwrap();
         assert!(result.serial.contains("guest-init!"));
         // Payload NOT run in guest-init mode.
         assert!(!result.serial.contains("payload ran"));
@@ -377,14 +417,8 @@ _start:
         assert!(!initsys::guest_init_pending(&image));
 
         // Booting the post-init image again: guest-init must not re-run.
-        let result2 = simulate_linux(
-            &cfg,
-            &boot,
-            Some(&image),
-            LaunchMode::Run,
-            &mut fexec,
-        )
-        .unwrap();
+        let result2 =
+            simulate_linux(&cfg, &boot, Some(&image), LaunchMode::Run, &mut fexec).unwrap();
         assert!(!result2.serial.contains("guest-init!"));
         assert!(result2.serial.contains("payload ran"));
     }
@@ -396,8 +430,7 @@ _start:
         let mut disk = FsImage::new();
         disk.mkdir_p("/etc/init.d").unwrap();
         let mut fexec = FunctionalExecutor;
-        let result =
-            simulate_linux(&cfg, &boot, Some(&disk), LaunchMode::Run, &mut fexec).unwrap();
+        let result = simulate_linux(&cfg, &boot, Some(&disk), LaunchMode::Run, &mut fexec).unwrap();
         assert!(result.serial.contains("interactive console"));
     }
 
@@ -412,10 +445,11 @@ _start:
         let exe = assemble("_start:\n li a0, 0\n li a7, 93\n ecall\n", abi::USER_BASE).unwrap();
         disk.write_exec("/bin/payload", &exe.to_bytes()).unwrap();
         let mut fexec = FunctionalExecutor;
-        let result =
-            simulate_linux(&cfg, &boot, Some(&disk), LaunchMode::Run, &mut fexec).unwrap();
+        let result = simulate_linux(&cfg, &boot, Some(&disk), LaunchMode::Run, &mut fexec).unwrap();
         assert!(result.serial.contains("Multi-User System"));
-        assert!(result.serial.contains("Starting FireMarshal workload payload"));
+        assert!(result
+            .serial
+            .contains("Starting FireMarshal workload payload"));
     }
 
     #[test]
@@ -444,6 +478,64 @@ _start:
         assert_eq!(result.exit_code, 0);
         assert!(result.image.is_none());
         assert!(simulate_bare(&cfg, b"garbage").is_err());
+    }
+
+    #[test]
+    fn watchdog_salvages_hung_payload() {
+        let mut cfg = SimConfig::new(SimKind::Qemu);
+        cfg.max_instructions = 50_000;
+        let boot = boot_binary(None);
+        let mut disk = FsImage::new();
+        disk.mkdir_p("/etc/init.d").unwrap();
+        let spin = assemble("_start:\n j _start\n", abi::USER_BASE).unwrap();
+        disk.write_exec("/bin/spin", &spin.to_bytes()).unwrap();
+        InitSystem::Initd
+            .install_payload(&mut disk, &BootPayload::Command("/bin/spin".to_owned()))
+            .unwrap();
+        let mut fexec = FunctionalExecutor;
+        let result = simulate_linux(&cfg, &boot, Some(&disk), LaunchMode::Run, &mut fexec).unwrap();
+        assert!(result.timed_out);
+        assert!(!result.success());
+        assert_eq!(result.exit_code, WATCHDOG_EXIT_CODE);
+        let serial = &result.serial;
+        assert!(
+            serial.contains("watchdog: instruction budget exhausted"),
+            "diagnostic in salvaged log: {serial}"
+        );
+        // Everything up to the hang is salvaged; the clean-shutdown line
+        // is not faked.
+        assert!(serial.contains("OpenSBI"), "boot log salvaged: {serial}");
+        assert!(!serial.contains("reboot: Power down"));
+        assert!(result.image.is_some(), "partial image salvaged");
+    }
+
+    #[test]
+    fn hung_guest_init_is_a_hard_error() {
+        // A hang during build-time guest-init is a build defect, not a
+        // workload timeout: no salvage.
+        let mut cfg = SimConfig::new(SimKind::Qemu);
+        cfg.max_instructions = 50_000;
+        let boot = boot_binary(None);
+        let mut disk = disk_with_payload("/bin/payload");
+        let spin = assemble("_start:\n j _start\n", abi::USER_BASE).unwrap();
+        disk.write_exec("/bin/spin", &spin.to_bytes()).unwrap();
+        initsys::install_guest_init(&mut disk, "#!mscript\nexec(\"/bin/spin\")\n").unwrap();
+        let mut fexec = FunctionalExecutor;
+        assert!(
+            simulate_linux(&cfg, &boot, Some(&disk), LaunchMode::GuestInit, &mut fexec).is_err()
+        );
+    }
+
+    #[test]
+    fn bare_metal_watchdog() {
+        let mut cfg = SimConfig::new(SimKind::Spike);
+        cfg.max_instructions = 10_000;
+        let spin = assemble("_start:\n j _start\n", abi::USER_BASE).unwrap();
+        let result = simulate_bare(&cfg, &spin.to_bytes()).unwrap();
+        assert!(result.timed_out);
+        assert!(!result.success());
+        assert_eq!(result.exit_code, WATCHDOG_EXIT_CODE);
+        assert!(result.serial.contains("watchdog"), "{}", result.serial);
     }
 
     #[test]
@@ -534,7 +626,11 @@ done:
         let exe = assemble(src, abi::USER_BASE).unwrap();
         let cfg = SimConfig::new(SimKind::Spike);
         let result = simulate_bare(&cfg, &exe.to_bytes()).unwrap();
-        assert!(result.serial.contains("mmio uart ok\n"), "{}", result.serial);
+        assert!(
+            result.serial.contains("mmio uart ok\n"),
+            "{}",
+            result.serial
+        );
         assert_eq!(result.exit_code, 0);
     }
 }

@@ -47,7 +47,19 @@ impl Executor for FunctionalExecutor {
     ) -> Result<(i64, u64), SimError> {
         let budget = os.remaining_budget()?;
         let mut runner = UserRunner::new(exe, args)?;
-        let (code, insts) = runner.run(os, budget)?;
+        let (code, insts) = match runner.run(os, budget) {
+            Ok(r) => r,
+            Err(SimError::Budget { limit }) => {
+                // The program consumed the whole remaining budget before it
+                // was stopped. Account it so `remaining_budget()` reports
+                // exhaustion — the watchdog relies on this to tell a hung
+                // guest apart from an ordinary script failure even after
+                // the error has been stringified through mscript.
+                os.account(budget, budget);
+                return Err(SimError::Budget { limit });
+            }
+            Err(e) => return Err(e),
+        };
         os.account(insts, insts);
         Ok((code, insts))
     }
@@ -291,11 +303,7 @@ impl<E: Executor> Extern for GuestEnv<'_, E> {
                 }
                 "read_file" => {
                     let path = str_arg(0)?;
-                    let data = self
-                        .os
-                        .image
-                        .read_file(path)
-                        .map_err(|e| e.to_string())?;
+                    let data = self.os.image.read_file(path).map_err(|e| e.to_string())?;
                     Ok(Some(Value::Str(String::from_utf8_lossy(data).into_owned())))
                 }
                 "write_file" => {
@@ -330,7 +338,9 @@ impl<E: Executor> Extern for GuestEnv<'_, E> {
                         .image
                         .list_dir(str_arg(0)?)
                         .map_err(|e| e.to_string())?;
-                    Ok(Some(Value::List(names.into_iter().map(Value::Str).collect())))
+                    Ok(Some(Value::List(
+                        names.into_iter().map(Value::Str).collect(),
+                    )))
                 }
                 "remove" => Ok(Some(Value::Bool(self.os.image.remove(str_arg(0)?)))),
                 "hostname" => {
@@ -367,8 +377,7 @@ impl<E: Executor> Extern for GuestEnv<'_, E> {
                     // Fedora-style guest-init package installation.
                     for pkg in args {
                         let pkg = pkg.render();
-                        self.os
-                            .serial_line(&format!("Installing : {pkg:<30} 1/1"));
+                        self.os.serial_line(&format!("Installing : {pkg:<30} 1/1"));
                         let _ = self
                             .os
                             .image
@@ -517,7 +526,8 @@ mod identity_tests {
     fn hostname_uname_and_cycles_builtins() {
         let mut img = FsImage::new();
         img.write_file("/etc/hostname", b"buildroot\n").unwrap();
-        img.write_file("/etc/kernel-release", b"5.7.0-firemarshal\n").unwrap();
+        img.write_file("/etc/kernel-release", b"5.7.0-firemarshal\n")
+            .unwrap();
         let script = br#"#!mscript
 print("host=" + hostname())
 print("kernel=" + uname())
@@ -541,9 +551,7 @@ print("cycles nonneg=" + str(c >= 0))
         let mut os = GuestOs::new(FsImage::new(), &SimConfig::new(SimKind::Qemu));
         let mut fexec = FunctionalExecutor;
         let mut env = GuestEnv::new(&mut os, &mut fexec);
-        let v = env
-            .run_script_source("hostname()", &[])
-            .unwrap();
+        let v = env.run_script_source("hostname()", &[]).unwrap();
         assert_eq!(v, marshal_script::Value::Str("(none)".into()));
     }
 }

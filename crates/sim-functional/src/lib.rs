@@ -30,6 +30,6 @@ pub mod qemu;
 pub mod spike;
 pub mod syscall;
 
-pub use machine::{LaunchMode, SimConfig, SimError, SimKind, SimResult};
+pub use machine::{LaunchMode, SimConfig, SimError, SimKind, SimResult, WATCHDOG_EXIT_CODE};
 pub use qemu::Qemu;
 pub use spike::Spike;

@@ -78,6 +78,10 @@ impl SimConfig {
     }
 }
 
+/// Exit code reported when the guest watchdog terminates a hung payload
+/// (mirrors the `timeout(1)` convention).
+pub const WATCHDOG_EXIT_CODE: i64 = 124;
+
 /// The outcome of a simulation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
@@ -89,6 +93,10 @@ pub struct SimResult {
     pub exit_code: i64,
     /// Guest instructions executed by user programs.
     pub instructions: u64,
+    /// Whether the watchdog terminated a hung payload (instruction budget
+    /// exhausted). The serial log and image hold whatever the guest
+    /// produced before termination.
+    pub timed_out: bool,
 }
 
 impl SimResult {
@@ -97,9 +105,10 @@ impl SimResult {
         self.serial.lines().collect()
     }
 
-    /// Whether the payload exited successfully.
+    /// Whether the payload exited successfully (a watchdog-terminated run
+    /// is never a success, whatever its exit code).
     pub fn success(&self) -> bool {
-        self.exit_code == 0
+        self.exit_code == 0 && !self.timed_out
     }
 }
 
@@ -170,8 +179,21 @@ mod tests {
             image: None,
             exit_code: 0,
             instructions: 10,
+            timed_out: false,
         };
         assert_eq!(r.serial_lines(), vec!["a", "b"]);
         assert!(r.success());
+    }
+
+    #[test]
+    fn timed_out_runs_are_not_successful() {
+        let r = SimResult {
+            serial: String::new(),
+            image: None,
+            exit_code: 0,
+            instructions: 10,
+            timed_out: true,
+        };
+        assert!(!r.success());
     }
 }

@@ -51,9 +51,7 @@ impl Spike {
             }
         }
         if !config.features.is_empty() {
-            config
-                .extra_args
-                .push(format!("(custom binary: {name})"));
+            config.extra_args.push(format!("(custom binary: {name})"));
         }
         Spike {
             config,

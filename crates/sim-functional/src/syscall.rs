@@ -98,9 +98,7 @@ impl UserBus {
 
     /// Whether an address falls inside the mapped remote window.
     pub fn is_remote(&self, addr: u64) -> bool {
-        self.remote
-            .as_ref()
-            .is_some_and(|r| r.contains(addr, 1))
+        self.remote.as_ref().is_some_and(|r| r.contains(addr, 1))
     }
 
     /// The local memory (for loaders and argument setup).
@@ -224,10 +222,7 @@ impl UserRunner {
                 self.flush_files(os);
                 Ok(UserStep::Exited(134))
             }
-            Err(trap) => Err(SimError::Trap(format!(
-                "{trap} (pc {:#x})",
-                self.cpu.pc
-            ))),
+            Err(trap) => Err(SimError::Trap(format!("{trap} (pc {:#x})", self.cpu.pc))),
         }
     }
 
@@ -656,7 +651,11 @@ fail:
 
     #[test]
     fn trap_reports_pc() {
-        let exe = assemble("_start:\n li t0, 0x7f000000\n ld a0, 0(t0)\n", abi::USER_BASE).unwrap();
+        let exe = assemble(
+            "_start:\n li t0, 0x7f000000\n ld a0, 0(t0)\n",
+            abi::USER_BASE,
+        )
+        .unwrap();
         let mut runner = UserRunner::new(&exe, &[]).unwrap();
         let mut os = TestOs::default();
         match runner.run(&mut os, 1000) {

@@ -171,9 +171,8 @@ impl TagePredictor {
             } else {
                 i as f64 / (tables - 1) as f64
             };
-            let len = (min_history as f64
-                * (max_history as f64 / min_history as f64).powf(f))
-            .round() as u32;
+            let len = (min_history as f64 * (max_history as f64 / min_history as f64).powf(f))
+                .round() as u32;
             history_lengths.push(len.clamp(1, 127));
         }
         TagePredictor {
@@ -212,8 +211,8 @@ impl TagePredictor {
         let len = self.history_lengths[table];
         let idx_hist = self.folded_history(len, 10);
         let tag_hist = self.folded_history(len, 11);
-        let index = (((pc >> 2) ^ idx_hist ^ (table as u64).wrapping_mul(0x9e37))
-            & self.table_mask) as usize;
+        let index = (((pc >> 2) ^ idx_hist ^ (table as u64).wrapping_mul(0x9e37)) & self.table_mask)
+            as usize;
         let tag = ((((pc >> 2) >> 4) ^ tag_hist ^ (table as u64) << 7) & 0x3ff) as u16 | 1;
         (index, tag)
     }
@@ -425,7 +424,10 @@ mod tests {
             acc_g > acc_b + 0.15,
             "gshare {acc_g:.3} should beat bimodal {acc_b:.3}"
         );
-        assert!(acc_g > 0.95, "gshare should nail a period-3 pattern: {acc_g:.3}");
+        assert!(
+            acc_g > 0.95,
+            "gshare should nail a period-3 pattern: {acc_g:.3}"
+        );
     }
 
     #[test]

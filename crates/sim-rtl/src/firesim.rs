@@ -105,6 +105,11 @@ impl Executor for TimedExecutor {
         loop {
             let executed = runner.cpu.instret - start_insts;
             if executed > budget {
+                // Account the consumed budget so `remaining_budget()`
+                // reports exhaustion — the boot-flow watchdog relies on
+                // this to recognise a hung guest (see FunctionalExecutor).
+                let cycles = self.pipeline.counters().cycles - start_cycles;
+                os.account(budget, cycles);
                 return Err(SimError::Budget { limit: budget });
             }
             // Make rdcycle observe modelled time.
@@ -135,6 +140,10 @@ impl Executor for TimedExecutor {
 }
 
 /// What a cluster node runs.
+///
+/// The `Linux` variant dominates in size and in frequency — boxing it would
+/// add an allocation per node for no saving in the common case.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum NodePayload {
     /// A Linux workload: boot binary plus optional disk image.
@@ -198,8 +207,7 @@ impl FireSim {
     fn sim_config(&self) -> SimConfig {
         let mut cfg = SimConfig::new(SimKind::CycleExact);
         cfg.max_instructions = self.max_instructions;
-        cfg.extra_args
-            .push(format!("+config={}", self.hw.name));
+        cfg.extra_args.push(format!("+config={}", self.hw.name));
         cfg
     }
 
@@ -268,11 +276,15 @@ impl FireSim {
         let mut exec = TimedExecutor::new(&self.hw);
         let mut runner = UserRunner::new(&exe, &[])?;
         runner.bus.enable_uart();
-        let (exit_code, instructions) = loop {
+        let (exit_code, instructions, timed_out) = loop {
             if runner.cpu.instret > self.max_instructions {
-                return Err(SimError::Budget {
-                    limit: self.max_instructions,
-                });
+                // Watchdog: terminate the hung guest but salvage the
+                // serial log and performance report gathered so far.
+                break (
+                    marshal_sim_functional::machine::WATCHDOG_EXIT_CODE,
+                    runner.cpu.instret,
+                    true,
+                );
             }
             runner.cpu.cycle = exec.pipeline.counters().cycles;
             match runner.step(&mut os)? {
@@ -282,20 +294,29 @@ impl FireSim {
                 UserStep::Syscall { sys } => {
                     exec.pipeline.syscall(sys);
                 }
-                UserStep::Exited(code) => break (code, runner.cpu.instret),
+                UserStep::Exited(code) => break (code, runner.cpu.instret, false),
             }
         };
         let report = self.report(&exec);
-        os.serial.push_str(&format!(
-            "firesim: exited with code {exit_code} after {} cycles\n",
-            report.counters.cycles
-        ));
+        if timed_out {
+            os.serial.push_str(&format!(
+                "firesim: watchdog: instruction budget exhausted ({} instructions); \
+                 terminating hung guest\n",
+                self.max_instructions
+            ));
+        } else {
+            os.serial.push_str(&format!(
+                "firesim: exited with code {exit_code} after {} cycles\n",
+                report.counters.cycles
+            ));
+        }
         Ok((
             SimResult {
                 serial: os.serial,
                 image: None,
                 exit_code,
                 instructions,
+                timed_out,
             },
             report,
         ))
@@ -540,7 +561,10 @@ l:      addi    t1, t1, -1
         let disk = disk_with(&branchy_program());
         let sim = FireSim::new(HardwareConfig::rocket());
         let (_, report) = sim.launch(&boot, Some(&disk), LaunchMode::Run).unwrap();
-        assert!(report.counters.kernel_cycles > 0, "syscalls cost kernel time");
+        assert!(
+            report.counters.kernel_cycles > 0,
+            "syscalls cost kernel time"
+        );
         assert!(report.counters.user_cycles > report.counters.kernel_cycles);
         assert!(report.real_time_secs() > 0.0);
         assert!(

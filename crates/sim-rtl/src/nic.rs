@@ -137,6 +137,9 @@ mod tests {
         let timings = nic.timings(4096);
         let mut mem = RemoteMemory::new(RemoteMode::Pfa, timings, 4096);
         let latency = mem.access(0);
-        assert!(latency >= nic.rdma_read(4096), "fault includes the network cost");
+        assert!(
+            latency >= nic.rdma_read(4096),
+            "fault includes the network cost"
+        );
     }
 }

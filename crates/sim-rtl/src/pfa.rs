@@ -91,11 +91,9 @@ impl PfaStats {
 
     /// Mean critical-path latency per fault.
     pub fn mean_latency(&self) -> u64 {
-        if self.faults == 0 {
-            0
-        } else {
-            self.critical_path_cycles() / self.faults
-        }
+        self.critical_path_cycles()
+            .checked_div(self.faults)
+            .unwrap_or(0)
     }
 
     /// Per-step mean latencies: `(step name, cycles)` — one bar group of

@@ -8,7 +8,7 @@
 //! architectural behaviour.
 
 use marshal_isa::inst::{Inst, Reg};
-use marshal_isa::interp::{Retired, RetireKind};
+use marshal_isa::interp::{RetireKind, Retired};
 
 use crate::bpred::{build_predictor, DirectionPredictor, ReturnAddressStack};
 use crate::cache::{Access, Cache, CacheStats};
@@ -430,7 +430,10 @@ leaf:
             &HardwareConfig::rocket().with_remote(RemoteMemConfig::SoftwarePaging(t)),
         );
         sw.retire(&retired, true);
-        assert!(sw.counters().kernel_cycles > 0, "sw paging stalls in kernel");
+        assert!(
+            sw.counters().kernel_cycles > 0,
+            "sw paging stalls in kernel"
+        );
 
         let mut hw = Pipeline::new(&HardwareConfig::rocket().with_remote(RemoteMemConfig::Pfa(t)));
         hw.retire(&retired, true);

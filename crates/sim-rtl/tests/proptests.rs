@@ -1,8 +1,10 @@
 //! Property-based tests on the micro-architectural models: cache
 //! invariants, predictor sanity, and remote-memory accounting.
+//!
+//! Uses the in-repo `marshal-qcheck` harness (offline build environment);
+//! every case derives from a fixed seed and replays deterministically.
 
-use proptest::prelude::*;
-
+use marshal_qcheck::cases;
 use marshal_sim_rtl::bpred::{
     build_predictor, BimodalPredictor, DirectionPredictor, GsharePredictor, TagePredictor,
 };
@@ -10,38 +12,47 @@ use marshal_sim_rtl::cache::{Access, Cache};
 use marshal_sim_rtl::config::{BpredConfig, CacheConfig};
 use marshal_sim_rtl::pfa::{RemoteMemory, RemoteMode, RemoteTimings};
 
-proptest! {
-    /// Misses never exceed accesses; repeating the same trace doubles
-    /// accesses but adds no cold misses beyond the first pass for traces
-    /// that fit in the cache.
-    #[test]
-    fn cache_miss_bounds(addrs in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+/// Misses never exceed accesses; stats count every access.
+#[test]
+fn cache_miss_bounds() {
+    cases(128, |rng| {
+        let addrs: Vec<u64> = (0..rng.range_usize(1, 200))
+            .map(|_| rng.range_u64(0, 1_000_000))
+            .collect();
         let mut c = Cache::new(CacheConfig::l1_16k());
         for a in &addrs {
             c.access(*a);
         }
         let s = c.stats();
-        prop_assert!(s.misses <= s.accesses);
-        prop_assert_eq!(s.accesses, addrs.len() as u64);
-    }
+        assert!(s.misses <= s.accesses);
+        assert_eq!(s.accesses, addrs.len() as u64);
+    });
+}
 
-    /// A working set that fits entirely in the cache reaches steady-state
-    /// all-hits.
-    #[test]
-    fn cache_small_working_set_hits(lines in 1u64..32) {
+/// A working set that fits entirely in the cache reaches steady-state
+/// all-hits.
+#[test]
+fn cache_small_working_set_hits() {
+    cases(64, |rng| {
+        let lines = rng.range_u64(1, 32);
         let mut c = Cache::new(CacheConfig::l1_16k());
         let addrs: Vec<u64> = (0..lines).map(|i| i * 64).collect();
         for a in &addrs {
             c.access(*a);
         }
         for a in &addrs {
-            prop_assert_eq!(c.access(*a), Access::Hit);
+            assert_eq!(c.access(*a), Access::Hit);
         }
-    }
+    });
+}
 
-    /// Caches are deterministic: the same trace gives the same stats.
-    #[test]
-    fn cache_deterministic(addrs in proptest::collection::vec(any::<u64>(), 1..100)) {
+/// Caches are deterministic: the same trace gives the same stats.
+#[test]
+fn cache_deterministic() {
+    cases(64, |rng| {
+        let addrs: Vec<u64> = (0..rng.range_usize(1, 100))
+            .map(|_| rng.any_u64())
+            .collect();
         let run = || {
             let mut c = Cache::new(CacheConfig::l1_16k());
             for a in &addrs {
@@ -49,15 +60,18 @@ proptest! {
             }
             c.stats()
         };
-        prop_assert_eq!(run(), run());
-    }
+        assert_eq!(run(), run());
+    });
+}
 
-    /// Every predictor predicts deterministically and trains without
-    /// panicking on arbitrary traces.
-    #[test]
-    fn predictors_total_and_deterministic(
-        trace in proptest::collection::vec((0u64..1024, any::<bool>()), 1..300)
-    ) {
+/// Every predictor predicts deterministically and trains without
+/// panicking on arbitrary traces.
+#[test]
+fn predictors_total_and_deterministic() {
+    cases(64, |rng| {
+        let trace: Vec<(u64, bool)> = (0..rng.range_usize(1, 300))
+            .map(|_| (rng.range_u64(0, 1024), rng.bool()))
+            .collect();
         for cfg in [
             BpredConfig::AlwaysTaken,
             BpredConfig::NeverTaken,
@@ -74,14 +88,18 @@ proptest! {
                 }
                 predictions
             };
-            prop_assert_eq!(run(&trace), run(&trace), "{:?}", cfg);
+            assert_eq!(run(&trace), run(&trace), "{cfg:?}");
         }
-    }
+    });
+}
 
-    /// On a perfectly biased branch every adaptive predictor converges to
-    /// at least 90% accuracy.
-    #[test]
-    fn adaptive_predictors_learn_bias(taken in any::<bool>(), pc in 0u64..4096) {
+/// On a perfectly biased branch every adaptive predictor converges to
+/// at least 90% accuracy.
+#[test]
+fn adaptive_predictors_learn_bias() {
+    cases(64, |rng| {
+        let taken = rng.bool();
+        let pc = rng.range_u64(0, 4096);
         let mut predictors: Vec<Box<dyn DirectionPredictor>> = vec![
             Box::new(BimodalPredictor::new(10)),
             Box::new(GsharePredictor::new(12, 12)),
@@ -95,37 +113,48 @@ proptest! {
                 }
                 p.update(pc * 4, taken);
             }
-            prop_assert!(correct >= 180, "{} got {correct}/200", p.name());
+            assert!(correct >= 180, "{} got {correct}/200", p.name());
         }
-    }
+    });
+}
 
-    /// Remote memory: fault count equals the number of distinct pages
-    /// touched, independent of access order or repetition.
-    #[test]
-    fn remote_faults_count_unique_pages(
-        offsets in proptest::collection::vec(0u64..(64 * 4096), 1..300),
-        pfa in any::<bool>(),
-    ) {
-        let mode = if pfa { RemoteMode::Pfa } else { RemoteMode::SoftwarePaging };
+/// Remote memory: fault count equals the number of distinct pages
+/// touched, independent of access order or repetition.
+#[test]
+fn remote_faults_count_unique_pages() {
+    cases(64, |rng| {
+        let offsets: Vec<u64> = (0..rng.range_usize(1, 300))
+            .map(|_| rng.range_u64(0, 64 * 4096))
+            .collect();
+        let mode = if rng.bool() {
+            RemoteMode::Pfa
+        } else {
+            RemoteMode::SoftwarePaging
+        };
         let mut m = RemoteMemory::new(mode, RemoteTimings::default(), 4096);
         let mut unique = std::collections::BTreeSet::new();
         for off in &offsets {
             m.access(*off);
             unique.insert(off / 4096);
         }
-        prop_assert_eq!(m.stats().faults, unique.len() as u64);
-        prop_assert_eq!(m.resident_pages(), unique.len());
-    }
+        assert_eq!(m.stats().faults, unique.len() as u64);
+        assert_eq!(m.resident_pages(), unique.len());
+    });
+}
 
-    /// The PFA's critical path is never longer than software paging for
-    /// the same trace.
-    #[test]
-    fn pfa_never_slower(offsets in proptest::collection::vec(0u64..(256 * 4096), 1..200)) {
+/// The PFA's critical path is never longer than software paging for
+/// the same trace.
+#[test]
+fn pfa_never_slower() {
+    cases(64, |rng| {
+        let offsets: Vec<u64> = (0..rng.range_usize(1, 200))
+            .map(|_| rng.range_u64(0, 256 * 4096))
+            .collect();
         let t = RemoteTimings::default();
         let mut sw = RemoteMemory::new(RemoteMode::SoftwarePaging, t, 4096);
         let mut hw = RemoteMemory::new(RemoteMode::Pfa, t, 4096);
         let sw_total: u64 = offsets.iter().map(|o| sw.access(*o)).sum();
         let hw_total: u64 = offsets.iter().map(|o| hw.access(*o)).sum();
-        prop_assert!(hw_total <= sw_total);
-    }
+        assert!(hw_total <= sw_total);
+    });
 }

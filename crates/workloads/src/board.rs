@@ -22,8 +22,12 @@ pub fn chipyard_board() -> Board {
         ("iceblk".to_owned(), "iceblk-v1".to_owned()),
         ("icenet".to_owned(), "icenet-v1".to_owned()),
     ];
-    board.distro_images.insert("buildroot".to_owned(), buildroot_image());
-    board.distro_images.insert("fedora".to_owned(), fedora_image());
+    board
+        .distro_images
+        .insert("buildroot".to_owned(), buildroot_image());
+    board
+        .distro_images
+        .insert("fedora".to_owned(), fedora_image());
     board
 }
 
@@ -33,19 +37,40 @@ fn buildroot_image() -> FsImage {
     let w = |img: &mut FsImage, p: &str, d: &[u8]| {
         img.write_file(p, d).expect("static path");
     };
-    w(&mut img, "/etc/os-release", b"NAME=Buildroot\nVERSION_ID=2020.02\nID=buildroot\n");
+    w(
+        &mut img,
+        "/etc/os-release",
+        b"NAME=Buildroot\nVERSION_ID=2020.02\nID=buildroot\n",
+    );
     w(&mut img, "/etc/hostname", b"buildroot");
     w(&mut img, "/etc/passwd", b"root::0:0:root:/root:/bin/sh\n");
-    w(&mut img, "/etc/profile", b"# buildroot profile\nexport PATH=/bin:/usr/bin\n");
+    w(
+        &mut img,
+        "/etc/profile",
+        b"# buildroot profile\nexport PATH=/bin:/usr/bin\n",
+    );
     img.mkdir_p("/etc/init.d").expect("static path");
     img.write_exec("/etc/init.d/S01syslogd", b"#!mscript\n# start syslog\n")
         .expect("static path");
     img.write_exec("/etc/init.d/S40network", b"#!mscript\n# bring up network\n")
         .expect("static path");
-    img.write_exec("/bin/busybox", b"#!mscript\nprint(\"BusyBox v1.31 multi-call binary\")\n")
-        .expect("static path");
+    img.write_exec(
+        "/bin/busybox",
+        b"#!mscript\nprint(\"BusyBox v1.31 multi-call binary\")\n",
+    )
+    .expect("static path");
     img.symlink("/bin/sh", "busybox").expect("static path");
-    for dir in ["/bin", "/usr/bin", "/root", "/tmp", "/output", "/dev", "/proc", "/sys", "/lib/modules"] {
+    for dir in [
+        "/bin",
+        "/usr/bin",
+        "/root",
+        "/tmp",
+        "/output",
+        "/dev",
+        "/proc",
+        "/sys",
+        "/lib/modules",
+    ] {
         img.mkdir_p(dir).expect("static path");
     }
     img
@@ -58,7 +83,11 @@ fn fedora_image() -> FsImage {
     let w = |img: &mut FsImage, p: &str, d: &[u8]| {
         img.write_file(p, d).expect("static path");
     };
-    w(&mut img, "/etc/os-release", b"NAME=Fedora\nVERSION_ID=31\nID=fedora\n");
+    w(
+        &mut img,
+        "/etc/os-release",
+        b"NAME=Fedora\nVERSION_ID=31\nID=fedora\n",
+    );
     w(&mut img, "/etc/hostname", b"fedora-riscv");
     w(&mut img, "/etc/passwd", b"root::0:0:root:/root:/bin/bash\n");
     img.mkdir_p("/etc/systemd/system/multi-user.target.wants")
@@ -68,8 +97,11 @@ fn fedora_image() -> FsImage {
         "/etc/systemd/system/getty.target",
         b"[Unit]\nDescription=Login Prompts\n",
     );
-    img.write_exec("/bin/bash", b"#!mscript\nprint(\"GNU bash, version 5.0\")\n")
-        .expect("static path");
+    img.write_exec(
+        "/bin/bash",
+        b"#!mscript\nprint(\"GNU bash, version 5.0\")\n",
+    )
+    .expect("static path");
     img.write_exec("/usr/bin/dnf", b"#!mscript\nprint(\"dnf (modelled)\")\n")
         .expect("static path");
     for dir in [
@@ -98,7 +130,10 @@ mod tests {
     fn board_provides_case_study_pieces() {
         let b = chipyard_board();
         assert_eq!(b.name, "chipyard-rocket");
-        assert!(b.kernel_source(Some("pfa-linux")).unwrap().has_feature("pfa"));
+        assert!(b
+            .kernel_source(Some("pfa-linux"))
+            .unwrap()
+            .has_feature("pfa"));
         assert_eq!(b.drivers.len(), 2);
         let br = b.distro_image("buildroot").unwrap();
         assert!(br.exists("/etc/init.d/S01syslogd"));

@@ -168,7 +168,10 @@ pub fn known_checksum() -> u64 {
         .lines()
         .find(|l| l.starts_with("coremark checksum: "))
         .expect("checksum line");
-    line["coremark checksum: ".len()..].trim().parse().expect("numeric checksum")
+    line["coremark checksum: ".len()..]
+        .trim()
+        .parse()
+        .expect("numeric checksum")
 }
 
 #[cfg(test)]

@@ -29,15 +29,27 @@ pub const NAMES: [&str; 10] = [
 /// Returns `(name, full assembly source)` for every benchmark.
 pub fn benchmarks() -> Vec<(&'static str, String)> {
     vec![
-        ("600.perlbench_s", compose_benchmark("600.perlbench_s", PERLBENCH)),
+        (
+            "600.perlbench_s",
+            compose_benchmark("600.perlbench_s", PERLBENCH),
+        ),
         ("602.gcc_s", compose_benchmark("602.gcc_s", GCC)),
         ("605.mcf_s", compose_benchmark("605.mcf_s", MCF)),
         ("620.omnetpp_s", compose_benchmark("620.omnetpp_s", OMNETPP)),
-        ("623.xalancbmk_s", compose_benchmark("623.xalancbmk_s", XALANCBMK)),
+        (
+            "623.xalancbmk_s",
+            compose_benchmark("623.xalancbmk_s", XALANCBMK),
+        ),
         ("625.x264_s", compose_benchmark("625.x264_s", X264)),
-        ("631.deepsjeng_s", compose_benchmark("631.deepsjeng_s", DEEPSJENG)),
+        (
+            "631.deepsjeng_s",
+            compose_benchmark("631.deepsjeng_s", DEEPSJENG),
+        ),
         ("641.leela_s", compose_benchmark("641.leela_s", LEELA)),
-        ("648.exchange2_s", compose_benchmark("648.exchange2_s", EXCHANGE2)),
+        (
+            "648.exchange2_s",
+            compose_benchmark("648.exchange2_s", EXCHANGE2),
+        ),
         ("657.xz_s", compose_benchmark("657.xz_s", XZ)),
     ]
 }
@@ -811,8 +823,7 @@ mod tests {
     #[test]
     fn all_benchmarks_assemble_and_run() {
         for (name, source) in benchmarks() {
-            let exe = assemble(&source, abi::USER_BASE)
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let exe = assemble(&source, abi::USER_BASE).unwrap_or_else(|e| panic!("{name}: {e}"));
             let result = Qemu::new()
                 .launch_bare(&exe.to_bytes())
                 .unwrap_or_else(|e| panic!("{name}: {e}"));

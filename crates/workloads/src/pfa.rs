@@ -212,7 +212,10 @@ mod tests {
             marshal_config::WorkloadSpec::parse_str(PFA_BASE_JSON, "pfa-base.json").unwrap();
         assert!(w.is_empty());
         assert_eq!(base.spike.as_deref(), Some("pfa-spike"));
-        assert_eq!(base.linux.as_ref().unwrap().source.as_deref(), Some("pfa-linux"));
+        assert_eq!(
+            base.linux.as_ref().unwrap().source.as_deref(),
+            Some("pfa-linux")
+        );
 
         let (lat, w) =
             marshal_config::WorkloadSpec::parse_str(LATENCY_JSON, "latency.json").unwrap();

@@ -158,11 +158,17 @@ mod tests {
         let root = tmpdir("hello");
         let s = setup(&root).unwrap();
         let mut builder = Builder::new(s.board, s.search, root.join("work")).unwrap();
-        let products = builder.build("hello.json", &BuildOptions::default()).unwrap();
+        let products = builder
+            .build("hello.json", &BuildOptions::default())
+            .unwrap();
         assert_eq!(products.jobs.len(), 1);
-        let run = launch::launch_workload(&builder, &products).unwrap();
+        let run = launch::launch_workload(&builder, &products, &Default::default()).unwrap();
         let out = &run.jobs[0];
-        assert!(out.serial.contains("Hello from FireMarshal!"), "{}", out.serial);
+        assert!(
+            out.serial.contains("Hello from FireMarshal!"),
+            "{}",
+            out.serial
+        );
         assert!(out.serial.contains("hello checksum: 42"));
         assert_eq!(out.exit_code, 0);
         assert!(out.job_dir.join("uartlog").exists());
@@ -175,9 +181,13 @@ mod tests {
         let root = tmpdir("hellotest");
         let s = setup(&root).unwrap();
         let mut builder = Builder::new(s.board, s.search, root.join("work")).unwrap();
-        let outcomes =
-            marshal_core::test::test_workload(&mut builder, "hello.json", &Default::default())
-                .unwrap();
+        let outcomes = marshal_core::test::test_workload(
+            &mut builder,
+            "hello.json",
+            &Default::default(),
+            &Default::default(),
+        )
+        .unwrap();
         assert!(outcomes.iter().all(|o| o.passed()), "{outcomes:?}");
         assert!(matches!(outcomes[0], marshal_core::TestOutcome::Pass));
         std::fs::remove_dir_all(root).unwrap();

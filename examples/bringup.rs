@@ -13,7 +13,8 @@
 //! cargo run --release --example bringup
 //! ```
 
-use marshal_core::{install, launch, BuildOptions, Builder, TestOutcome};
+use marshal_core::faultinject::{FaultKind, Injector};
+use marshal_core::{install, launch, BuildOptions, Builder, MarshalError, TestOutcome};
 use marshal_sim_rtl::HardwareConfig;
 
 fn outcome_str(o: &TestOutcome) -> &'static str {
@@ -21,6 +22,7 @@ fn outcome_str(o: &TestOutcome) -> &'static str {
         TestOutcome::Pass => "PASS",
         TestOutcome::NoReference => "pass*",
         TestOutcome::Fail { .. } => "FAIL",
+        TestOutcome::TimedOut { .. } => "HUNG",
     }
 }
 
@@ -42,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let products = builder.build(name, &BuildOptions::default())?;
 
         // (a) functional simulation — the golden reference behaviour.
-        let run = launch::launch_workload(&builder, &products)?;
+        let run = launch::launch_workload(&builder, &products, &Default::default())?;
         let functional = marshal_core::test::compare_run(
             &products,
             &run.jobs
@@ -66,25 +68,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         //     the first Linux job's payload binary on the disk image.
         let mut faulty_outcomes = Vec::new();
         for (i, job) in manifest.jobs.iter().enumerate() {
-            let serial = if job.kind == "linux" && job.disk.is_some() && i == 0 {
-                let boot = marshal_firmware::BootBinary::from_bytes(&std::fs::read(
-                    &job.primary,
-                )?)
-                .expect("healthy boot binary");
-                let mut disk = marshal_image::FsImage::from_bytes(&std::fs::read(
-                    job.disk.as_ref().unwrap(),
-                )?)
-                .expect("healthy disk image");
+            let serial = if let (0, "linux", Some(disk_path)) = (i, job.kind.as_str(), &job.disk) {
+                let boot = marshal_firmware::BootBinary::from_bytes(&std::fs::read(&job.primary)?)
+                    .expect("healthy boot binary");
+                let mut disk = marshal_image::FsImage::from_bytes(&std::fs::read(disk_path)?)
+                    .expect("healthy disk image");
                 // Corrupt the first program under /bin — a single flipped
-                // bit, as a marginal flash cell would produce.
+                // bit, as a marginal flash cell would produce. The seeded
+                // injector makes the fault replay bit-for-bit, so a
+                // divergence seen here is debuggable later.
+                let mut inj = Injector::new(0xb117_f11b);
                 if let Ok(entries) = disk.list_dir("/bin") {
                     for entry in entries {
                         let path = format!("/bin/{entry}");
                         if let Ok(data) = disk.read_file(&path) {
                             if marshal_isa::MexeFile::sniff(data) {
                                 let mut data = data.to_vec();
-                                let idx = 64; // inside the text segment
-                                data[idx] ^= 0x04;
+                                // Flip past the header so the program still
+                                // loads and misbehaves, like real silicon.
+                                let mut text = data.split_off(64.min(data.len()));
+                                inj.corrupt_bytes(&mut text, FaultKind::BitFlip);
+                                data.extend_from_slice(&text);
                                 disk.write_exec(&path, &data).unwrap();
                                 break;
                             }
@@ -133,6 +137,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              the software stack. Exactly the §VI bring-up localisation."
         );
     }
+    // --- Artifact integrity ------------------------------------------------
+    // The same fault injector against the work directory itself: a damaged
+    // artifact is refused with an actionable error instead of being booted,
+    // and `build --force` rebuilds it from sources.
+    println!("\nartifact integrity:");
+    let products = builder.build("hello.json", &BuildOptions::default())?;
+    let artifact = match &products.jobs[0].kind {
+        marshal_core::JobKind::Linux { boot_path, .. } => boot_path.clone(),
+        marshal_core::JobKind::Bare { bin_path } => bin_path.clone(),
+    };
+    let mut inj = Injector::new(0x0ddba11);
+    inj.corrupt_file(&artifact, FaultKind::Garbage)?;
+    match launch::launch_workload(&builder, &products, &Default::default()) {
+        Err(MarshalError::Corrupt(msg)) => println!("  detected: {msg}"),
+        other => println!("  corruption was NOT detected: {other:?}"),
+    }
+    let products = builder.build(
+        "hello.json",
+        &BuildOptions {
+            force: true,
+            ..Default::default()
+        },
+    )?;
+    let run = launch::launch_workload(&builder, &products, &Default::default())?;
+    println!(
+        "  recovered with --force: job `{}` exited {}",
+        run.jobs[0].job, run.jobs[0].exit_code
+    );
+
     let _ = std::fs::remove_dir_all(root);
     Ok(())
 }

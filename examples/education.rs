@@ -175,15 +175,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let setup = marshal_workloads::setup(&root)?;
         let mut search = setup.search;
         search.add_dir(&dir);
-        let mut builder = Builder::new(
-            setup.board,
-            search,
-            root.join(format!("work-{variant}")),
-        )?;
+        let mut builder = Builder::new(setup.board, search, root.join(format!("work-{variant}")))?;
         let products = builder.build("assignment.json", &BuildOptions::default())?;
 
         // Development loop: fast functional simulation + reference test.
-        let run = launch::launch_workload(&builder, &products)?;
+        let run = launch::launch_workload(&builder, &products, &Default::default())?;
         let outcomes = marshal_core::test::compare_run(
             &products,
             &[(run.jobs[0].job.clone(), run.jobs[0].serial.clone())],
@@ -192,10 +188,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // Grading: deterministic cycle-exact measurement, twice (student
         // and staff must agree to the cycle).
-        let student =
-            install::run_job_cycle_exact(&products.jobs[0], hw.clone())?.report.counters.cycles;
-        let staff =
-            install::run_job_cycle_exact(&products.jobs[0], hw.clone())?.report.counters.cycles;
+        let student = install::run_job_cycle_exact(&products.jobs[0], hw.clone())?
+            .report
+            .counters
+            .cycles;
+        let staff = install::run_job_cycle_exact(&products.jobs[0], hw.clone())?
+            .report
+            .counters
+            .cycles;
         assert_eq!(student, staff, "grading must be reproducible");
         println!("[{variant}] graded cycles: {student} (staff re-run: {staff})\n");
         graded.push((variant, student));

@@ -26,8 +26,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Phase 1: functional verification on the golden model ------------
     println!("\n== functional verification (pfa-spike golden model) ==");
-    let run = launch::launch_workload(&builder, &products)?;
-    for line in run.jobs[0].serial.lines().filter(|l| l.contains("latency-ubench")) {
+    let run = launch::launch_workload(&builder, &products, &Default::default())?;
+    for line in run.jobs[0]
+        .serial
+        .lines()
+        .filter(|l| l.contains("latency-ubench"))
+    {
         println!("  | {line}");
     }
     let outcomes = marshal_core::test::compare_run(
@@ -42,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Phase 2: cycle-exact runs, baseline vs. PFA ----------------------
     let timings = RemoteTimings::default();
     let configs = [
-        ("software-paging (baseline)", RemoteMemConfig::SoftwarePaging(timings)),
+        (
+            "software-paging (baseline)",
+            RemoteMemConfig::SoftwarePaging(timings),
+        ),
         ("page-fault accelerator", RemoteMemConfig::Pfa(timings)),
     ];
     let mut reports = Vec::new();

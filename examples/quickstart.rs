@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. `marshal launch hello.json` — run in functional simulation.
     println!("\n== launch (functional simulation) ==");
-    let run = launch::launch_workload(&builder, &products)?;
+    let run = launch::launch_workload(&builder, &products, &Default::default())?;
     for line in run.jobs[0].serial.lines() {
         println!("  | {line}");
     }

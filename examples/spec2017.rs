@@ -29,14 +29,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut scores: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
     for hw in [HardwareConfig::boom_gshare(), HardwareConfig::boom_tage()] {
         let config_name = hw.name.clone();
-        println!("\nrunning {config_name} ({} parallel nodes)...", manifest.jobs.len());
+        println!(
+            "\nrunning {config_name} ({} parallel nodes)...",
+            manifest.jobs.len()
+        );
         let nodes = install::run_installed(&manifest, hw, true)?;
 
         // Collect per-node outputs the way FireSim hands them back, then
         // run the workload's own post-run hook to produce Listing 3's CSV.
-        let run_root = builder
-            .run_dir(&products.workload)
-            .join(&config_name);
+        let run_root = builder.run_dir(&products.workload).join(&config_name);
         let mut job_dirs = Vec::new();
         for node in &nodes {
             let job_dir = run_root.join(&node.name);
@@ -87,7 +88,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Fig. 6: score per benchmark, both configurations ----------------
     println!("\n=== Fig. 6: SPEC2017 intspeed scores (higher is better) ===");
-    println!("{:>18} {:>12} {:>12} {:>8}", "benchmark", "boom-gshare", "boom-tage", "tage/gs");
+    println!(
+        "{:>18} {:>12} {:>12} {:>8}",
+        "benchmark", "boom-gshare", "boom-tage", "tage/gs"
+    );
     let mut gshare_prod = 1.0f64;
     let mut tage_prod = 1.0f64;
     let mut n = 0u32;

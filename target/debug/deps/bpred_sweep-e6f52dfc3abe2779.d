@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bpred_sweep-e6f52dfc3abe2779.d: crates/bench/benches/bpred_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbpred_sweep-e6f52dfc3abe2779.rmeta: crates/bench/benches/bpred_sweep.rs Cargo.toml
+
+crates/bench/benches/bpred_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/build_outputs-0ea62a1a06145d9c.d: tests/build_outputs.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbuild_outputs-0ea62a1a06145d9c.rmeta: tests/build_outputs.rs tests/common/mod.rs Cargo.toml
+
+tests/build_outputs.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

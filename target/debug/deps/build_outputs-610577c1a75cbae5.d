@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/build_outputs-610577c1a75cbae5.d: tests/build_outputs.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/build_outputs-610577c1a75cbae5: tests/build_outputs.rs tests/common/mod.rs
+
+tests/build_outputs.rs:
+tests/common/mod.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/build_outputs-7dcf06e1675812db.d: tests/build_outputs.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/build_outputs-7dcf06e1675812db: tests/build_outputs.rs tests/common/mod.rs
+
+tests/build_outputs.rs:
+tests/common/mod.rs:

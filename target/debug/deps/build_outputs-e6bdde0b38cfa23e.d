@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/build_outputs-e6bdde0b38cfa23e.d: crates/bench/benches/build_outputs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbuild_outputs-e6bdde0b38cfa23e.rmeta: crates/bench/benches/build_outputs.rs Cargo.toml
+
+crates/bench/benches/build_outputs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

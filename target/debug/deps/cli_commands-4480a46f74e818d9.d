@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cli_commands-4480a46f74e818d9.d: tests/cli_commands.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli_commands-4480a46f74e818d9.rmeta: tests/cli_commands.rs tests/common/mod.rs Cargo.toml
+
+tests/cli_commands.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_marshal=placeholder:marshal
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cli_commands-ea80ef6e8ff853b7.d: tests/cli_commands.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/cli_commands-ea80ef6e8ff853b7: tests/cli_commands.rs tests/common/mod.rs
+
+tests/cli_commands.rs:
+tests/common/mod.rs:
+
+# env-dep:CARGO_BIN_EXE_marshal=/root/repo/target/debug/marshal

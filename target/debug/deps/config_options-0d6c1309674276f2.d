@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/config_options-0d6c1309674276f2.d: tests/config_options.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconfig_options-0d6c1309674276f2.rmeta: tests/config_options.rs tests/common/mod.rs Cargo.toml
+
+tests/config_options.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/config_options-18ffb6b7b66798b2.d: tests/config_options.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/config_options-18ffb6b7b66798b2: tests/config_options.rs tests/common/mod.rs
+
+tests/config_options.rs:
+tests/common/mod.rs:

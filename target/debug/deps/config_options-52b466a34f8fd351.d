@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/config_options-52b466a34f8fd351.d: tests/config_options.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/config_options-52b466a34f8fd351: tests/config_options.rs tests/common/mod.rs
+
+tests/config_options.rs:
+tests/common/mod.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/csv_output-17f7a12cca041720.d: tests/csv_output.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/csv_output-17f7a12cca041720: tests/csv_output.rs tests/common/mod.rs
+
+tests/csv_output.rs:
+tests/common/mod.rs:

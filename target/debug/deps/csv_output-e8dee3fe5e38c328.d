@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/csv_output-e8dee3fe5e38c328.d: tests/csv_output.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/csv_output-e8dee3fe5e38c328: tests/csv_output.rs tests/common/mod.rs
+
+tests/csv_output.rs:
+tests/common/mod.rs:

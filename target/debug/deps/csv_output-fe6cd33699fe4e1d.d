@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/csv_output-fe6cd33699fe4e1d.d: tests/csv_output.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsv_output-fe6cd33699fe4e1d.rmeta: tests/csv_output.rs tests/common/mod.rs Cargo.toml
+
+tests/csv_output.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

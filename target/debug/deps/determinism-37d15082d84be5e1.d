@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/determinism-37d15082d84be5e1.d: tests/determinism.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-37d15082d84be5e1.rmeta: tests/determinism.rs tests/common/mod.rs Cargo.toml
+
+tests/determinism.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/determinism-3f8531de611754fd.d: tests/determinism.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/determinism-3f8531de611754fd: tests/determinism.rs tests/common/mod.rs
+
+tests/determinism.rs:
+tests/common/mod.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/determinism-805169a0926903ae.d: tests/determinism.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/determinism-805169a0926903ae: tests/determinism.rs tests/common/mod.rs
+
+tests/determinism.rs:
+tests/common/mod.rs:

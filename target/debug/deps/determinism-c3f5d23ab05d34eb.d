@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-c3f5d23ab05d34eb.d: crates/bench/benches/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-c3f5d23ab05d34eb.rmeta: crates/bench/benches/determinism.rs Cargo.toml
+
+crates/bench/benches/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

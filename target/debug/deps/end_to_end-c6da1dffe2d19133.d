@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/end_to_end-c6da1dffe2d19133.d: tests/end_to_end.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/end_to_end-c6da1dffe2d19133: tests/end_to_end.rs tests/common/mod.rs
+
+tests/end_to_end.rs:
+tests/common/mod.rs:

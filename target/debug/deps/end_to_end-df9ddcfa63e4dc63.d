@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/end_to_end-df9ddcfa63e4dc63.d: tests/end_to_end.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end-df9ddcfa63e4dc63.rmeta: tests/end_to_end.rs tests/common/mod.rs Cargo.toml
+
+tests/end_to_end.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/end_to_end-ec0a3299ea153b74.d: tests/end_to_end.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/end_to_end-ec0a3299ea153b74: tests/end_to_end.rs tests/common/mod.rs
+
+tests/end_to_end.rs:
+tests/common/mod.rs:

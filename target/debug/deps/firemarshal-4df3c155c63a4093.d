@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/firemarshal-4df3c155c63a4093.d: src/lib.rs
+
+/root/repo/target/debug/deps/firemarshal-4df3c155c63a4093: src/lib.rs
+
+src/lib.rs:

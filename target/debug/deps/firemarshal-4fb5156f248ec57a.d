@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/firemarshal-4fb5156f248ec57a.d: src/lib.rs
+
+/root/repo/target/debug/deps/firemarshal-4fb5156f248ec57a: src/lib.rs
+
+src/lib.rs:

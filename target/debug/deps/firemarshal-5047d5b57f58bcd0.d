@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/firemarshal-5047d5b57f58bcd0.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfiremarshal-5047d5b57f58bcd0.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfiremarshal-5047d5b57f58bcd0.rmeta: src/lib.rs
+
+src/lib.rs:

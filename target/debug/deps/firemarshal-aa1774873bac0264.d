@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/firemarshal-aa1774873bac0264.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfiremarshal-aa1774873bac0264.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfiremarshal-aa1774873bac0264.rmeta: src/lib.rs
+
+src/lib.rs:

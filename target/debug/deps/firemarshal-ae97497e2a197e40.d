@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/firemarshal-ae97497e2a197e40.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfiremarshal-ae97497e2a197e40.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

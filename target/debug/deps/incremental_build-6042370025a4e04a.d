@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/incremental_build-6042370025a4e04a.d: crates/bench/benches/incremental_build.rs Cargo.toml
+
+/root/repo/target/debug/deps/libincremental_build-6042370025a4e04a.rmeta: crates/bench/benches/incremental_build.rs Cargo.toml
+
+crates/bench/benches/incremental_build.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

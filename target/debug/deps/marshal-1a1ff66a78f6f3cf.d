@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/marshal-1a1ff66a78f6f3cf.d: src/bin/marshal.rs
+
+/root/repo/target/debug/deps/marshal-1a1ff66a78f6f3cf: src/bin/marshal.rs
+
+src/bin/marshal.rs:

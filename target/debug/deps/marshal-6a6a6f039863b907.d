@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/marshal-6a6a6f039863b907.d: src/bin/marshal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmarshal-6a6a6f039863b907.rmeta: src/bin/marshal.rs Cargo.toml
+
+src/bin/marshal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

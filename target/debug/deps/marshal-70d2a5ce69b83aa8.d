@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/marshal-70d2a5ce69b83aa8.d: src/bin/marshal.rs
+
+/root/repo/target/debug/deps/marshal-70d2a5ce69b83aa8: src/bin/marshal.rs
+
+src/bin/marshal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/marshal-94e64c7694e28aef.d: src/bin/marshal.rs
+
+/root/repo/target/debug/deps/marshal-94e64c7694e28aef: src/bin/marshal.rs
+
+src/bin/marshal.rs:

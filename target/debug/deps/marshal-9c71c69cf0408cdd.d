@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/marshal-9c71c69cf0408cdd.d: src/bin/marshal.rs
+
+/root/repo/target/debug/deps/marshal-9c71c69cf0408cdd: src/bin/marshal.rs
+
+src/bin/marshal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/marshal_bench-5805918958222c08.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/marshal_bench-5805918958222c08: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

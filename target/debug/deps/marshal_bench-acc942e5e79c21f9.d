@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/marshal_bench-acc942e5e79c21f9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/marshal_bench-acc942e5e79c21f9: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

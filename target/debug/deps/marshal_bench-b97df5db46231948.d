@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/marshal_bench-b97df5db46231948.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmarshal_bench-b97df5db46231948.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmarshal_bench-b97df5db46231948.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/marshal_bench-bf6e3993d04ef436.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmarshal_bench-bf6e3993d04ef436.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmarshal_bench-bf6e3993d04ef436.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/marshal_bench-c6cf3385cb2f5f63.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmarshal_bench-c6cf3385cb2f5f63.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/marshal_bench-f3c53950b6e4306e.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmarshal_bench-f3c53950b6e4306e.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/marshal_config-0c6d670a42757eff.d: crates/config/src/lib.rs crates/config/src/error.rs crates/config/src/inherit.rs crates/config/src/jobs.rs crates/config/src/json.rs crates/config/src/schema.rs crates/config/src/search.rs crates/config/src/value.rs crates/config/src/yaml.rs
+
+/root/repo/target/debug/deps/marshal_config-0c6d670a42757eff: crates/config/src/lib.rs crates/config/src/error.rs crates/config/src/inherit.rs crates/config/src/jobs.rs crates/config/src/json.rs crates/config/src/schema.rs crates/config/src/search.rs crates/config/src/value.rs crates/config/src/yaml.rs
+
+crates/config/src/lib.rs:
+crates/config/src/error.rs:
+crates/config/src/inherit.rs:
+crates/config/src/jobs.rs:
+crates/config/src/json.rs:
+crates/config/src/schema.rs:
+crates/config/src/search.rs:
+crates/config/src/value.rs:
+crates/config/src/yaml.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/marshal_config-516a00cdb129df18.d: crates/config/src/lib.rs crates/config/src/error.rs crates/config/src/inherit.rs crates/config/src/jobs.rs crates/config/src/json.rs crates/config/src/schema.rs crates/config/src/search.rs crates/config/src/value.rs crates/config/src/yaml.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmarshal_config-516a00cdb129df18.rmeta: crates/config/src/lib.rs crates/config/src/error.rs crates/config/src/inherit.rs crates/config/src/jobs.rs crates/config/src/json.rs crates/config/src/schema.rs crates/config/src/search.rs crates/config/src/value.rs crates/config/src/yaml.rs Cargo.toml
+
+crates/config/src/lib.rs:
+crates/config/src/error.rs:
+crates/config/src/inherit.rs:
+crates/config/src/jobs.rs:
+crates/config/src/json.rs:
+crates/config/src/schema.rs:
+crates/config/src/search.rs:
+crates/config/src/value.rs:
+crates/config/src/yaml.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/marshal_config-71c1bab6229a6617.d: crates/config/src/lib.rs crates/config/src/error.rs crates/config/src/inherit.rs crates/config/src/jobs.rs crates/config/src/json.rs crates/config/src/schema.rs crates/config/src/search.rs crates/config/src/value.rs crates/config/src/yaml.rs
+
+/root/repo/target/debug/deps/libmarshal_config-71c1bab6229a6617.rlib: crates/config/src/lib.rs crates/config/src/error.rs crates/config/src/inherit.rs crates/config/src/jobs.rs crates/config/src/json.rs crates/config/src/schema.rs crates/config/src/search.rs crates/config/src/value.rs crates/config/src/yaml.rs
+
+/root/repo/target/debug/deps/libmarshal_config-71c1bab6229a6617.rmeta: crates/config/src/lib.rs crates/config/src/error.rs crates/config/src/inherit.rs crates/config/src/jobs.rs crates/config/src/json.rs crates/config/src/schema.rs crates/config/src/search.rs crates/config/src/value.rs crates/config/src/yaml.rs
+
+crates/config/src/lib.rs:
+crates/config/src/error.rs:
+crates/config/src/inherit.rs:
+crates/config/src/jobs.rs:
+crates/config/src/json.rs:
+crates/config/src/schema.rs:
+crates/config/src/search.rs:
+crates/config/src/value.rs:
+crates/config/src/yaml.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/marshal_core-c1a06b14199de29e.d: crates/core/src/lib.rs crates/core/src/board.rs crates/core/src/build.rs crates/core/src/clean.rs crates/core/src/cli.rs crates/core/src/connector.rs crates/core/src/error.rs crates/core/src/faultinject.rs crates/core/src/install.rs crates/core/src/integrity.rs crates/core/src/launch.rs crates/core/src/output.rs crates/core/src/test.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmarshal_core-c1a06b14199de29e.rmeta: crates/core/src/lib.rs crates/core/src/board.rs crates/core/src/build.rs crates/core/src/clean.rs crates/core/src/cli.rs crates/core/src/connector.rs crates/core/src/error.rs crates/core/src/faultinject.rs crates/core/src/install.rs crates/core/src/integrity.rs crates/core/src/launch.rs crates/core/src/output.rs crates/core/src/test.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/board.rs:
+crates/core/src/build.rs:
+crates/core/src/clean.rs:
+crates/core/src/cli.rs:
+crates/core/src/connector.rs:
+crates/core/src/error.rs:
+crates/core/src/faultinject.rs:
+crates/core/src/install.rs:
+crates/core/src/integrity.rs:
+crates/core/src/launch.rs:
+crates/core/src/output.rs:
+crates/core/src/test.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/marshal_core-e7222f1b56f17fc0.d: crates/core/src/lib.rs crates/core/src/board.rs crates/core/src/build.rs crates/core/src/clean.rs crates/core/src/connector.rs crates/core/src/cli.rs crates/core/src/error.rs crates/core/src/install.rs crates/core/src/launch.rs crates/core/src/output.rs crates/core/src/test.rs
+
+/root/repo/target/debug/deps/libmarshal_core-e7222f1b56f17fc0.rlib: crates/core/src/lib.rs crates/core/src/board.rs crates/core/src/build.rs crates/core/src/clean.rs crates/core/src/connector.rs crates/core/src/cli.rs crates/core/src/error.rs crates/core/src/install.rs crates/core/src/launch.rs crates/core/src/output.rs crates/core/src/test.rs
+
+/root/repo/target/debug/deps/libmarshal_core-e7222f1b56f17fc0.rmeta: crates/core/src/lib.rs crates/core/src/board.rs crates/core/src/build.rs crates/core/src/clean.rs crates/core/src/connector.rs crates/core/src/cli.rs crates/core/src/error.rs crates/core/src/install.rs crates/core/src/launch.rs crates/core/src/output.rs crates/core/src/test.rs
+
+crates/core/src/lib.rs:
+crates/core/src/board.rs:
+crates/core/src/build.rs:
+crates/core/src/clean.rs:
+crates/core/src/connector.rs:
+crates/core/src/cli.rs:
+crates/core/src/error.rs:
+crates/core/src/install.rs:
+crates/core/src/launch.rs:
+crates/core/src/output.rs:
+crates/core/src/test.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/marshal_depgraph-260cbcf245a1844c.d: crates/depgraph/src/lib.rs crates/depgraph/src/error.rs crates/depgraph/src/exec.rs crates/depgraph/src/graph.rs crates/depgraph/src/hash.rs crates/depgraph/src/state.rs crates/depgraph/src/task.rs
+
+/root/repo/target/debug/deps/marshal_depgraph-260cbcf245a1844c: crates/depgraph/src/lib.rs crates/depgraph/src/error.rs crates/depgraph/src/exec.rs crates/depgraph/src/graph.rs crates/depgraph/src/hash.rs crates/depgraph/src/state.rs crates/depgraph/src/task.rs
+
+crates/depgraph/src/lib.rs:
+crates/depgraph/src/error.rs:
+crates/depgraph/src/exec.rs:
+crates/depgraph/src/graph.rs:
+crates/depgraph/src/hash.rs:
+crates/depgraph/src/state.rs:
+crates/depgraph/src/task.rs:

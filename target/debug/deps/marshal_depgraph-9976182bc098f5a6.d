@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/marshal_depgraph-9976182bc098f5a6.d: crates/depgraph/src/lib.rs crates/depgraph/src/error.rs crates/depgraph/src/exec.rs crates/depgraph/src/graph.rs crates/depgraph/src/hash.rs crates/depgraph/src/state.rs crates/depgraph/src/task.rs
+
+/root/repo/target/debug/deps/libmarshal_depgraph-9976182bc098f5a6.rlib: crates/depgraph/src/lib.rs crates/depgraph/src/error.rs crates/depgraph/src/exec.rs crates/depgraph/src/graph.rs crates/depgraph/src/hash.rs crates/depgraph/src/state.rs crates/depgraph/src/task.rs
+
+/root/repo/target/debug/deps/libmarshal_depgraph-9976182bc098f5a6.rmeta: crates/depgraph/src/lib.rs crates/depgraph/src/error.rs crates/depgraph/src/exec.rs crates/depgraph/src/graph.rs crates/depgraph/src/hash.rs crates/depgraph/src/state.rs crates/depgraph/src/task.rs
+
+crates/depgraph/src/lib.rs:
+crates/depgraph/src/error.rs:
+crates/depgraph/src/exec.rs:
+crates/depgraph/src/graph.rs:
+crates/depgraph/src/hash.rs:
+crates/depgraph/src/state.rs:
+crates/depgraph/src/task.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/marshal_depgraph-b23bb1189b10bcb7.d: crates/depgraph/src/lib.rs crates/depgraph/src/error.rs crates/depgraph/src/exec.rs crates/depgraph/src/graph.rs crates/depgraph/src/hash.rs crates/depgraph/src/state.rs crates/depgraph/src/task.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmarshal_depgraph-b23bb1189b10bcb7.rmeta: crates/depgraph/src/lib.rs crates/depgraph/src/error.rs crates/depgraph/src/exec.rs crates/depgraph/src/graph.rs crates/depgraph/src/hash.rs crates/depgraph/src/state.rs crates/depgraph/src/task.rs Cargo.toml
+
+crates/depgraph/src/lib.rs:
+crates/depgraph/src/error.rs:
+crates/depgraph/src/exec.rs:
+crates/depgraph/src/graph.rs:
+crates/depgraph/src/hash.rs:
+crates/depgraph/src/state.rs:
+crates/depgraph/src/task.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/marshal_firmware-5e96b20f6d42ec77.d: crates/firmware/src/lib.rs
+
+/root/repo/target/debug/deps/marshal_firmware-5e96b20f6d42ec77: crates/firmware/src/lib.rs
+
+crates/firmware/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/marshal_firmware-80c77af69f8091dd.d: crates/firmware/src/lib.rs
+
+/root/repo/target/debug/deps/libmarshal_firmware-80c77af69f8091dd.rlib: crates/firmware/src/lib.rs
+
+/root/repo/target/debug/deps/libmarshal_firmware-80c77af69f8091dd.rmeta: crates/firmware/src/lib.rs
+
+crates/firmware/src/lib.rs:

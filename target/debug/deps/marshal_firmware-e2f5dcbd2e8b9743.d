@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/marshal_firmware-e2f5dcbd2e8b9743.d: crates/firmware/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmarshal_firmware-e2f5dcbd2e8b9743.rmeta: crates/firmware/src/lib.rs Cargo.toml
+
+crates/firmware/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

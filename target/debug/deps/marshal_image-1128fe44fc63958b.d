@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/marshal_image-1128fe44fc63958b.d: crates/image/src/lib.rs crates/image/src/cpio.rs crates/image/src/format.rs crates/image/src/fs.rs crates/image/src/initsys.rs crates/image/src/overlay.rs
+
+/root/repo/target/debug/deps/marshal_image-1128fe44fc63958b: crates/image/src/lib.rs crates/image/src/cpio.rs crates/image/src/format.rs crates/image/src/fs.rs crates/image/src/initsys.rs crates/image/src/overlay.rs
+
+crates/image/src/lib.rs:
+crates/image/src/cpio.rs:
+crates/image/src/format.rs:
+crates/image/src/fs.rs:
+crates/image/src/initsys.rs:
+crates/image/src/overlay.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/marshal_image-a071b99040bf7b50.d: crates/image/src/lib.rs crates/image/src/cpio.rs crates/image/src/format.rs crates/image/src/fs.rs crates/image/src/initsys.rs crates/image/src/overlay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmarshal_image-a071b99040bf7b50.rmeta: crates/image/src/lib.rs crates/image/src/cpio.rs crates/image/src/format.rs crates/image/src/fs.rs crates/image/src/initsys.rs crates/image/src/overlay.rs Cargo.toml
+
+crates/image/src/lib.rs:
+crates/image/src/cpio.rs:
+crates/image/src/format.rs:
+crates/image/src/fs.rs:
+crates/image/src/initsys.rs:
+crates/image/src/overlay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/marshal_image-e694313fa39618ec.d: crates/image/src/lib.rs crates/image/src/cpio.rs crates/image/src/format.rs crates/image/src/fs.rs crates/image/src/initsys.rs crates/image/src/overlay.rs
+
+/root/repo/target/debug/deps/libmarshal_image-e694313fa39618ec.rlib: crates/image/src/lib.rs crates/image/src/cpio.rs crates/image/src/format.rs crates/image/src/fs.rs crates/image/src/initsys.rs crates/image/src/overlay.rs
+
+/root/repo/target/debug/deps/libmarshal_image-e694313fa39618ec.rmeta: crates/image/src/lib.rs crates/image/src/cpio.rs crates/image/src/format.rs crates/image/src/fs.rs crates/image/src/initsys.rs crates/image/src/overlay.rs
+
+crates/image/src/lib.rs:
+crates/image/src/cpio.rs:
+crates/image/src/format.rs:
+crates/image/src/fs.rs:
+crates/image/src/initsys.rs:
+crates/image/src/overlay.rs:

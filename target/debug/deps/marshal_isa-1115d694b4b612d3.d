@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/marshal_isa-1115d694b4b612d3.d: crates/isa/src/lib.rs crates/isa/src/abi.rs crates/isa/src/asm.rs crates/isa/src/decode.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/inst.rs crates/isa/src/interp.rs crates/isa/src/mem.rs crates/isa/src/mexe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmarshal_isa-1115d694b4b612d3.rmeta: crates/isa/src/lib.rs crates/isa/src/abi.rs crates/isa/src/asm.rs crates/isa/src/decode.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/inst.rs crates/isa/src/interp.rs crates/isa/src/mem.rs crates/isa/src/mexe.rs Cargo.toml
+
+crates/isa/src/lib.rs:
+crates/isa/src/abi.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/decode.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/interp.rs:
+crates/isa/src/mem.rs:
+crates/isa/src/mexe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/marshal_isa-83432d27e0509215.d: crates/isa/src/lib.rs crates/isa/src/abi.rs crates/isa/src/asm.rs crates/isa/src/decode.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/inst.rs crates/isa/src/interp.rs crates/isa/src/mem.rs crates/isa/src/mexe.rs
+
+/root/repo/target/debug/deps/libmarshal_isa-83432d27e0509215.rlib: crates/isa/src/lib.rs crates/isa/src/abi.rs crates/isa/src/asm.rs crates/isa/src/decode.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/inst.rs crates/isa/src/interp.rs crates/isa/src/mem.rs crates/isa/src/mexe.rs
+
+/root/repo/target/debug/deps/libmarshal_isa-83432d27e0509215.rmeta: crates/isa/src/lib.rs crates/isa/src/abi.rs crates/isa/src/asm.rs crates/isa/src/decode.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/inst.rs crates/isa/src/interp.rs crates/isa/src/mem.rs crates/isa/src/mexe.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/abi.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/decode.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/interp.rs:
+crates/isa/src/mem.rs:
+crates/isa/src/mexe.rs:

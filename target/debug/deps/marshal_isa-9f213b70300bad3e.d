@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/marshal_isa-9f213b70300bad3e.d: crates/isa/src/lib.rs crates/isa/src/abi.rs crates/isa/src/asm.rs crates/isa/src/decode.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/inst.rs crates/isa/src/interp.rs crates/isa/src/mem.rs crates/isa/src/mexe.rs
+
+/root/repo/target/debug/deps/marshal_isa-9f213b70300bad3e: crates/isa/src/lib.rs crates/isa/src/abi.rs crates/isa/src/asm.rs crates/isa/src/decode.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/inst.rs crates/isa/src/interp.rs crates/isa/src/mem.rs crates/isa/src/mexe.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/abi.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/decode.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/interp.rs:
+crates/isa/src/mem.rs:
+crates/isa/src/mexe.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/marshal_linux-19b92b2cb918a1c0.d: crates/linux/src/lib.rs crates/linux/src/initramfs.rs crates/linux/src/kconfig.rs crates/linux/src/kernel.rs crates/linux/src/modules.rs
+
+/root/repo/target/debug/deps/libmarshal_linux-19b92b2cb918a1c0.rlib: crates/linux/src/lib.rs crates/linux/src/initramfs.rs crates/linux/src/kconfig.rs crates/linux/src/kernel.rs crates/linux/src/modules.rs
+
+/root/repo/target/debug/deps/libmarshal_linux-19b92b2cb918a1c0.rmeta: crates/linux/src/lib.rs crates/linux/src/initramfs.rs crates/linux/src/kconfig.rs crates/linux/src/kernel.rs crates/linux/src/modules.rs
+
+crates/linux/src/lib.rs:
+crates/linux/src/initramfs.rs:
+crates/linux/src/kconfig.rs:
+crates/linux/src/kernel.rs:
+crates/linux/src/modules.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/marshal_linux-625f65161fe555cf.d: crates/linux/src/lib.rs crates/linux/src/initramfs.rs crates/linux/src/kconfig.rs crates/linux/src/kernel.rs crates/linux/src/modules.rs
+
+/root/repo/target/debug/deps/marshal_linux-625f65161fe555cf: crates/linux/src/lib.rs crates/linux/src/initramfs.rs crates/linux/src/kconfig.rs crates/linux/src/kernel.rs crates/linux/src/modules.rs
+
+crates/linux/src/lib.rs:
+crates/linux/src/initramfs.rs:
+crates/linux/src/kconfig.rs:
+crates/linux/src/kernel.rs:
+crates/linux/src/modules.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/marshal_linux-8a0b15cddcfe8669.d: crates/linux/src/lib.rs crates/linux/src/initramfs.rs crates/linux/src/kconfig.rs crates/linux/src/kernel.rs crates/linux/src/modules.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmarshal_linux-8a0b15cddcfe8669.rmeta: crates/linux/src/lib.rs crates/linux/src/initramfs.rs crates/linux/src/kconfig.rs crates/linux/src/kernel.rs crates/linux/src/modules.rs Cargo.toml
+
+crates/linux/src/lib.rs:
+crates/linux/src/initramfs.rs:
+crates/linux/src/kconfig.rs:
+crates/linux/src/kernel.rs:
+crates/linux/src/modules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

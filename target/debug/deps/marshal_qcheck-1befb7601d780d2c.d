@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/marshal_qcheck-1befb7601d780d2c.d: crates/qcheck/src/lib.rs
+
+/root/repo/target/debug/deps/marshal_qcheck-1befb7601d780d2c: crates/qcheck/src/lib.rs
+
+crates/qcheck/src/lib.rs:

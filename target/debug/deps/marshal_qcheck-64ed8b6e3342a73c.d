@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/marshal_qcheck-64ed8b6e3342a73c.d: crates/qcheck/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmarshal_qcheck-64ed8b6e3342a73c.rmeta: crates/qcheck/src/lib.rs Cargo.toml
+
+crates/qcheck/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

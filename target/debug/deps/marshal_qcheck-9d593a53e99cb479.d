@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/marshal_qcheck-9d593a53e99cb479.d: crates/qcheck/src/lib.rs
+
+/root/repo/target/debug/deps/libmarshal_qcheck-9d593a53e99cb479.rlib: crates/qcheck/src/lib.rs
+
+/root/repo/target/debug/deps/libmarshal_qcheck-9d593a53e99cb479.rmeta: crates/qcheck/src/lib.rs
+
+crates/qcheck/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/marshal_script-1305a4486f0ae391.d: crates/script/src/lib.rs crates/script/src/ast.rs crates/script/src/hostenv.rs crates/script/src/interp.rs crates/script/src/lex.rs crates/script/src/parse.rs
+
+/root/repo/target/debug/deps/marshal_script-1305a4486f0ae391: crates/script/src/lib.rs crates/script/src/ast.rs crates/script/src/hostenv.rs crates/script/src/interp.rs crates/script/src/lex.rs crates/script/src/parse.rs
+
+crates/script/src/lib.rs:
+crates/script/src/ast.rs:
+crates/script/src/hostenv.rs:
+crates/script/src/interp.rs:
+crates/script/src/lex.rs:
+crates/script/src/parse.rs:

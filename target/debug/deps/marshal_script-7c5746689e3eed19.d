@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/marshal_script-7c5746689e3eed19.d: crates/script/src/lib.rs crates/script/src/ast.rs crates/script/src/hostenv.rs crates/script/src/interp.rs crates/script/src/lex.rs crates/script/src/parse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmarshal_script-7c5746689e3eed19.rmeta: crates/script/src/lib.rs crates/script/src/ast.rs crates/script/src/hostenv.rs crates/script/src/interp.rs crates/script/src/lex.rs crates/script/src/parse.rs Cargo.toml
+
+crates/script/src/lib.rs:
+crates/script/src/ast.rs:
+crates/script/src/hostenv.rs:
+crates/script/src/interp.rs:
+crates/script/src/lex.rs:
+crates/script/src/parse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

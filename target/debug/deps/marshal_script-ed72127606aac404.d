@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/marshal_script-ed72127606aac404.d: crates/script/src/lib.rs crates/script/src/ast.rs crates/script/src/hostenv.rs crates/script/src/interp.rs crates/script/src/lex.rs crates/script/src/parse.rs
+
+/root/repo/target/debug/deps/libmarshal_script-ed72127606aac404.rlib: crates/script/src/lib.rs crates/script/src/ast.rs crates/script/src/hostenv.rs crates/script/src/interp.rs crates/script/src/lex.rs crates/script/src/parse.rs
+
+/root/repo/target/debug/deps/libmarshal_script-ed72127606aac404.rmeta: crates/script/src/lib.rs crates/script/src/ast.rs crates/script/src/hostenv.rs crates/script/src/interp.rs crates/script/src/lex.rs crates/script/src/parse.rs
+
+crates/script/src/lib.rs:
+crates/script/src/ast.rs:
+crates/script/src/hostenv.rs:
+crates/script/src/interp.rs:
+crates/script/src/lex.rs:
+crates/script/src/parse.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/marshal_sim_functional-375f3eca4503f4ae.d: crates/sim-functional/src/lib.rs crates/sim-functional/src/boot.rs crates/sim-functional/src/guest.rs crates/sim-functional/src/machine.rs crates/sim-functional/src/qemu.rs crates/sim-functional/src/spike.rs crates/sim-functional/src/syscall.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmarshal_sim_functional-375f3eca4503f4ae.rmeta: crates/sim-functional/src/lib.rs crates/sim-functional/src/boot.rs crates/sim-functional/src/guest.rs crates/sim-functional/src/machine.rs crates/sim-functional/src/qemu.rs crates/sim-functional/src/spike.rs crates/sim-functional/src/syscall.rs Cargo.toml
+
+crates/sim-functional/src/lib.rs:
+crates/sim-functional/src/boot.rs:
+crates/sim-functional/src/guest.rs:
+crates/sim-functional/src/machine.rs:
+crates/sim-functional/src/qemu.rs:
+crates/sim-functional/src/spike.rs:
+crates/sim-functional/src/syscall.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/marshal_sim_functional-7fe6d3c7673b967d.d: crates/sim-functional/src/lib.rs crates/sim-functional/src/boot.rs crates/sim-functional/src/guest.rs crates/sim-functional/src/machine.rs crates/sim-functional/src/qemu.rs crates/sim-functional/src/spike.rs crates/sim-functional/src/syscall.rs
+
+/root/repo/target/debug/deps/libmarshal_sim_functional-7fe6d3c7673b967d.rlib: crates/sim-functional/src/lib.rs crates/sim-functional/src/boot.rs crates/sim-functional/src/guest.rs crates/sim-functional/src/machine.rs crates/sim-functional/src/qemu.rs crates/sim-functional/src/spike.rs crates/sim-functional/src/syscall.rs
+
+/root/repo/target/debug/deps/libmarshal_sim_functional-7fe6d3c7673b967d.rmeta: crates/sim-functional/src/lib.rs crates/sim-functional/src/boot.rs crates/sim-functional/src/guest.rs crates/sim-functional/src/machine.rs crates/sim-functional/src/qemu.rs crates/sim-functional/src/spike.rs crates/sim-functional/src/syscall.rs
+
+crates/sim-functional/src/lib.rs:
+crates/sim-functional/src/boot.rs:
+crates/sim-functional/src/guest.rs:
+crates/sim-functional/src/machine.rs:
+crates/sim-functional/src/qemu.rs:
+crates/sim-functional/src/spike.rs:
+crates/sim-functional/src/syscall.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/marshal_sim_functional-e376c57db22aaceb.d: crates/sim-functional/src/lib.rs crates/sim-functional/src/boot.rs crates/sim-functional/src/guest.rs crates/sim-functional/src/machine.rs crates/sim-functional/src/qemu.rs crates/sim-functional/src/spike.rs crates/sim-functional/src/syscall.rs
+
+/root/repo/target/debug/deps/marshal_sim_functional-e376c57db22aaceb: crates/sim-functional/src/lib.rs crates/sim-functional/src/boot.rs crates/sim-functional/src/guest.rs crates/sim-functional/src/machine.rs crates/sim-functional/src/qemu.rs crates/sim-functional/src/spike.rs crates/sim-functional/src/syscall.rs
+
+crates/sim-functional/src/lib.rs:
+crates/sim-functional/src/boot.rs:
+crates/sim-functional/src/guest.rs:
+crates/sim-functional/src/machine.rs:
+crates/sim-functional/src/qemu.rs:
+crates/sim-functional/src/spike.rs:
+crates/sim-functional/src/syscall.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/marshal_sim_rtl-3293f9460f280b64.d: crates/sim-rtl/src/lib.rs crates/sim-rtl/src/bpred.rs crates/sim-rtl/src/cache.rs crates/sim-rtl/src/config.rs crates/sim-rtl/src/firesim.rs crates/sim-rtl/src/nic.rs crates/sim-rtl/src/pfa.rs crates/sim-rtl/src/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmarshal_sim_rtl-3293f9460f280b64.rmeta: crates/sim-rtl/src/lib.rs crates/sim-rtl/src/bpred.rs crates/sim-rtl/src/cache.rs crates/sim-rtl/src/config.rs crates/sim-rtl/src/firesim.rs crates/sim-rtl/src/nic.rs crates/sim-rtl/src/pfa.rs crates/sim-rtl/src/pipeline.rs Cargo.toml
+
+crates/sim-rtl/src/lib.rs:
+crates/sim-rtl/src/bpred.rs:
+crates/sim-rtl/src/cache.rs:
+crates/sim-rtl/src/config.rs:
+crates/sim-rtl/src/firesim.rs:
+crates/sim-rtl/src/nic.rs:
+crates/sim-rtl/src/pfa.rs:
+crates/sim-rtl/src/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

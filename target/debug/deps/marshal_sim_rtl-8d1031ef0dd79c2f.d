@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/marshal_sim_rtl-8d1031ef0dd79c2f.d: crates/sim-rtl/src/lib.rs crates/sim-rtl/src/bpred.rs crates/sim-rtl/src/cache.rs crates/sim-rtl/src/config.rs crates/sim-rtl/src/firesim.rs crates/sim-rtl/src/nic.rs crates/sim-rtl/src/pfa.rs crates/sim-rtl/src/pipeline.rs
+
+/root/repo/target/debug/deps/libmarshal_sim_rtl-8d1031ef0dd79c2f.rlib: crates/sim-rtl/src/lib.rs crates/sim-rtl/src/bpred.rs crates/sim-rtl/src/cache.rs crates/sim-rtl/src/config.rs crates/sim-rtl/src/firesim.rs crates/sim-rtl/src/nic.rs crates/sim-rtl/src/pfa.rs crates/sim-rtl/src/pipeline.rs
+
+/root/repo/target/debug/deps/libmarshal_sim_rtl-8d1031ef0dd79c2f.rmeta: crates/sim-rtl/src/lib.rs crates/sim-rtl/src/bpred.rs crates/sim-rtl/src/cache.rs crates/sim-rtl/src/config.rs crates/sim-rtl/src/firesim.rs crates/sim-rtl/src/nic.rs crates/sim-rtl/src/pfa.rs crates/sim-rtl/src/pipeline.rs
+
+crates/sim-rtl/src/lib.rs:
+crates/sim-rtl/src/bpred.rs:
+crates/sim-rtl/src/cache.rs:
+crates/sim-rtl/src/config.rs:
+crates/sim-rtl/src/firesim.rs:
+crates/sim-rtl/src/nic.rs:
+crates/sim-rtl/src/pfa.rs:
+crates/sim-rtl/src/pipeline.rs:

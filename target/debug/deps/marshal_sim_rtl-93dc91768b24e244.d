@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/marshal_sim_rtl-93dc91768b24e244.d: crates/sim-rtl/src/lib.rs crates/sim-rtl/src/bpred.rs crates/sim-rtl/src/cache.rs crates/sim-rtl/src/config.rs crates/sim-rtl/src/firesim.rs crates/sim-rtl/src/nic.rs crates/sim-rtl/src/pfa.rs crates/sim-rtl/src/pipeline.rs
+
+/root/repo/target/debug/deps/marshal_sim_rtl-93dc91768b24e244: crates/sim-rtl/src/lib.rs crates/sim-rtl/src/bpred.rs crates/sim-rtl/src/cache.rs crates/sim-rtl/src/config.rs crates/sim-rtl/src/firesim.rs crates/sim-rtl/src/nic.rs crates/sim-rtl/src/pfa.rs crates/sim-rtl/src/pipeline.rs
+
+crates/sim-rtl/src/lib.rs:
+crates/sim-rtl/src/bpred.rs:
+crates/sim-rtl/src/cache.rs:
+crates/sim-rtl/src/config.rs:
+crates/sim-rtl/src/firesim.rs:
+crates/sim-rtl/src/nic.rs:
+crates/sim-rtl/src/pfa.rs:
+crates/sim-rtl/src/pipeline.rs:

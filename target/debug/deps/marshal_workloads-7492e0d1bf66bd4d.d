@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/marshal_workloads-7492e0d1bf66bd4d.d: crates/workloads/src/lib.rs crates/workloads/src/bases.rs crates/workloads/src/board.rs crates/workloads/src/coremark.rs crates/workloads/src/dnn.rs crates/workloads/src/intspeed.rs crates/workloads/src/pfa.rs crates/workloads/src/registry.rs crates/workloads/src/runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmarshal_workloads-7492e0d1bf66bd4d.rmeta: crates/workloads/src/lib.rs crates/workloads/src/bases.rs crates/workloads/src/board.rs crates/workloads/src/coremark.rs crates/workloads/src/dnn.rs crates/workloads/src/intspeed.rs crates/workloads/src/pfa.rs crates/workloads/src/registry.rs crates/workloads/src/runtime.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/bases.rs:
+crates/workloads/src/board.rs:
+crates/workloads/src/coremark.rs:
+crates/workloads/src/dnn.rs:
+crates/workloads/src/intspeed.rs:
+crates/workloads/src/pfa.rs:
+crates/workloads/src/registry.rs:
+crates/workloads/src/runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

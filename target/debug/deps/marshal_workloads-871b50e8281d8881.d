@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/marshal_workloads-871b50e8281d8881.d: crates/workloads/src/lib.rs crates/workloads/src/bases.rs crates/workloads/src/board.rs crates/workloads/src/coremark.rs crates/workloads/src/dnn.rs crates/workloads/src/intspeed.rs crates/workloads/src/pfa.rs crates/workloads/src/registry.rs crates/workloads/src/runtime.rs
+
+/root/repo/target/debug/deps/marshal_workloads-871b50e8281d8881: crates/workloads/src/lib.rs crates/workloads/src/bases.rs crates/workloads/src/board.rs crates/workloads/src/coremark.rs crates/workloads/src/dnn.rs crates/workloads/src/intspeed.rs crates/workloads/src/pfa.rs crates/workloads/src/registry.rs crates/workloads/src/runtime.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/bases.rs:
+crates/workloads/src/board.rs:
+crates/workloads/src/coremark.rs:
+crates/workloads/src/dnn.rs:
+crates/workloads/src/intspeed.rs:
+crates/workloads/src/pfa.rs:
+crates/workloads/src/registry.rs:
+crates/workloads/src/runtime.rs:

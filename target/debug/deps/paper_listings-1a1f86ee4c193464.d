@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/paper_listings-1a1f86ee4c193464.d: tests/paper_listings.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_listings-1a1f86ee4c193464.rmeta: tests/paper_listings.rs tests/common/mod.rs Cargo.toml
+
+tests/paper_listings.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

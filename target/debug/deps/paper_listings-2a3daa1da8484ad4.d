@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/paper_listings-2a3daa1da8484ad4.d: tests/paper_listings.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/paper_listings-2a3daa1da8484ad4: tests/paper_listings.rs tests/common/mod.rs
+
+tests/paper_listings.rs:
+tests/common/mod.rs:

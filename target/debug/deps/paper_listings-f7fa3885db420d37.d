@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/paper_listings-f7fa3885db420d37.d: tests/paper_listings.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/paper_listings-f7fa3885db420d37: tests/paper_listings.rs tests/common/mod.rs
+
+tests/paper_listings.rs:
+tests/common/mod.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_jobs-ecb58166aab45923.d: crates/bench/benches/parallel_jobs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_jobs-ecb58166aab45923.rmeta: crates/bench/benches/parallel_jobs.rs Cargo.toml
+
+crates/bench/benches/parallel_jobs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pfa_latency-7e793394df8d0261.d: crates/bench/benches/pfa_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpfa_latency-7e793394df8d0261.rmeta: crates/bench/benches/pfa_latency.rs Cargo.toml
+
+crates/bench/benches/pfa_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

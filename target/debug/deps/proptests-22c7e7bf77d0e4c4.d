@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-22c7e7bf77d0e4c4.d: crates/isa/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-22c7e7bf77d0e4c4: crates/isa/tests/proptests.rs
+
+crates/isa/tests/proptests.rs:

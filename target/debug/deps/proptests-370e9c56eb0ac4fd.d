@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-370e9c56eb0ac4fd.d: crates/depgraph/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-370e9c56eb0ac4fd.rmeta: crates/depgraph/tests/proptests.rs Cargo.toml
+
+crates/depgraph/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-57b5ef5ce7dc1952.d: crates/depgraph/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-57b5ef5ce7dc1952: crates/depgraph/tests/proptests.rs
+
+crates/depgraph/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-847cd318fe39d8f5.d: crates/config/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-847cd318fe39d8f5: crates/config/tests/proptests.rs
+
+crates/config/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-8cabb4b625d9615b.d: crates/script/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-8cabb4b625d9615b: crates/script/tests/proptests.rs
+
+crates/script/tests/proptests.rs:

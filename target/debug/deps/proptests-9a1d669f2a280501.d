@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-9a1d669f2a280501.d: crates/sim-rtl/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-9a1d669f2a280501: crates/sim-rtl/tests/proptests.rs
+
+crates/sim-rtl/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-9c65cb38095030cc.d: crates/isa/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-9c65cb38095030cc.rmeta: crates/isa/tests/proptests.rs Cargo.toml
+
+crates/isa/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

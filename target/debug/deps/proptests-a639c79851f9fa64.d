@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-a639c79851f9fa64.d: crates/config/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-a639c79851f9fa64.rmeta: crates/config/tests/proptests.rs Cargo.toml
+
+crates/config/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-acaac2f9d4158f99.d: crates/script/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-acaac2f9d4158f99.rmeta: crates/script/tests/proptests.rs Cargo.toml
+
+crates/script/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e9821878ae38ff58.d: crates/image/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-e9821878ae38ff58: crates/image/tests/proptests.rs
+
+crates/image/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-ed76c88a68b3264b.d: crates/image/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-ed76c88a68b3264b.rmeta: crates/image/tests/proptests.rs Cargo.toml
+
+crates/image/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

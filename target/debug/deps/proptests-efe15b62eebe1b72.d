@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-efe15b62eebe1b72.d: crates/sim-rtl/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-efe15b62eebe1b72.rmeta: crates/sim-rtl/tests/proptests.rs Cargo.toml
+
+crates/sim-rtl/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

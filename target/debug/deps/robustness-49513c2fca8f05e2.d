@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/robustness-49513c2fca8f05e2.d: tests/robustness.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-49513c2fca8f05e2.rmeta: tests/robustness.rs tests/common/mod.rs Cargo.toml
+
+tests/robustness.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/robustness-5e24edc8485aa915.d: tests/robustness.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/robustness-5e24edc8485aa915: tests/robustness.rs tests/common/mod.rs
+
+tests/robustness.rs:
+tests/common/mod.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/simulator_consistency-39b420d9fcbe461e.d: tests/simulator_consistency.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/simulator_consistency-39b420d9fcbe461e: tests/simulator_consistency.rs tests/common/mod.rs
+
+tests/simulator_consistency.rs:
+tests/common/mod.rs:

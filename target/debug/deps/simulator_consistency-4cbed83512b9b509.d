@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/simulator_consistency-4cbed83512b9b509.d: tests/simulator_consistency.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulator_consistency-4cbed83512b9b509.rmeta: tests/simulator_consistency.rs tests/common/mod.rs Cargo.toml
+
+tests/simulator_consistency.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/simulator_consistency-6d810f4ed098592e.d: tests/simulator_consistency.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/simulator_consistency-6d810f4ed098592e: tests/simulator_consistency.rs tests/common/mod.rs
+
+tests/simulator_consistency.rs:
+tests/common/mod.rs:

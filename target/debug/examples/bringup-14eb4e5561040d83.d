@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bringup-14eb4e5561040d83.d: examples/bringup.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbringup-14eb4e5561040d83.rmeta: examples/bringup.rs Cargo.toml
+
+examples/bringup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

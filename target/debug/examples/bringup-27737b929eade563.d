@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bringup-27737b929eade563.d: examples/bringup.rs
+
+/root/repo/target/debug/examples/bringup-27737b929eade563: examples/bringup.rs
+
+examples/bringup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bringup-ecc619384979ab8f.d: examples/bringup.rs
+
+/root/repo/target/debug/examples/bringup-ecc619384979ab8f: examples/bringup.rs
+
+examples/bringup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/education-145f2912650be45a.d: examples/education.rs
+
+/root/repo/target/debug/examples/education-145f2912650be45a: examples/education.rs
+
+examples/education.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/education-333351df70468215.d: examples/education.rs Cargo.toml
+
+/root/repo/target/debug/examples/libeducation-333351df70468215.rmeta: examples/education.rs Cargo.toml
+
+examples/education.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/education-54ada22835238f0a.d: examples/education.rs
+
+/root/repo/target/debug/examples/education-54ada22835238f0a: examples/education.rs
+
+examples/education.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pfa_study-87a61447682feb91.d: examples/pfa_study.rs
+
+/root/repo/target/debug/examples/pfa_study-87a61447682feb91: examples/pfa_study.rs
+
+examples/pfa_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pfa_study-c0461910e777e092.d: examples/pfa_study.rs
+
+/root/repo/target/debug/examples/pfa_study-c0461910e777e092: examples/pfa_study.rs
+
+examples/pfa_study.rs:

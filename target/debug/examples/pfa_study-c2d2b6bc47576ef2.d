@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pfa_study-c2d2b6bc47576ef2.d: examples/pfa_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpfa_study-c2d2b6bc47576ef2.rmeta: examples/pfa_study.rs Cargo.toml
+
+examples/pfa_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0b59734d6ba4fed9.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0b59734d6ba4fed9: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-32d7dfaf4ed32e70.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-32d7dfaf4ed32e70: examples/quickstart.rs
+
+examples/quickstart.rs:

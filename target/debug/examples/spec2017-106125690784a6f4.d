@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spec2017-106125690784a6f4.d: examples/spec2017.rs
+
+/root/repo/target/debug/examples/spec2017-106125690784a6f4: examples/spec2017.rs
+
+examples/spec2017.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/spec2017-23416e83a262762e.d: examples/spec2017.rs Cargo.toml
+
+/root/repo/target/debug/examples/libspec2017-23416e83a262762e.rmeta: examples/spec2017.rs Cargo.toml
+
+examples/spec2017.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

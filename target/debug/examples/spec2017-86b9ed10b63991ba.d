@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spec2017-86b9ed10b63991ba.d: examples/spec2017.rs
+
+/root/repo/target/debug/examples/spec2017-86b9ed10b63991ba: examples/spec2017.rs
+
+examples/spec2017.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libmarshal_qcheck.rlib: /root/repo/crates/qcheck/src/lib.rs

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/firemarshal-197acb561df9a9cb.d: src/lib.rs
+
+/root/repo/target/release/deps/libfiremarshal-197acb561df9a9cb.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libfiremarshal-197acb561df9a9cb.rmeta: src/lib.rs
+
+src/lib.rs:

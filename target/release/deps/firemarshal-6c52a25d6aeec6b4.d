@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/firemarshal-6c52a25d6aeec6b4.d: src/lib.rs
+
+/root/repo/target/release/deps/libfiremarshal-6c52a25d6aeec6b4.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libfiremarshal-6c52a25d6aeec6b4.rmeta: src/lib.rs
+
+src/lib.rs:

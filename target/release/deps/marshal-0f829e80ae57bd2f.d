@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/marshal-0f829e80ae57bd2f.d: src/bin/marshal.rs
+
+/root/repo/target/release/deps/marshal-0f829e80ae57bd2f: src/bin/marshal.rs
+
+src/bin/marshal.rs:

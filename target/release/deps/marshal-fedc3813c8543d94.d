@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/marshal-fedc3813c8543d94.d: src/bin/marshal.rs
+
+/root/repo/target/release/deps/marshal-fedc3813c8543d94: src/bin/marshal.rs
+
+src/bin/marshal.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/marshal_config-b630b4fdd101fe3e.d: crates/config/src/lib.rs crates/config/src/error.rs crates/config/src/inherit.rs crates/config/src/jobs.rs crates/config/src/json.rs crates/config/src/schema.rs crates/config/src/search.rs crates/config/src/value.rs crates/config/src/yaml.rs
+
+/root/repo/target/release/deps/libmarshal_config-b630b4fdd101fe3e.rlib: crates/config/src/lib.rs crates/config/src/error.rs crates/config/src/inherit.rs crates/config/src/jobs.rs crates/config/src/json.rs crates/config/src/schema.rs crates/config/src/search.rs crates/config/src/value.rs crates/config/src/yaml.rs
+
+/root/repo/target/release/deps/libmarshal_config-b630b4fdd101fe3e.rmeta: crates/config/src/lib.rs crates/config/src/error.rs crates/config/src/inherit.rs crates/config/src/jobs.rs crates/config/src/json.rs crates/config/src/schema.rs crates/config/src/search.rs crates/config/src/value.rs crates/config/src/yaml.rs
+
+crates/config/src/lib.rs:
+crates/config/src/error.rs:
+crates/config/src/inherit.rs:
+crates/config/src/jobs.rs:
+crates/config/src/json.rs:
+crates/config/src/schema.rs:
+crates/config/src/search.rs:
+crates/config/src/value.rs:
+crates/config/src/yaml.rs:

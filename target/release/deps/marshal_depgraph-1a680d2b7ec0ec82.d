@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/marshal_depgraph-1a680d2b7ec0ec82.d: crates/depgraph/src/lib.rs crates/depgraph/src/error.rs crates/depgraph/src/exec.rs crates/depgraph/src/graph.rs crates/depgraph/src/hash.rs crates/depgraph/src/state.rs crates/depgraph/src/task.rs
+
+/root/repo/target/release/deps/libmarshal_depgraph-1a680d2b7ec0ec82.rlib: crates/depgraph/src/lib.rs crates/depgraph/src/error.rs crates/depgraph/src/exec.rs crates/depgraph/src/graph.rs crates/depgraph/src/hash.rs crates/depgraph/src/state.rs crates/depgraph/src/task.rs
+
+/root/repo/target/release/deps/libmarshal_depgraph-1a680d2b7ec0ec82.rmeta: crates/depgraph/src/lib.rs crates/depgraph/src/error.rs crates/depgraph/src/exec.rs crates/depgraph/src/graph.rs crates/depgraph/src/hash.rs crates/depgraph/src/state.rs crates/depgraph/src/task.rs
+
+crates/depgraph/src/lib.rs:
+crates/depgraph/src/error.rs:
+crates/depgraph/src/exec.rs:
+crates/depgraph/src/graph.rs:
+crates/depgraph/src/hash.rs:
+crates/depgraph/src/state.rs:
+crates/depgraph/src/task.rs:

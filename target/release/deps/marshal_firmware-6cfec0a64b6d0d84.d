@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/marshal_firmware-6cfec0a64b6d0d84.d: crates/firmware/src/lib.rs
+
+/root/repo/target/release/deps/libmarshal_firmware-6cfec0a64b6d0d84.rlib: crates/firmware/src/lib.rs
+
+/root/repo/target/release/deps/libmarshal_firmware-6cfec0a64b6d0d84.rmeta: crates/firmware/src/lib.rs
+
+crates/firmware/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/marshal_image-3c989f1efb30f029.d: crates/image/src/lib.rs crates/image/src/cpio.rs crates/image/src/format.rs crates/image/src/fs.rs crates/image/src/initsys.rs crates/image/src/overlay.rs
+
+/root/repo/target/release/deps/libmarshal_image-3c989f1efb30f029.rlib: crates/image/src/lib.rs crates/image/src/cpio.rs crates/image/src/format.rs crates/image/src/fs.rs crates/image/src/initsys.rs crates/image/src/overlay.rs
+
+/root/repo/target/release/deps/libmarshal_image-3c989f1efb30f029.rmeta: crates/image/src/lib.rs crates/image/src/cpio.rs crates/image/src/format.rs crates/image/src/fs.rs crates/image/src/initsys.rs crates/image/src/overlay.rs
+
+crates/image/src/lib.rs:
+crates/image/src/cpio.rs:
+crates/image/src/format.rs:
+crates/image/src/fs.rs:
+crates/image/src/initsys.rs:
+crates/image/src/overlay.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/marshal_isa-ba4951eb80f0a48a.d: crates/isa/src/lib.rs crates/isa/src/abi.rs crates/isa/src/asm.rs crates/isa/src/decode.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/inst.rs crates/isa/src/interp.rs crates/isa/src/mem.rs crates/isa/src/mexe.rs
+
+/root/repo/target/release/deps/libmarshal_isa-ba4951eb80f0a48a.rlib: crates/isa/src/lib.rs crates/isa/src/abi.rs crates/isa/src/asm.rs crates/isa/src/decode.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/inst.rs crates/isa/src/interp.rs crates/isa/src/mem.rs crates/isa/src/mexe.rs
+
+/root/repo/target/release/deps/libmarshal_isa-ba4951eb80f0a48a.rmeta: crates/isa/src/lib.rs crates/isa/src/abi.rs crates/isa/src/asm.rs crates/isa/src/decode.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/inst.rs crates/isa/src/interp.rs crates/isa/src/mem.rs crates/isa/src/mexe.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/abi.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/decode.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/interp.rs:
+crates/isa/src/mem.rs:
+crates/isa/src/mexe.rs:

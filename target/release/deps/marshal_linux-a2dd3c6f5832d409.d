@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/marshal_linux-a2dd3c6f5832d409.d: crates/linux/src/lib.rs crates/linux/src/initramfs.rs crates/linux/src/kconfig.rs crates/linux/src/kernel.rs crates/linux/src/modules.rs
+
+/root/repo/target/release/deps/libmarshal_linux-a2dd3c6f5832d409.rlib: crates/linux/src/lib.rs crates/linux/src/initramfs.rs crates/linux/src/kconfig.rs crates/linux/src/kernel.rs crates/linux/src/modules.rs
+
+/root/repo/target/release/deps/libmarshal_linux-a2dd3c6f5832d409.rmeta: crates/linux/src/lib.rs crates/linux/src/initramfs.rs crates/linux/src/kconfig.rs crates/linux/src/kernel.rs crates/linux/src/modules.rs
+
+crates/linux/src/lib.rs:
+crates/linux/src/initramfs.rs:
+crates/linux/src/kconfig.rs:
+crates/linux/src/kernel.rs:
+crates/linux/src/modules.rs:

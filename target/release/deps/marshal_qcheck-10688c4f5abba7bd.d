@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/marshal_qcheck-10688c4f5abba7bd.d: crates/qcheck/src/lib.rs
+
+/root/repo/target/release/deps/libmarshal_qcheck-10688c4f5abba7bd.rlib: crates/qcheck/src/lib.rs
+
+/root/repo/target/release/deps/libmarshal_qcheck-10688c4f5abba7bd.rmeta: crates/qcheck/src/lib.rs
+
+crates/qcheck/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/marshal_script-c858bbeb3d4ab812.d: crates/script/src/lib.rs crates/script/src/ast.rs crates/script/src/hostenv.rs crates/script/src/interp.rs crates/script/src/lex.rs crates/script/src/parse.rs
+
+/root/repo/target/release/deps/libmarshal_script-c858bbeb3d4ab812.rlib: crates/script/src/lib.rs crates/script/src/ast.rs crates/script/src/hostenv.rs crates/script/src/interp.rs crates/script/src/lex.rs crates/script/src/parse.rs
+
+/root/repo/target/release/deps/libmarshal_script-c858bbeb3d4ab812.rmeta: crates/script/src/lib.rs crates/script/src/ast.rs crates/script/src/hostenv.rs crates/script/src/interp.rs crates/script/src/lex.rs crates/script/src/parse.rs
+
+crates/script/src/lib.rs:
+crates/script/src/ast.rs:
+crates/script/src/hostenv.rs:
+crates/script/src/interp.rs:
+crates/script/src/lex.rs:
+crates/script/src/parse.rs:

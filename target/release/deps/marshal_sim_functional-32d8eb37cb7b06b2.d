@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/marshal_sim_functional-32d8eb37cb7b06b2.d: crates/sim-functional/src/lib.rs crates/sim-functional/src/boot.rs crates/sim-functional/src/guest.rs crates/sim-functional/src/machine.rs crates/sim-functional/src/qemu.rs crates/sim-functional/src/spike.rs crates/sim-functional/src/syscall.rs
+
+/root/repo/target/release/deps/libmarshal_sim_functional-32d8eb37cb7b06b2.rlib: crates/sim-functional/src/lib.rs crates/sim-functional/src/boot.rs crates/sim-functional/src/guest.rs crates/sim-functional/src/machine.rs crates/sim-functional/src/qemu.rs crates/sim-functional/src/spike.rs crates/sim-functional/src/syscall.rs
+
+/root/repo/target/release/deps/libmarshal_sim_functional-32d8eb37cb7b06b2.rmeta: crates/sim-functional/src/lib.rs crates/sim-functional/src/boot.rs crates/sim-functional/src/guest.rs crates/sim-functional/src/machine.rs crates/sim-functional/src/qemu.rs crates/sim-functional/src/spike.rs crates/sim-functional/src/syscall.rs
+
+crates/sim-functional/src/lib.rs:
+crates/sim-functional/src/boot.rs:
+crates/sim-functional/src/guest.rs:
+crates/sim-functional/src/machine.rs:
+crates/sim-functional/src/qemu.rs:
+crates/sim-functional/src/spike.rs:
+crates/sim-functional/src/syscall.rs:

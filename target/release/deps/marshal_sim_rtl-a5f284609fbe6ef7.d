@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/marshal_sim_rtl-a5f284609fbe6ef7.d: crates/sim-rtl/src/lib.rs crates/sim-rtl/src/bpred.rs crates/sim-rtl/src/cache.rs crates/sim-rtl/src/config.rs crates/sim-rtl/src/firesim.rs crates/sim-rtl/src/nic.rs crates/sim-rtl/src/pfa.rs crates/sim-rtl/src/pipeline.rs
+
+/root/repo/target/release/deps/libmarshal_sim_rtl-a5f284609fbe6ef7.rlib: crates/sim-rtl/src/lib.rs crates/sim-rtl/src/bpred.rs crates/sim-rtl/src/cache.rs crates/sim-rtl/src/config.rs crates/sim-rtl/src/firesim.rs crates/sim-rtl/src/nic.rs crates/sim-rtl/src/pfa.rs crates/sim-rtl/src/pipeline.rs
+
+/root/repo/target/release/deps/libmarshal_sim_rtl-a5f284609fbe6ef7.rmeta: crates/sim-rtl/src/lib.rs crates/sim-rtl/src/bpred.rs crates/sim-rtl/src/cache.rs crates/sim-rtl/src/config.rs crates/sim-rtl/src/firesim.rs crates/sim-rtl/src/nic.rs crates/sim-rtl/src/pfa.rs crates/sim-rtl/src/pipeline.rs
+
+crates/sim-rtl/src/lib.rs:
+crates/sim-rtl/src/bpred.rs:
+crates/sim-rtl/src/cache.rs:
+crates/sim-rtl/src/config.rs:
+crates/sim-rtl/src/firesim.rs:
+crates/sim-rtl/src/nic.rs:
+crates/sim-rtl/src/pfa.rs:
+crates/sim-rtl/src/pipeline.rs:

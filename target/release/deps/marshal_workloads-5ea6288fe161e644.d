@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/marshal_workloads-5ea6288fe161e644.d: crates/workloads/src/lib.rs crates/workloads/src/bases.rs crates/workloads/src/board.rs crates/workloads/src/coremark.rs crates/workloads/src/dnn.rs crates/workloads/src/intspeed.rs crates/workloads/src/pfa.rs crates/workloads/src/registry.rs crates/workloads/src/runtime.rs
+
+/root/repo/target/release/deps/libmarshal_workloads-5ea6288fe161e644.rlib: crates/workloads/src/lib.rs crates/workloads/src/bases.rs crates/workloads/src/board.rs crates/workloads/src/coremark.rs crates/workloads/src/dnn.rs crates/workloads/src/intspeed.rs crates/workloads/src/pfa.rs crates/workloads/src/registry.rs crates/workloads/src/runtime.rs
+
+/root/repo/target/release/deps/libmarshal_workloads-5ea6288fe161e644.rmeta: crates/workloads/src/lib.rs crates/workloads/src/bases.rs crates/workloads/src/board.rs crates/workloads/src/coremark.rs crates/workloads/src/dnn.rs crates/workloads/src/intspeed.rs crates/workloads/src/pfa.rs crates/workloads/src/registry.rs crates/workloads/src/runtime.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/bases.rs:
+crates/workloads/src/board.rs:
+crates/workloads/src/coremark.rs:
+crates/workloads/src/dnn.rs:
+crates/workloads/src/intspeed.rs:
+crates/workloads/src/pfa.rs:
+crates/workloads/src/registry.rs:
+crates/workloads/src/runtime.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/marshal_workloads-7ccff34a8b9389c6.d: crates/workloads/src/lib.rs crates/workloads/src/bases.rs crates/workloads/src/board.rs crates/workloads/src/coremark.rs crates/workloads/src/dnn.rs crates/workloads/src/intspeed.rs crates/workloads/src/pfa.rs crates/workloads/src/registry.rs crates/workloads/src/runtime.rs
+
+/root/repo/target/release/deps/libmarshal_workloads-7ccff34a8b9389c6.rlib: crates/workloads/src/lib.rs crates/workloads/src/bases.rs crates/workloads/src/board.rs crates/workloads/src/coremark.rs crates/workloads/src/dnn.rs crates/workloads/src/intspeed.rs crates/workloads/src/pfa.rs crates/workloads/src/registry.rs crates/workloads/src/runtime.rs
+
+/root/repo/target/release/deps/libmarshal_workloads-7ccff34a8b9389c6.rmeta: crates/workloads/src/lib.rs crates/workloads/src/bases.rs crates/workloads/src/board.rs crates/workloads/src/coremark.rs crates/workloads/src/dnn.rs crates/workloads/src/intspeed.rs crates/workloads/src/pfa.rs crates/workloads/src/registry.rs crates/workloads/src/runtime.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/bases.rs:
+crates/workloads/src/board.rs:
+crates/workloads/src/coremark.rs:
+crates/workloads/src/dnn.rs:
+crates/workloads/src/intspeed.rs:
+crates/workloads/src/pfa.rs:
+crates/workloads/src/registry.rs:
+crates/workloads/src/runtime.rs:

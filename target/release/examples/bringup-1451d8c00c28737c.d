@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/bringup-1451d8c00c28737c.d: examples/bringup.rs
+
+/root/repo/target/release/examples/bringup-1451d8c00c28737c: examples/bringup.rs
+
+examples/bringup.rs:

@@ -12,7 +12,9 @@ use marshal_image::FsImage;
 fn default_build_produces_boot_binary_and_disk() {
     let root = common::tmpdir("fig3-default");
     let mut builder = common::builder_in(&root);
-    let products = builder.build("hello.json", &BuildOptions::default()).unwrap();
+    let products = builder
+        .build("hello.json", &BuildOptions::default())
+        .unwrap();
     let JobKind::Linux {
         boot_path,
         disk_path,
@@ -32,8 +34,7 @@ fn default_build_produces_boot_binary_and_disk() {
         .module_names()
         .contains(&"iceblk".to_owned()));
     // Disk image (Fig. 3 right).
-    let disk =
-        FsImage::from_bytes(&std::fs::read(disk_path.as_ref().unwrap()).unwrap()).unwrap();
+    let disk = FsImage::from_bytes(&std::fs::read(disk_path.as_ref().unwrap()).unwrap()).unwrap();
     assert!(disk.exists("/bin/hello"));
     assert!(disk.exists("/etc/firemarshal/run.ms"));
     std::fs::remove_dir_all(root).unwrap();
@@ -67,7 +68,7 @@ fn no_disk_build_embeds_rootfs_in_initramfs() {
     assert!(embedded.exists("/bin/hello"));
 
     // And the workload boots + runs without any disk.
-    let result = launch::simulate_job(&products.jobs[0]).unwrap();
+    let result = launch::simulate_job(&products.jobs[0], &Default::default()).unwrap();
     assert!(result.serial.contains("switching root to initramfs"));
     assert!(result.serial.contains("Hello from FireMarshal!"));
     std::fs::remove_dir_all(root).unwrap();
@@ -77,8 +78,10 @@ fn no_disk_build_embeds_rootfs_in_initramfs() {
 fn disk_and_diskless_run_identically_after_cleaning() {
     let root = common::tmpdir("fig3-consistency");
     let mut builder = common::builder_in(&root);
-    let with_disk = builder.build("hello.json", &BuildOptions::default()).unwrap();
-    let disk_run = launch::simulate_job(&with_disk.jobs[0]).unwrap();
+    let with_disk = builder
+        .build("hello.json", &BuildOptions::default())
+        .unwrap();
+    let disk_run = launch::simulate_job(&with_disk.jobs[0], &Default::default()).unwrap();
     let diskless = builder
         .build(
             "hello.json",
@@ -88,7 +91,7 @@ fn disk_and_diskless_run_identically_after_cleaning() {
             },
         )
         .unwrap();
-    let diskless_run = launch::simulate_job(&diskless.jobs[0]).unwrap();
+    let diskless_run = launch::simulate_job(&diskless.jobs[0], &Default::default()).unwrap();
     // The payload behaves identically; only root-mount lines differ.
     let clean = marshal_core::clean_output;
     let stable = |log: &str| -> Vec<String> {
@@ -108,12 +111,20 @@ fn incremental_rebuild_reuses_artifacts() {
     let root = common::tmpdir("fig3-incremental");
     let mut builder = common::builder_in(&root);
 
-    let first = builder.build("coremark.json", &BuildOptions::default()).unwrap();
+    let first = builder
+        .build("coremark.json", &BuildOptions::default())
+        .unwrap();
     assert!(first.report.executed.len() >= 3);
 
     // No-op rebuild: everything skipped.
-    let second = builder.build("coremark.json", &BuildOptions::default()).unwrap();
-    assert!(second.report.executed.is_empty(), "{:?}", second.report.executed);
+    let second = builder
+        .build("coremark.json", &BuildOptions::default())
+        .unwrap();
+    assert!(
+        second.report.executed.is_empty(),
+        "{:?}",
+        second.report.executed
+    );
     assert_eq!(second.report.skipped.len(), first.report.total());
 
     // A comment-only source change leaves the assembled binary identical,
@@ -122,13 +133,21 @@ fn incremental_rebuild_reuses_artifacts() {
     let src = root.join("workloads/coremark/src/coremark.s");
     let text = std::fs::read_to_string(&src).unwrap();
     std::fs::write(&src, format!("{text}\n# a comment\n")).unwrap();
-    let third = builder.build("coremark.json", &BuildOptions::default()).unwrap();
-    assert!(third.report.executed.is_empty(), "{:?}", third.report.executed);
+    let third = builder
+        .build("coremark.json", &BuildOptions::default())
+        .unwrap();
+    assert!(
+        third.report.executed.is_empty(),
+        "{:?}",
+        third.report.executed
+    );
 
     // A real code change alters the binary: the image chain rebuilds, but
     // the kernel/boot tasks (whose inputs didn't change) are still skipped.
     std::fs::write(&src, text.replace("li      s4, 40", "li      s4, 41")).unwrap();
-    let fourth = builder.build("coremark.json", &BuildOptions::default()).unwrap();
+    let fourth = builder
+        .build("coremark.json", &BuildOptions::default())
+        .unwrap();
     assert!(
         fourth.report.ran("img:br-base/coremark"),
         "{:?}",
@@ -148,8 +167,20 @@ fn artifacts_are_byte_identical_across_builds() {
     let mut b = common::builder_in(&root_b);
     let pa = a.build("hello.json", &BuildOptions::default()).unwrap();
     let pb = b.build("hello.json", &BuildOptions::default()).unwrap();
-    let JobKind::Linux { boot_path: ba, disk_path: da } = &pa.jobs[0].kind else { panic!() };
-    let JobKind::Linux { boot_path: bb, disk_path: db } = &pb.jobs[0].kind else { panic!() };
+    let JobKind::Linux {
+        boot_path: ba,
+        disk_path: da,
+    } = &pa.jobs[0].kind
+    else {
+        panic!()
+    };
+    let JobKind::Linux {
+        boot_path: bb,
+        disk_path: db,
+    } = &pb.jobs[0].kind
+    else {
+        panic!()
+    };
     assert_eq!(std::fs::read(ba).unwrap(), std::fs::read(bb).unwrap());
     assert_eq!(
         std::fs::read(da.as_ref().unwrap()).unwrap(),

@@ -139,8 +139,7 @@ fn install_with_vcs_connector() {
     assert!(log[0].contains("vcs connector"), "{log:?}");
     let runner = root.join("work/installs/hello/run_all.sh");
     assert!(runner.exists());
-    let per_job =
-        std::fs::read_to_string(root.join("work/installs/hello/sim_hello.sh")).unwrap();
+    let per_job = std::fs::read_to_string(root.join("work/installs/hello/sim_hello.sh")).unwrap();
     assert!(per_job.contains("simv"), "{per_job}");
     assert!(per_job.contains("+bootrom="));
 

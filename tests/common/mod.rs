@@ -5,10 +5,7 @@ use std::path::PathBuf;
 /// Creates (and clears) a unique scratch directory for one test.
 #[allow(dead_code)]
 pub fn tmpdir(tag: &str) -> PathBuf {
-    let d = std::env::temp_dir().join(format!(
-        "firemarshal-it-{tag}-{}",
-        std::process::id()
-    ));
+    let d = std::env::temp_dir().join(format!("firemarshal-it-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&d);
     std::fs::create_dir_all(&d).expect("create scratch dir");
     d

@@ -6,10 +6,7 @@ mod common;
 use marshal_core::{launch, BuildOptions};
 
 /// Writes a user workload directory and returns a builder that sees it.
-fn user_workload(
-    root: &std::path::Path,
-    files: &[(&str, &str)],
-) -> marshal_core::Builder {
+fn user_workload(root: &std::path::Path, files: &[(&str, &str)]) -> marshal_core::Builder {
     let wl_dir = root.join("user-workloads");
     std::fs::create_dir_all(&wl_dir).unwrap();
     for (name, text) in files {
@@ -62,10 +59,16 @@ fn overlay_and_files_options() {
         ],
     );
     let products = b.build("w.json", &BuildOptions::default()).unwrap();
-    let result = launch::simulate_job(&products.jobs[0]).unwrap();
+    let result = launch::simulate_job(&products.jobs[0], &Default::default()).unwrap();
     let image = result.image.unwrap();
-    assert_eq!(image.read_file("/etc/from-overlay").unwrap(), b"overlay file\n");
-    assert_eq!(image.read_file("/etc/extra.txt").unwrap(), b"from files option\n");
+    assert_eq!(
+        image.read_file("/etc/from-overlay").unwrap(),
+        b"overlay file\n"
+    );
+    assert_eq!(
+        image.read_file("/etc/extra.txt").unwrap(),
+        b"from files option\n"
+    );
     std::fs::remove_dir_all(root).unwrap();
 }
 
@@ -87,7 +90,7 @@ fn host_init_generates_build_inputs() {
     );
     std::fs::create_dir_all(root.join("user-workloads/gen-overlay")).unwrap();
     let products = b.build("w.json", &BuildOptions::default()).unwrap();
-    let out = launch::simulate_job(&products.jobs[0]).unwrap();
+    let out = launch::simulate_job(&products.jobs[0], &Default::default()).unwrap();
     assert_eq!(out.exit_code, 0);
     assert_eq!(
         out.image.unwrap().read_file("/etc/generated").unwrap(),
@@ -113,14 +116,20 @@ fn guest_init_runs_exactly_once() {
         ],
     );
     let products = b.build("w.json", &BuildOptions::default()).unwrap();
-    let result = launch::simulate_job(&products.jobs[0]).unwrap();
+    let result = launch::simulate_job(&products.jobs[0], &Default::default()).unwrap();
     // guest-init ran once, during build — not again at launch.
-    assert_eq!(result.image.unwrap().read_file("/etc/gi-count").unwrap(), b"1");
+    assert_eq!(
+        result.image.unwrap().read_file("/etc/gi-count").unwrap(),
+        b"1"
+    );
     // A rebuild does not re-run it either (tasks are up to date).
     let products2 = b.build("w.json", &BuildOptions::default()).unwrap();
     assert!(products2.report.executed.is_empty());
-    let result2 = launch::simulate_job(&products2.jobs[0]).unwrap();
-    assert_eq!(result2.image.unwrap().read_file("/etc/gi-count").unwrap(), b"1");
+    let result2 = launch::simulate_job(&products2.jobs[0], &Default::default()).unwrap();
+    assert_eq!(
+        result2.image.unwrap().read_file("/etc/gi-count").unwrap(),
+        b"1"
+    );
     std::fs::remove_dir_all(root).unwrap();
 }
 
@@ -145,12 +154,16 @@ fn run_and_command_options() {
         ],
     );
     let cmd = b.build("cmd.json", &BuildOptions::default()).unwrap();
-    let out = launch::simulate_job(&cmd.jobs[0]).unwrap();
+    let out = launch::simulate_job(&cmd.jobs[0], &Default::default()).unwrap();
     assert!(out.serial.contains("BusyBox"));
 
     let run = b.build("run.json", &BuildOptions::default()).unwrap();
-    let out = launch::simulate_job(&run.jobs[0]).unwrap();
-    assert!(out.serial.contains("run script executed on boot"), "{}", out.serial);
+    let out = launch::simulate_job(&run.jobs[0], &Default::default()).unwrap();
+    assert!(
+        out.serial.contains("run script executed on boot"),
+        "{}",
+        out.serial
+    );
     std::fs::remove_dir_all(root).unwrap();
 }
 
@@ -177,7 +190,7 @@ fn outputs_and_post_run_hook_options() {
             ],
         );
         let products = b.build("w.json", &BuildOptions::default()).unwrap();
-        let run = launch::launch_workload(&b, &products).unwrap();
+        let run = launch::launch_workload(&b, &products, &Default::default()).unwrap();
         assert_eq!(run.hook_log, vec!["hook done"]);
         assert_eq!(
             std::fs::read_to_string(run.run_root.join("doubled")).unwrap(),
@@ -205,11 +218,13 @@ fn linux_options_change_kernel() {
         ],
     );
     let products = b.build("w.json", &BuildOptions::default()).unwrap();
-    let result = launch::simulate_job(&products.jobs[0]).unwrap();
+    let result = launch::simulate_job(&products.jobs[0], &Default::default()).unwrap();
     // Custom kernel source version in the banner; fragment-enabled PFA
     // driver line; user module loaded by the initramfs.
     assert!(result.serial.contains("5.7.0-pfa"), "{}", result.serial);
-    assert!(result.serial.contains("pfa: page fault accelerator driver registered"));
+    assert!(result
+        .serial
+        .contains("pfa: page fault accelerator driver registered"));
     assert!(result.serial.contains("mydrv: module loaded"));
     std::fs::remove_dir_all(root).unwrap();
 }
@@ -225,7 +240,7 @@ fn firmware_option_switches_sbi() {
         )],
     );
     let products = b.build("w.json", &BuildOptions::default()).unwrap();
-    let result = launch::simulate_job(&products.jobs[0]).unwrap();
+    let result = launch::simulate_job(&products.jobs[0], &Default::default()).unwrap();
     assert!(result.serial.contains("bbl loader"), "{}", result.serial);
     assert!(!result.serial.contains("OpenSBI"));
     std::fs::remove_dir_all(root).unwrap();
@@ -242,8 +257,12 @@ fn spike_option_selects_simulator_with_args() {
         )],
     );
     let products = b.build("w.json", &BuildOptions::default()).unwrap();
-    let result = launch::simulate_job(&products.jobs[0]).unwrap();
-    assert!(result.serial.contains("spike: starting"), "{}", result.serial);
+    let result = launch::simulate_job(&products.jobs[0], &Default::default()).unwrap();
+    assert!(
+        result.serial.contains("spike: starting"),
+        "{}",
+        result.serial
+    );
     assert!(result.serial.contains("--isa=rv64imac"));
     assert!(result.serial.contains("feature `pfa` enabled"));
     std::fs::remove_dir_all(root).unwrap();
@@ -311,7 +330,7 @@ fn bin_option_makes_bare_metal_job() {
         products.jobs[0].kind,
         marshal_core::JobKind::Bare { .. }
     ));
-    let result = launch::simulate_job(&products.jobs[0]).unwrap();
+    let result = launch::simulate_job(&products.jobs[0], &Default::default()).unwrap();
     assert_eq!(result.exit_code, 7);
     assert!(result.image.is_none());
     std::fs::remove_dir_all(root).unwrap();
@@ -330,7 +349,7 @@ fn yaml_workloads_build_and_run() {
     );
     let products = b.build("yamlwork.yaml", &BuildOptions::default()).unwrap();
     assert_eq!(products.top_spec.outputs, vec!["/output"]);
-    let out = launch::simulate_job(&products.jobs[0]).unwrap();
+    let out = launch::simulate_job(&products.jobs[0], &Default::default()).unwrap();
     assert!(out.serial.contains("BusyBox"));
     std::fs::remove_dir_all(root).unwrap();
 }
@@ -342,7 +361,9 @@ fn img_option_uses_hardcoded_image() {
     // Pre-build a custom image file.
     let mut custom = marshal_image::FsImage::new();
     custom.mkdir_p("/etc/init.d").unwrap();
-    custom.write_file("/etc/custom-marker", b"hard-coded").unwrap();
+    custom
+        .write_file("/etc/custom-marker", b"hard-coded")
+        .unwrap();
     let wl_dir = root.join("user-workloads");
     std::fs::create_dir_all(&wl_dir).unwrap();
     std::fs::write(wl_dir.join("prebuilt.img"), custom.to_bytes()).unwrap();
@@ -354,9 +375,12 @@ fn img_option_uses_hardcoded_image() {
         )],
     );
     let products = b.build("w.json", &BuildOptions::default()).unwrap();
-    let result = launch::simulate_job(&products.jobs[0]).unwrap();
+    let result = launch::simulate_job(&products.jobs[0], &Default::default()).unwrap();
     let image = result.image.unwrap();
-    assert_eq!(image.read_file("/etc/custom-marker").unwrap(), b"hard-coded");
+    assert_eq!(
+        image.read_file("/etc/custom-marker").unwrap(),
+        b"hard-coded"
+    );
     // The hard-coded image replaced the distro base entirely.
     assert!(!image.exists("/etc/os-release"));
     std::fs::remove_dir_all(root).unwrap();

@@ -12,12 +12,18 @@ fn intspeed_hook_emits_listing3_csv() {
     let mut builder = common::builder_in(&root);
     // Build the full suite, but launch just two jobs (keeps the functional
     // run quick) and invoke the hook over them.
-    let products = builder.build("intspeed.json", &BuildOptions::default()).unwrap();
+    let products = builder
+        .build("intspeed.json", &BuildOptions::default())
+        .unwrap();
     assert_eq!(products.jobs.len(), 10);
 
-    let j0 = launch::launch_job(&builder, &products, 0).unwrap();
-    let j9 = launch::launch_job(&builder, &products, 9).unwrap();
-    assert!(j0.serial.contains("600.perlbench_s checksum:"), "{}", j0.serial);
+    let j0 = launch::launch_job(&builder, &products, 0, &Default::default()).unwrap();
+    let j9 = launch::launch_job(&builder, &products, 9, &Default::default()).unwrap();
+    assert!(
+        j0.serial.contains("600.perlbench_s checksum:"),
+        "{}",
+        j0.serial
+    );
     assert!(j9.serial.contains("657.xz_s checksum:"));
     // Outputs collected per job.
     assert!(j0.job_dir.join("output/600.perlbench_s.status").exists());
@@ -36,7 +42,10 @@ fn intspeed_hook_emits_listing3_csv() {
         &[j0.job.clone(), j9.job.clone()],
     )
     .unwrap();
-    assert!(log.iter().any(|l| l.contains("wrote results.csv")), "{log:?}");
+    assert!(
+        log.iter().any(|l| l.contains("wrote results.csv")),
+        "{log:?}"
+    );
 
     let csv = std::fs::read_to_string(run_root.join("results.csv")).unwrap();
     let lines: Vec<&str> = csv.lines().collect();

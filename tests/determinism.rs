@@ -14,7 +14,9 @@ use marshal_sim_rtl::{FireSim, HardwareConfig};
 fn cycle_counts_repeat_exactly() {
     let root = common::tmpdir("determinism");
     let mut builder = common::builder_in(&root);
-    let products = builder.build("coremark.json", &BuildOptions::default()).unwrap();
+    let products = builder
+        .build("coremark.json", &BuildOptions::default())
+        .unwrap();
     let JobKind::Linux {
         boot_path,
         disk_path,
@@ -23,8 +25,7 @@ fn cycle_counts_repeat_exactly() {
         panic!();
     };
     let boot = BootBinary::from_bytes(&std::fs::read(boot_path).unwrap()).unwrap();
-    let disk =
-        FsImage::from_bytes(&std::fs::read(disk_path.as_ref().unwrap()).unwrap()).unwrap();
+    let disk = FsImage::from_bytes(&std::fs::read(disk_path.as_ref().unwrap()).unwrap()).unwrap();
 
     for hw in [
         HardwareConfig::rocket(),
@@ -54,7 +55,9 @@ fn grading_scenario_staff_reproduces_student_result() {
     let staff_root = common::tmpdir("det-staff");
     let measure = |root: &std::path::Path| -> u64 {
         let mut builder = common::builder_in(root);
-        let products = builder.build("coremark.json", &BuildOptions::default()).unwrap();
+        let products = builder
+            .build("coremark.json", &BuildOptions::default())
+            .unwrap();
         let node = marshal_core::install::run_job_cycle_exact(
             &products.jobs[0],
             HardwareConfig::boom_tage(),
@@ -75,7 +78,9 @@ fn different_hardware_different_cycles_same_behaviour() {
     // different cores differ in cycles but never in behaviour.
     let root = common::tmpdir("det-hw");
     let mut builder = common::builder_in(&root);
-    let products = builder.build("hello.json", &BuildOptions::default()).unwrap();
+    let products = builder
+        .build("hello.json", &BuildOptions::default())
+        .unwrap();
     let rocket =
         marshal_core::install::run_job_cycle_exact(&products.jobs[0], HardwareConfig::rocket())
             .unwrap();

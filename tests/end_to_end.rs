@@ -14,11 +14,13 @@ fn fig2_flow_quickstart() {
     let mut builder = common::builder_in(&root);
 
     // Spec -> build.
-    let products = builder.build("hello.json", &BuildOptions::default()).unwrap();
+    let products = builder
+        .build("hello.json", &BuildOptions::default())
+        .unwrap();
     assert_eq!(products.jobs.len(), 1);
 
     // Launch in functional simulation.
-    let run = launch::launch_workload(&builder, &products).unwrap();
+    let run = launch::launch_workload(&builder, &products, &Default::default()).unwrap();
     assert!(run.jobs[0].serial.contains("Hello from FireMarshal!"));
     assert!(run.jobs[0].job_dir.join("uartlog").exists());
     assert!(run.jobs[0].job_dir.join("output/hello.txt").exists());
@@ -62,11 +64,15 @@ fn fig2_flow_multi_job_workload() {
     assert!(products.jobs[0].name.ends_with("client"));
     assert!(products.jobs[1].name.ends_with("server"));
 
-    let run = launch::launch_workload(&builder, &products).unwrap();
+    let run = launch::launch_workload(&builder, &products, &Default::default()).unwrap();
     assert!(run.jobs[0].serial.contains("latency-ubench faults=64"));
     assert!(run.jobs[1].serial.contains("pfa-server checksum: 1"));
     // The client runs on the custom pfa-spike simulator (the golden model).
-    assert!(run.jobs[0].serial.contains("spike"), "{}", run.jobs[0].serial);
+    assert!(
+        run.jobs[0].serial.contains("spike"),
+        "{}",
+        run.jobs[0].serial
+    );
     assert!(run.jobs[0].serial.contains("feature `pfa` enabled"));
 
     // The post-run hook produced the combined CSV.
@@ -83,7 +89,10 @@ fn fig2_flow_multi_job_workload() {
             .collect::<Vec<_>>(),
     )
     .unwrap();
-    assert!(outcomes.iter().all(|o| matches!(o, TestOutcome::Pass)), "{outcomes:?}");
+    assert!(
+        outcomes.iter().all(|o| matches!(o, TestOutcome::Pass)),
+        "{outcomes:?}"
+    );
 
     std::fs::remove_dir_all(root).unwrap();
 }
@@ -115,8 +124,10 @@ fn guest_init_fedora_flow() {
     let mut search = setup.search;
     search.add_dir(&wl_dir);
     let mut builder = marshal_core::Builder::new(setup.board, search, root.join("work")).unwrap();
-    let products = builder.build("deps.json", &BuildOptions::default()).unwrap();
-    let run = launch::launch_workload(&builder, &products).unwrap();
+    let products = builder
+        .build("deps.json", &BuildOptions::default())
+        .unwrap();
+    let run = launch::launch_workload(&builder, &products, &Default::default()).unwrap();
 
     // guest-init ran at BUILD time, not at launch.
     assert!(!run.jobs[0].serial.contains("running one-shot guest-init"));
@@ -138,19 +149,21 @@ fn onnx_workload_fedora_end_to_end() {
     let products = builder
         .build("onnx-infer.json", &BuildOptions::default())
         .unwrap();
-    let run = launch::launch_workload(&builder, &products).unwrap();
+    let run = launch::launch_workload(&builder, &products, &Default::default()).unwrap();
     let serial = &run.jobs[0].serial;
-    assert!(serial.contains("Multi-User System"), "systemd boot: {serial}");
+    assert!(
+        serial.contains("Multi-User System"),
+        "systemd boot: {serial}"
+    );
     assert!(serial.contains("onnx-infer checksum:"));
     // guest-init already ran at build time; its package markers are baked
     // into the image.
     let marshal_core::JobKind::Linux { disk_path, .. } = &products.jobs[0].kind else {
         panic!()
     };
-    let disk = marshal_image::FsImage::from_bytes(
-        &std::fs::read(disk_path.as_ref().unwrap()).unwrap(),
-    )
-    .unwrap();
+    let disk =
+        marshal_image::FsImage::from_bytes(&std::fs::read(disk_path.as_ref().unwrap()).unwrap())
+            .unwrap();
     assert!(disk.exists("/usr/share/packages/onnxruntime"));
 
     let outcomes = marshal_core::test::compare_run(
@@ -161,11 +174,9 @@ fn onnx_workload_fedora_end_to_end() {
     assert_eq!(outcomes, vec![TestOutcome::Pass]);
 
     // Same artifacts, cycle-exact, same reference pass.
-    let node = marshal_core::install::run_job_cycle_exact(
-        &products.jobs[0],
-        HardwareConfig::boom_tage(),
-    )
-    .unwrap();
+    let node =
+        marshal_core::install::run_job_cycle_exact(&products.jobs[0], HardwareConfig::boom_tage())
+            .unwrap();
     let outcomes = marshal_core::test::compare_run(
         &products,
         &[(node.name.clone(), node.result.serial.clone())],

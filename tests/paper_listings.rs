@@ -67,7 +67,11 @@ fn listing2_intspeed_shape() {
     for job in &jobs {
         // "Each job differs only in the command option."
         let spec = &job.workload.spec;
-        assert!(spec.command.as_deref().unwrap().starts_with("/intspeed.sh "));
+        assert!(spec
+            .command
+            .as_deref()
+            .unwrap()
+            .starts_with("/intspeed.sh "));
         assert_eq!(spec.rootfs_size, Some(3 << 30));
         assert_eq!(spec.outputs, vec!["/output"]);
         assert_eq!(spec.distro.as_deref(), Some("buildroot"));

@@ -15,7 +15,9 @@ use marshal_sim_rtl::{FireSim, HardwareConfig};
 fn same_artifacts_same_cleaned_output_on_all_simulators() {
     let root = common::tmpdir("consistency");
     let mut builder = common::builder_in(&root);
-    let products = builder.build("coremark.json", &BuildOptions::default()).unwrap();
+    let products = builder
+        .build("coremark.json", &BuildOptions::default())
+        .unwrap();
     let marshal_core::JobKind::Linux {
         boot_path,
         disk_path,
@@ -24,11 +26,14 @@ fn same_artifacts_same_cleaned_output_on_all_simulators() {
         panic!("expected linux job");
     };
     let boot = BootBinary::from_bytes(&std::fs::read(boot_path).unwrap()).unwrap();
-    let disk =
-        FsImage::from_bytes(&std::fs::read(disk_path.as_ref().unwrap()).unwrap()).unwrap();
+    let disk = FsImage::from_bytes(&std::fs::read(disk_path.as_ref().unwrap()).unwrap()).unwrap();
 
-    let qemu = Qemu::new().launch(&boot, Some(&disk), LaunchMode::Run).unwrap();
-    let spike = Spike::new().launch(&boot, Some(&disk), LaunchMode::Run).unwrap();
+    let qemu = Qemu::new()
+        .launch(&boot, Some(&disk), LaunchMode::Run)
+        .unwrap();
+    let spike = Spike::new()
+        .launch(&boot, Some(&disk), LaunchMode::Run)
+        .unwrap();
     let (firesim, report) = FireSim::new(HardwareConfig::rocket())
         .launch(&boot, Some(&disk), LaunchMode::Run)
         .unwrap();
@@ -62,7 +67,9 @@ fn final_images_identical_across_simulators() {
     // Output files (not just serial) also match across simulators.
     let root = common::tmpdir("consistency-img");
     let mut builder = common::builder_in(&root);
-    let products = builder.build("hello.json", &BuildOptions::default()).unwrap();
+    let products = builder
+        .build("hello.json", &BuildOptions::default())
+        .unwrap();
     let marshal_core::JobKind::Linux {
         boot_path,
         disk_path,
@@ -71,9 +78,10 @@ fn final_images_identical_across_simulators() {
         panic!();
     };
     let boot = BootBinary::from_bytes(&std::fs::read(boot_path).unwrap()).unwrap();
-    let disk =
-        FsImage::from_bytes(&std::fs::read(disk_path.as_ref().unwrap()).unwrap()).unwrap();
-    let qemu = Qemu::new().launch(&boot, Some(&disk), LaunchMode::Run).unwrap();
+    let disk = FsImage::from_bytes(&std::fs::read(disk_path.as_ref().unwrap()).unwrap()).unwrap();
+    let qemu = Qemu::new()
+        .launch(&boot, Some(&disk), LaunchMode::Run)
+        .unwrap();
     let (firesim, _) = FireSim::new(HardwareConfig::boom_tage())
         .launch(&boot, Some(&disk), LaunchMode::Run)
         .unwrap();
@@ -98,7 +106,7 @@ fn install_then_cycle_exact_run_passes_same_test() {
         .unwrap();
 
     // Functional pass (launch).
-    let run = launch::launch_workload(&builder, &products).unwrap();
+    let run = launch::launch_workload(&builder, &products, &Default::default()).unwrap();
     let functional = marshal_core::test::compare_run(
         &products,
         &run.jobs
