@@ -5,6 +5,7 @@
 //! Measures a multi-node cycle-exact cluster run serially vs. in parallel.
 
 use marshal_bench::{criterion_group, criterion_main, Criterion};
+use marshal_depgraph::{ExecOptions, Graph, StateDb, Task};
 use marshal_isa::abi;
 use marshal_isa::asm::assemble;
 use marshal_sim_rtl::{FireSim, HardwareConfig, NodePayload};
@@ -86,5 +87,96 @@ fn bench_parallel_jobs(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_parallel_jobs);
+/// A wide build graph with CPU-bound tasks: one root fanning out to 16
+/// independent "image" tasks, each joined by a "finalize" task — the shape
+/// `marshal build -j N` schedules for a multi-job workload.
+fn build_graph(work: u64) -> Graph {
+    let spin = move |seed: u64| {
+        // Deterministic busy work standing in for image assembly.
+        let mut acc = seed;
+        for i in 0..work {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(acc);
+    };
+    let mut g = Graph::new();
+    g.add(Task::new("root", move || {
+        spin(1);
+        Ok(())
+    }))
+    .unwrap();
+    for i in 0..16 {
+        g.add(
+            Task::new(format!("img{i:02}"), move || {
+                spin(i + 2);
+                Ok(())
+            })
+            .dep("root"),
+        )
+        .unwrap();
+    }
+    let mut finalize = Task::new("finalize", move || {
+        spin(99);
+        Ok(())
+    });
+    for i in 0..16 {
+        finalize = finalize.dep(format!("img{i:02}"));
+    }
+    g.add(finalize).unwrap();
+    g
+}
+
+fn bench_parallel_build(c: &mut Criterion) {
+    const WORK: u64 = 2_000_000;
+
+    // Print the `-j N` sweep: wall-clock speedup of the task scheduler at
+    // the thread counts the CLI exposes, with identical reports throughout.
+    println!("== `-j N` parallel build (18-task graph, 16-wide fan-out) ==");
+    let g = build_graph(WORK);
+    let mut baseline = None;
+    for threads in [1usize, 2, 4, 8] {
+        let mut db = StateDb::in_memory();
+        let t0 = std::time::Instant::now();
+        let report = g
+            .execute_with(
+                &mut db,
+                &ExecOptions {
+                    keep_going: false,
+                    threads,
+                },
+            )
+            .unwrap();
+        let elapsed = t0.elapsed();
+        assert_eq!(report.executed.len(), 18, "-j {threads} runs every task");
+        let serial = *baseline.get_or_insert(elapsed);
+        println!(
+            "  -j {threads}: {elapsed:?} ({:.2}x vs -j 1)",
+            serial.as_secs_f64() / elapsed.as_secs_f64()
+        );
+    }
+
+    let mut group = c.benchmark_group("parallel_build");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let g = build_graph(WORK);
+        group.bench_function(format!("build_j{threads}"), |b| {
+            b.iter(|| {
+                let mut db = StateDb::in_memory();
+                let report = g
+                    .execute_with(
+                        &mut db,
+                        &ExecOptions {
+                            keep_going: false,
+                            threads,
+                        },
+                    )
+                    .unwrap();
+                report.executed.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_jobs, bench_parallel_build);
 criterion_main!(benches);

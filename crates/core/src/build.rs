@@ -25,6 +25,7 @@ use marshal_sim_functional::{LaunchMode, Qemu};
 
 use crate::board::Board;
 use crate::error::MarshalError;
+use crate::warnings::Warning;
 
 /// Options for `build`.
 #[derive(Debug, Clone, Default)]
@@ -37,6 +38,9 @@ pub struct BuildOptions {
     /// failure and report the aggregate (`--keep-going`). Without it the
     /// first failure aborts the build.
     pub keep_going: bool,
+    /// Worker threads for task execution (`-j N`). `None` uses the host's
+    /// available parallelism; `Some(1)` builds serially.
+    pub jobs: Option<usize>,
 }
 
 /// What kind of artifact a job produced.
@@ -81,6 +85,10 @@ pub struct BuildProducts {
     pub report: BuildReport,
     /// The workload's source directory (for hooks and reference outputs).
     pub source_dir: Option<PathBuf>,
+    /// Non-fatal diagnostics, in the order they arose (state-database
+    /// recovery, interrupted-task rebuilds). The CLI prints each once;
+    /// library code never writes to stderr.
+    pub warnings: Vec<Warning>,
 }
 
 /// The FireMarshal build engine.
@@ -90,6 +98,9 @@ pub struct Builder {
     search: SearchPath,
     workdir: PathBuf,
     db: StateDb,
+    /// Warnings gathered while opening the state database, handed to the
+    /// first build's [`BuildProducts::warnings`].
+    open_warnings: Vec<Warning>,
 }
 
 impl Builder {
@@ -105,21 +116,37 @@ impl Builder {
     ) -> Result<Builder, MarshalError> {
         let workdir = workdir.into();
         let db = StateDb::open(workdir.join("state.db"))?;
+        let mut open_warnings = Vec::new();
         if let Some(note) = db.recovery() {
-            eprintln!("warning: {note}");
+            open_warnings.push(Warning::new("", note));
+        }
+        for id in db.interrupted() {
+            open_warnings.push(Warning::new(
+                id.clone(),
+                "a previous run was interrupted while this task was executing; \
+                 its state was discarded and it will rebuild",
+            ));
         }
         Ok(Builder {
             board,
             search,
             workdir,
             db,
+            open_warnings,
         })
     }
 
     /// If opening the state database recovered from corruption, the
-    /// human-readable account (also printed to stderr at open time).
+    /// human-readable account (also surfaced as a build warning).
     pub fn state_recovery(&self) -> Option<&str> {
         self.db.recovery()
+    }
+
+    /// Warnings gathered while opening the state database that no build
+    /// has reported yet (each build drains them into
+    /// [`BuildProducts::warnings`]).
+    pub fn open_warnings(&self) -> &[Warning] {
+        &self.open_warnings
     }
 
     /// The board this builder targets.
@@ -232,7 +259,7 @@ impl Builder {
         let roots: Vec<&str> = job_plans.iter().map(|p| p.final_task.as_str()).collect();
         let opts = marshal_depgraph::ExecOptions {
             keep_going: options.keep_going,
-            threads: 1,
+            threads: options.jobs.unwrap_or_else(default_jobs),
         };
         let report = graph.execute_roots_with(&mut self.db, &roots, &opts)?;
         // Flush even when keep-going recorded partial progress: the
@@ -253,6 +280,7 @@ impl Builder {
             jobs,
             report,
             source_dir,
+            warnings: std::mem::take(&mut self.open_warnings),
         })
     }
 
@@ -295,7 +323,8 @@ impl Builder {
             })
             .input(bin_name.as_bytes())
             .input(&bin_input_hash(source_dir, &bin_name))
-            .output(&bin_path);
+            .output(&bin_path)
+            .claim(crate::integrity::sidecar_path(&bin_path));
             graph.add(task)?;
             return Ok(JobPlan {
                 name: qualified,
@@ -360,6 +389,7 @@ impl Builder {
         let disk_path = image_dir.join("rootfs.img");
         let jobimg_id = format!("jobimg:{qualified}");
         {
+            let job_image_path = store.path_for(&format!("job:{}", spec.name));
             let store = store.clone();
             let spec_for_task = spec.clone();
             let chain_key = chain_key.clone();
@@ -380,6 +410,8 @@ impl Builder {
             .dep(chain_task.clone())
             .input(format!("{:?}{:?}{:?}", spec.run, spec.command, spec.rootfs_size).as_bytes())
             .output(&disk_path)
+            .claim(crate::integrity::sidecar_path(&disk_path))
+            .claim(job_image_path)
             .input(qualified.as_bytes());
             graph.add(task)?;
         }
@@ -412,7 +444,8 @@ impl Builder {
             .input(format!("{:?}", spec.linux).as_bytes())
             .input(format!("{:?}", spec.firmware).as_bytes())
             .input(&[options.no_disk as u8])
-            .output(&boot_path);
+            .output(&boot_path)
+            .claim(crate::integrity::sidecar_path(&boot_path));
             for f in self.resolve_fragments(spec, source_dir)? {
                 task = task.input(f.as_bytes());
             }
@@ -595,6 +628,14 @@ struct JobPlan {
     final_task: String,
 }
 
+/// The `-j` default: the host's available parallelism, or serial when the
+/// host cannot report one.
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 /// Level images are persisted to disk (so incremental rebuilds can load a
 /// skipped parent's image) and cached in memory within one build.
 #[derive(Clone)]
@@ -621,6 +662,7 @@ impl ImageStore {
         std::fs::create_dir_all(&self.dir)
             .map_err(|e| format!("mkdir {}: {e}", self.dir.display()))?;
         let path = self.path_for(key);
+        marshal_depgraph::assert_claimed(&path);
         std::fs::write(&path, image.to_bytes())
             .map_err(|e| format!("write {}: {e}", path.display()))?;
         self.cache

@@ -42,7 +42,7 @@ pub struct CliArgs {
 /// One of Table I's commands.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
-    /// `build [--no-disk] [--force] [--keep-going] <workload>`.
+    /// `build [--no-disk] [--force] [--keep-going] [-j N] <workload>`.
     Build {
         /// Target workload file.
         workload: String,
@@ -52,6 +52,8 @@ pub enum Command {
         force: bool,
         /// Keep building independent subtrees past a task failure.
         keep_going: bool,
+        /// Worker threads (`-j N`); `None` = available parallelism.
+        jobs: Option<usize>,
     },
     /// `launch [--job NAME] [--timeout-insts N] <workload>`.
     Launch {
@@ -62,7 +64,7 @@ pub enum Command {
         /// Guest watchdog budget in instructions.
         timeout_insts: Option<u64>,
     },
-    /// `test [--manual DIR] [--timeout-insts N] <workload>`.
+    /// `test [--manual DIR] [--timeout-insts N] [-j N] <workload>`.
     Test {
         /// Target workload file.
         workload: String,
@@ -71,6 +73,8 @@ pub enum Command {
         manual: Option<String>,
         /// Guest watchdog budget in instructions.
         timeout_insts: Option<u64>,
+        /// Worker threads for the build phase (`-j N`).
+        jobs: Option<usize>,
     },
     /// `install [--hw CONFIG] [--sim CONNECTOR] <workload>`.
     Install {
@@ -92,15 +96,17 @@ pub enum Command {
 
 /// Usage text.
 pub const USAGE: &str = "usage: marshal [-d DIR]... [--workdir DIR] [-v] <build|launch|test|install|clean> [options] <workload>
-  build   [--no-disk] [--force] [--keep-going]
+  build   [--no-disk] [--force] [--keep-going] [-j N]
                                   construct the filesystem image and boot-binary;
                                   --keep-going builds past failures (only dependents
-                                  of a failed task are skipped) and reports them all
+                                  of a failed task are skipped) and reports them all;
+                                  -j runs up to N independent tasks in parallel
+                                  (default: available CPUs; -j 1 builds serially)
   launch  [--job NAME] [--timeout-insts N]
                                   launch the workload in functional simulation;
                                   --timeout-insts bounds guest instructions before the
                                   watchdog kills a hung payload (exit code 124)
-  test    [--manual DIR] [--timeout-insts N]
+  test    [--manual DIR] [--timeout-insts N] [-j N]
                                   compare outputs against a reference (build+launch, or a prior run dir)
   install [--hw CONFIG] [--sim C] generate RTL simulator configuration (firesim/vcs/verilator)
   clean                           remove built artifacts and state";
@@ -152,6 +158,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, MarshalError> {
     let mut no_disk = false;
     let mut force = false;
     let mut keep_going = false;
+    let mut jobs = None;
     let mut job = None;
     let mut manual = None;
     let mut timeout_insts = None;
@@ -172,6 +179,15 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, MarshalError> {
                         "--timeout-insts: `{n}` is not an instruction count"
                     ))
                 })?);
+            }
+            "-j" | "--jobs" => {
+                let n = it.next().ok_or_else(|| err("-j needs a thread count"))?;
+                let parsed = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| err(&format!("-j: `{n}` is not a positive thread count")))?;
+                jobs = Some(parsed);
             }
             "--job" => job = Some(it.next().ok_or_else(|| err("--job needs a name"))?.clone()),
             "--manual" => {
@@ -215,6 +231,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, MarshalError> {
             no_disk,
             force,
             keep_going,
+            jobs,
         },
         "launch" => Command::Launch {
             workload: need_workload()?,
@@ -225,6 +242,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, MarshalError> {
             workload: need_workload()?,
             manual,
             timeout_insts,
+            jobs,
         },
         "install" => Command::Install {
             workload: need_workload()?,
@@ -283,14 +301,17 @@ pub fn run_command(args: &CliArgs, board: Board, mut search: SearchPath) -> (i32
             no_disk,
             force,
             keep_going,
+            jobs,
         } => {
             let opts = BuildOptions {
                 no_disk: *no_disk,
                 force: *force,
                 keep_going: *keep_going,
+                jobs: *jobs,
             };
             match builder.build(workload, &opts) {
                 Ok(products) => {
+                    log.extend(products.warnings.iter().map(ToString::to_string));
                     log.push(format!(
                         "built `{}`: {} job(s), {} task(s) run, {} up to date",
                         products.workload,
@@ -332,6 +353,7 @@ pub fn run_command(args: &CliArgs, board: Board, mut search: SearchPath) -> (i32
                 Ok(p) => p,
                 Err(e) => fail!(e),
             };
+            log.extend(products.warnings.iter().map(ToString::to_string));
             let launch_opts = LaunchOptions {
                 timeout_insts: *timeout_insts,
             };
@@ -349,6 +371,7 @@ pub fn run_command(args: &CliArgs, board: Board, mut search: SearchPath) -> (i32
                             if args.verbose {
                                 log.extend(out.serial.lines().map(str::to_owned));
                             }
+                            log.extend(out.warnings.iter().map(ToString::to_string));
                             if out.timed_out {
                                 log.push(format!(
                                     "job `{}` TIMED OUT after {} instructions; partial \
@@ -377,6 +400,7 @@ pub fn run_command(args: &CliArgs, board: Board, mut search: SearchPath) -> (i32
                             if args.verbose {
                                 log.extend(j.serial.lines().map(str::to_owned));
                             }
+                            log.extend(j.warnings.iter().map(ToString::to_string));
                             if j.timed_out {
                                 log.push(format!(
                                     "job `{}` TIMED OUT after {} instructions (partial \
@@ -403,12 +427,17 @@ pub fn run_command(args: &CliArgs, board: Board, mut search: SearchPath) -> (i32
             workload,
             manual,
             timeout_insts,
+            jobs,
         } => {
+            let build_opts = BuildOptions {
+                jobs: *jobs,
+                ..BuildOptions::default()
+            };
             let outcomes_result = match manual {
                 Some(dir) => {
                     // `test --manual`: compare outputs a simulator already
                     // produced, without re-running anything.
-                    match builder.build(workload, &BuildOptions::default()) {
+                    match builder.build(workload, &build_opts) {
                         Ok(products) => {
                             let dir = std::path::Path::new(dir);
                             let serials: Result<Vec<(String, String)>, MarshalError> = products
@@ -436,7 +465,7 @@ pub fn run_command(args: &CliArgs, board: Board, mut search: SearchPath) -> (i32
                 None => test_workload(
                     &mut builder,
                     workload,
-                    &BuildOptions::default(),
+                    &build_opts,
                     &LaunchOptions {
                         timeout_insts: *timeout_insts,
                     },
@@ -537,9 +566,24 @@ mod tests {
                 workload: "intspeed.json".into(),
                 no_disk: true,
                 force: false,
-                keep_going: false
+                keep_going: false,
+                jobs: None
             }
         );
+    }
+
+    #[test]
+    fn parse_jobs() {
+        let args = parse(&["build", "-j", "4", "w.json"]).unwrap();
+        assert!(matches!(args.command, Command::Build { jobs: Some(4), .. }));
+        let args = parse(&["build", "--jobs", "8", "w.json"]).unwrap();
+        assert!(matches!(args.command, Command::Build { jobs: Some(8), .. }));
+        let args = parse(&["test", "-j", "2", "w.json"]).unwrap();
+        assert!(matches!(args.command, Command::Test { jobs: Some(2), .. }));
+        // Not a count, zero, or missing: usage errors.
+        assert!(parse(&["build", "-j", "many", "w.json"]).is_err());
+        assert!(parse(&["build", "-j", "0", "w.json"]).is_err());
+        assert!(parse(&["build", "-j"]).is_err());
     }
 
     #[test]

@@ -30,8 +30,10 @@ pub fn sidecar_path(artifact: &Path) -> PathBuf {
 ///
 /// Describes the failing path on I/O errors.
 pub fn write_artifact(path: &Path, bytes: &[u8]) -> Result<(), String> {
+    marshal_depgraph::assert_claimed(path);
     std::fs::write(path, bytes).map_err(|e| format!("write {}: {e}", path.display()))?;
     let sidecar = sidecar_path(path);
+    marshal_depgraph::assert_claimed(&sidecar);
     std::fs::write(&sidecar, format!("{}\n", Fingerprint::of(bytes)))
         .map_err(|e| format!("write {}: {e}", sidecar.display()))
 }

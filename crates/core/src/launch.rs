@@ -10,6 +10,7 @@ use marshal_sim_functional::{LaunchMode, Qemu, SimResult, Spike};
 use crate::build::{BuildProducts, Builder, JobArtifacts, JobKind};
 use crate::error::MarshalError;
 use crate::output::{collect_outputs, load_hook_script, run_post_hook};
+use crate::warnings::Warning;
 
 /// Options for the `launch` command.
 #[derive(Debug, Clone, Default)]
@@ -36,6 +37,10 @@ pub struct LaunchOutput {
     pub timed_out: bool,
     /// Directory holding `uartlog` and collected outputs.
     pub job_dir: PathBuf,
+    /// Non-fatal diagnostics (e.g. declared outputs a timed-out guest never
+    /// wrote), in order. The CLI prints each once; the library itself never
+    /// writes to stderr.
+    pub warnings: Vec<Warning>,
 }
 
 /// Reads a job's built artifacts back from disk, verifying each against
@@ -151,6 +156,7 @@ pub fn launch_job(
     })?;
     let result = simulate_job(job, opts)?;
     let job_dir = builder.run_dir(&products.workload).join(&job.name);
+    let mut warnings = Vec::new();
     if result.timed_out {
         // The watchdog killed the guest mid-run: salvage what it produced
         // (uartlog always, declared outputs when they exist) instead of
@@ -162,10 +168,10 @@ pub fn launch_job(
             &job.spec.outputs,
         )?;
         for path in &missed {
-            eprintln!(
-                "warning: {}: output `{path}` missing after watchdog timeout",
-                job.name
-            );
+            warnings.push(Warning::new(
+                job.name.clone(),
+                format!("output `{path}` missing after watchdog timeout"),
+            ));
         }
     } else {
         collect_outputs(
@@ -192,6 +198,7 @@ pub fn launch_job(
         instructions: result.instructions,
         timed_out: result.timed_out,
         job_dir,
+        warnings,
     })
 }
 

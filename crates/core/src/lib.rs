@@ -48,6 +48,7 @@ pub mod integrity;
 pub mod launch;
 pub mod output;
 pub mod test;
+pub mod warnings;
 
 pub use board::Board;
 pub use build::{BuildOptions, BuildProducts, Builder, JobArtifacts, JobKind};
@@ -55,3 +56,4 @@ pub use error::MarshalError;
 pub use install::InstallManifest;
 pub use launch::{LaunchOptions, LaunchOutput};
 pub use test::{clean_output, TestOutcome};
+pub use warnings::Warning;

@@ -1,0 +1,58 @@
+//! Structured warnings.
+//!
+//! Library code never prints to stderr: anything worth telling the user
+//! that is not an error is returned as a [`Warning`] on the operation's
+//! result ([`crate::build::BuildProducts::warnings`],
+//! [`crate::launch::LaunchOutput::warnings`]) and rendered exactly once by
+//! the CLI, in the order it was produced. This keeps `run_command`'s
+//! `(code, log)` contract complete — embedders see every diagnostic — and
+//! keeps parallel builds tidy: no interleaved stderr from worker threads.
+
+use std::fmt;
+
+/// One non-fatal diagnostic produced by a build or launch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Warning {
+    /// What the warning is about (a job name, a task id, or empty for
+    /// whole-build warnings such as state-database recovery).
+    pub context: String,
+    /// The human-readable message.
+    pub message: String,
+}
+
+impl Warning {
+    /// Creates a warning scoped to `context` (pass `""` for whole-build
+    /// warnings).
+    pub fn new(context: impl Into<String>, message: impl Into<String>) -> Warning {
+        Warning {
+            context: context.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Warning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.context.is_empty() {
+            write!(f, "warning: {}", self.message)
+        } else {
+            write!(f, "warning: {}: {}", self.context, self.message)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_context() {
+        let w = Warning::new("hello.client", "output `results.txt` missing");
+        assert_eq!(
+            w.to_string(),
+            "warning: hello.client: output `results.txt` missing"
+        );
+        let w = Warning::new("", "state database corrupt");
+        assert_eq!(w.to_string(), "warning: state database corrupt");
+    }
+}

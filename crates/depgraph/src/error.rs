@@ -23,9 +23,26 @@ pub enum BuildError {
         /// The action's error message.
         message: String,
     },
+    /// Two tasks that are not ordered by a dependency both claim to write
+    /// the same path — running them concurrently (or in either order)
+    /// would race on the file, so the graph is rejected before anything
+    /// executes.
+    Conflict {
+        /// The doubly-claimed path.
+        path: String,
+        /// The first claiming task (lexicographically smaller id).
+        first: String,
+        /// The second claiming task.
+        second: String,
+    },
     /// The persistent state database could not be read or written.
     State(String),
 }
+
+/// The execution-facing alias for [`BuildError`]: scheduler errors such as
+/// [`BuildError::Conflict`] and [`BuildError::TaskFailed`] are reported
+/// through the same type graph-construction errors use.
+pub type ExecError = BuildError;
 
 impl fmt::Display for BuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -38,6 +55,16 @@ impl fmt::Display for BuildError {
             BuildError::TaskFailed { task, message } => {
                 write!(f, "task `{task}` failed: {message}")
             }
+            BuildError::Conflict {
+                path,
+                first,
+                second,
+            } => write!(
+                f,
+                "write conflict: tasks `{first}` and `{second}` both claim `{path}` \
+                 but neither depends on the other; add a dependency edge or give \
+                 them distinct output paths"
+            ),
             BuildError::State(msg) => write!(f, "state database error: {msg}"),
         }
     }
@@ -57,5 +84,13 @@ mod tests {
         };
         assert_eq!(e.to_string(), "task `kernel` failed: boom");
         assert!(BuildError::Cycle("a".into()).to_string().contains("cycle"));
+        let e = BuildError::Conflict {
+            path: "/tmp/rootfs.img".into(),
+            first: "img:a".into(),
+            second: "img:b".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("img:a") && msg.contains("img:b"), "{msg}");
+        assert!(msg.contains("/tmp/rootfs.img"), "{msg}");
     }
 }

@@ -1,9 +1,20 @@
 //! Build execution: up-to-date checking and (optionally parallel) running,
 //! with fail-fast and keep-going failure policies.
+//!
+//! # Parallel safety
+//!
+//! Before anything runs, the scheduler audits the write claims of every
+//! task in the plan ([`crate::Task::claim`]): two tasks that claim the same
+//! path without a dependency ordering them are rejected with
+//! [`BuildError::Conflict`]. Reports are canonicalized to topological order
+//! regardless of completion order, and each task is marked in-progress in
+//! the [`StateDb`] (flushed through its atomic write path) while its action
+//! runs, so a crash mid-task is detected on the next run.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Condvar, Mutex};
 
+use crate::claims::ClaimScope;
 use crate::error::BuildError;
 use crate::graph::Graph;
 use crate::hash::{Fingerprint, Hasher128};
@@ -69,7 +80,10 @@ impl BuildReport {
 
 /// Runs a task's action, re-running on failure until the task's retry
 /// budget is exhausted. Deterministic: a fixed attempt count, no clock.
+/// The task's write claims are installed for the duration, so undeclared
+/// writes trip the debug assertion in [`crate::claims::assert_claimed`].
 fn run_with_retries(task: &Task) -> Result<(), String> {
+    let _claims = ClaimScope::enter(task);
     let budget = task.retry_budget();
     let mut attempt = 0;
     loop {
@@ -82,6 +96,73 @@ fn run_with_retries(task: &Task) -> Result<(), String> {
             Err(message) => return Err(message),
         }
     }
+}
+
+/// Rejects plans in which two tasks claim the same write path without a
+/// dependency path between them: running such a plan with more than one
+/// worker would race on the file, and even serially the survivor would
+/// depend on scheduling order.
+fn audit_claims(graph: &Graph, order: &[String]) -> Result<(), BuildError> {
+    // Transitive dependency sets, built dependencies-first.
+    let mut ancestors: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for id in order {
+        let task = graph.get(id).expect("order contains known ids");
+        let mut set: BTreeSet<&str> = BTreeSet::new();
+        for dep in task.deps() {
+            if let Some(above) = ancestors.get(dep.as_str()) {
+                set.extend(above.iter().copied());
+            }
+            set.insert(dep.as_str());
+        }
+        ancestors.insert(id.as_str(), set);
+    }
+    // Walk in topological order: any previously seen claimant of the same
+    // path is safe only if it is an ancestor of the current task.
+    let mut writers: BTreeMap<&std::path::Path, Vec<&str>> = BTreeMap::new();
+    for id in order {
+        let task = graph.get(id).expect("order contains known ids");
+        for path in task.claims() {
+            let claimants = writers.entry(path.as_path()).or_default();
+            for prev in claimants.iter() {
+                if !ancestors[id.as_str()].contains(prev) {
+                    let (first, second) = if prev < &id.as_str() {
+                        ((*prev).to_owned(), id.clone())
+                    } else {
+                        (id.clone(), (*prev).to_owned())
+                    };
+                    return Err(BuildError::Conflict {
+                        path: path.display().to_string(),
+                        first,
+                        second,
+                    });
+                }
+            }
+            claimants.push(id.as_str());
+        }
+    }
+    Ok(())
+}
+
+/// Rewrites a report into canonical form: every list in topological order
+/// (never completion order) and free of duplicates, so parallel builds are
+/// observably deterministic.
+fn canonicalize_report(report: &mut BuildReport, order: &[String]) {
+    let pos: BTreeMap<&str, usize> = order
+        .iter()
+        .enumerate()
+        .map(|(i, id)| (id.as_str(), i))
+        .collect();
+    let rank = |id: &str| pos.get(id).copied().unwrap_or(usize::MAX);
+    for list in [
+        &mut report.executed,
+        &mut report.skipped,
+        &mut report.poisoned,
+    ] {
+        list.sort_by_key(|id| rank(id));
+        list.dedup();
+    }
+    report.failed.sort_by_key(|(id, _)| rank(id));
+    report.failed.dedup_by(|a, b| a.0 == b.0);
 }
 
 /// Computes each task's *cumulative* fingerprint: its own inputs combined
@@ -198,11 +279,16 @@ impl Graph {
         order: &[String],
         opts: &ExecOptions,
     ) -> Result<BuildReport, BuildError> {
-        if opts.threads > 1 {
-            self.execute_parallel_order(db, order, opts)
+        // Audit write claims for every plan, serial included: two unordered
+        // writers of one path is a latent bug at any thread count.
+        audit_claims(self, order)?;
+        let mut report = if opts.threads > 1 {
+            self.execute_parallel_order(db, order, opts)?
         } else {
-            self.execute_order(db, order, opts)
-        }
+            self.execute_order(db, order, opts)?
+        };
+        canonicalize_report(&mut report, order);
+        Ok(report)
     }
 
     fn execute_order(
@@ -230,21 +316,34 @@ impl Graph {
                 report.skipped.push(id.clone());
                 continue;
             }
+            // Durable in-progress mark: flushed (atomically) before the
+            // action runs, so a crash mid-task is visible to the next run.
+            // Flush failures are non-fatal — losing the mark only loses
+            // crash detection, not correctness of this build.
+            db.mark_in_progress(id.clone());
+            let _ = db.flush();
             match run_with_retries(task) {
                 Ok(()) => {
-                    db.record(id.clone(), fp);
+                    db.finish(id.clone(), fp);
+                    let _ = db.flush();
                     dirty.insert(id.as_str());
                     report.executed.push(id.clone());
                 }
                 Err(message) if opts.keep_going => {
+                    // A clean failure is not a crash: clear the mark so the
+                    // next run does not report a phantom interruption.
+                    db.clear_in_progress(id);
+                    let _ = db.flush();
                     dead.insert(id.as_str());
                     report.failed.push((id.clone(), message));
                 }
                 Err(message) => {
+                    db.clear_in_progress(id);
+                    let _ = db.flush();
                     return Err(BuildError::TaskFailed {
                         task: id.clone(),
                         message,
-                    })
+                    });
                 }
             }
         }
@@ -278,7 +377,6 @@ impl Graph {
             poisoned: Vec<String>,
             pending: usize,
             failures: BTreeMap<String, String>,
-            new_fps: BTreeMap<String, Fingerprint>,
         }
 
         /// Decrements children's outstanding-dependency counts after `id`
@@ -328,6 +426,10 @@ impl Graph {
         };
         let last_fps: BTreeMap<String, Option<Fingerprint>> =
             order.iter().map(|id| (id.clone(), db.last(id))).collect();
+        // Workers write the state db directly (in-progress marks, new
+        // fingerprints) through this mutex; every flush goes through the
+        // db's atomic temp+rename path.
+        let db = Mutex::new(db);
 
         std::thread::scope(|scope| {
             for _ in 0..threads {
@@ -365,8 +467,27 @@ impl Graph {
                         let result = if up_to_date {
                             Ok(false)
                         } else {
+                            {
+                                let mut db = db.lock().unwrap();
+                                db.mark_in_progress(id.clone());
+                                let _ = db.flush();
+                            }
                             run_with_retries(task).map(|_| true)
                         };
+
+                        match &result {
+                            Ok(true) => {
+                                let mut db = db.lock().unwrap();
+                                db.finish(id.clone(), fp);
+                                let _ = db.flush();
+                            }
+                            Err(_) => {
+                                let mut db = db.lock().unwrap();
+                                db.clear_in_progress(&id);
+                                let _ = db.flush();
+                            }
+                            Ok(false) => {}
+                        }
 
                         let mut st = shared.state.lock().unwrap();
                         match result {
@@ -374,7 +495,6 @@ impl Graph {
                                 if ran {
                                     st.dirty.insert(id.clone());
                                     st.executed.push(id.clone());
-                                    st.new_fps.insert(id.clone(), fp);
                                 } else {
                                     st.skipped.push(id.clone());
                                 }
@@ -396,13 +516,13 @@ impl Graph {
             }
         });
 
+        // Fingerprints were recorded as tasks finished (successful subtrees
+        // persist even when others failed, so a fixed failure resumes
+        // incrementally); only the report remains to assemble.
         let st = shared.state.into_inner().unwrap();
         if !keep_going {
             if let Some((task, message)) = st.failures.into_iter().next() {
                 return Err(BuildError::TaskFailed { task, message });
-            }
-            for (id, fp) in st.new_fps {
-                db.record(id, fp);
             }
             return Ok(BuildReport {
                 executed: st.executed,
@@ -410,11 +530,6 @@ impl Graph {
                 failed: Vec::new(),
                 poisoned: Vec::new(),
             });
-        }
-        // Keep-going: successful subtrees are recorded even when other
-        // subtrees failed, so a fixed failure resumes incrementally.
-        for (id, fp) in st.new_fps {
-            db.record(id, fp);
         }
         Ok(BuildReport {
             executed: st.executed,
@@ -775,6 +890,169 @@ mod tests {
         poisoned.sort();
         assert_eq!(poisoned, vec!["mid", "top"]);
         assert_eq!(report.total(), 5);
+    }
+
+    #[test]
+    fn conflicting_claims_rejected_naming_both_tasks() {
+        for threads in [1, 8] {
+            let ran = Arc::new(AtomicUsize::new(0));
+            let mut g = Graph::new();
+            let c = ran.clone();
+            g.add(
+                Task::new("img:a", move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    Ok(())
+                })
+                .output("/tmp/shared-rootfs.img"),
+            )
+            .unwrap();
+            let c = ran.clone();
+            g.add(
+                Task::new("img:b", move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    Ok(())
+                })
+                .claim("/tmp/shared-rootfs.img"),
+            )
+            .unwrap();
+            let mut db = StateDb::in_memory();
+            let err = g
+                .execute_with(
+                    &mut db,
+                    &ExecOptions {
+                        keep_going: false,
+                        threads,
+                    },
+                )
+                .unwrap_err();
+            match err {
+                BuildError::Conflict {
+                    path,
+                    first,
+                    second,
+                } => {
+                    assert_eq!(path, "/tmp/shared-rootfs.img");
+                    assert_eq!((first.as_str(), second.as_str()), ("img:a", "img:b"));
+                }
+                other => panic!("expected Conflict, got {other:?}"),
+            }
+            // The audit rejects the plan before anything executes.
+            assert_eq!(ran.load(Ordering::SeqCst), 0, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn dependency_ordered_claims_are_allowed() {
+        // Writers of the same path are fine when a dependency path orders
+        // them — e.g. a finalize task rewriting an image its (transitive)
+        // dependency produced.
+        let mut g = Graph::new();
+        g.add(Task::new("base", || Ok(())).claim("/tmp/layered.img"))
+            .unwrap();
+        g.add(Task::new("mid", || Ok(())).dep("base")).unwrap();
+        g.add(
+            Task::new("finalize", || Ok(()))
+                .dep("mid")
+                .claim("/tmp/layered.img"),
+        )
+        .unwrap();
+        let mut db = StateDb::in_memory();
+        let report = g.execute_parallel(&mut db, 4).unwrap();
+        assert_eq!(report.executed, vec!["base", "mid", "finalize"]);
+    }
+
+    #[test]
+    fn parallel_report_is_topo_ordered() {
+        // Independent siblings finish in scheduler order, but the report
+        // lists them canonically regardless of thread count.
+        let mut expected = vec!["root".to_owned()];
+        for threads in [1, 2, 8] {
+            let mut g = Graph::new();
+            g.add(Task::new("root", || Ok(()))).unwrap();
+            for i in 0..24 {
+                g.add(Task::new(format!("job{i:02}"), || Ok(())).dep("root"))
+                    .unwrap();
+            }
+            let mut db = StateDb::in_memory();
+            let report = g.execute_parallel(&mut db, threads).unwrap();
+            if expected.len() == 1 {
+                expected.extend((0..24).map(|i| format!("job{i:02}")));
+            }
+            assert_eq!(report.executed, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn poisoned_cone_is_deduped_and_topo_ordered() {
+        // Diamond under a failing task: `z` is reachable through both legs,
+        // so a completion-order accumulator could list it twice. The
+        // canonical report never does.
+        for threads in [1, 8] {
+            let mut g = Graph::new();
+            g.add(Task::new("bad", || Err("boom".into()))).unwrap();
+            g.add(Task::new("x", || Ok(())).dep("bad")).unwrap();
+            g.add(Task::new("y", || Ok(())).dep("bad")).unwrap();
+            g.add(Task::new("z", || Ok(())).dep("x").dep("y")).unwrap();
+            let mut db = StateDb::in_memory();
+            let report = g
+                .execute_with(
+                    &mut db,
+                    &ExecOptions {
+                        keep_going: true,
+                        threads,
+                    },
+                )
+                .unwrap();
+            assert_eq!(report.poisoned, vec!["x", "y", "z"], "threads={threads}");
+            assert_eq!(report.failed.len(), 1, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn interrupted_task_is_dirty_on_next_run() {
+        let dir = std::env::temp_dir().join(format!("depgraph-interrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("state.db");
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let mut db = StateDb::open(&file).unwrap();
+            counting_graph(&counter, b"v1").execute(&mut db).unwrap();
+            db.flush().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
+        // Simulate a crash mid-`b`: the scheduler marks a task in-progress
+        // and flushes right before running it; a crash never clears it.
+        {
+            let mut db = StateDb::open(&file).unwrap();
+            db.mark_in_progress("b");
+            db.flush().unwrap();
+        }
+        let mut db = StateDb::open(&file).unwrap();
+        assert_eq!(db.interrupted(), ["b"]);
+        let report = counting_graph(&counter, b"v1").execute(&mut db).unwrap();
+        // `b` reruns (its fingerprint was discarded) and `c` follows as its
+        // dependent; `a` is still clean.
+        assert_eq!(report.executed, vec!["b", "c"]);
+        assert_eq!(report.skipped, vec!["a"]);
+        // The rerun cleared the mark durably (per-task flushes).
+        let db = StateDb::open(&file).unwrap();
+        assert!(db.interrupted().is_empty());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "debug-only check")]
+    fn undeclared_write_trips_assertion_via_executor() {
+        let mut g = Graph::new();
+        g.add(Task::new("sneaky", || {
+            crate::claims::assert_claimed(std::path::Path::new("/tmp/undeclared.bin"));
+            Ok(())
+        }))
+        .unwrap();
+        let mut db = StateDb::in_memory();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| g.execute(&mut db)));
+        assert!(result.is_err(), "undeclared write must panic in debug");
     }
 
     #[test]

@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod claims;
 pub mod error;
 pub mod exec;
 pub mod graph;
@@ -42,7 +43,8 @@ pub mod hash;
 pub mod state;
 pub mod task;
 
-pub use error::BuildError;
+pub use claims::assert_claimed;
+pub use error::{BuildError, ExecError};
 pub use exec::{BuildReport, ExecOptions};
 pub use graph::Graph;
 pub use hash::{Fingerprint, Hasher128};

@@ -15,7 +15,7 @@
 //! with a cold cache (everything rebuilds) instead of failing — losing
 //! incrementality is recoverable, acting on corrupt state is not.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -24,6 +24,9 @@ use crate::hash::Fingerprint;
 
 /// Magic prefix of the integrity header line.
 const HEADER_PREFIX: &str = "#fm-state v1 ";
+
+/// The hash-field token marking a task as in progress rather than built.
+const IN_PROGRESS_TOKEN: &str = "!in-progress";
 
 /// Build-state database: last-built fingerprints per task.
 ///
@@ -36,6 +39,12 @@ const HEADER_PREFIX: &str = "#fm-state v1 ";
 #[derive(Debug, Clone, Default)]
 pub struct StateDb {
     entries: BTreeMap<String, Fingerprint>,
+    /// Tasks currently (or, in a crashed run, permanently) mid-execution.
+    /// Persisted so an interrupted build is detectable on the next open.
+    in_progress: BTreeSet<String>,
+    /// Tasks found marked in-progress at open time: the previous run was
+    /// interrupted mid-task, so their recorded state was discarded.
+    interrupted: Vec<String>,
     path: Option<PathBuf>,
     recovery: Option<String>,
 }
@@ -61,9 +70,8 @@ impl StateDb {
     pub fn open(path: impl Into<PathBuf>) -> Result<StateDb, BuildError> {
         let path = path.into();
         let mut db = StateDb {
-            entries: BTreeMap::new(),
             path: Some(path.clone()),
-            recovery: None,
+            ..StateDb::default()
         };
         if !path.exists() {
             return Ok(db);
@@ -79,7 +87,17 @@ impl StateDb {
             ))),
         };
         match parsed {
-            Ok(entries) => db.entries = entries,
+            Ok((entries, in_progress)) => {
+                db.entries = entries;
+                // A task marked in-progress was mid-write when the previous
+                // run died: whatever fingerprint it recorded (and whatever
+                // bytes its outputs hold) cannot be trusted, so drop the
+                // entry and let the task rebuild.
+                for id in in_progress {
+                    db.entries.remove(&id);
+                    db.interrupted.push(id);
+                }
+            }
             Err(BuildError::State(why)) => {
                 let quarantine = path.with_extension("db.corrupt");
                 std::fs::rename(&path, &quarantine).map_err(|e| {
@@ -111,7 +129,7 @@ impl StateDb {
         text: &str,
         path: &Path,
     ) -> Result<BTreeMap<String, Fingerprint>, BuildError> {
-        parse_state_file(text, path)
+        parse_state_file(text, path).map(|(entries, _)| entries)
     }
 
     /// If [`StateDb::open`] recovered from a corrupt file, the
@@ -130,14 +148,49 @@ impl StateDb {
         self.entries.insert(task.into(), fingerprint);
     }
 
+    /// Marks `task` as mid-execution. Flushed to disk before the task's
+    /// action runs, so a crash mid-task leaves a durable record and the
+    /// next run rebuilds the task instead of trusting possibly-torn
+    /// outputs.
+    pub fn mark_in_progress(&mut self, task: impl Into<String>) {
+        self.in_progress.insert(task.into());
+    }
+
+    /// Clears an in-progress mark (the task finished or failed cleanly),
+    /// returning whether it was set.
+    pub fn clear_in_progress(&mut self, task: &str) -> bool {
+        self.in_progress.remove(task)
+    }
+
+    /// Records a completed task: stores its fingerprint and clears its
+    /// in-progress mark in one step.
+    pub fn finish(&mut self, task: impl Into<String>, fingerprint: Fingerprint) {
+        let task = task.into();
+        self.in_progress.remove(&task);
+        self.entries.insert(task, fingerprint);
+    }
+
+    /// Tasks currently marked in-progress, sorted.
+    pub fn in_progress(&self) -> Vec<&str> {
+        self.in_progress.iter().map(String::as_str).collect()
+    }
+
+    /// Tasks that were marked in-progress when this database was opened —
+    /// evidence of an interrupted previous run. Their recorded fingerprints
+    /// were discarded, so they will rebuild.
+    pub fn interrupted(&self) -> &[String] {
+        &self.interrupted
+    }
+
     /// Forgets a task (forcing its next build), returning whether it existed.
     pub fn forget(&mut self, task: &str) -> bool {
         self.entries.remove(task).is_some()
     }
 
-    /// Removes every entry.
+    /// Removes every entry and in-progress mark.
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.in_progress.clear();
     }
 
     /// All recorded task ids, sorted.
@@ -178,11 +231,17 @@ impl StateDb {
             body.push_str(&fp.to_string());
             body.push('\n');
         }
+        for id in &self.in_progress {
+            body.push_str(id);
+            body.push('\t');
+            body.push_str(IN_PROGRESS_TOKEN);
+            body.push('\n');
+        }
         let mut out = String::new();
         let _ = writeln!(
             out,
             "{HEADER_PREFIX}n={} sum={}",
-            self.entries.len(),
+            self.entries.len() + self.in_progress.len(),
             Fingerprint::of(body.as_bytes())
         );
         out.push_str(&body);
@@ -215,8 +274,11 @@ fn excerpt(line: &str) -> String {
     }
 }
 
-fn parse_state_file(text: &str, path: &Path) -> Result<BTreeMap<String, Fingerprint>, BuildError> {
+type ParsedState = (BTreeMap<String, Fingerprint>, BTreeSet<String>);
+
+fn parse_state_file(text: &str, path: &Path) -> Result<ParsedState, BuildError> {
     let mut entries = BTreeMap::new();
+    let mut in_progress = BTreeSet::new();
     let mut header: Option<(usize, String)> = None;
     let mut body = String::new();
     // `flush` always writes at least the header line, so an existing empty
@@ -274,15 +336,23 @@ fn parse_state_file(text: &str, path: &Path) -> Result<BTreeMap<String, Fingerpr
                 excerpt(line)
             ))
         })?;
-        let fp = hash.parse::<Fingerprint>().map_err(|e| {
-            BuildError::State(format!(
-                "{}:{}: bad hash ({e}): {}",
-                path.display(),
-                no + 1,
-                excerpt(line)
-            ))
-        })?;
-        if entries.insert(id.to_owned(), fp).is_some() {
+        let duplicate = if hash == IN_PROGRESS_TOKEN {
+            // A task may carry both a (stale) fingerprint line and an
+            // in-progress mark — the run died after recording one build
+            // and while re-running the task — but never two marks.
+            !in_progress.insert(id.to_owned())
+        } else {
+            let fp = hash.parse::<Fingerprint>().map_err(|e| {
+                BuildError::State(format!(
+                    "{}:{}: bad hash ({e}): {}",
+                    path.display(),
+                    no + 1,
+                    excerpt(line)
+                ))
+            })?;
+            entries.insert(id.to_owned(), fp).is_some()
+        };
+        if duplicate {
             return Err(BuildError::State(format!(
                 "{}:{}: duplicate task id: {}",
                 path.display(),
@@ -294,11 +364,11 @@ fn parse_state_file(text: &str, path: &Path) -> Result<BTreeMap<String, Fingerpr
         body.push('\n');
     }
     if let Some((count, sum)) = header {
-        if count != entries.len() {
+        let found = entries.len() + in_progress.len();
+        if count != found {
             return Err(BuildError::State(format!(
-                "{}: truncated: header records {count} entries, found {}",
-                path.display(),
-                entries.len()
+                "{}: truncated: header records {count} entries, found {found}",
+                path.display()
             )));
         }
         let actual = Fingerprint::of(body.as_bytes()).to_string();
@@ -309,7 +379,7 @@ fn parse_state_file(text: &str, path: &Path) -> Result<BTreeMap<String, Fingerpr
             )));
         }
     }
-    Ok(entries)
+    Ok((entries, in_progress))
 }
 
 #[cfg(test)]
@@ -471,6 +541,56 @@ mod tests {
         assert!(file.exists());
         assert!(!dir.join("state.db.tmp").exists());
         std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn in_progress_roundtrip_and_interruption() {
+        let dir = tmpdir("inprogress");
+        let file = dir.join("state.db");
+        let mut db = StateDb::open(&file).unwrap();
+        db.record("done", Fingerprint::of(b"1"));
+        // Simulate the scheduler's pre-run mark on a task that also has a
+        // stale fingerprint from an earlier build.
+        db.record("torn", Fingerprint::of(b"old"));
+        db.mark_in_progress("torn");
+        db.mark_in_progress("fresh");
+        db.flush().unwrap();
+
+        // "Crash": the marks were never cleared. The next open treats the
+        // marked tasks as dirty — fingerprints dropped — and reports them.
+        let db2 = StateDb::open(&file).unwrap();
+        assert!(db2.recovery().is_none(), "interruption is not corruption");
+        assert_eq!(db2.last("done"), Some(Fingerprint::of(b"1")));
+        assert_eq!(db2.last("torn"), None, "in-progress entries are dirty");
+        assert_eq!(db2.interrupted(), ["fresh", "torn"]);
+        assert!(db2.in_progress().is_empty(), "marks do not carry over");
+
+        // A clean finish clears the mark and records the fingerprint.
+        let mut db = StateDb::open(&file).unwrap();
+        db.mark_in_progress("torn");
+        db.finish("torn", Fingerprint::of(b"new"));
+        db.flush().unwrap();
+        let db = StateDb::open(&file).unwrap();
+        assert!(db.interrupted().is_empty());
+        assert_eq!(db.last("torn"), Some(Fingerprint::of(b"new")));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn duplicate_in_progress_marks_rejected() {
+        let file = PathBuf::from("state.db");
+        let text = "a\t!in-progress\na\t!in-progress\n";
+        let err = StateDb::parse_strict(text, &file).unwrap_err();
+        assert!(matches!(err, BuildError::State(ref m) if m.contains("duplicate")));
+    }
+
+    #[test]
+    fn clear_in_progress_reports_presence() {
+        let mut db = StateDb::in_memory();
+        db.mark_in_progress("t");
+        assert_eq!(db.in_progress(), ["t"]);
+        assert!(db.clear_in_progress("t"));
+        assert!(!db.clear_in_progress("t"));
     }
 
     #[test]

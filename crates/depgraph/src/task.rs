@@ -30,6 +30,7 @@ pub struct Task {
     deps: Vec<String>,
     inputs: Vec<Vec<u8>>,
     outputs: Vec<PathBuf>,
+    claims: Vec<PathBuf>,
     retries: u32,
     action: Action,
 }
@@ -56,6 +57,7 @@ impl Task {
             deps: Vec::new(),
             inputs: Vec::new(),
             outputs: Vec::new(),
+            claims: Vec::new(),
             retries: 0,
             action: Arc::new(action),
         }
@@ -74,8 +76,23 @@ impl Task {
     }
 
     /// Declares an output file; if missing at build time the task re-runs.
+    /// Outputs are also write claims (see [`Task::claim`]).
     pub fn output(mut self, path: impl Into<PathBuf>) -> Task {
         self.outputs.push(path.into());
+        self
+    }
+
+    /// Declares an additional write claim: a path this task's action writes
+    /// that is not a tracked output (checksum sidecars, shared caches).
+    ///
+    /// The scheduler rejects a graph in which two tasks claim the same path
+    /// unless one depends (transitively) on the other, so claims are what
+    /// make parallel execution safe. In debug builds, writes routed through
+    /// [`crate::claims::assert_claimed`] additionally verify at run time
+    /// that the written path was declared. Like the retry budget, claims
+    /// are execution metadata and do not change the task fingerprint.
+    pub fn claim(mut self, path: impl Into<PathBuf>) -> Task {
+        self.claims.push(path.into());
         self
     }
 
@@ -107,6 +124,11 @@ impl Task {
     /// Declared output files.
     pub fn outputs(&self) -> &[PathBuf] {
         &self.outputs
+    }
+
+    /// Every path this task declares it writes: outputs plus extra claims.
+    pub fn claims(&self) -> impl Iterator<Item = &PathBuf> {
+        self.outputs.iter().chain(self.claims.iter())
     }
 
     /// Runs the task's action.
@@ -182,6 +204,24 @@ mod tests {
     fn retry_budget_defaults_to_zero() {
         assert_eq!(Task::new("t", || Ok(())).retry_budget(), 0);
         assert_eq!(Task::new("t", || Ok(())).retries(3).retry_budget(), 3);
+    }
+
+    #[test]
+    fn claims_cover_outputs_and_extras() {
+        let t = Task::new("t", || Ok(()))
+            .output("/tmp/a.bin")
+            .claim("/tmp/a.bin.fp");
+        let claimed: Vec<_> = t.claims().map(|p| p.display().to_string()).collect();
+        assert_eq!(claimed, vec!["/tmp/a.bin", "/tmp/a.bin.fp"]);
+    }
+
+    #[test]
+    fn claims_do_not_change_fingerprint() {
+        // Claims are execution metadata, like retries: declaring them must
+        // not invalidate previously built state.
+        let a = Task::new("t", || Ok(())).input(b"x");
+        let b = Task::new("t", || Ok(())).input(b"x").claim("/tmp/side.fp");
+        assert_eq!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]

@@ -47,6 +47,65 @@ fn cycle_counts_repeat_exactly() {
 }
 
 #[test]
+fn parallel_build_is_bit_identical_to_serial() {
+    // The `-j N` scheduler must be invisible in the artifacts: for the
+    // bringup suite and the PFA workload, a `-j 8` build produces the same
+    // boot binary, disk image, and `.fp` checksum sidecars, byte for byte,
+    // as a `-j 1` build in a fresh directory.
+    for workload in ["hello.json", "coremark.json", "latency-microbenchmark.json"] {
+        let serial_root = common::tmpdir(&format!("det-j1-{workload}"));
+        let parallel_root = common::tmpdir(&format!("det-j8-{workload}"));
+        let build = |root: &std::path::Path, jobs: usize| -> Vec<(String, Vec<u8>)> {
+            let mut builder = common::builder_in(root);
+            let opts = BuildOptions {
+                jobs: Some(jobs),
+                ..BuildOptions::default()
+            };
+            let products = builder.build(workload, &opts).unwrap();
+            let mut artifacts = Vec::new();
+            for job in &products.jobs {
+                let mut paths = Vec::new();
+                match &job.kind {
+                    JobKind::Linux {
+                        boot_path,
+                        disk_path,
+                    } => {
+                        paths.push(boot_path.clone());
+                        paths.push(marshal_core::integrity::sidecar_path(boot_path));
+                        if let Some(disk) = disk_path {
+                            paths.push(disk.clone());
+                            paths.push(marshal_core::integrity::sidecar_path(disk));
+                        }
+                    }
+                    JobKind::Bare { bin_path } => {
+                        paths.push(bin_path.clone());
+                        paths.push(marshal_core::integrity::sidecar_path(bin_path));
+                    }
+                }
+                for p in paths {
+                    let rel = format!("{}/{}", job.name, p.file_name().unwrap().to_string_lossy());
+                    artifacts.push((rel, std::fs::read(&p).unwrap()));
+                }
+            }
+            artifacts
+        };
+        let serial = build(&serial_root, 1);
+        let parallel = build(&parallel_root, 8);
+        assert_eq!(serial.len(), parallel.len(), "{workload}: artifact sets");
+        for ((name, a), (name2, b)) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(name, name2, "{workload}: artifact order");
+            assert_eq!(
+                marshal_depgraph::Fingerprint::of(a),
+                marshal_depgraph::Fingerprint::of(b),
+                "{workload}: `{name}` differs between -j 1 and -j 8"
+            );
+        }
+        std::fs::remove_dir_all(serial_root).unwrap();
+        std::fs::remove_dir_all(parallel_root).unwrap();
+    }
+}
+
+#[test]
 fn grading_scenario_staff_reproduces_student_result() {
     // §IV-C: the student runs in one directory, the staff in another; the
     // staff reproduces the student's exact measurement from the shared

@@ -114,6 +114,69 @@ fn corrupted_state_db_quarantines_and_rebuilds() {
 }
 
 #[test]
+fn interrupted_build_rebuilds_the_torn_task() {
+    // A crash *between* a task's in-progress mark and its completion must
+    // make the next run rebuild that task: its outputs may be torn, and its
+    // recorded fingerprint (from an earlier build) cannot vouch for them.
+    let root = common::tmpdir("rob-interrupt");
+    let mut builder = common::builder_in(&root);
+    let products = builder
+        .build("hello.json", &BuildOptions::default())
+        .unwrap();
+    let job_name = products.jobs[0].name.clone();
+    let boot_task = format!("boot:{job_name}");
+    let boot_path = match &products.jobs[0].kind {
+        marshal_core::JobKind::Linux { boot_path, .. } => boot_path.clone(),
+        marshal_core::JobKind::Bare { bin_path } => bin_path.clone(),
+    };
+    drop(builder);
+
+    // Simulate the crash: the scheduler flushes an in-progress mark right
+    // before running a task; a crash mid-action leaves the mark behind and
+    // the artifact torn.
+    let db_path = root.join("work").join("state.db");
+    let mut db = StateDb::open(&db_path).unwrap();
+    db.mark_in_progress(boot_task.clone());
+    db.flush().unwrap();
+    let mut inj = Injector::new(0x70_42);
+    inj.corrupt_file(&boot_path, FaultKind::Truncate).unwrap();
+
+    // The next run warns about the interruption, re-executes exactly the
+    // marked task, and produces a launchable artifact. Without the dirty
+    // marking, the stale fingerprint plus the still-existing (torn) file
+    // would skip the task and the launch would fail verification.
+    let mut builder = common::builder_in(&root);
+    let products = builder
+        .build("hello.json", &BuildOptions::default())
+        .unwrap();
+    assert!(
+        products
+            .warnings
+            .iter()
+            .any(|w| w.context == boot_task && w.message.contains("interrupted")),
+        "interruption surfaced as a structured warning: {:?}",
+        products.warnings
+    );
+    assert!(
+        products.report.ran(&boot_task),
+        "torn task re-executed: {:?}",
+        products.report
+    );
+    let run = launch::launch_workload(&builder, &products, &LaunchOptions::default()).unwrap();
+    assert!(run.jobs[0].serial.contains("Hello from FireMarshal!"));
+
+    // A further clean build carries no leftover marks or warnings.
+    drop(builder);
+    let mut builder = common::builder_in(&root);
+    let products = builder
+        .build("hello.json", &BuildOptions::default())
+        .unwrap();
+    assert!(products.warnings.is_empty(), "{:?}", products.warnings);
+    assert!(products.report.executed.is_empty(), "everything up to date");
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
 fn corrupted_boot_binary_detected_and_force_recovers() {
     let root = common::tmpdir("rob-artifact");
     let mut builder = common::builder_in(&root);
