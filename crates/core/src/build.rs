@@ -21,10 +21,11 @@ use marshal_linux::kconfig::KernelConfig;
 use marshal_linux::kernel::build_kernel;
 use marshal_linux::InitramfsSpec;
 use marshal_script::{HostEnv, Interp, Value};
-use marshal_sim_functional::{LaunchMode, Qemu};
+use marshal_sim_functional::LaunchMode;
 
 use crate::board::Board;
 use crate::error::MarshalError;
+use crate::simulator::{default_backend, simulator_for, BackendOptions};
 use crate::warnings::Warning;
 
 /// Options for `build`.
@@ -540,6 +541,10 @@ impl Builder {
         }
         if let Some(gi) = &guest_init {
             input_hash.update_field(gi.as_bytes());
+            // Guest-init boots on the level's own simulator backend, so a
+            // backend change must dirty the image.
+            input_hash.update_field(level.spike.as_deref().unwrap_or("").as_bytes());
+            input_hash.update_field(level.qemu.as_deref().unwrap_or("").as_bytes());
         }
         if let Some(img) = &hard_img {
             input_hash.update_field(&img.to_bytes());
@@ -548,7 +553,16 @@ impl Builder {
         let board = self.board.clone();
         let store = store.clone();
         let out_path = store.path_for(&key);
-        let distro = level.distro.clone();
+        // Just the backend-selection slice of the level spec: which
+        // functional simulator boots the guest-init script.
+        let sim_spec = WorkloadSpec {
+            name: level.name.clone(),
+            spike: level.spike.clone(),
+            spike_args: level.spike_args.clone(),
+            qemu: level.qemu.clone(),
+            qemu_args: level.qemu_args.clone(),
+            ..WorkloadSpec::default()
+        };
         let task = Task::new(task_id, move || {
             let mut image = match (&hard_img, &base) {
                 (Some(img), _) => img.clone(),
@@ -567,7 +581,7 @@ impl Builder {
                     .map_err(|e| format!("file {guest}: {e}"))?;
             }
             if let Some(script) = &guest_init {
-                run_guest_init(&board, &mut image, script, distro.as_deref())?;
+                run_guest_init(&board, &mut image, script, &sim_spec)?;
             }
             store_image(&store, &key, image)
         })
@@ -751,25 +765,32 @@ fn hash_host_dir(h: &mut marshal_depgraph::Hasher128, dir: &Path) -> Result<(), 
     Ok(())
 }
 
-/// Runs a level's one-shot guest-init script by booting the image in the
-/// functional simulator (step 5b: "boots it in QEMU. This script is run
-/// exactly once").
+/// Runs a level's one-shot guest-init script by booting the image on the
+/// level's functional simulator backend (step 5b: "boots it in QEMU. This
+/// script is run exactly once" — or the workload's custom Spike, so a
+/// guest-init that probes accelerator features sees the same machine the
+/// workload will run on).
 fn run_guest_init(
     board: &Board,
     image: &mut FsImage,
     script: &str,
-    distro: Option<&str>,
+    spec: &WorkloadSpec,
 ) -> Result<(), String> {
     initsys::install_guest_init(image, script).map_err(|e| e.to_string())?;
     let boot = default_boot_binary(board).map_err(|e| e.to_string())?;
-    // Fedora images may not be self-identifying yet at the root level;
-    // distro is best-effort context here.
-    let _ = distro;
-    let qemu = Qemu::new();
-    let result = qemu
-        .launch(&boot, Some(image), LaunchMode::GuestInit)
+    // default_backend only ever picks a functional backend (qemu/spike);
+    // guest-init never needs cycle-exact timing.
+    let backend = simulator_for(default_backend(spec), spec, &BackendOptions::default())
+        .map_err(|e| e.to_string())?;
+    let job = crate::launch::LoadedJob::Linux {
+        boot,
+        disk: Some(image.clone()),
+    };
+    let run = backend
+        .run(&job, LaunchMode::GuestInit)
         .map_err(|e| format!("guest-init boot: {e}"))?;
-    *image = result
+    *image = run
+        .result
         .image
         .ok_or_else(|| "guest-init boot returned no image".to_owned())?;
     Ok(())

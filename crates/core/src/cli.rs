@@ -5,7 +5,8 @@
 //!
 //! Commands:
 //!   build   [--no-disk] [--force]    Construct the filesystem image and boot-binary
-//!   launch  [--job NAME]             Launch this workload in functional simulation
+//!   launch  [--job NAME] [--sim B]   Launch this workload on a simulator backend
+//!   cosim   [--sim A,B]              Run two backends in lockstep and diff behaviour
 //!   test    [--manual DIR]           Build, launch, and compare against a reference
 //!   install [--hw CONFIG] [--sim C]  Set up an RTL simulator (firesim/vcs/verilator)
 //!   clean                            Remove built artifacts and state
@@ -17,9 +18,11 @@ use marshal_sim_rtl::HardwareConfig;
 use crate::board::Board;
 use crate::build::{BuildOptions, Builder};
 use crate::clean::clean_workload;
+use crate::cosim::{cosim_workload, CosimOptions};
 use crate::error::MarshalError;
 use crate::install::install_workload;
 use crate::launch::{launch_workload, LaunchOptions};
+use crate::simulator::{resolve_backend, simulator_names};
 use crate::test::{test_workload, TestOutcome};
 
 /// Process exit code for a watchdog-terminated launch (`timeout(1)`'s
@@ -55,7 +58,7 @@ pub enum Command {
         /// Worker threads (`-j N`); `None` = available parallelism.
         jobs: Option<usize>,
     },
-    /// `launch [--job NAME] [--timeout-insts N] <workload>`.
+    /// `launch [--job NAME] [--sim BACKEND] [--hw CONFIG] [--timeout-insts N] <workload>`.
     Launch {
         /// Target workload file.
         workload: String,
@@ -63,6 +66,25 @@ pub enum Command {
         job: Option<String>,
         /// Guest watchdog budget in instructions.
         timeout_insts: Option<u64>,
+        /// Simulator backend name (`qemu`, `spike`, `rtl`); `None` uses the
+        /// workload's default.
+        sim: Option<String>,
+        /// Hardware configuration name for the cycle-exact backend.
+        hw: Option<String>,
+    },
+    /// `cosim [--sim A,B] [--hw CONFIG] [--timeout-insts N] [--inject-divergence] <workload>`.
+    Cosim {
+        /// Target workload file.
+        workload: String,
+        /// Backend pair `a,b`; `None` compares `qemu,rtl`.
+        sim: Option<String>,
+        /// Guest watchdog budget in instructions, applied to both backends.
+        timeout_insts: Option<u64>,
+        /// Hardware configuration name for a cycle-exact participant.
+        hw: Option<String>,
+        /// Self-test: corrupt one byte of the second backend's serial
+        /// output to prove the checker catches it.
+        inject_divergence: bool,
     },
     /// `test [--manual DIR] [--timeout-insts N] [-j N] <workload>`.
     Test {
@@ -82,7 +104,9 @@ pub enum Command {
         workload: String,
         /// Hardware configuration name for documentation purposes.
         hw: String,
-        /// Simulator connector (`firesim`, `vcs`, `verilator`).
+        /// Simulator connector (`firesim`, `vcs`, `verilator`); `--sim` is
+        /// contextual — for `install` it names a connector, for
+        /// `launch`/`cosim` a backend.
         connector: String,
     },
     /// `clean <workload>`.
@@ -95,17 +119,25 @@ pub enum Command {
 }
 
 /// Usage text.
-pub const USAGE: &str = "usage: marshal [-d DIR]... [--workdir DIR] [-v] <build|launch|test|install|clean> [options] <workload>
+pub const USAGE: &str = "usage: marshal [-d DIR]... [--workdir DIR] [-v] <build|launch|cosim|test|install|clean> [options] <workload>
   build   [--no-disk] [--force] [--keep-going] [-j N]
                                   construct the filesystem image and boot-binary;
                                   --keep-going builds past failures (only dependents
                                   of a failed task are skipped) and reports them all;
                                   -j runs up to N independent tasks in parallel
                                   (default: available CPUs; -j 1 builds serially)
-  launch  [--job NAME] [--timeout-insts N]
-                                  launch the workload in functional simulation;
+  launch  [--job NAME] [--sim BACKEND] [--hw CONFIG] [--timeout-insts N]
+                                  launch the workload on a simulator backend
+                                  (qemu/spike/rtl; default: the workload's own choice);
+                                  --hw picks the rtl hardware config;
                                   --timeout-insts bounds guest instructions before the
                                   watchdog kills a hung payload (exit code 124)
+  cosim   [--sim A,B] [--hw CONFIG] [--timeout-insts N] [--inject-divergence]
+                                  run two backends on the identical artifacts in
+                                  lockstep and diff canonical uartlogs, exit codes,
+                                  and outputs (default pair: qemu,rtl);
+                                  --inject-divergence corrupts one output byte as a
+                                  checker self-test (must exit nonzero)
   test    [--manual DIR] [--timeout-insts N] [-j N]
                                   compare outputs against a reference (build+launch, or a prior run dir)
   install [--hw CONFIG] [--sim C] generate RTL simulator configuration (firesim/vcs/verilator)
@@ -162,14 +194,16 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, MarshalError> {
     let mut job = None;
     let mut manual = None;
     let mut timeout_insts = None;
-    let mut hw = "boom-tage".to_owned();
-    let mut connector = "firesim".to_owned();
+    let mut hw: Option<String> = None;
+    let mut sim: Option<String> = None;
+    let mut inject_divergence = false;
     let mut workload = None;
     while let Some(a) = it.next() {
         match a.as_str() {
             "--no-disk" => no_disk = true,
             "--force" => force = true,
             "--keep-going" => keep_going = true,
+            "--inject-divergence" => inject_divergence = true,
             "--timeout-insts" => {
                 let n = it
                     .next()
@@ -198,16 +232,18 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, MarshalError> {
                 )
             }
             "--hw" => {
-                hw = it
-                    .next()
-                    .ok_or_else(|| err("--hw needs a config name"))?
-                    .clone()
+                hw = Some(
+                    it.next()
+                        .ok_or_else(|| err("--hw needs a config name"))?
+                        .clone(),
+                )
             }
             "--sim" => {
-                connector = it
-                    .next()
-                    .ok_or_else(|| err("--sim needs a connector name"))?
-                    .clone()
+                sim = Some(
+                    it.next()
+                        .ok_or_else(|| err("--sim needs a backend/connector name"))?
+                        .clone(),
+                )
             }
             other if other.starts_with('-') => {
                 return Err(err(&format!("unknown option `{other}`")))
@@ -237,6 +273,15 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, MarshalError> {
             workload: need_workload()?,
             job,
             timeout_insts,
+            sim,
+            hw,
+        },
+        "cosim" => Command::Cosim {
+            workload: need_workload()?,
+            sim,
+            timeout_insts,
+            hw,
+            inject_divergence,
         },
         "test" => Command::Test {
             workload: need_workload()?,
@@ -246,8 +291,8 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, MarshalError> {
         },
         "install" => Command::Install {
             workload: need_workload()?,
-            hw,
-            connector,
+            hw: hw.unwrap_or_else(|| "boom-tage".to_owned()),
+            connector: sim.unwrap_or_else(|| "firesim".to_owned()),
         },
         "clean" => Command::Clean {
             workload: need_workload()?,
@@ -348,7 +393,26 @@ pub fn run_command(args: &CliArgs, board: Board, mut search: SearchPath) -> (i32
             workload,
             job,
             timeout_insts,
+            sim,
+            hw,
         } => {
+            if let Some(name) = sim {
+                if resolve_backend(name).is_none() {
+                    fail!(format!(
+                        "unknown simulator backend `{name}` (try {})",
+                        simulator_names().join(", ")
+                    ));
+                }
+            }
+            let hw_config = match hw {
+                Some(name) => match hardware_by_name(name) {
+                    Some(c) => Some(c),
+                    None => fail!(format!(
+                        "unknown hardware config `{name}` (try rocket, boom-gshare, boom-tage)"
+                    )),
+                },
+                None => None,
+            };
             let products = match builder.build(workload, &BuildOptions::default()) {
                 Ok(p) => p,
                 Err(e) => fail!(e),
@@ -356,6 +420,8 @@ pub fn run_command(args: &CliArgs, board: Board, mut search: SearchPath) -> (i32
             log.extend(products.warnings.iter().map(ToString::to_string));
             let launch_opts = LaunchOptions {
                 timeout_insts: *timeout_insts,
+                sim: sim.clone(),
+                hw: hw_config,
             };
             match job {
                 Some(job_name) => {
@@ -423,6 +489,90 @@ pub fn run_command(args: &CliArgs, board: Board, mut search: SearchPath) -> (i32
                 },
             }
         }
+        Command::Cosim {
+            workload,
+            sim,
+            timeout_insts,
+            hw,
+            inject_divergence,
+        } => {
+            let mut opts = CosimOptions {
+                timeout_insts: *timeout_insts,
+                inject_divergence: *inject_divergence,
+                ..CosimOptions::default()
+            };
+            if let Some(pair) = sim {
+                let parts: Vec<&str> = pair.split(',').map(str::trim).collect();
+                let [a, b] = parts.as_slice() else {
+                    fail!(format!(
+                        "cosim needs two backends: --sim a,b (try {})",
+                        simulator_names().join(", ")
+                    ));
+                };
+                opts.backends = ((*a).to_owned(), (*b).to_owned());
+            }
+            for name in [&opts.backends.0, &opts.backends.1] {
+                if resolve_backend(name).is_none() {
+                    fail!(format!(
+                        "unknown simulator backend `{name}` (try {})",
+                        simulator_names().join(", ")
+                    ));
+                }
+            }
+            if let Some(name) = hw {
+                match hardware_by_name(name) {
+                    Some(c) => opts.hw = Some(c),
+                    None => fail!(format!(
+                        "unknown hardware config `{name}` (try rocket, boom-gshare, boom-tage)"
+                    )),
+                }
+            }
+            let products = match builder.build(workload, &BuildOptions::default()) {
+                Ok(p) => p,
+                Err(e) => fail!(e),
+            };
+            log.extend(products.warnings.iter().map(ToString::to_string));
+            match cosim_workload(&products, &opts) {
+                Ok(report) => {
+                    for job in &report.jobs {
+                        match &job.divergence {
+                            None => log.push(format!(
+                                "job `{}`: {} and {} agree ({} vs {} instructions)",
+                                job.job,
+                                job.backends.0,
+                                job.backends.1,
+                                job.instructions.0,
+                                job.instructions.1
+                            )),
+                            Some(d) => {
+                                log.push(format!(
+                                    "job `{}`: DIVERGENCE between {} and {}",
+                                    job.job, job.backends.0, job.backends.1
+                                ));
+                                log.extend(d.to_string().lines().map(|l| format!("  {l}")));
+                            }
+                        }
+                    }
+                    if report.agreed() {
+                        log.push(format!(
+                            "cosim `{}`: {} job(s) agree on {} vs {}",
+                            report.workload,
+                            report.jobs.len(),
+                            report.backends.0,
+                            report.backends.1
+                        ));
+                        (0, log)
+                    } else {
+                        log.push(format!(
+                            "cosim `{}`: behaviour diverges between {} and {}",
+                            report.workload, report.backends.0, report.backends.1
+                        ));
+                        (1, log)
+                    }
+                }
+                Err(e) => fail!(e),
+            }
+        }
         Command::Test {
             workload,
             manual,
@@ -468,6 +618,7 @@ pub fn run_command(args: &CliArgs, board: Board, mut search: SearchPath) -> (i32
                     &build_opts,
                     &LaunchOptions {
                         timeout_insts: *timeout_insts,
+                        ..LaunchOptions::default()
                     },
                 ),
             };
@@ -606,7 +757,9 @@ mod tests {
             Command::Launch {
                 workload: "w.json".into(),
                 job: None,
-                timeout_insts: Some(5000)
+                timeout_insts: Some(5000),
+                sim: None,
+                hw: None
             }
         );
         let args = parse(&["test", "--timeout-insts", "9", "w.json"]).unwrap();
@@ -643,9 +796,60 @@ mod tests {
             Command::Launch {
                 workload: "w.json".into(),
                 job: Some("client".into()),
-                timeout_insts: None
+                timeout_insts: None,
+                sim: None,
+                hw: None
             }
         );
+    }
+
+    #[test]
+    fn parse_launch_sim() {
+        let args = parse(&["launch", "--sim", "spike", "w.json"]).unwrap();
+        assert!(matches!(
+            args.command,
+            Command::Launch { ref sim, .. } if sim.as_deref() == Some("spike")
+        ));
+        let args = parse(&["launch", "--sim", "rtl", "--hw", "rocket", "w.json"]).unwrap();
+        assert!(matches!(
+            args.command,
+            Command::Launch { ref sim, ref hw, .. }
+                if sim.as_deref() == Some("rtl") && hw.as_deref() == Some("rocket")
+        ));
+    }
+
+    #[test]
+    fn parse_cosim() {
+        let args = parse(&["cosim", "w.json"]).unwrap();
+        assert_eq!(
+            args.command,
+            Command::Cosim {
+                workload: "w.json".into(),
+                sim: None,
+                timeout_insts: None,
+                hw: None,
+                inject_divergence: false
+            }
+        );
+        let args = parse(&[
+            "cosim",
+            "--sim",
+            "qemu,spike",
+            "--inject-divergence",
+            "w.json",
+        ])
+        .unwrap();
+        assert_eq!(
+            args.command,
+            Command::Cosim {
+                workload: "w.json".into(),
+                sim: Some("qemu,spike".into()),
+                timeout_insts: None,
+                hw: None,
+                inject_divergence: true
+            }
+        );
+        assert!(parse(&["cosim"]).is_err());
     }
 
     #[test]

@@ -30,6 +30,11 @@ pub enum FaultKind {
     /// Duplicate a random line (state-database style duplicate-entry
     /// corruption; on binary data this still just inserts bytes).
     DuplicateLine,
+    /// A torn mid-run write: the file keeps its intact header but loses a
+    /// random amount of its tail — what a crash during a guest-init image
+    /// flush leaves behind. Unlike [`FaultKind::Truncate`], the cut always
+    /// lands in the second half, modelling a write that got partway.
+    TornWrite,
 }
 
 /// A record of one injected fault, for test diagnostics.
@@ -89,6 +94,23 @@ impl Injector {
                     }
                 }
             }
+            FaultKind::TornWrite => {
+                // Keep at least half the file but drop at least one byte:
+                // header intact, tail torn. (A 1-byte file just loses its
+                // byte — every kind must change the data.)
+                let lo = (data.len() / 2).max(1);
+                let cut = if lo >= data.len() {
+                    data.len() - 1
+                } else {
+                    self.rng.range_usize(lo, data.len())
+                };
+                data.truncate(cut);
+                return InjectedFault {
+                    kind,
+                    offset: cut,
+                    original_len,
+                };
+            }
             FaultKind::DuplicateLine => {
                 // Duplicate the line containing `offset` (or a byte window
                 // when the data has no newlines).
@@ -133,7 +155,19 @@ impl Injector {
             FaultKind::Truncate,
             FaultKind::Garbage,
             FaultKind::DuplicateLine,
+            FaultKind::TornWrite,
         ])
+    }
+
+    /// Tears a serialized image (or any artifact) mid-write: the crash-
+    /// during-`guest-init` scenario the init-system idempotency path must
+    /// recover from.
+    ///
+    /// # Errors
+    ///
+    /// Describes the failing path on I/O errors.
+    pub fn tear_image_write(&mut self, path: &Path) -> Result<InjectedFault, String> {
+        self.corrupt_file(path, FaultKind::TornWrite)
     }
 }
 
@@ -165,6 +199,7 @@ mod tests {
             FaultKind::Truncate,
             FaultKind::Garbage,
             FaultKind::DuplicateLine,
+            FaultKind::TornWrite,
         ] {
             for _ in 0..32 {
                 let original: Vec<u8> = inj.rng.bytes_in(1, 64);
@@ -193,6 +228,23 @@ mod tests {
         assert_eq!(lines.len(), 4);
         lines.dedup();
         assert_eq!(lines.len(), 3, "one line appears twice: {text:?}");
+    }
+
+    #[test]
+    fn torn_write_keeps_header_loses_tail() {
+        let mut inj = Injector::new(5);
+        for _ in 0..64 {
+            let original: Vec<u8> = inj.rng.bytes_in(2, 256);
+            let mut data = original.clone();
+            let fault = inj.corrupt_bytes(&mut data, FaultKind::TornWrite);
+            assert!(data.len() < original.len(), "tail torn off");
+            assert!(
+                data.len() >= original.len() / 2,
+                "header (first half) survives"
+            );
+            assert_eq!(data[..], original[..data.len()], "prefix is intact");
+            assert_eq!(fault.offset, data.len());
+        }
     }
 
     #[test]

@@ -9,11 +9,12 @@
 use std::path::{Path, PathBuf};
 
 use marshal_config::Value;
-use marshal_sim_rtl::{FireSim, HardwareConfig, NodePayload, NodeResult};
+use marshal_sim_rtl::{HardwareConfig, NodePayload, NodeResult};
 
 use crate::build::{BuildProducts, Builder, JobKind};
 use crate::error::MarshalError;
-use crate::launch::{load_artifacts, LoadedJob};
+use crate::launch::load_artifacts;
+use crate::simulator::RtlSim;
 
 /// The manifest `install` writes for the RTL simulator.
 #[derive(Debug, Clone, PartialEq)]
@@ -158,11 +159,11 @@ pub fn install_workload(
     Ok((manifest, path))
 }
 
-/// Runs an installed workload on the cycle-exact simulator — "users
+/// Runs an installed workload on the cycle-exact backend — "users
 /// interact with the simulator normally", which for this reproduction means
-/// handing the manifest to [`FireSim`]. Jobs become cluster nodes and run
-/// in parallel when `parallel` is set (the paper's two-weeks-to-two-days
-/// optimisation).
+/// handing the manifest to the registry's [`RtlSim`]. Jobs become cluster
+/// nodes and run in parallel when `parallel` is set (the paper's
+/// two-weeks-to-two-days optimisation).
 ///
 /// # Errors
 ///
@@ -198,12 +199,12 @@ pub fn run_installed(
         };
         nodes.push((job.name.clone(), payload));
     }
-    let sim = FireSim::new(hw);
-    Ok(sim.launch_cluster(&nodes, parallel)?)
+    let sim = RtlSim::new(hw, None);
+    Ok(sim.fire_sim().launch_cluster(&nodes, parallel)?)
 }
 
 /// Convenience: runs a job's artifacts directly on the cycle-exact
-/// simulator without writing a manifest (used by tests and benches).
+/// backend without writing a manifest (used by tests and benches).
 ///
 /// # Errors
 ///
@@ -212,19 +213,16 @@ pub fn run_job_cycle_exact(
     job: &crate::build::JobArtifacts,
     hw: HardwareConfig,
 ) -> Result<NodeResult, MarshalError> {
+    use crate::simulator::Simulator;
     let loaded = load_artifacts(job)?;
-    let sim = FireSim::new(hw);
-    let (result, report) = match loaded {
-        LoadedJob::Linux { boot, disk } => sim.launch(
-            &boot,
-            disk.as_ref(),
-            marshal_sim_functional::LaunchMode::Run,
-        )?,
-        LoadedJob::Bare { bin } => sim.launch_bare(&bin)?,
-    };
+    let sim = RtlSim::new(hw, None);
+    let run = sim.run(&loaded, marshal_sim_functional::LaunchMode::Run)?;
+    let report = run
+        .report
+        .expect("the cycle-exact backend always produces a report");
     Ok(NodeResult {
         name: job.name.clone(),
-        result,
+        result: run.result,
         report,
     })
 }

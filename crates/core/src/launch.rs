@@ -1,15 +1,21 @@
-//! The `launch` command (§III-C): run a built workload in functional
-//! simulation, collect its outputs, and run the post-run hook.
+//! The `launch` command (§III-C): run a built workload on a simulator
+//! backend, collect its outputs, and run the post-run hook.
+//!
+//! Backend selection goes through the [`crate::simulator`] registry:
+//! `--sim <backend>` picks any registered backend, and the default is the
+//! workload's own choice (custom Spike when the `spike` option is set,
+//! QEMU otherwise).
 
 use std::path::PathBuf;
 
 use marshal_firmware::BootBinary;
 use marshal_image::FsImage;
-use marshal_sim_functional::{LaunchMode, Qemu, SimResult, Spike};
+use marshal_sim_rtl::HardwareConfig;
 
 use crate::build::{BuildProducts, Builder, JobArtifacts, JobKind};
 use crate::error::MarshalError;
 use crate::output::{collect_outputs, load_hook_script, run_post_hook};
+use crate::simulator::{default_backend, simulator_for, BackendOptions, SimRun};
 use crate::warnings::Warning;
 
 /// Options for the `launch` command.
@@ -19,6 +25,21 @@ pub struct LaunchOptions {
     /// instructions before a hung payload is terminated. `None` keeps the
     /// simulator default.
     pub timeout_insts: Option<u64>,
+    /// Simulator backend (`--sim`): a name the [`crate::simulator`]
+    /// registry resolves. `None` uses the workload's default backend.
+    pub sim: Option<String>,
+    /// Hardware configuration for the cycle-exact backend (`--hw`).
+    pub hw: Option<HardwareConfig>,
+}
+
+impl LaunchOptions {
+    /// The backend-construction options this launch implies.
+    pub fn backend_options(&self) -> BackendOptions {
+        BackendOptions {
+            timeout_insts: self.timeout_insts,
+            hw: self.hw.clone(),
+        }
+    }
 }
 
 /// The result of launching one job.
@@ -100,41 +121,21 @@ pub enum LoadedJob {
     },
 }
 
-/// Runs one job in the functional simulator the workload selects: a custom
-/// Spike when the `spike` option is set, QEMU otherwise. `opts.timeout_insts`
-/// overrides the guest watchdog's instruction budget.
+/// Runs one job on the backend `opts.sim` names (the workload's default
+/// backend when unset), with `opts.timeout_insts` overriding the guest
+/// watchdog's instruction budget.
 ///
 /// # Errors
 ///
-/// Simulation and artifact errors.
-pub fn simulate_job(job: &JobArtifacts, opts: &LaunchOptions) -> Result<SimResult, MarshalError> {
+/// Unknown backend names, simulation errors, and artifact errors.
+pub fn simulate_job(job: &JobArtifacts, opts: &LaunchOptions) -> Result<SimRun, MarshalError> {
     let loaded = load_artifacts(job)?;
-    let budget = opts.timeout_insts;
-    let spike = |bin: &str| {
-        let mut s = Spike::with_binary(bin).with_args(&job.spec.spike_args);
-        if let Some(n) = budget {
-            s = s.with_budget(n);
-        }
-        s
-    };
-    let qemu = || {
-        let mut q = Qemu::new().with_args(&job.spec.qemu_args);
-        if let Some(n) = budget {
-            q = q.with_budget(n);
-        }
-        q
-    };
-    let result = match (&loaded, &job.spec.spike) {
-        (LoadedJob::Linux { boot, disk }, Some(spike_bin)) => {
-            spike(spike_bin).launch(boot, disk.as_ref(), LaunchMode::Run)?
-        }
-        (LoadedJob::Linux { boot, disk }, None) => {
-            qemu().launch(boot, disk.as_ref(), LaunchMode::Run)?
-        }
-        (LoadedJob::Bare { bin }, Some(spike_bin)) => spike(spike_bin).launch_bare(bin)?,
-        (LoadedJob::Bare { bin }, None) => qemu().launch_bare(bin)?,
-    };
-    Ok(result)
+    let backend_name = opts
+        .sim
+        .as_deref()
+        .unwrap_or_else(|| default_backend(&job.spec));
+    let backend = simulator_for(backend_name, &job.spec, &opts.backend_options())?;
+    backend.run(&loaded, marshal_sim_functional::LaunchMode::Run)
 }
 
 /// Launches one job of a built workload and collects its outputs.
@@ -154,7 +155,8 @@ pub fn launch_job(
             products.workload
         ))
     })?;
-    let result = simulate_job(job, opts)?;
+    let run = simulate_job(job, opts)?;
+    let result = run.result;
     let job_dir = builder.run_dir(&products.workload).join(&job.name);
     let mut warnings = Vec::new();
     if result.timed_out {
@@ -181,16 +183,28 @@ pub fn launch_job(
             &job.spec.outputs,
         )?;
     }
-    // Functional simulation has no timing model: report instruction counts
-    // as pseudo-cycles (like wall-clock on QEMU, only roughly meaningful).
-    crate::output::write_stats(
-        &job_dir,
-        result.instructions,
-        result.instructions,
-        0,
-        result.instructions,
-        1000,
-    )?;
+    match &run.report {
+        // The cycle-exact backend reports real timing.
+        Some(report) => crate::output::write_stats(
+            &job_dir,
+            report.counters.cycles,
+            report.counters.user_cycles,
+            report.counters.kernel_cycles,
+            report.counters.instructions,
+            report.freq_mhz,
+        )?,
+        // Functional simulation has no timing model: report instruction
+        // counts as pseudo-cycles (like wall-clock on QEMU, only roughly
+        // meaningful).
+        None => crate::output::write_stats(
+            &job_dir,
+            result.instructions,
+            result.instructions,
+            0,
+            result.instructions,
+            1000,
+        )?,
+    }
     Ok(LaunchOutput {
         job: job.name.clone(),
         serial: result.serial,

@@ -41,19 +41,23 @@ pub mod build;
 pub mod clean;
 pub mod cli;
 pub mod connector;
+pub mod cosim;
 pub mod error;
 pub mod faultinject;
 pub mod install;
 pub mod integrity;
 pub mod launch;
 pub mod output;
+pub mod simulator;
 pub mod test;
 pub mod warnings;
 
 pub use board::Board;
 pub use build::{BuildOptions, BuildProducts, Builder, JobArtifacts, JobKind};
+pub use cosim::{CosimOptions, CosimReport, Divergence};
 pub use error::MarshalError;
 pub use install::InstallManifest;
 pub use launch::{LaunchOptions, LaunchOutput};
-pub use test::{clean_output, TestOutcome};
+pub use simulator::{simulator_for, simulator_names, BackendOptions, SimRun, Simulator};
+pub use test::{clean_output, clean_output_with, TestOutcome};
 pub use warnings::Warning;

@@ -1,0 +1,382 @@
+//! The unified simulator backend registry.
+//!
+//! §III-C/E's portability claim — "the exact same artifacts are run on
+//! both simulators" — deserves one abstraction, not dispatch scattered
+//! across `launch`, `build` (guest-init), `install`, and `test`. Every
+//! backend implements [`Simulator`]: a registry name, the log prefixes
+//! its banner lines carry (so output canonicalization never falls out of
+//! sync with the backend list), its feature tags (e.g. `pfa` from a
+//! custom `pfa-spike` binary), and one `run` entry point taking the same
+//! loaded artifacts regardless of backend.
+//!
+//! The registry mirrors [`crate::connector`]: [`simulator_for`] resolves
+//! a name (with aliases) to a boxed backend, [`simulator_names`] lists
+//! the canonical names for CLI diagnostics. `launch --sim <backend>`
+//! routes through here, and [`crate::cosim`] runs two backends in
+//! lockstep over identical artifacts to diff their behaviour.
+
+use marshal_config::WorkloadSpec;
+use marshal_sim_functional::{LaunchMode, Qemu, SimResult, Spike};
+use marshal_sim_rtl::{FireSim, HardwareConfig, PerfReport};
+
+use crate::error::MarshalError;
+use crate::launch::LoadedJob;
+
+/// The outcome of one backend run: the simulation result plus, for timed
+/// backends, the performance report.
+#[derive(Debug, Clone)]
+pub struct SimRun {
+    /// Serial log, final image, exit code, instruction count.
+    pub result: SimResult,
+    /// The cycle-exact performance report (`None` on functional backends,
+    /// which have no timing model).
+    pub report: Option<PerfReport>,
+}
+
+/// One simulator backend: anything that can run a built workload's
+/// unmodified artifacts.
+pub trait Simulator: Send + Sync {
+    /// The backend's registry name (`qemu`, `spike`, `rtl`).
+    fn name(&self) -> &'static str;
+
+    /// Line prefixes this backend emits in serial logs (banners, exit
+    /// lines). [`crate::test::clean_output`] strips lines starting with
+    /// any registered backend's prefixes, so references written against
+    /// one backend match every other.
+    fn log_prefixes(&self) -> &'static [&'static str];
+
+    /// Feature tags the configured backend instance carries (e.g. `pfa`
+    /// for a `pfa-spike` golden-model binary, or the remote-memory model
+    /// of an RTL configuration).
+    fn features(&self) -> Vec<String>;
+
+    /// Runs loaded artifacts. Linux jobs boot the full system; bare jobs
+    /// execute the binary directly.
+    ///
+    /// # Errors
+    ///
+    /// Simulation errors ([`MarshalError::Sim`]).
+    fn run(&self, job: &LoadedJob, mode: LaunchMode) -> Result<SimRun, MarshalError>;
+}
+
+/// Construction options shared by every backend.
+#[derive(Debug, Clone, Default)]
+pub struct BackendOptions {
+    /// Guest watchdog budget override (`--timeout-insts`).
+    pub timeout_insts: Option<u64>,
+    /// Hardware configuration for timed backends (`--hw`). `None` picks a
+    /// default suited to the workload's features (see [`RtlSim::for_spec`]).
+    pub hw: Option<HardwareConfig>,
+}
+
+/// The QEMU-like functional backend (the historical `launch` default).
+pub struct QemuSim {
+    qemu: Qemu,
+}
+
+impl QemuSim {
+    /// Configures QEMU from a job spec: custom binary (`qemu`), extra
+    /// arguments (`qemu-args`), watchdog budget.
+    pub fn for_spec(spec: &WorkloadSpec, opts: &BackendOptions) -> QemuSim {
+        let mut qemu = match &spec.qemu {
+            Some(binary) => Qemu::with_binary(binary),
+            None => Qemu::new(),
+        };
+        qemu = qemu.with_args(&spec.qemu_args);
+        if let Some(n) = opts.timeout_insts {
+            qemu = qemu.with_budget(n);
+        }
+        QemuSim { qemu }
+    }
+}
+
+impl Simulator for QemuSim {
+    fn name(&self) -> &'static str {
+        "qemu"
+    }
+
+    fn log_prefixes(&self) -> &'static [&'static str] {
+        // Banner lines read "qemu-system-riscv64: ...".
+        &["qemu"]
+    }
+
+    fn features(&self) -> Vec<String> {
+        self.qemu.config().features.clone()
+    }
+
+    fn run(&self, job: &LoadedJob, mode: LaunchMode) -> Result<SimRun, MarshalError> {
+        let result = match job {
+            LoadedJob::Linux { boot, disk } => self.qemu.launch(boot, disk.as_ref(), mode)?,
+            LoadedJob::Bare { bin } => self.qemu.launch_bare(bin)?,
+        };
+        Ok(SimRun {
+            result,
+            report: None,
+        })
+    }
+}
+
+/// The Spike-like functional backend, including custom golden-model
+/// binaries (`pfa-spike`).
+pub struct SpikeSim {
+    spike: Spike,
+}
+
+impl SpikeSim {
+    /// Configures Spike from a job spec: custom binary (`spike`), extra
+    /// arguments (`spike-args`), watchdog budget.
+    pub fn for_spec(spec: &WorkloadSpec, opts: &BackendOptions) -> SpikeSim {
+        let mut spike = match &spec.spike {
+            Some(binary) => Spike::with_binary(binary),
+            None => Spike::new(),
+        };
+        spike = spike.with_args(&spec.spike_args);
+        if let Some(n) = opts.timeout_insts {
+            spike = spike.with_budget(n);
+        }
+        SpikeSim { spike }
+    }
+}
+
+impl Simulator for SpikeSim {
+    fn name(&self) -> &'static str {
+        "spike"
+    }
+
+    fn log_prefixes(&self) -> &'static [&'static str] {
+        &["spike"]
+    }
+
+    fn features(&self) -> Vec<String> {
+        self.spike.config().features.clone()
+    }
+
+    fn run(&self, job: &LoadedJob, mode: LaunchMode) -> Result<SimRun, MarshalError> {
+        let result = match job {
+            LoadedJob::Linux { boot, disk } => self.spike.launch(boot, disk.as_ref(), mode)?,
+            LoadedJob::Bare { bin } => self.spike.launch_bare(bin)?,
+        };
+        Ok(SimRun {
+            result,
+            report: None,
+        })
+    }
+}
+
+/// The cycle-exact RTL backend (FireSim-like).
+pub struct RtlSim {
+    sim: FireSim,
+}
+
+impl RtlSim {
+    /// A backend for an explicit hardware configuration.
+    pub fn new(hw: HardwareConfig, timeout_insts: Option<u64>) -> RtlSim {
+        let mut sim = FireSim::new(hw);
+        if let Some(n) = timeout_insts {
+            sim = sim.with_budget(n);
+        }
+        RtlSim { sim }
+    }
+
+    /// Configures the RTL backend for a job spec. Without an explicit
+    /// `--hw` choice, picks Rocket — with the PFA remote-memory model
+    /// attached when the workload's functional backend would carry the
+    /// `pfa` feature tag, so the same workload exercises the same
+    /// subsystem on every backend.
+    pub fn for_spec(spec: &WorkloadSpec, opts: &BackendOptions) -> RtlSim {
+        let hw = match &opts.hw {
+            Some(hw) => hw.clone(),
+            None => {
+                let functional_features = SpikeSim::for_spec(spec, opts).features();
+                if functional_features.iter().any(|f| f == "pfa") {
+                    HardwareConfig::rocket().with_remote(marshal_sim_rtl::RemoteMemConfig::Pfa(
+                        marshal_sim_rtl::pfa::RemoteTimings::default(),
+                    ))
+                } else {
+                    HardwareConfig::rocket()
+                }
+            }
+        };
+        RtlSim::new(hw, opts.timeout_insts)
+    }
+
+    /// The underlying cycle-exact simulator (cluster launches in
+    /// [`crate::install`] need its multi-node entry point).
+    pub fn fire_sim(&self) -> &FireSim {
+        &self.sim
+    }
+}
+
+impl Simulator for RtlSim {
+    fn name(&self) -> &'static str {
+        "rtl"
+    }
+
+    fn log_prefixes(&self) -> &'static [&'static str] {
+        &["firesim"]
+    }
+
+    fn features(&self) -> Vec<String> {
+        match &self.sim.hardware().remote {
+            marshal_sim_rtl::RemoteMemConfig::None => Vec::new(),
+            remote => vec![remote.name().to_owned()],
+        }
+    }
+
+    fn run(&self, job: &LoadedJob, mode: LaunchMode) -> Result<SimRun, MarshalError> {
+        let (result, report) = match job {
+            LoadedJob::Linux { boot, disk } => self.sim.launch(boot, disk.as_ref(), mode)?,
+            LoadedJob::Bare { bin } => self.sim.launch_bare(bin)?,
+        };
+        Ok(SimRun {
+            result,
+            report: Some(report),
+        })
+    }
+}
+
+/// All registered backend names, in registry order.
+pub fn simulator_names() -> &'static [&'static str] {
+    &["qemu", "spike", "rtl"]
+}
+
+/// Resolves a user-supplied backend name (with aliases) to its canonical
+/// registry name.
+pub fn resolve_backend(name: &str) -> Option<&'static str> {
+    match name {
+        "qemu" | "functional" => Some("qemu"),
+        "spike" => Some("spike"),
+        "rtl" | "firesim" | "cycle-exact" => Some("rtl"),
+        _ => None,
+    }
+}
+
+/// The backend a workload runs on when `--sim` is not given: the spec's
+/// custom Spike when one is set (the paper's `spike` option), QEMU
+/// otherwise — the historical `launch` behaviour, now as a registry
+/// default instead of hardcoded dispatch.
+pub fn default_backend(spec: &WorkloadSpec) -> &'static str {
+    if spec.spike.is_some() {
+        "spike"
+    } else {
+        "qemu"
+    }
+}
+
+/// Builds the named backend configured for a job spec.
+///
+/// # Errors
+///
+/// [`MarshalError::Other`] naming the registered backends when `name` is
+/// unknown.
+pub fn simulator_for(
+    name: &str,
+    spec: &WorkloadSpec,
+    opts: &BackendOptions,
+) -> Result<Box<dyn Simulator>, MarshalError> {
+    match resolve_backend(name) {
+        Some("qemu") => Ok(Box::new(QemuSim::for_spec(spec, opts))),
+        Some("spike") => Ok(Box::new(SpikeSim::for_spec(spec, opts))),
+        Some("rtl") => Ok(Box::new(RtlSim::for_spec(spec, opts))),
+        _ => Err(MarshalError::Other(format!(
+            "unknown simulator backend `{name}` (try {})",
+            simulator_names().join(", ")
+        ))),
+    }
+}
+
+/// Every registered backend's declared log prefixes, deduplicated, in
+/// registry order — the canonicalization set [`crate::test::clean_output`]
+/// strips. Adding a backend extends this automatically; no hand-maintained
+/// prefix list can go stale.
+pub fn all_log_prefixes() -> Vec<&'static str> {
+    let spec = WorkloadSpec::default();
+    let opts = BackendOptions::default();
+    let backends: [Box<dyn Simulator>; 3] = [
+        Box::new(QemuSim::for_spec(&spec, &opts)),
+        Box::new(SpikeSim::for_spec(&spec, &opts)),
+        Box::new(RtlSim::for_spec(&spec, &opts)),
+    ];
+    let mut prefixes = Vec::new();
+    for backend in &backends {
+        for p in backend.log_prefixes() {
+            if !prefixes.contains(p) {
+                prefixes.push(*p);
+            }
+        }
+    }
+    prefixes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec::default()
+    }
+
+    #[test]
+    fn registry_lookup() {
+        let s = spec();
+        let opts = BackendOptions::default();
+        for name in simulator_names() {
+            assert_eq!(simulator_for(name, &s, &opts).unwrap().name(), *name);
+        }
+        assert!(simulator_for("gem5", &s, &opts).is_err());
+    }
+
+    #[test]
+    fn aliases_resolve() {
+        assert_eq!(resolve_backend("functional"), Some("qemu"));
+        assert_eq!(resolve_backend("firesim"), Some("rtl"));
+        assert_eq!(resolve_backend("cycle-exact"), Some("rtl"));
+        assert_eq!(resolve_backend("verilator"), None);
+    }
+
+    #[test]
+    fn default_backend_follows_spike_option() {
+        let mut s = spec();
+        assert_eq!(default_backend(&s), "qemu");
+        s.spike = Some("pfa-spike".to_owned());
+        assert_eq!(default_backend(&s), "spike");
+    }
+
+    #[test]
+    fn spike_backend_carries_custom_binary_features() {
+        let mut s = spec();
+        s.spike = Some("pfa-spike".to_owned());
+        let backend = simulator_for("spike", &s, &BackendOptions::default()).unwrap();
+        assert_eq!(backend.features(), vec!["pfa".to_owned()]);
+        // The stock binary carries none.
+        let stock = simulator_for("spike", &spec(), &BackendOptions::default()).unwrap();
+        assert!(stock.features().is_empty());
+    }
+
+    #[test]
+    fn rtl_backend_inherits_pfa_from_functional_features() {
+        let mut s = spec();
+        s.spike = Some("pfa-spike".to_owned());
+        let rtl = RtlSim::for_spec(&s, &BackendOptions::default());
+        assert_eq!(rtl.features(), vec!["pfa".to_owned()]);
+        assert!(rtl.fire_sim().hardware().name.contains("pfa"));
+        // An explicit --hw wins over the feature-derived default.
+        let rtl = RtlSim::for_spec(
+            &s,
+            &BackendOptions {
+                hw: Some(HardwareConfig::boom_tage()),
+                ..Default::default()
+            },
+        );
+        assert!(rtl.features().is_empty());
+        assert_eq!(rtl.fire_sim().hardware().name, "boom-tage");
+    }
+
+    #[test]
+    fn prefixes_cover_every_backend() {
+        let prefixes = all_log_prefixes();
+        for name in ["qemu", "spike", "firesim"] {
+            assert!(prefixes.contains(&name), "{name} missing from {prefixes:?}");
+        }
+    }
+}

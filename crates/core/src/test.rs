@@ -52,7 +52,18 @@ impl TestOutcome {
 /// (`[ 12.345678] `), simulator banners, and trailing whitespace; drops
 /// lines that are volatile across simulators (machine model, cycle
 /// counts).
+///
+/// Banner prefixes come from the [`crate::simulator`] registry — every
+/// backend declares the prefixes its banner lines carry, so adding a
+/// backend can't silently break reference-output matching.
 pub fn clean_output(log: &str) -> Vec<String> {
+    clean_output_with(log, &crate::simulator::all_log_prefixes())
+}
+
+/// [`clean_output`] against an explicit banner-prefix set (the registry's
+/// set in normal use; callers comparing against a single known backend can
+/// pass just that backend's [`crate::simulator::Simulator::log_prefixes`]).
+pub fn clean_output_with(log: &str, prefixes: &[&str]) -> Vec<String> {
     log.lines()
         .map(|line| {
             // Strip a dmesg timestamp prefix.
@@ -70,9 +81,7 @@ pub fn clean_output(log: &str) -> Vec<String> {
         })
         .filter(|line| {
             !line.is_empty()
-                && !line.starts_with("qemu")
-                && !line.starts_with("spike")
-                && !line.starts_with("firesim")
+                && !prefixes.iter().any(|p| line.starts_with(p))
                 && !line.starts_with("Machine model")
                 && !volatile(line)
         })

@@ -161,6 +161,10 @@ pub fn simulate_linux<E: Executor>(
         )
         .into_owned();
         os.serial_line("firemarshal: running one-shot guest-init");
+        // Scar the image before the script runs: a crash (or torn image
+        // write) mid-guest-init leaves `guest-init.started` behind, so the
+        // interrupted image is detectable instead of silently half-built.
+        initsys::mark_guest_init_started(&mut os.image)?;
         {
             let mut env = GuestEnv::new(&mut os, exec);
             env.run_script_source(&src, &[])?;

@@ -33,6 +33,22 @@ impl Qemu {
         }
     }
 
+    /// A custom QEMU build (the workload's `qemu` option). Mirrors
+    /// [`crate::Spike::with_binary`]: name segments other than `qemu` (and
+    /// the stock `qemu-system-riscv64` suffix parts) become feature tags.
+    pub fn with_binary(name: &str) -> Qemu {
+        let mut config = SimConfig::new(SimKind::Qemu);
+        for part in name.split(['-', '_']) {
+            if !part.is_empty() && !["qemu", "system", "riscv64"].contains(&part) {
+                config.features.push(part.to_owned());
+            }
+        }
+        if !config.features.is_empty() {
+            config.extra_args.push(format!("(custom binary: {name})"));
+        }
+        Qemu { config }
+    }
+
     /// Adds extra arguments (the workload's `qemu-args` option).
     pub fn with_args(mut self, args: &[String]) -> Qemu {
         self.config.extra_args.extend(args.iter().cloned());
@@ -78,6 +94,14 @@ impl Qemu {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn custom_binary_features() {
+        let q = Qemu::with_binary("pfa-qemu-system-riscv64");
+        assert!(q.config().has_feature("pfa"));
+        let stock = Qemu::with_binary("qemu-system-riscv64");
+        assert!(stock.config().features.is_empty());
+    }
 
     #[test]
     fn builder_options() {

@@ -59,7 +59,9 @@ fn overlay_and_files_options() {
         ],
     );
     let products = b.build("w.json", &BuildOptions::default()).unwrap();
-    let result = launch::simulate_job(&products.jobs[0], &Default::default()).unwrap();
+    let result = launch::simulate_job(&products.jobs[0], &Default::default())
+        .unwrap()
+        .result;
     let image = result.image.unwrap();
     assert_eq!(
         image.read_file("/etc/from-overlay").unwrap(),
@@ -90,7 +92,9 @@ fn host_init_generates_build_inputs() {
     );
     std::fs::create_dir_all(root.join("user-workloads/gen-overlay")).unwrap();
     let products = b.build("w.json", &BuildOptions::default()).unwrap();
-    let out = launch::simulate_job(&products.jobs[0], &Default::default()).unwrap();
+    let out = launch::simulate_job(&products.jobs[0], &Default::default())
+        .unwrap()
+        .result;
     assert_eq!(out.exit_code, 0);
     assert_eq!(
         out.image.unwrap().read_file("/etc/generated").unwrap(),
@@ -116,7 +120,9 @@ fn guest_init_runs_exactly_once() {
         ],
     );
     let products = b.build("w.json", &BuildOptions::default()).unwrap();
-    let result = launch::simulate_job(&products.jobs[0], &Default::default()).unwrap();
+    let result = launch::simulate_job(&products.jobs[0], &Default::default())
+        .unwrap()
+        .result;
     // guest-init ran once, during build — not again at launch.
     assert_eq!(
         result.image.unwrap().read_file("/etc/gi-count").unwrap(),
@@ -125,7 +131,9 @@ fn guest_init_runs_exactly_once() {
     // A rebuild does not re-run it either (tasks are up to date).
     let products2 = b.build("w.json", &BuildOptions::default()).unwrap();
     assert!(products2.report.executed.is_empty());
-    let result2 = launch::simulate_job(&products2.jobs[0], &Default::default()).unwrap();
+    let result2 = launch::simulate_job(&products2.jobs[0], &Default::default())
+        .unwrap()
+        .result;
     assert_eq!(
         result2.image.unwrap().read_file("/etc/gi-count").unwrap(),
         b"1"
@@ -154,11 +162,15 @@ fn run_and_command_options() {
         ],
     );
     let cmd = b.build("cmd.json", &BuildOptions::default()).unwrap();
-    let out = launch::simulate_job(&cmd.jobs[0], &Default::default()).unwrap();
+    let out = launch::simulate_job(&cmd.jobs[0], &Default::default())
+        .unwrap()
+        .result;
     assert!(out.serial.contains("BusyBox"));
 
     let run = b.build("run.json", &BuildOptions::default()).unwrap();
-    let out = launch::simulate_job(&run.jobs[0], &Default::default()).unwrap();
+    let out = launch::simulate_job(&run.jobs[0], &Default::default())
+        .unwrap()
+        .result;
     assert!(
         out.serial.contains("run script executed on boot"),
         "{}",
@@ -218,7 +230,9 @@ fn linux_options_change_kernel() {
         ],
     );
     let products = b.build("w.json", &BuildOptions::default()).unwrap();
-    let result = launch::simulate_job(&products.jobs[0], &Default::default()).unwrap();
+    let result = launch::simulate_job(&products.jobs[0], &Default::default())
+        .unwrap()
+        .result;
     // Custom kernel source version in the banner; fragment-enabled PFA
     // driver line; user module loaded by the initramfs.
     assert!(result.serial.contains("5.7.0-pfa"), "{}", result.serial);
@@ -240,7 +254,9 @@ fn firmware_option_switches_sbi() {
         )],
     );
     let products = b.build("w.json", &BuildOptions::default()).unwrap();
-    let result = launch::simulate_job(&products.jobs[0], &Default::default()).unwrap();
+    let result = launch::simulate_job(&products.jobs[0], &Default::default())
+        .unwrap()
+        .result;
     assert!(result.serial.contains("bbl loader"), "{}", result.serial);
     assert!(!result.serial.contains("OpenSBI"));
     std::fs::remove_dir_all(root).unwrap();
@@ -257,7 +273,9 @@ fn spike_option_selects_simulator_with_args() {
         )],
     );
     let products = b.build("w.json", &BuildOptions::default()).unwrap();
-    let result = launch::simulate_job(&products.jobs[0], &Default::default()).unwrap();
+    let result = launch::simulate_job(&products.jobs[0], &Default::default())
+        .unwrap()
+        .result;
     assert!(
         result.serial.contains("spike: starting"),
         "{}",
@@ -330,7 +348,9 @@ fn bin_option_makes_bare_metal_job() {
         products.jobs[0].kind,
         marshal_core::JobKind::Bare { .. }
     ));
-    let result = launch::simulate_job(&products.jobs[0], &Default::default()).unwrap();
+    let result = launch::simulate_job(&products.jobs[0], &Default::default())
+        .unwrap()
+        .result;
     assert_eq!(result.exit_code, 7);
     assert!(result.image.is_none());
     std::fs::remove_dir_all(root).unwrap();
@@ -349,7 +369,9 @@ fn yaml_workloads_build_and_run() {
     );
     let products = b.build("yamlwork.yaml", &BuildOptions::default()).unwrap();
     assert_eq!(products.top_spec.outputs, vec!["/output"]);
-    let out = launch::simulate_job(&products.jobs[0], &Default::default()).unwrap();
+    let out = launch::simulate_job(&products.jobs[0], &Default::default())
+        .unwrap()
+        .result;
     assert!(out.serial.contains("BusyBox"));
     std::fs::remove_dir_all(root).unwrap();
 }
@@ -375,7 +397,9 @@ fn img_option_uses_hardcoded_image() {
         )],
     );
     let products = b.build("w.json", &BuildOptions::default()).unwrap();
-    let result = launch::simulate_job(&products.jobs[0], &Default::default()).unwrap();
+    let result = launch::simulate_job(&products.jobs[0], &Default::default())
+        .unwrap()
+        .result;
     let image = result.image.unwrap();
     assert_eq!(
         image.read_file("/etc/custom-marker").unwrap(),

@@ -177,6 +177,93 @@ fn interrupted_build_rebuilds_the_torn_task() {
 }
 
 #[test]
+fn torn_guest_init_image_recovers_on_rebuild() {
+    // Mid-run guest state: a crash during the guest-init image flush leaves
+    // a torn level image (intact header, missing tail) plus the scheduler's
+    // in-progress mark. The next build must re-run the guest-init level
+    // from its parent, and the recovered image must carry the done marker —
+    // never the started scar — so the one-shot init stays idempotent.
+    let root = common::tmpdir("rob-guestinit");
+    let mut builder = common::builder_in(&root);
+    let products = builder
+        .build("onnx-infer.json", &BuildOptions::default())
+        .unwrap();
+    let img_task = products
+        .report
+        .executed
+        .iter()
+        .find(|t| t.starts_with("img:") && t.ends_with("/onnx-infer"))
+        .expect("guest-init level task in the report")
+        .clone();
+    drop(builder);
+
+    // The guest-init level's stored image lives in work/levels and is named
+    // after the level (`onnx-infer-<fingerprint>.img`).
+    let levels = root.join("work").join("levels");
+    let img_path = std::fs::read_dir(&levels)
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("onnx-infer-"))
+        })
+        .expect("level image for the guest-init level");
+
+    // Simulate the crash: in-progress mark flushed, then the image write
+    // torn partway through.
+    let db_path = root.join("work").join("state.db");
+    let mut db = StateDb::open(&db_path).unwrap();
+    db.mark_in_progress(img_task.clone());
+    db.flush().unwrap();
+    drop(db);
+    let mut inj = Injector::new(0x6e57_1217);
+    let fault = inj.tear_image_write(&img_path).unwrap();
+    assert!(fault.offset < fault.original_len, "tail was torn off");
+
+    // Recovery: the next build surfaces the interruption, re-executes the
+    // guest-init level, and the workload launches cleanly.
+    let mut builder = common::builder_in(&root);
+    let products = builder
+        .build("onnx-infer.json", &BuildOptions::default())
+        .unwrap();
+    assert!(
+        products
+            .warnings
+            .iter()
+            .any(|w| w.context == img_task && w.message.contains("interrupted")),
+        "interruption surfaced as a structured warning: {:?}",
+        products.warnings
+    );
+    assert!(
+        products.report.ran(&img_task),
+        "torn guest-init level re-executed: {:?}",
+        products.report
+    );
+
+    // The recovered level image parses again and shows a *completed*
+    // guest-init: done marker present, started scar gone.
+    let recovered = marshal_image::FsImage::from_bytes(&std::fs::read(&img_path).unwrap()).unwrap();
+    assert!(recovered.exists(marshal_image::initsys::GUEST_INIT_DONE));
+    assert!(
+        !marshal_image::initsys::guest_init_interrupted(&recovered),
+        "no started scar survives a successful re-run"
+    );
+
+    // Idempotency end to end: the relaunched workload does not replay the
+    // one-shot init (the done marker gates it) but keeps its effects.
+    let run = launch::launch_workload(&builder, &products, &LaunchOptions::default()).unwrap();
+    let serial = &run.jobs[0].serial;
+    assert!(
+        !serial.contains("running one-shot guest-init"),
+        "guest-init must not replay at launch: {serial}"
+    );
+    assert!(serial.contains("onnx-infer checksum:"), "{serial}");
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
 fn corrupted_boot_binary_detected_and_force_recovers() {
     let root = common::tmpdir("rob-artifact");
     let mut builder = common::builder_in(&root);
@@ -226,6 +313,7 @@ fn hung_guest_terminates_at_budget_with_partial_uartlog() {
     // exactly what a real hang looks like from outside the guest.
     let opts = LaunchOptions {
         timeout_insts: Some(1),
+        ..LaunchOptions::default()
     };
     let run = launch::launch_workload(&builder, &products, &opts).unwrap();
     let job = &run.jobs[0];
@@ -252,6 +340,8 @@ fn cli_launch_surfaces_timeout_exit_code() {
             workload: "hello.json".to_owned(),
             job: None,
             timeout_insts: Some(1),
+            sim: None,
+            hw: None,
         },
     };
     let (code, log) = cli::run_command(&args, setup.board, setup.search);

@@ -5,7 +5,7 @@
 
 mod common;
 
-use marshal_core::{clean_output, launch, BuildOptions};
+use marshal_core::{clean_output, launch, BuildOptions, LaunchOptions};
 use marshal_firmware::BootBinary;
 use marshal_image::FsImage;
 use marshal_sim_functional::{LaunchMode, Qemu, Spike};
@@ -59,6 +59,49 @@ fn same_artifacts_same_cleaned_output_on_all_simulators() {
     for serial in [&qemu.serial, &spike.serial, &firesim.serial] {
         assert!(serial.contains(&checksum_line));
     }
+    std::fs::remove_dir_all(root).unwrap();
+}
+
+#[test]
+fn launch_sim_flag_runs_same_artifacts_on_every_backend() {
+    // The backend registry behind `launch --sim`: one build, three
+    // backends, no artifact mutation in between. The functional pair must
+    // agree on canonical output *and* instruction stream; the cycle-exact
+    // backend must agree on behaviour (canonical output and exit status),
+    // though its timing differs by construction.
+    let root = common::tmpdir("consistency-sim-flag");
+    let mut builder = common::builder_in(&root);
+    let products = builder
+        .build("hello.json", &BuildOptions::default())
+        .unwrap();
+    let run_on = |sim: &str| {
+        let opts = LaunchOptions {
+            sim: Some(sim.to_owned()),
+            ..LaunchOptions::default()
+        };
+        launch::launch_workload(&builder, &products, &opts).unwrap()
+    };
+    let qemu = run_on("qemu");
+    let spike = run_on("spike");
+    let rtl = run_on("rtl");
+
+    for run in [&qemu, &spike, &rtl] {
+        assert!(run.jobs[0].serial.contains("Hello from FireMarshal!"));
+        assert!(!run.jobs[0].timed_out);
+    }
+    // Functional determinism: QEMU and Spike retire the same instruction
+    // stream and print the same canonical log.
+    assert_eq!(qemu.jobs[0].instructions, spike.jobs[0].instructions);
+    assert_eq!(
+        clean_output(&qemu.jobs[0].serial),
+        clean_output(&spike.jobs[0].serial)
+    );
+    // Cycle-exact portability: same exit status and canonical behaviour.
+    assert_eq!(qemu.jobs[0].exit_code, rtl.jobs[0].exit_code);
+    assert_eq!(
+        clean_output(&qemu.jobs[0].serial),
+        clean_output(&rtl.jobs[0].serial)
+    );
     std::fs::remove_dir_all(root).unwrap();
 }
 
