@@ -11,7 +11,6 @@
 //! 6. `--no-disk` initramfs embedding.
 
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
 
 use marshal_config::{expand_jobs, resolve_workload, SearchPath, WorkloadSpec};
 use marshal_depgraph::{BuildReport, Graph, StateDb, Task};
@@ -25,6 +24,7 @@ use marshal_sim_functional::LaunchMode;
 
 use crate::board::Board;
 use crate::error::MarshalError;
+use crate::imagestore::ImageStore;
 use crate::simulator::{default_backend, simulator_for, BackendOptions};
 use crate::warnings::Warning;
 
@@ -391,6 +391,7 @@ impl Builder {
         let jobimg_id = format!("jobimg:{qualified}");
         {
             let job_image_path = store.path_for(&format!("job:{}", spec.name));
+            let objects_dir = store.objects_dir().to_path_buf();
             let store = store.clone();
             let spec_for_task = spec.clone();
             let chain_key = chain_key.clone();
@@ -413,6 +414,7 @@ impl Builder {
             .output(&disk_path)
             .claim(crate::integrity::sidecar_path(&disk_path))
             .claim(job_image_path)
+            .claim_tree(objects_dir)
             .input(qualified.as_bytes());
             graph.add(task)?;
         }
@@ -547,12 +549,15 @@ impl Builder {
             input_hash.update_field(level.qemu.as_deref().unwrap_or("").as_bytes());
         }
         if let Some(img) = &hard_img {
-            input_hash.update_field(&img.to_bytes());
+            // The memoized Merkle fingerprint replaces serialising the whole
+            // image just to hash it.
+            input_hash.update_field(img.fingerprint().to_string().as_bytes());
         }
 
         let board = self.board.clone();
         let store = store.clone();
         let out_path = store.path_for(&key);
+        let objects_dir = store.objects_dir().to_path_buf();
         // Just the backend-selection slice of the level spec: which
         // functional simulator boots the guest-init script.
         let sim_spec = WorkloadSpec {
@@ -586,7 +591,10 @@ impl Builder {
             store_image(&store, &key, image)
         })
         .input(input_hash.finish().to_string().as_bytes())
-        .output(out_path);
+        .output(out_path)
+        // Blob paths are content-derived, so the whole pool is claimed as a
+        // shared tree; concurrent level tasks dedupe writes in the store.
+        .claim_tree(objects_dir);
         Ok(task)
     }
 
@@ -648,58 +656,6 @@ fn default_jobs() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
-}
-
-/// Level images are persisted to disk (so incremental rebuilds can load a
-/// skipped parent's image) and cached in memory within one build.
-#[derive(Clone)]
-struct ImageStore {
-    cache: Arc<Mutex<std::collections::BTreeMap<String, FsImage>>>,
-    dir: PathBuf,
-}
-
-impl ImageStore {
-    fn new(workdir: &Path) -> ImageStore {
-        ImageStore {
-            cache: Arc::new(Mutex::new(std::collections::BTreeMap::new())),
-            dir: workdir.join("levels"),
-        }
-    }
-
-    fn path_for(&self, key: &str) -> PathBuf {
-        let fp = marshal_depgraph::Fingerprint::of(key.as_bytes()).short();
-        let last = key.rsplit('/').next().unwrap_or(key);
-        self.dir.join(format!("{last}-{fp}.img"))
-    }
-
-    fn store(&self, key: &str, image: FsImage) -> Result<(), String> {
-        std::fs::create_dir_all(&self.dir)
-            .map_err(|e| format!("mkdir {}: {e}", self.dir.display()))?;
-        let path = self.path_for(key);
-        marshal_depgraph::assert_claimed(&path);
-        std::fs::write(&path, image.to_bytes())
-            .map_err(|e| format!("write {}: {e}", path.display()))?;
-        self.cache
-            .lock()
-            .expect("store poisoned")
-            .insert(key.to_owned(), image);
-        Ok(())
-    }
-
-    fn load(&self, key: &str) -> Result<FsImage, String> {
-        if let Some(img) = self.cache.lock().expect("store poisoned").get(key) {
-            return Ok(img.clone());
-        }
-        let path = self.path_for(key);
-        let bytes = std::fs::read(&path)
-            .map_err(|e| format!("image `{key}` not built ({}: {e})", path.display()))?;
-        let img = FsImage::from_bytes(&bytes).map_err(|e| format!("image `{key}`: {e}"))?;
-        self.cache
-            .lock()
-            .expect("store poisoned")
-            .insert(key.to_owned(), img.clone());
-        Ok(img)
-    }
 }
 
 fn store_image(store: &ImageStore, key: &str, image: FsImage) -> Result<(), String> {

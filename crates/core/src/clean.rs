@@ -1,33 +1,124 @@
 //! The `clean` command: remove a workload's artifacts and build state.
 
+use std::collections::BTreeSet;
+
 use marshal_config::{expand_jobs, resolve_workload};
+use marshal_depgraph::Fingerprint;
 
 use crate::build::Builder;
 use crate::error::MarshalError;
+use crate::imagestore::ImageStore;
 
-/// Removes a workload's images, runs, installs, and state-database entries,
-/// forcing the next `build` to start fresh.
+/// What `clean` removed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CleanReport {
+    /// Build-state entries forgotten.
+    pub state_entries: usize,
+    /// Level manifests removed from `workdir/levels/`.
+    pub levels_removed: usize,
+    /// Blobs pruned from `workdir/objects/` because no surviving level
+    /// manifest references them.
+    pub blobs_pruned: usize,
+    /// Payload bytes reclaimed by pruning blobs.
+    pub bytes_reclaimed: u64,
+}
+
+/// Removes a workload's images, runs, installs, level manifests, and
+/// state-database entries, forcing the next `build` to start fresh — then
+/// prunes any `workdir/objects/` blob no surviving manifest references.
 ///
-/// Returns the number of state entries forgotten.
+/// Only the workload's *own* level manifests (each job's full inheritance
+/// chain plus its final job image) are removed; parent levels may be shared
+/// with sibling workloads and stay until their owners are cleaned. The blob
+/// prune then reclaims whatever payloads became unreferenced.
 ///
 /// # Errors
 ///
 /// Configuration errors resolving the workload; I/O errors are ignored
 /// (missing artifacts are fine).
-pub fn clean_workload(builder: &mut Builder, name: &str) -> Result<usize, MarshalError> {
+pub fn clean_workload(builder: &mut Builder, name: &str) -> Result<CleanReport, MarshalError> {
     let resolved = resolve_workload(builder.search(), name)?;
     let jobs = expand_jobs(builder.search(), &resolved)?;
+    let mut report = CleanReport::default();
+    let store = ImageStore::new(builder.workdir());
     for job in &jobs {
         let _ = std::fs::remove_dir_all(builder.image_dir(&job.qualified_name));
+        // The full-chain level manifest ends at this workload's own level;
+        // parent prefixes may be shared with siblings, so they stay.
+        let chain_key = job
+            .workload
+            .levels
+            .iter()
+            .map(|l| l.name.as_str())
+            .collect::<Vec<_>>()
+            .join("/");
+        for key in [chain_key, format!("job:{}", job.workload.spec.name)] {
+            if key.is_empty() {
+                continue;
+            }
+            if std::fs::remove_file(store.path_for(&key)).is_ok() {
+                report.levels_removed += 1;
+            }
+        }
     }
     let _ = std::fs::remove_dir_all(builder.run_dir(&resolved.spec.name));
     let _ = std::fs::remove_dir_all(builder.install_dir(&resolved.spec.name));
     // Forget every task that references this workload or its jobs.
-    let mut forgotten = 0;
     let mut names: Vec<String> = jobs.iter().map(|j| j.qualified_name.clone()).collect();
     names.push(resolved.spec.name.clone());
-    forgotten += builder.forget_matching(&names);
-    Ok(forgotten)
+    report.state_entries = builder.forget_matching(&names);
+    let (pruned, bytes) = prune_objects(&store);
+    report.blobs_pruned = pruned;
+    report.bytes_reclaimed = bytes;
+    Ok(report)
+}
+
+/// Deletes every blob in `workdir/objects/` that no surviving manifest in
+/// `workdir/levels/` references; returns (blobs removed, bytes reclaimed).
+/// Unreadable or torn manifests contribute no references — their levels are
+/// already due a rebuild, which re-writes any blob it needs.
+fn prune_objects(store: &ImageStore) -> (usize, u64) {
+    let mut live: BTreeSet<Fingerprint> = BTreeSet::new();
+    if let Ok(entries) = std::fs::read_dir(store.levels_dir()) {
+        for entry in entries.filter_map(Result::ok) {
+            let Ok(bytes) = std::fs::read(entry.path()) else {
+                continue;
+            };
+            if let Ok(refs) = marshal_image::manifest_refs(&bytes) {
+                live.extend(refs);
+            }
+        }
+    }
+    let mut pruned = 0usize;
+    let mut bytes_reclaimed = 0u64;
+    let Ok(shards) = std::fs::read_dir(store.objects_dir()) else {
+        return (0, 0);
+    };
+    for shard in shards.filter_map(Result::ok) {
+        let Ok(blobs) = std::fs::read_dir(shard.path()) else {
+            continue;
+        };
+        for blob in blobs.filter_map(Result::ok) {
+            let path = blob.path();
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            let Ok(fp) = stem.parse::<Fingerprint>() else {
+                continue;
+            };
+            if live.contains(&fp) {
+                continue;
+            }
+            let size = blob.metadata().map(|m| m.len()).unwrap_or(0);
+            if std::fs::remove_file(&path).is_ok() {
+                pruned += 1;
+                bytes_reclaimed += size;
+            }
+        }
+        // Drop shard directories emptied by the prune.
+        let _ = std::fs::remove_dir(shard.path());
+    }
+    (pruned, bytes_reclaimed)
 }
 
 impl Builder {
@@ -81,13 +172,67 @@ mod tests {
         assert!(!products.report.executed.is_empty());
         assert!(builder.image_dir("w").join("boot.bin").exists());
 
-        let forgotten = clean_workload(&mut builder, "w.json").unwrap();
-        assert!(forgotten > 0, "state entries should be forgotten");
+        let report = clean_workload(&mut builder, "w.json").unwrap();
+        assert!(
+            report.state_entries > 0,
+            "state entries should be forgotten"
+        );
+        assert!(report.levels_removed > 0, "level manifests should go");
         assert!(!builder.image_dir("w").exists());
 
         // Next build re-runs everything.
         let products = builder.build("w.json", &BuildOptions::default()).unwrap();
         assert!(!products.report.executed.is_empty());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn clean_prunes_unreferenced_blobs_but_keeps_shared_ones() {
+        let dir = tmpdir("prune");
+        let mut search = SearchPath::new();
+        // Two workloads inheriting one base: the base level's blobs must
+        // survive cleaning one child.
+        search.add_builtin(
+            "base.json",
+            r#"{"name":"base","distro":"buildroot","files":[]}"#,
+        );
+        search.add_builtin(
+            "childa.json",
+            r#"{"name":"childa","base":"base.json","command":"echo a"}"#,
+        );
+        search.add_builtin(
+            "childb.json",
+            r#"{"name":"childb","base":"base.json","command":"echo b"}"#,
+        );
+        let mut builder = Builder::new(Board::minimal("t"), search, dir.join("work")).unwrap();
+        builder
+            .build("childa.json", &BuildOptions::default())
+            .unwrap();
+        builder
+            .build("childb.json", &BuildOptions::default())
+            .unwrap();
+        let objects = dir.join("work").join("objects");
+        assert!(objects.exists(), "blob pool should exist after builds");
+
+        let report = clean_workload(&mut builder, "childa.json").unwrap();
+        assert!(report.levels_removed > 0);
+        // childb still builds incrementally from its surviving manifests.
+        let products = builder
+            .build("childb.json", &BuildOptions::default())
+            .unwrap();
+        assert!(products.report.failed.is_empty());
+
+        // Cleaning both children and the base empties the pool entirely.
+        clean_workload(&mut builder, "childb.json").unwrap();
+        let report = clean_workload(&mut builder, "base.json").unwrap();
+        let remaining: Vec<_> = std::fs::read_dir(&objects)
+            .map(|it| it.filter_map(Result::ok).collect())
+            .unwrap_or_default();
+        assert!(
+            remaining.is_empty(),
+            "pool should be empty, found {remaining:?}"
+        );
+        assert!(report.bytes_reclaimed > 0 || report.blobs_pruned == 0);
         std::fs::remove_dir_all(dir).unwrap();
     }
 }

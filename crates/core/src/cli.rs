@@ -688,9 +688,15 @@ pub fn run_command(args: &CliArgs, board: Board, mut search: SearchPath) -> (i32
             }
         }
         Command::Clean { workload } => match clean_workload(&mut builder, workload) {
-            Ok(n) => {
+            Ok(report) => {
                 log.push(format!(
-                    "cleaned `{workload}` ({n} state entries forgotten)"
+                    "cleaned `{workload}` ({} state entries forgotten, \
+                     {} level manifests removed, {} unreferenced blobs pruned, \
+                     {} bytes reclaimed)",
+                    report.state_entries,
+                    report.levels_removed,
+                    report.blobs_pruned,
+                    report.bytes_reclaimed
                 ));
                 (0, log)
             }

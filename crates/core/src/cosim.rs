@@ -223,7 +223,7 @@ fn gather_outputs(image: Option<&FsImage>, outputs: &[String]) -> BTreeMap<Strin
                 continue;
             }
             if let Node::File { data, .. } = node {
-                found.insert(path, data.clone());
+                found.insert(path, data.to_vec());
             }
         }
     }

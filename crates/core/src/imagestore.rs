@@ -1,0 +1,115 @@
+//! The level-image store: `MMAN` manifests in `workdir/levels/`, payloads
+//! in the content-addressed blob pool at `workdir/objects/`.
+//!
+//! Each level of a workload's inheritance chain persists as a small
+//! manifest; the actual file bytes live once in the blob pool, shared
+//! across levels, jobs, and sibling workloads. Legacy flat `MIMG` level
+//! files (pre-existing workdirs) are still readable — the loader sniffs
+//! the magic. Tasks that persist images through the store must declare a
+//! [`marshal_depgraph::Task::claim_tree`] over [`ImageStore::objects_dir`],
+//! since blob paths are content-derived and unknown at planning time.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use marshal_image::{BlobStore, FsImage, StoreStats};
+
+/// Level images are persisted to disk (so incremental rebuilds can load a
+/// skipped parent's image) and cached in memory within one build. Cloning
+/// shares the cache and the blob pool.
+#[derive(Debug, Clone)]
+pub struct ImageStore {
+    cache: Arc<Mutex<BTreeMap<String, FsImage>>>,
+    stats: Arc<Mutex<StoreStats>>,
+    dir: PathBuf,
+    blobs: BlobStore,
+}
+
+impl ImageStore {
+    /// A store for the given marshal workdir (`levels/` + `objects/`).
+    pub fn new(workdir: &Path) -> ImageStore {
+        ImageStore {
+            cache: Arc::new(Mutex::new(BTreeMap::new())),
+            stats: Arc::new(Mutex::new(StoreStats::default())),
+            dir: workdir.join("levels"),
+            blobs: BlobStore::new(workdir.join("objects")),
+        }
+    }
+
+    /// The manifest directory (`workdir/levels`).
+    pub fn levels_dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The blob pool root (`workdir/objects`) — the tree tasks must claim.
+    pub fn objects_dir(&self) -> &Path {
+        self.blobs.root()
+    }
+
+    /// Where the manifest for a level key lives.
+    pub fn path_for(&self, key: &str) -> PathBuf {
+        let fp = marshal_depgraph::Fingerprint::of(key.as_bytes()).short();
+        let last = key.rsplit('/').next().unwrap_or(key);
+        self.dir.join(format!("{last}-{fp}.img"))
+    }
+
+    /// Persists an image under a level key: payloads into the blob pool
+    /// (deduped against whatever is already there), manifest into
+    /// `levels/`, and the image itself into the in-memory cache.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures as strings (the task-action error type).
+    pub fn store(&self, key: &str, image: FsImage) -> Result<(), String> {
+        std::fs::create_dir_all(&self.dir)
+            .map_err(|e| format!("mkdir {}: {e}", self.dir.display()))?;
+        let path = self.path_for(key);
+        marshal_depgraph::assert_claimed(&path);
+        let (manifest, stats) = self
+            .blobs
+            .write_manifest(&image)
+            .map_err(|e| e.to_string())?;
+        std::fs::write(&path, manifest).map_err(|e| format!("write {}: {e}", path.display()))?;
+        self.stats.lock().expect("stats poisoned").absorb(&stats);
+        self.cache
+            .lock()
+            .expect("store poisoned")
+            .insert(key.to_owned(), image);
+        Ok(())
+    }
+
+    /// Loads the image for a level key. Cache hits are O(1) — images are
+    /// copy-on-write, so the returned clone shares every allocation with
+    /// the cached copy. Misses read the manifest (or a legacy flat `MIMG`
+    /// file) from disk.
+    ///
+    /// # Errors
+    ///
+    /// Missing or malformed level files / blobs, as strings.
+    pub fn load(&self, key: &str) -> Result<FsImage, String> {
+        let mut cache = self.cache.lock().expect("store poisoned");
+        if let Some(img) = cache.get(key) {
+            return Ok(img.clone());
+        }
+        let path = self.path_for(key);
+        if !path.exists() {
+            return Err(format!(
+                "image `{key}` not built ({} missing)",
+                path.display()
+            ));
+        }
+        let img = self
+            .blobs
+            .load_image(&path)
+            .map_err(|e| format!("image `{key}`: {e}"))?;
+        cache.insert(key.to_owned(), img.clone());
+        Ok(img)
+    }
+
+    /// Cumulative byte accounting across every [`ImageStore::store`] call
+    /// made through this store (or any clone of it).
+    pub fn stats(&self) -> StoreStats {
+        *self.stats.lock().expect("stats poisoned")
+    }
+}

@@ -44,6 +44,7 @@ pub mod connector;
 pub mod cosim;
 pub mod error;
 pub mod faultinject;
+pub mod imagestore;
 pub mod install;
 pub mod integrity;
 pub mod launch;
@@ -54,8 +55,10 @@ pub mod warnings;
 
 pub use board::Board;
 pub use build::{BuildOptions, BuildProducts, Builder, JobArtifacts, JobKind};
+pub use clean::CleanReport;
 pub use cosim::{CosimOptions, CosimReport, Divergence};
 pub use error::MarshalError;
+pub use imagestore::ImageStore;
 pub use install::InstallManifest;
 pub use launch::{LaunchOptions, LaunchOutput};
 pub use simulator::{simulator_for, simulator_names, BackendOptions, SimRun, Simulator};

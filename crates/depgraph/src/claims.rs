@@ -13,8 +13,11 @@ use std::path::{Path, PathBuf};
 
 use crate::task::Task;
 
+/// (task id, exact claims, tree claims) for the running task.
+type ActiveClaims = (String, Vec<PathBuf>, Vec<PathBuf>);
+
 thread_local! {
-    static CURRENT: RefCell<Option<(String, Vec<PathBuf>)>> = const { RefCell::new(None) };
+    static CURRENT: RefCell<Option<ActiveClaims>> = const { RefCell::new(None) };
 }
 
 /// Installs a task's claims for the duration of its action; the executor
@@ -24,7 +27,11 @@ pub(crate) struct ClaimScope;
 impl ClaimScope {
     pub(crate) fn enter(task: &Task) -> ClaimScope {
         CURRENT.with(|c| {
-            *c.borrow_mut() = Some((task.id().to_owned(), task.claims().cloned().collect()));
+            *c.borrow_mut() = Some((
+                task.id().to_owned(),
+                task.claims().cloned().collect(),
+                task.claim_trees().to_vec(),
+            ));
         });
         ClaimScope
     }
@@ -44,18 +51,19 @@ impl Drop for ClaimScope {
 /// # Panics
 ///
 /// In debug builds, when called from inside a task action whose task did
-/// not declare `path` via [`Task::output`] or [`Task::claim`].
+/// not declare `path` via [`Task::output`], [`Task::claim`], or a
+/// [`Task::claim_tree`] containing it.
 pub fn assert_claimed(path: &Path) {
     if !cfg!(debug_assertions) {
         return;
     }
     CURRENT.with(|c| {
-        if let Some((task, claims)) = &*c.borrow() {
+        if let Some((task, claims, trees)) = &*c.borrow() {
             assert!(
-                claims.iter().any(|p| p == path),
+                claims.iter().any(|p| p == path) || trees.iter().any(|t| path.starts_with(t)),
                 "task `{task}` wrote `{}` without declaring a write claim; \
-                 add .output() or .claim() for it so the parallel scheduler \
-                 can audit cross-task conflicts",
+                 add .output(), .claim(), or .claim_tree() for it so the \
+                 parallel scheduler can audit cross-task conflicts",
                 path.display()
             );
         }
@@ -86,6 +94,23 @@ mod tests {
         let t = Task::new("t", || Ok(())).output("/tmp/claimed.bin");
         let _scope = ClaimScope::enter(&t);
         assert_claimed(Path::new("/tmp/not-claimed.bin"));
+    }
+
+    #[test]
+    fn tree_claim_covers_nested_paths() {
+        let t = Task::new("t", || Ok(())).claim_tree("/work/objects");
+        let _scope = ClaimScope::enter(&t);
+        assert_claimed(Path::new("/work/objects/ab/abcdef.blob"));
+        assert_claimed(Path::new("/work/objects"));
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "debug-only check")]
+    #[should_panic(expected = "without declaring a write claim")]
+    fn tree_claim_does_not_cover_siblings() {
+        let t = Task::new("t", || Ok(())).claim_tree("/work/objects");
+        let _scope = ClaimScope::enter(&t);
+        assert_claimed(Path::new("/work/levels/base.img"));
     }
 
     #[test]

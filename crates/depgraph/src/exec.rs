@@ -102,6 +102,12 @@ fn run_with_retries(task: &Task) -> Result<(), String> {
 /// dependency path between them: running such a plan with more than one
 /// worker would race on the file, and even serially the survivor would
 /// depend on scheduling order.
+///
+/// Shared tree claims ([`crate::Task::claim_tree`]) are exempt from
+/// tree-vs-tree conflicts — they declare idempotent content-addressed
+/// writes — but an unordered *exact* claim under another task's tree is
+/// still rejected: an exclusive writer racing a shared pool is a real
+/// conflict.
 fn audit_claims(graph: &Graph, order: &[String]) -> Result<(), BuildError> {
     // Transitive dependency sets, built dependencies-first.
     let mut ancestors: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
@@ -138,6 +144,43 @@ fn audit_claims(graph: &Graph, order: &[String]) -> Result<(), BuildError> {
                 }
             }
             claimants.push(id.as_str());
+        }
+    }
+    // Exact claims vs. shared tree claims: conflict unless one task is a
+    // (transitive) dependency of the other, in either direction.
+    let ordered = |a: &str, b: &str| ancestors[a].contains(b) || ancestors[b].contains(a);
+    let mut tree_claimants: Vec<(&std::path::Path, &str)> = Vec::new();
+    for id in order {
+        for root in graph
+            .get(id)
+            .expect("order contains known ids")
+            .claim_trees()
+        {
+            tree_claimants.push((root.as_path(), id.as_str()));
+        }
+    }
+    if !tree_claimants.is_empty() {
+        for id in order {
+            let task = graph.get(id).expect("order contains known ids");
+            for path in task.claims() {
+                for (root, tree_task) in &tree_claimants {
+                    if *tree_task == id.as_str() || !path.starts_with(root) {
+                        continue;
+                    }
+                    if !ordered(id.as_str(), tree_task) {
+                        let (first, second) = if *tree_task < id.as_str() {
+                            ((*tree_task).to_owned(), id.clone())
+                        } else {
+                            (id.clone(), (*tree_task).to_owned())
+                        };
+                        return Err(BuildError::Conflict {
+                            path: path.display().to_string(),
+                            first,
+                            second,
+                        });
+                    }
+                }
+            }
         }
     }
     Ok(())
@@ -939,6 +982,80 @@ mod tests {
             // The audit rejects the plan before anything executes.
             assert_eq!(ran.load(Ordering::SeqCst), 0, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn shared_tree_claims_run_concurrently() {
+        // Two unordered tasks claiming the same content-addressed store
+        // tree is the expected parallel shape, not a conflict.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut g = Graph::new();
+        for id in ["img:a", "img:b"] {
+            let c = counter.clone();
+            g.add(
+                Task::new(id, move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    Ok(())
+                })
+                .claim_tree("/work/objects"),
+            )
+            .unwrap();
+        }
+        let mut db = StateDb::in_memory();
+        let report = g.execute_parallel(&mut db, 4).unwrap();
+        assert_eq!(report.executed.len(), 2);
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn exact_claim_under_foreign_tree_rejected() {
+        for threads in [1, 8] {
+            let mut g = Graph::new();
+            g.add(Task::new("store", || Ok(())).claim_tree("/work/objects"))
+                .unwrap();
+            g.add(Task::new("rogue", || Ok(())).output("/work/objects/ab/x.blob"))
+                .unwrap();
+            let mut db = StateDb::in_memory();
+            let err = g
+                .execute_with(
+                    &mut db,
+                    &ExecOptions {
+                        keep_going: false,
+                        threads,
+                    },
+                )
+                .unwrap_err();
+            match err {
+                BuildError::Conflict {
+                    path,
+                    first,
+                    second,
+                } => {
+                    assert_eq!(path, "/work/objects/ab/x.blob");
+                    assert_eq!((first.as_str(), second.as_str()), ("rogue", "store"));
+                }
+                other => panic!("expected Conflict, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ordered_exact_claim_under_tree_allowed() {
+        // A downstream task may write an exact path inside the store tree
+        // when a dependency edge orders it after the tree claimant (e.g.
+        // clean-up or verification passes).
+        let mut g = Graph::new();
+        g.add(Task::new("store", || Ok(())).claim_tree("/work/objects"))
+            .unwrap();
+        g.add(
+            Task::new("verify", || Ok(()))
+                .dep("store")
+                .claim("/work/objects/index"),
+        )
+        .unwrap();
+        let mut db = StateDb::in_memory();
+        let report = g.execute_parallel(&mut db, 4).unwrap();
+        assert_eq!(report.executed, vec!["store", "verify"]);
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub struct Task {
     inputs: Vec<Vec<u8>>,
     outputs: Vec<PathBuf>,
     claims: Vec<PathBuf>,
+    claim_trees: Vec<PathBuf>,
     retries: u32,
     action: Action,
 }
@@ -58,6 +59,7 @@ impl Task {
             inputs: Vec::new(),
             outputs: Vec::new(),
             claims: Vec::new(),
+            claim_trees: Vec::new(),
             retries: 0,
             action: Arc::new(action),
         }
@@ -96,6 +98,24 @@ impl Task {
         self
     }
 
+    /// Declares a *shared* write claim over a directory tree: this task may
+    /// write any path under `root`, and other tasks claiming the same tree
+    /// may do so concurrently.
+    ///
+    /// This is the claim shape for content-addressed stores, where the
+    /// exact paths are derived from content at run time and concurrent
+    /// writes of the same path are idempotent (write-once blobs landed via
+    /// temp file + atomic rename). The scheduler therefore allows any
+    /// number of unordered tree claimants of the same root, but still
+    /// rejects an unordered *exact* claim under another task's tree — an
+    /// exclusive writer racing the shared pool is a real conflict. Like
+    /// [`Task::claim`], tree claims are execution metadata and do not
+    /// change the task fingerprint.
+    pub fn claim_tree(mut self, root: impl Into<PathBuf>) -> Task {
+        self.claim_trees.push(root.into());
+        self
+    }
+
     /// Marks the task as retryable: on failure its action is re-run up to
     /// `n` additional times before the failure is reported. Retries are
     /// deterministic — a fixed attempt budget, no wall-clock backoff — so
@@ -129,6 +149,11 @@ impl Task {
     /// Every path this task declares it writes: outputs plus extra claims.
     pub fn claims(&self) -> impl Iterator<Item = &PathBuf> {
         self.outputs.iter().chain(self.claims.iter())
+    }
+
+    /// Shared directory-tree claims declared with [`Task::claim_tree`].
+    pub fn claim_trees(&self) -> &[PathBuf] {
+        &self.claim_trees
     }
 
     /// Runs the task's action.
@@ -222,6 +247,25 @@ mod tests {
         let a = Task::new("t", || Ok(())).input(b"x");
         let b = Task::new("t", || Ok(())).input(b"x").claim("/tmp/side.fp");
         assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = Task::new("t", || Ok(()))
+            .input(b"x")
+            .claim_tree("/tmp/objects");
+        assert_eq!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn claim_trees_accessible() {
+        let t = Task::new("t", || Ok(()))
+            .claim_tree("/work/objects")
+            .claim_tree("/work/cache");
+        let trees: Vec<_> = t
+            .claim_trees()
+            .iter()
+            .map(|p| p.display().to_string())
+            .collect();
+        assert_eq!(trees, vec!["/work/objects", "/work/cache"]);
+        // Tree claims are not exact claims.
+        assert_eq!(t.claims().count(), 0);
     }
 
     #[test]

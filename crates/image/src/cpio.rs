@@ -21,11 +21,28 @@ const TRAILER: &str = "TRAILER!!!";
 /// Entries are emitted in sorted path order; identical images produce
 /// identical archives.
 pub fn pack(image: &FsImage) -> Vec<u8> {
-    let mut out = Vec::new();
-    for (path, node) in image.walk() {
+    let entries = image.walk();
+    // Every header is fixed-width, so the archive size is known exactly
+    // up front; reserve once instead of growing per entry.
+    let header_len = ENTRY_MAGIC.len() + 1 + 1 + 1 + 8 + 1 + 8 + 1;
+    let total: usize = entries
+        .iter()
+        .map(|(path, node)| {
+            let data_len = match node {
+                Node::File { data, .. } => data.len(),
+                Node::Dir(_) => 0,
+                Node::Symlink(target) => target.len(),
+            };
+            header_len + path.len() + data_len
+        })
+        .sum::<usize>()
+        + header_len
+        + TRAILER.len();
+    let mut out = Vec::with_capacity(total);
+    for (path, node) in entries {
         let (tag, data): (char, &[u8]) = match node {
-            Node::File { data, exec: false } => ('f', data),
-            Node::File { data, exec: true } => ('x', data),
+            Node::File { data, exec: false } => ('f', data.as_ref()),
+            Node::File { data, exec: true } => ('x', data.as_ref()),
             Node::Dir(_) => ('d', &[]),
             Node::Symlink(target) => ('l', target.as_bytes()),
         };
@@ -37,6 +54,7 @@ pub fn pack(image: &FsImage) -> Vec<u8> {
     }
     out.extend_from_slice(format!("{ENTRY_MAGIC} t {:08x} {:08x} ", TRAILER.len(), 0).as_bytes());
     out.extend_from_slice(TRAILER.as_bytes());
+    debug_assert_eq!(out.len(), total);
     out
 }
 

@@ -73,8 +73,8 @@ impl FsImage {
         out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
         for (path, node) in entries {
             let (tag, data): (u8, &[u8]) = match node {
-                Node::File { data, exec: false } => (0, data),
-                Node::File { data, exec: true } => (1, data),
+                Node::File { data, exec: false } => (0, data.as_ref()),
+                Node::File { data, exec: true } => (1, data.as_ref()),
                 Node::Dir(_) => (2, &[]),
                 Node::Symlink(target) => (3, target.as_bytes()),
             };

@@ -1,7 +1,18 @@
 //! The in-memory filesystem tree.
+//!
+//! Images are copy-on-write: file payloads ([`Blob`]) and directories
+//! ([`Dir`]) live behind shared pointers, so cloning an image — the heart of
+//! parent-image inheritance (§III-B step 5a) — is O(1) and mutating a child
+//! copies only the directories along the mutated path. Every subtree carries
+//! a memoized Merkle fingerprint ([`FsImage::fingerprint`]), invalidated
+//! only along mutated paths, so re-hashing a child image that changed one
+//! file costs O(changed subtree) instead of O(image size).
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+use marshal_depgraph::{Fingerprint, Hasher128};
 
 /// Filesystem errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,29 +51,245 @@ impl fmt::Display for FsError {
 
 impl std::error::Error for FsError {}
 
+/// A reference-counted immutable file payload.
+///
+/// Cloning a `Blob` — and therefore any image containing it — shares the
+/// underlying allocation instead of copying bytes; this is what makes image
+/// inheritance copy-on-write. The payload's content fingerprint is computed
+/// lazily and memoized per allocation, so hashing a deep inheritance chain
+/// re-hashes only payloads that actually changed.
+#[derive(Clone)]
+pub struct Blob {
+    inner: Arc<BlobInner>,
+}
+
+struct BlobInner {
+    bytes: Box<[u8]>,
+    fp: OnceLock<Fingerprint>,
+}
+
+impl Blob {
+    /// Wraps bytes in a shared payload.
+    pub fn new(bytes: impl Into<Box<[u8]>>) -> Blob {
+        Blob {
+            inner: Arc::new(BlobInner {
+                bytes: bytes.into(),
+                fp: OnceLock::new(),
+            }),
+        }
+    }
+
+    /// Wraps bytes whose fingerprint is already known (e.g. verified on
+    /// load from a content-addressed store), seeding the memo.
+    pub fn with_fingerprint(bytes: impl Into<Box<[u8]>>, fp: Fingerprint) -> Blob {
+        let blob = Blob::new(bytes);
+        let _ = blob.inner.fp.set(fp);
+        blob
+    }
+
+    /// The payload's content fingerprint, computed once per allocation.
+    pub fn fingerprint(&self) -> Fingerprint {
+        *self
+            .inner
+            .fp
+            .get_or_init(|| Fingerprint::of(&self.inner.bytes))
+    }
+
+    /// Whether two blobs share the same allocation (structural sharing is
+    /// observable, not just an optimisation).
+    pub fn ptr_eq(&self, other: &Blob) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Payload length in bytes.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.inner.bytes.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.bytes.is_empty()
+    }
+}
+
+impl std::ops::Deref for Blob {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner.bytes
+    }
+}
+
+impl AsRef<[u8]> for Blob {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner.bytes
+    }
+}
+
+impl From<&[u8]> for Blob {
+    fn from(bytes: &[u8]) -> Blob {
+        Blob::new(bytes)
+    }
+}
+
+impl From<Vec<u8>> for Blob {
+    fn from(bytes: Vec<u8>) -> Blob {
+        Blob::new(bytes)
+    }
+}
+
+impl PartialEq for Blob {
+    fn eq(&self, other: &Blob) -> bool {
+        self.ptr_eq(other) || self.inner.bytes == other.inner.bytes
+    }
+}
+
+impl Eq for Blob {}
+
+impl fmt::Debug for Blob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Blob({} bytes)", self.len())
+    }
+}
+
+/// A directory node: named children behind a copy-on-write shared pointer,
+/// with a memoized Merkle fingerprint over the subtree.
+#[derive(Clone, Default)]
+pub struct Dir {
+    inner: Arc<DirInner>,
+}
+
+#[derive(Default)]
+struct DirInner {
+    children: BTreeMap<String, Node>,
+    fp: OnceLock<Fingerprint>,
+}
+
+impl Clone for DirInner {
+    fn clone(&self) -> DirInner {
+        DirInner {
+            children: self.children.clone(),
+            // The copy has identical content, so the memo stays valid; the
+            // mutation that triggered the copy clears it right after.
+            fp: self.fp.clone(),
+        }
+    }
+}
+
+impl Dir {
+    /// An empty directory.
+    pub fn new() -> Dir {
+        Dir::default()
+    }
+
+    /// The directory's children, read-only.
+    pub fn children(&self) -> &BTreeMap<String, Node> {
+        &self.inner.children
+    }
+
+    /// Mutable access to the children. Copies the map if the allocation is
+    /// shared with another image (copy-on-write) and invalidates the
+    /// memoized subtree fingerprint — every mutation path in [`FsImage`]
+    /// descends through this, which is what keeps memoized fingerprints
+    /// correct along mutated paths.
+    pub(crate) fn children_mut(&mut self) -> &mut BTreeMap<String, Node> {
+        let inner = Arc::make_mut(&mut self.inner);
+        inner.fp = OnceLock::new();
+        &mut inner.children
+    }
+
+    /// Whether two directories share the same allocation.
+    pub fn ptr_eq(&self, other: &Dir) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// The Merkle fingerprint of this subtree, memoized per allocation.
+    ///
+    /// A pure function of logical content: images with equal trees agree on
+    /// fingerprints regardless of how their allocations are shared.
+    pub fn fingerprint(&self) -> Fingerprint {
+        *self.inner.fp.get_or_init(|| {
+            let mut h = Hasher128::new();
+            h.update_field(b"dir");
+            for (name, node) in &self.inner.children {
+                h.update_field(name.as_bytes());
+                let fp = node.fingerprint();
+                h.update_u64(fp.0 as u64);
+                h.update_u64((fp.0 >> 64) as u64);
+            }
+            h.finish()
+        })
+    }
+}
+
+impl PartialEq for Dir {
+    fn eq(&self, other: &Dir) -> bool {
+        self.ptr_eq(other) || self.inner.children == other.inner.children
+    }
+}
+
+impl Eq for Dir {}
+
+impl fmt::Debug for Dir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.inner.children.iter()).finish()
+    }
+}
+
 /// A node in the tree.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Node {
     /// Regular file: contents plus an executable flag.
     File {
-        /// File contents.
-        data: Vec<u8>,
+        /// File contents (shared, immutable).
+        data: Blob,
         /// Whether the execute bit is set.
         exec: bool,
     },
     /// Directory with named children.
-    Dir(BTreeMap<String, Node>),
+    Dir(Dir),
     /// Symbolic link to another path.
     Symlink(String),
 }
 
 impl Node {
+    /// Builds a file node from any payload source.
+    pub fn file(data: impl Into<Blob>, exec: bool) -> Node {
+        Node::File {
+            data: data.into(),
+            exec,
+        }
+    }
+
     /// Byte size of this node's payload (recursive for directories).
     pub fn size(&self) -> u64 {
         match self {
             Node::File { data, .. } => data.len() as u64,
-            Node::Dir(children) => children.values().map(Node::size).sum(),
+            Node::Dir(dir) => dir.children().values().map(Node::size).sum(),
             Node::Symlink(target) => target.len() as u64,
+        }
+    }
+
+    /// The node's Merkle fingerprint (memoized for directories and file
+    /// payloads).
+    pub fn fingerprint(&self) -> Fingerprint {
+        match self {
+            Node::File { data, exec } => {
+                let mut h = Hasher128::new();
+                h.update_field(if *exec { b"xfile".as_slice() } else { b"file" });
+                let fp = data.fingerprint();
+                h.update_u64(fp.0 as u64);
+                h.update_u64((fp.0 >> 64) as u64);
+                h.finish()
+            }
+            Node::Dir(dir) => dir.fingerprint(),
+            Node::Symlink(target) => {
+                let mut h = Hasher128::new();
+                h.update_field(b"symlink");
+                h.update_field(target.as_bytes());
+                h.finish()
+            }
         }
     }
 }
@@ -88,9 +315,12 @@ pub fn split_path(path: &str) -> Result<Vec<&str>, FsError> {
 }
 
 /// A deterministic in-memory filesystem image.
+///
+/// Cloning is O(1): the root directory is shared until either copy mutates,
+/// and mutation copies only the directories on the path to the change.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FsImage {
-    root: BTreeMap<String, Node>,
+    root: Dir,
     size_limit: Option<u64>,
 }
 
@@ -104,9 +334,29 @@ impl FsImage {
     /// Creates an empty image with no size limit.
     pub fn new() -> FsImage {
         FsImage {
-            root: BTreeMap::new(),
+            root: Dir::new(),
             size_limit: None,
         }
+    }
+
+    /// The image's root directory.
+    pub fn root(&self) -> &Dir {
+        &self.root
+    }
+
+    /// The Merkle fingerprint of the whole image, including its size limit.
+    ///
+    /// Memoized per subtree: after mutating one file in a large image, only
+    /// the directories along that path (plus the new payload) are re-hashed.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut h = Hasher128::new();
+        h.update_field(b"image");
+        h.update_u64(self.size_limit.unwrap_or(0));
+        h.update_u64(self.size_limit.is_some() as u64);
+        let fp = self.root.fingerprint();
+        h.update_u64(fp.0 as u64);
+        h.update_u64((fp.0 >> 64) as u64);
+        h.finish()
     }
 
     /// Sets the `rootfs-size` limit in bytes (checked by [`FsImage::check_size`]
@@ -122,7 +372,7 @@ impl FsImage {
 
     /// Total payload bytes stored in the image.
     pub fn total_size(&self) -> u64 {
-        self.root.values().map(Node::size).sum()
+        self.root.children().values().map(Node::size).sum()
     }
 
     /// Verifies the image fits its size limit.
@@ -146,35 +396,37 @@ impl FsImage {
         create: bool,
         path: &str,
     ) -> Result<&mut BTreeMap<String, Node>, FsError> {
+        // Descending through `children_mut` copies each shared directory on
+        // the path and clears its fingerprint memo — exactly the mutated path.
         let mut cur = &mut self.root;
         for comp in components {
-            let entry = cur.entry((*comp).to_owned());
+            let entry = cur.children_mut().entry((*comp).to_owned());
             let node = match entry {
                 std::collections::btree_map::Entry::Occupied(o) => o.into_mut(),
                 std::collections::btree_map::Entry::Vacant(v) => {
                     if create {
-                        v.insert(Node::Dir(BTreeMap::new()))
+                        v.insert(Node::Dir(Dir::new()))
                     } else {
                         return Err(FsError::NotFound(path.to_owned()));
                     }
                 }
             };
             match node {
-                Node::Dir(children) => cur = children,
+                Node::Dir(dir) => cur = dir,
                 _ => return Err(FsError::NotADirectory(path.to_owned())),
             }
         }
-        Ok(cur)
+        Ok(cur.children_mut())
     }
 
     /// Looks up a node, following no symlinks.
     pub fn node(&self, path: &str) -> Option<&Node> {
         let components = split_path(path).ok()?;
-        let mut cur = &self.root;
+        let mut cur = self.root.children();
         let (last, dirs) = components.split_last()?;
         for comp in dirs {
             match cur.get(*comp) {
-                Some(Node::Dir(children)) => cur = children,
+                Some(Node::Dir(dir)) => cur = dir.children(),
                 _ => return None,
             }
         }
@@ -222,13 +474,7 @@ impl FsImage {
     ///
     /// [`FsError::BadPath`] / [`FsError::NotADirectory`].
     pub fn write_file(&mut self, path: &str, data: &[u8]) -> Result<(), FsError> {
-        self.write_node(
-            path,
-            Node::File {
-                data: data.to_vec(),
-                exec: false,
-            },
-        )
+        self.write_node(path, Node::file(data, false))
     }
 
     /// Writes an executable file, creating parents.
@@ -237,13 +483,7 @@ impl FsImage {
     ///
     /// Same as [`FsImage::write_file`].
     pub fn write_exec(&mut self, path: &str, data: &[u8]) -> Result<(), FsError> {
-        self.write_node(
-            path,
-            Node::File {
-                data: data.to_vec(),
-                exec: true,
-            },
-        )
+        self.write_node(path, Node::file(data, true))
     }
 
     /// Creates a symlink at `path` pointing to `target`.
@@ -278,7 +518,7 @@ impl FsImage {
     /// [`FsError::NotFound`] or [`FsError::WrongKind`].
     pub fn read_file(&self, path: &str) -> Result<&[u8], FsError> {
         match self.resolve(path) {
-            Some(Node::File { data, .. }) => Ok(data),
+            Some(Node::File { data, .. }) => Ok(data.as_ref()),
             Some(_) => Err(FsError::WrongKind(path.to_owned())),
             None => Err(FsError::NotFound(path.to_owned())),
         }
@@ -311,10 +551,10 @@ impl FsImage {
     /// [`FsError::NotFound`] / [`FsError::WrongKind`].
     pub fn list_dir(&self, path: &str) -> Result<Vec<String>, FsError> {
         if path == "/" {
-            return Ok(self.root.keys().cloned().collect());
+            return Ok(self.root.children().keys().cloned().collect());
         }
         match self.resolve(path) {
-            Some(Node::Dir(children)) => Ok(children.keys().cloned().collect()),
+            Some(Node::Dir(dir)) => Ok(dir.children().keys().cloned().collect()),
             Some(_) => Err(FsError::WrongKind(path.to_owned())),
             None => Err(FsError::NotFound(path.to_owned())),
         }
@@ -333,13 +573,13 @@ impl FsImage {
             for (name, node) in dir {
                 let path = format!("{prefix}/{name}");
                 out.push((path.clone(), node));
-                if let Node::Dir(children) = node {
-                    rec(&path, children, out);
+                if let Node::Dir(sub) = node {
+                    rec(&path, sub.children(), out);
                 }
             }
         }
         let mut out = Vec::new();
-        rec("", &self.root, &mut out);
+        rec("", self.root.children(), &mut out);
         out
     }
 
@@ -464,5 +704,114 @@ mod tests {
         img.mkdir_p("/etc").unwrap();
         img.mkdir_p("/bin").unwrap();
         assert_eq!(img.list_dir("/").unwrap(), vec!["bin", "etc"]);
+    }
+
+    fn blob_of<'a>(img: &'a FsImage, path: &str) -> &'a Blob {
+        match img.node(path) {
+            Some(Node::File { data, .. }) => data,
+            other => panic!("expected file at {path}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clone_shares_payloads() {
+        let mut parent = FsImage::new();
+        parent.write_file("/usr/lib/base.so", &[7u8; 4096]).unwrap();
+        let child = parent.clone();
+        assert!(parent.root().ptr_eq(child.root()));
+        assert!(blob_of(&parent, "/usr/lib/base.so").ptr_eq(blob_of(&child, "/usr/lib/base.so")));
+    }
+
+    #[test]
+    fn child_mutation_leaves_parent_intact() {
+        let mut parent = FsImage::new();
+        parent.write_file("/etc/conf", b"base").unwrap();
+        parent.write_file("/usr/lib/big.so", &[9u8; 1024]).unwrap();
+        let mut child = parent.clone();
+        child.write_file("/etc/conf", b"override").unwrap();
+        child.remove("/usr/lib");
+        assert_eq!(parent.read_file("/etc/conf").unwrap(), b"base");
+        assert!(parent.exists("/usr/lib/big.so"));
+        assert_eq!(child.read_file("/etc/conf").unwrap(), b"override");
+        assert!(!child.exists("/usr/lib"));
+    }
+
+    #[test]
+    fn mutation_copies_only_touched_path() {
+        let mut parent = FsImage::new();
+        parent.write_file("/usr/lib/big.so", &[1u8; 2048]).unwrap();
+        parent.write_file("/etc/conf", b"base").unwrap();
+        let mut child = parent.clone();
+        child.write_file("/etc/extra", b"x").unwrap();
+        // /etc was copied for the write, /usr is still shared verbatim.
+        let (Some(Node::Dir(p_usr)), Some(Node::Dir(c_usr))) =
+            (parent.node("/usr"), child.node("/usr"))
+        else {
+            panic!("missing /usr");
+        };
+        assert!(p_usr.ptr_eq(c_usr));
+        let (Some(Node::Dir(p_etc)), Some(Node::Dir(c_etc))) =
+            (parent.node("/etc"), child.node("/etc"))
+        else {
+            panic!("missing /etc");
+        };
+        assert!(!p_etc.ptr_eq(c_etc));
+        // Untouched payloads inside the copied directory still share bytes.
+        assert!(blob_of(&parent, "/etc/conf").ptr_eq(blob_of(&child, "/etc/conf")));
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_not_sharing() {
+        let mut a = FsImage::new();
+        a.write_file("/etc/conf", b"one").unwrap();
+        a.write_exec("/bin/tool", b"elf").unwrap();
+        let b = a.clone();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+
+        // Same tree built independently (no shared allocations) agrees.
+        let mut c = FsImage::new();
+        c.write_exec("/bin/tool", b"elf").unwrap();
+        c.write_file("/etc/conf", b"one").unwrap();
+        assert_eq!(a.fingerprint(), c.fingerprint());
+
+        let mut d = a.clone();
+        d.write_file("/etc/conf", b"two").unwrap();
+        assert_ne!(a.fingerprint(), d.fingerprint());
+        d.write_file("/etc/conf", b"one").unwrap();
+        assert_eq!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_sees_mutation_after_memoization() {
+        let mut img = FsImage::new();
+        img.write_file("/a/b/leaf", b"v1").unwrap();
+        img.write_file("/other/file", b"same").unwrap();
+        let before = img.fingerprint();
+        img.write_file("/a/b/leaf", b"v2").unwrap();
+        let after = img.fingerprint();
+        assert_ne!(before, after);
+        // A from-scratch tree with identical content is the ground truth.
+        let mut fresh = FsImage::new();
+        fresh.write_file("/a/b/leaf", b"v2").unwrap();
+        fresh.write_file("/other/file", b"same").unwrap();
+        assert_eq!(after, fresh.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_exec_and_kind() {
+        let mut file = FsImage::new();
+        file.write_file("/x", b"payload").unwrap();
+        let mut exec = FsImage::new();
+        exec.write_exec("/x", b"payload").unwrap();
+        assert_ne!(file.fingerprint(), exec.fingerprint());
+
+        let mut link = FsImage::new();
+        link.symlink("/x", "payload").unwrap();
+        assert_ne!(file.fingerprint(), link.fingerprint());
+
+        let mut limited = FsImage::new();
+        limited.write_file("/x", b"payload").unwrap();
+        limited.set_size_limit(Some(1 << 20));
+        assert_ne!(file.fingerprint(), limited.fingerprint());
     }
 }

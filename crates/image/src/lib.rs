@@ -4,8 +4,12 @@
 //! workload (Fig. 3 of the paper).
 //!
 //! - [`fs`]: an in-memory filesystem tree (files, directories, symlinks,
-//!   permission bits) with path operations.
+//!   permission bits) with path operations; copy-on-write with memoized
+//!   Merkle fingerprints, so cloning an image is O(1) and re-hashing after
+//!   a mutation costs only the changed subtree.
 //! - [`format`]: a byte-stable binary image format (`MIMG`).
+//! - [`store`]: a content-addressed blob store plus `MMAN` manifests, so
+//!   persisted levels share payload bytes instead of repeating them.
 //! - [`cpio`]: a newc-inspired archive used for initramfs payloads.
 //! - [`overlay`]: overlaying trees and host directories onto an image.
 //! - [`initsys`]: init-system integration — Buildroot-style `init` scripts
@@ -36,6 +40,8 @@ pub mod format;
 pub mod fs;
 pub mod initsys;
 pub mod overlay;
+pub mod store;
 
-pub use fs::{FsError, FsImage, Node};
+pub use fs::{Blob, Dir, FsError, FsImage, Node};
 pub use initsys::{BootPayload, InitSystem};
+pub use store::{manifest_refs, sniff_manifest, BlobStore, StoreError, StoreStats};

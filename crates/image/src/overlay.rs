@@ -127,10 +127,10 @@ fn copy_node_out(node: &Node, dest: &Path) -> Result<(), FsError> {
             std::fs::write(dest, data)
                 .map_err(|e| FsError::BadPath(format!("{}: {e}", dest.display())))
         }
-        Node::Dir(children) => {
+        Node::Dir(dir) => {
             std::fs::create_dir_all(dest)
                 .map_err(|e| FsError::BadPath(format!("{}: {e}", dest.display())))?;
-            for (name, child) in children {
+            for (name, child) in dir.children() {
                 copy_node_out(child, &dest.join(name))?;
             }
             Ok(())

@@ -100,9 +100,54 @@ fn parallel_build_is_bit_identical_to_serial() {
                 "{workload}: `{name}` differs between -j 1 and -j 8"
             );
         }
+        // The store itself must also be scheduler-invisible: the level
+        // manifests and the content-addressed blob pool come out identical.
+        for sub in ["levels", "objects"] {
+            let serial_files = sorted_tree(&serial_root.join("work").join(sub));
+            let parallel_files = sorted_tree(&parallel_root.join("work").join(sub));
+            assert_eq!(
+                serial_files.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+                parallel_files.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+                "{workload}: {sub}/ file sets differ between -j 1 and -j 8"
+            );
+            for ((name, a), (_, b)) in serial_files.iter().zip(parallel_files.iter()) {
+                assert_eq!(
+                    marshal_depgraph::Fingerprint::of(a),
+                    marshal_depgraph::Fingerprint::of(b),
+                    "{workload}: {sub}/{name} differs between -j 1 and -j 8"
+                );
+            }
+        }
         std::fs::remove_dir_all(serial_root).unwrap();
         std::fs::remove_dir_all(parallel_root).unwrap();
     }
+}
+
+/// Every file under `root` (recursively) as (relative path, contents),
+/// sorted by path.
+fn sorted_tree(root: &std::path::Path) -> Vec<(String, Vec<u8>)> {
+    fn rec(root: &std::path::Path, dir: &std::path::Path, out: &mut Vec<(String, Vec<u8>)>) {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.filter_map(Result::ok) {
+            let path = entry.path();
+            if path.is_dir() {
+                rec(root, &path, out);
+            } else {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap()
+                    .to_string_lossy()
+                    .into_owned();
+                out.push((rel, std::fs::read(&path).unwrap()));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    rec(root, root, &mut out);
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
 }
 
 #[test]

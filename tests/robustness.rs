@@ -243,8 +243,10 @@ fn torn_guest_init_image_recovers_on_rebuild() {
     );
 
     // The recovered level image parses again and shows a *completed*
-    // guest-init: done marker present, started scar gone.
-    let recovered = marshal_image::FsImage::from_bytes(&std::fs::read(&img_path).unwrap()).unwrap();
+    // guest-init: done marker present, started scar gone. Levels are MMAN
+    // manifests, so loading goes through the workdir's blob store.
+    let store = marshal_image::BlobStore::new(root.join("work").join("objects"));
+    let recovered = store.load_image(&img_path).unwrap();
     assert!(recovered.exists(marshal_image::initsys::GUEST_INIT_DONE));
     assert!(
         !marshal_image::initsys::guest_init_interrupted(&recovered),
