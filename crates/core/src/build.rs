@@ -11,6 +11,7 @@
 //! 6. `--no-disk` initramfs embedding.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use marshal_config::{expand_jobs, resolve_workload, SearchPath, WorkloadSpec};
 use marshal_depgraph::{BuildReport, Graph, StateDb, Task};
@@ -19,12 +20,13 @@ use marshal_image::{initsys, BootPayload, FsImage, InitSystem};
 use marshal_linux::kconfig::KernelConfig;
 use marshal_linux::kernel::build_kernel;
 use marshal_linux::InitramfsSpec;
+use marshal_netstore::{RemoteFetchSummary, RemoteStore, RetryPolicy};
 use marshal_script::{HostEnv, Interp, Value};
 use marshal_sim_functional::LaunchMode;
 
 use crate::board::Board;
 use crate::error::MarshalError;
-use crate::imagestore::ImageStore;
+use crate::imagestore::{ImageStore, PoolPin};
 use crate::simulator::{default_backend, simulator_for, BackendOptions};
 use crate::warnings::Warning;
 
@@ -42,6 +44,11 @@ pub struct BuildOptions {
     /// Worker threads for task execution (`-j N`). `None` uses the host's
     /// available parallelism; `Some(1)` builds serially.
     pub jobs: Option<usize>,
+    /// A `marshal serve` daemon (`HOST:PORT`) to fetch pre-built levels
+    /// from before building them locally (`--remote` / `MARSHAL_REMOTE`).
+    /// The remote is an accelerator, never a dependency: any fetch failure
+    /// degrades to the ordinary local build.
+    pub remote: Option<String>,
 }
 
 /// What kind of artifact a job produced.
@@ -90,6 +97,9 @@ pub struct BuildProducts {
     /// recovery, interrupted-task rebuilds). The CLI prints each once;
     /// library code never writes to stderr.
     pub warnings: Vec<Warning>,
+    /// Remote-fetch accounting when the build ran with a `--remote`
+    /// daemon configured (`None` for purely local builds).
+    pub remote: Option<RemoteFetchSummary>,
 }
 
 /// The FireMarshal build engine.
@@ -102,6 +112,9 @@ pub struct Builder {
     /// Warnings gathered while opening the state database, handed to the
     /// first build's [`BuildProducts::warnings`].
     open_warnings: Vec<Warning>,
+    /// Memoized artifact-distribution client; kept across builds so the
+    /// circuit breaker's history survives within one process.
+    remote_client: Option<Arc<RemoteStore>>,
 }
 
 impl Builder {
@@ -134,7 +147,16 @@ impl Builder {
             workdir,
             db,
             open_warnings,
+            remote_client: None,
         })
+    }
+
+    /// Installs a pre-constructed artifact-distribution client, used by
+    /// builds whose options do not name a `remote` address. Tests use this
+    /// to build over loopback or fault-injecting transports; the CLI goes
+    /// through [`BuildOptions::remote`] instead.
+    pub fn set_remote_client(&mut self, client: Arc<RemoteStore>) {
+        self.remote_client = Some(client);
     }
 
     /// If opening the state database recovered from corruption, the
@@ -221,9 +243,27 @@ impl Builder {
             self.db.clear();
         }
 
+        // Artifact-distribution client, memoized across builds on this
+        // builder so the circuit breaker's failure history carries over.
+        if let Some(addr) = &options.remote {
+            let stale = match &self.remote_client {
+                Some(c) => c.label() != addr,
+                None => true,
+            };
+            if stale {
+                self.remote_client = Some(Arc::new(RemoteStore::tcp(addr, RetryPolicy::default())));
+            }
+        }
+        let remote = self.remote_client.clone();
+
         let mut graph = Graph::new();
         // Shared store for images produced by level tasks within this build.
-        let store = ImageStore::new(&self.workdir);
+        let mut store = ImageStore::new(&self.workdir);
+        if let Some(r) = &remote {
+            // Loads heal corrupt/missing pool blobs from the remote too.
+            store.set_remote(Arc::clone(r));
+        }
+        let store = store;
 
         // --- host-init (§III-B step 3) -----------------------------------
         // Like FireMarshal, host-init is a hook that runs unconditionally
@@ -257,15 +297,34 @@ impl Builder {
             job_plans.push(plan);
         }
 
+        let mut warnings = std::mem::take(&mut self.open_warnings);
+        // Detect pool damage *before* execution: a torn manifest or a
+        // manifest referencing a pruned/quarantined blob is removed here,
+        // so the owning level reruns this very build instead of poisoning
+        // its consumers with a load failure.
+        preflight_pool(&store, &job_plans, &mut warnings);
+
         let roots: Vec<&str> = job_plans.iter().map(|p| p.final_task.as_str()).collect();
         let opts = marshal_depgraph::ExecOptions {
             keep_going: options.keep_going,
             threads: options.jobs.unwrap_or_else(default_jobs),
         };
+        // Pin the blob pool for the duration of execution: a concurrent
+        // `marshal clean` in another process defers pruning while any live
+        // pin exists, so a blob this build just decided not to rewrite
+        // cannot vanish under it.
+        let pin = PoolPin::acquire(store.objects_dir()).map_err(MarshalError::Io)?;
         let report = graph.execute_roots_with(&mut self.db, &roots, &opts)?;
+        drop(pin);
         // Flush even when keep-going recorded partial progress: the
         // successful subtrees stay incremental on the next attempt.
         self.db.flush()?;
+
+        if let Some(r) = &remote {
+            for note in r.take_notes() {
+                warnings.push(Warning::new("remote", note));
+            }
+        }
 
         let jobs = job_plans
             .into_iter()
@@ -281,7 +340,8 @@ impl Builder {
             jobs,
             report,
             source_dir,
-            warnings: std::mem::take(&mut self.open_warnings),
+            warnings,
+            remote: remote.as_ref().map(|r| r.summary()),
         })
     }
 
@@ -332,6 +392,8 @@ impl Builder {
                 spec: spec.clone(),
                 kind: JobKind::Bare { bin_path },
                 final_task: task_id,
+                level_keys: Vec::new(),
+                job_level: None,
             });
         }
 
@@ -354,12 +416,14 @@ impl Builder {
         // --- image chain: one task per inheritance level (step 2/5) ------
         let mut prev_task: Option<String> = None;
         let mut prev_key = String::new();
+        let mut level_keys = Vec::new();
         for (i, level) in job.workload.levels.iter().enumerate() {
             let key = if prev_key.is_empty() {
                 level.name.clone()
             } else {
                 format!("{prev_key}/{}", level.name)
             };
+            level_keys.push(key.clone());
             let task_id = format!("img:{key}");
             if graph.get(&task_id).is_none() {
                 let mut task = self.level_task(
@@ -428,6 +492,7 @@ impl Builder {
             let fragments = self.resolve_fragments(spec, source_dir)?;
             let boot_out = boot_path.clone();
             let no_disk = options.no_disk;
+            let objects_dir = store.objects_dir().to_path_buf();
             let store = store.clone();
             let spec_name = spec.name.clone();
             let mut task = Task::new(boot_id.clone(), move || {
@@ -448,7 +513,10 @@ impl Builder {
             .input(format!("{:?}", spec.firmware).as_bytes())
             .input(&[options.no_disk as u8])
             .output(&boot_path)
-            .claim(crate::integrity::sidecar_path(&boot_path));
+            .claim(crate::integrity::sidecar_path(&boot_path))
+            // Diskless boots load the job image, and a load may quarantine
+            // or heal pool blobs — writes under the shared pool tree.
+            .claim_tree(objects_dir);
             for f in self.resolve_fragments(spec, source_dir)? {
                 task = task.input(f.as_bytes());
             }
@@ -465,10 +533,12 @@ impl Builder {
                 disk_path: if options.no_disk {
                     None
                 } else {
-                    Some(disk_path)
+                    Some(disk_path.clone())
                 },
             },
             final_task: boot_id,
+            level_keys,
+            job_level: Some((format!("job:{}", spec.name), disk_path)),
         })
     }
 
@@ -558,6 +628,9 @@ impl Builder {
         let store = store.clone();
         let out_path = store.path_for(&key);
         let objects_dir = store.objects_dir().to_path_buf();
+        let input_fp = input_hash.finish();
+        let by_input_path = store.by_input_path(input_fp);
+        let remote = self.remote_client.clone();
         // Just the backend-selection slice of the level spec: which
         // functional simulator boots the guest-init script.
         let sim_spec = WorkloadSpec {
@@ -569,6 +642,17 @@ impl Builder {
             ..WorkloadSpec::default()
         };
         let task = Task::new(task_id, move || {
+            // Fetch-before-build (§distribution): a remote that already has
+            // this exact level — same input fingerprint — supplies the
+            // manifest plus only the blobs missing locally. Every failure
+            // path inside try_fetch_level degrades to the local build
+            // below; the remote is an accelerator, never a dependency.
+            if let Some(remote) = &remote {
+                if let Some(manifest) = remote.try_fetch_level(store.blobs(), input_fp) {
+                    return store.install_fetched_manifest(&key, input_fp, &manifest);
+                }
+                remote.note_local_build();
+            }
             let mut image = match (&hard_img, &base) {
                 (Some(img), _) => img.clone(),
                 (None, Some(base)) => base.clone(),
@@ -588,10 +672,11 @@ impl Builder {
             if let Some(script) = &guest_init {
                 run_guest_init(&board, &mut image, script, &sim_spec)?;
             }
-            store_image(&store, &key, image)
+            store.store_with_input(&key, Some(input_fp), image)
         })
-        .input(input_hash.finish().to_string().as_bytes())
+        .input(input_fp.to_string().as_bytes())
         .output(out_path)
+        .claim(by_input_path)
         // Blob paths are content-derived, so the whole pool is claimed as a
         // shared tree; concurrent level tasks dedupe writes in the store.
         .claim_tree(objects_dir);
@@ -648,6 +733,68 @@ struct JobPlan {
     spec: WorkloadSpec,
     kind: JobKind,
     final_task: String,
+    /// Level-store keys of the job's inheritance chain, root first.
+    level_keys: Vec<String>,
+    /// The job-image store key and its disk artifact (Linux jobs only);
+    /// preflight removes the artifact too when the manifest is bad, since
+    /// the artifact — not the manifest — is the owning task's output.
+    job_level: Option<(String, PathBuf)>,
+}
+
+/// Scans every level manifest the planned jobs rely on, removing torn
+/// manifests and manifests referencing blobs missing from the pool (each
+/// with a warning) so the owning level rebuilds *this* run. Under
+/// `--keep-going`, damage confined to one job's chain therefore costs only
+/// that cone, exactly like any other task failure.
+fn preflight_pool(store: &ImageStore, plans: &[JobPlan], warnings: &mut Vec<Warning>) {
+    let mut seen = std::collections::BTreeSet::new();
+    for plan in plans {
+        for key in &plan.level_keys {
+            if seen.insert(key.clone()) {
+                preflight_level(store, key, None, warnings);
+            }
+        }
+        if let Some((job_key, artifact)) = &plan.job_level {
+            if seen.insert(job_key.clone()) {
+                preflight_level(store, job_key, Some(artifact), warnings);
+            }
+        }
+    }
+}
+
+fn preflight_level(
+    store: &ImageStore,
+    key: &str,
+    artifact: Option<&PathBuf>,
+    warnings: &mut Vec<Warning>,
+) {
+    let path = store.path_for(key);
+    let Ok(bytes) = std::fs::read(&path) else {
+        return;
+    };
+    if !marshal_image::sniff_manifest(&bytes) {
+        // Legacy flat image file: self-contained, nothing to cross-check.
+        return;
+    }
+    let problem = match marshal_image::manifest_refs(&bytes) {
+        Err(e) => Some(format!("torn or malformed manifest ({e})")),
+        Ok(refs) => refs
+            .iter()
+            .find(|fp| !store.blobs().has(**fp))
+            .map(|fp| format!("manifest references blob {fp} missing from the pool")),
+    };
+    let Some(problem) = problem else {
+        return;
+    };
+    let _ = std::fs::remove_file(&path);
+    if let Some(artifact) = artifact {
+        let _ = std::fs::remove_file(artifact);
+        let _ = std::fs::remove_file(crate::integrity::sidecar_path(artifact));
+    }
+    warnings.push(Warning::new(
+        format!("level {key}"),
+        format!("{problem}; removed so the level rebuilds this run"),
+    ));
 }
 
 /// The `-j` default: the host's available parallelism, or serial when the

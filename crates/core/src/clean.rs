@@ -21,6 +21,9 @@ pub struct CleanReport {
     pub blobs_pruned: usize,
     /// Payload bytes reclaimed by pruning blobs.
     pub bytes_reclaimed: u64,
+    /// When pruning was deferred because another process holds a live
+    /// advisory pin on the pool, the human-readable reason.
+    pub prune_skipped: Option<String>,
 }
 
 /// Removes a workload's images, runs, installs, level manifests, and
@@ -67,17 +70,18 @@ pub fn clean_workload(builder: &mut Builder, name: &str) -> Result<CleanReport, 
     let mut names: Vec<String> = jobs.iter().map(|j| j.qualified_name.clone()).collect();
     names.push(resolved.spec.name.clone());
     report.state_entries = builder.forget_matching(&names);
-    let (pruned, bytes) = prune_objects(&store);
+    let (pruned, bytes, skipped) = prune_objects(&store);
     report.blobs_pruned = pruned;
     report.bytes_reclaimed = bytes;
+    report.prune_skipped = skipped;
     Ok(report)
 }
 
-/// Deletes every blob in `workdir/objects/` that no surviving manifest in
-/// `workdir/levels/` references; returns (blobs removed, bytes reclaimed).
-/// Unreadable or torn manifests contribute no references — their levels are
-/// already due a rebuild, which re-writes any blob it needs.
-fn prune_objects(store: &ImageStore) -> (usize, u64) {
+/// Every blob fingerprint referenced by a surviving manifest in
+/// `workdir/levels/` — the live set for pruning and scrubbing. Unreadable
+/// or torn manifests contribute no references — their levels are already
+/// due a rebuild, which re-writes any blob it needs.
+pub(crate) fn live_refs(store: &ImageStore) -> BTreeSet<Fingerprint> {
     let mut live: BTreeSet<Fingerprint> = BTreeSet::new();
     if let Ok(entries) = std::fs::read_dir(store.levels_dir()) {
         for entry in entries.filter_map(Result::ok) {
@@ -89,36 +93,107 @@ fn prune_objects(store: &ImageStore) -> (usize, u64) {
             }
         }
     }
-    let mut pruned = 0usize;
-    let mut bytes_reclaimed = 0u64;
+    live
+}
+
+/// Every blob file in the pool, as `(path, fingerprint)` pairs, skipping
+/// the pool's dot-directory bookkeeping (`.pins`, `.quarantine`) and any
+/// file whose name is not a fingerprint.
+pub(crate) fn pool_blobs(store: &ImageStore) -> Vec<(std::path::PathBuf, Fingerprint)> {
+    let mut out = Vec::new();
     let Ok(shards) = std::fs::read_dir(store.objects_dir()) else {
-        return (0, 0);
+        return out;
     };
     for shard in shards.filter_map(Result::ok) {
+        if shard.file_name().to_string_lossy().starts_with('.') {
+            continue;
+        }
         let Ok(blobs) = std::fs::read_dir(shard.path()) else {
             continue;
         };
         for blob in blobs.filter_map(Result::ok) {
             let path = blob.path();
-            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+            let Some(fp) = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(|s| s.parse::<Fingerprint>().ok())
+            else {
                 continue;
             };
-            let Ok(fp) = stem.parse::<Fingerprint>() else {
+            out.push((path, fp));
+        }
+    }
+    out
+}
+
+/// Removes by-input index entries whose manifests are torn or reference a
+/// blob no longer in the pool, so `marshal serve` never advertises a level
+/// it cannot actually supply. Returns how many entries were removed.
+pub(crate) fn sweep_by_input(store: &ImageStore) -> usize {
+    let dir = store.by_input_dir();
+    let mut removed = 0;
+    if let Ok(entries) = std::fs::read_dir(&dir) {
+        for entry in entries.filter_map(Result::ok) {
+            let path = entry.path();
+            let Ok(bytes) = std::fs::read(&path) else {
                 continue;
             };
-            if live.contains(&fp) {
-                continue;
-            }
-            let size = blob.metadata().map(|m| m.len()).unwrap_or(0);
-            if std::fs::remove_file(&path).is_ok() {
-                pruned += 1;
-                bytes_reclaimed += size;
+            let stale = match marshal_image::manifest_refs(&bytes) {
+                Err(_) => true,
+                Ok(refs) => refs.iter().any(|fp| !store.blobs().has(*fp)),
+            };
+            if stale && std::fs::remove_file(&path).is_ok() {
+                removed += 1;
             }
         }
-        // Drop shard directories emptied by the prune.
-        let _ = std::fs::remove_dir(shard.path());
+        let _ = std::fs::remove_dir(&dir);
     }
-    (pruned, bytes_reclaimed)
+    removed
+}
+
+/// Deletes every blob in `workdir/objects/` that no surviving manifest in
+/// `workdir/levels/` references; returns (blobs removed, bytes reclaimed,
+/// deferred-reason). Pruning is deferred entirely while another process
+/// holds a live advisory pin on the pool (a running `-j N` build), closing
+/// the race where a prune deletes a blob a concurrent build just decided
+/// not to rewrite.
+fn prune_objects(store: &ImageStore) -> (usize, u64, Option<String>) {
+    let pins = crate::imagestore::scan_pool_pins(store.objects_dir());
+    if !pins.live.is_empty() {
+        return (
+            0,
+            0,
+            Some(format!(
+                "{} live build pin(s) on the pool ({}); rerun clean once those builds finish",
+                pins.live.len(),
+                pins.live.join(", ")
+            )),
+        );
+    }
+    let live = live_refs(store);
+    let mut pruned = 0usize;
+    let mut bytes_reclaimed = 0u64;
+    for (path, fp) in pool_blobs(store) {
+        if live.contains(&fp) {
+            continue;
+        }
+        let size = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        if std::fs::remove_file(&path).is_ok() {
+            pruned += 1;
+            bytes_reclaimed += size;
+        }
+    }
+    // Drop shard directories emptied by the prune, plus empty bookkeeping
+    // dirs, so a fully pruned pool is genuinely empty.
+    if let Ok(shards) = std::fs::read_dir(store.objects_dir()) {
+        for shard in shards.filter_map(Result::ok) {
+            let _ = std::fs::remove_dir(shard.path());
+        }
+    }
+    // The by-input distribution index must never outlive the blobs it
+    // references: drop entries the prune just invalidated.
+    sweep_by_input(store);
+    (pruned, bytes_reclaimed, None)
 }
 
 impl Builder {
@@ -233,6 +308,32 @@ mod tests {
             "pool should be empty, found {remaining:?}"
         );
         assert!(report.bytes_reclaimed > 0 || report.blobs_pruned == 0);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn prune_deferred_while_pool_pinned() {
+        let dir = tmpdir("pin");
+        let mut search = SearchPath::new();
+        search.add_builtin(
+            "w.json",
+            r#"{"name":"w","distro":"buildroot","command":"echo"}"#,
+        );
+        let mut builder = Builder::new(Board::minimal("t"), search, dir.join("work")).unwrap();
+        builder.build("w.json", &BuildOptions::default()).unwrap();
+        let objects = dir.join("work").join("objects");
+
+        // Another "build" holds a pin: clean must defer the prune.
+        let pin = crate::imagestore::PoolPin::acquire(&objects).unwrap();
+        let report = clean_workload(&mut builder, "w.json").unwrap();
+        assert!(report.prune_skipped.is_some(), "prune should defer");
+        assert_eq!(report.blobs_pruned, 0);
+
+        // Pin released: the next clean prunes normally.
+        drop(pin);
+        let report = clean_workload(&mut builder, "w.json").unwrap();
+        assert!(report.prune_skipped.is_none());
+        assert!(report.blobs_pruned > 0, "now unreferenced blobs go");
         std::fs::remove_dir_all(dir).unwrap();
     }
 }

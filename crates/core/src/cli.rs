@@ -10,6 +10,8 @@
 //!   test    [--manual DIR]           Build, launch, and compare against a reference
 //!   install [--hw CONFIG] [--sim C]  Set up an RTL simulator (firesim/vcs/verilator)
 //!   clean                            Remove built artifacts and state
+//!   serve   [--port N]               Export this workdir's built levels to the network
+//!   scrub   [--remote HOST:PORT]     Verify the blob pool; quarantine and heal damage
 //! ```
 
 use marshal_config::SearchPath;
@@ -57,6 +59,10 @@ pub enum Command {
         keep_going: bool,
         /// Worker threads (`-j N`); `None` = available parallelism.
         jobs: Option<usize>,
+        /// `marshal serve` daemon to fetch pre-built levels from
+        /// (`--remote HOST:PORT`, or the `MARSHAL_REMOTE` environment
+        /// variable when the flag is absent).
+        remote: Option<String>,
     },
     /// `launch [--job NAME] [--sim BACKEND] [--hw CONFIG] [--timeout-insts N] <workload>`.
     Launch {
@@ -108,24 +114,45 @@ pub enum Command {
         /// contextual — for `install` it names a connector, for
         /// `launch`/`cosim` a backend.
         connector: String,
+        /// `marshal serve` daemon to fetch pre-built levels from during
+        /// the build phase (`--remote` / `MARSHAL_REMOTE`).
+        remote: Option<String>,
     },
     /// `clean <workload>`.
     Clean {
         /// Target workload file.
         workload: String,
     },
+    /// `serve [--port N]`: export this workdir's built levels and blobs
+    /// over the wire for other builders to fetch.
+    Serve {
+        /// TCP port to listen on (`--port`, default 9300; 0 picks a free
+        /// port and prints it).
+        port: u16,
+    },
+    /// `scrub [--remote HOST:PORT]`: verify every pool blob and level
+    /// manifest, quarantine corruption, and self-heal from a remote.
+    Scrub {
+        /// Daemon to re-fetch damaged blobs from (`--remote` /
+        /// `MARSHAL_REMOTE`).
+        remote: Option<String>,
+    },
     /// `help`.
     Help,
 }
 
 /// Usage text.
-pub const USAGE: &str = "usage: marshal [-d DIR]... [--workdir DIR] [-v] <build|launch|cosim|test|install|clean> [options] <workload>
-  build   [--no-disk] [--force] [--keep-going] [-j N]
+pub const USAGE: &str = "usage: marshal [-d DIR]... [--workdir DIR] [-v] <build|launch|cosim|test|install|clean|serve|scrub> [options] <workload>
+  build   [--no-disk] [--force] [--keep-going] [-j N] [--remote HOST:PORT]
                                   construct the filesystem image and boot-binary;
                                   --keep-going builds past failures (only dependents
                                   of a failed task are skipped) and reports them all;
                                   -j runs up to N independent tasks in parallel
-                                  (default: available CPUs; -j 1 builds serially)
+                                  (default: available CPUs; -j 1 builds serially);
+                                  --remote (or MARSHAL_REMOTE) fetches pre-built
+                                  levels from a marshal serve daemon before building
+                                  them locally — fetch failures degrade to a normal
+                                  local build, never fail it
   launch  [--job NAME] [--sim BACKEND] [--hw CONFIG] [--timeout-insts N]
                                   launch the workload on a simulator backend
                                   (qemu/spike/rtl; default: the workload's own choice);
@@ -140,8 +167,15 @@ pub const USAGE: &str = "usage: marshal [-d DIR]... [--workdir DIR] [-v] <build|
                                   checker self-test (must exit nonzero)
   test    [--manual DIR] [--timeout-insts N] [-j N]
                                   compare outputs against a reference (build+launch, or a prior run dir)
-  install [--hw CONFIG] [--sim C] generate RTL simulator configuration (firesim/vcs/verilator)
-  clean                           remove built artifacts and state";
+  install [--hw CONFIG] [--sim C] [--remote HOST:PORT]
+                                  generate RTL simulator configuration (firesim/vcs/verilator)
+  clean                           remove built artifacts and state
+  serve   [--port N]              export this workdir's built levels and blobs to
+                                  other builders (default port 9300; Ctrl-C drains
+                                  in-flight connections before exiting)
+  scrub   [--remote HOST:PORT]    verify every pool blob and level manifest,
+                                  quarantine corruption, and re-fetch damaged blobs
+                                  from a remote when one is configured";
 
 /// Parses command-line arguments (excluding `argv[0]`).
 ///
@@ -197,6 +231,8 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, MarshalError> {
     let mut hw: Option<String> = None;
     let mut sim: Option<String> = None;
     let mut inject_divergence = false;
+    let mut remote: Option<String> = None;
+    let mut port: Option<u16> = None;
     let mut workload = None;
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -245,6 +281,20 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, MarshalError> {
                         .clone(),
                 )
             }
+            "--remote" => {
+                remote = Some(
+                    it.next()
+                        .ok_or_else(|| err("--remote needs a HOST:PORT address"))?
+                        .clone(),
+                )
+            }
+            "--port" => {
+                let n = it.next().ok_or_else(|| err("--port needs a port number"))?;
+                port = Some(
+                    n.parse::<u16>()
+                        .map_err(|_| err(&format!("--port: `{n}` is not a port number")))?,
+                );
+            }
             other if other.starts_with('-') => {
                 return Err(err(&format!("unknown option `{other}`")))
             }
@@ -268,6 +318,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, MarshalError> {
             force,
             keep_going,
             jobs,
+            remote,
         },
         "launch" => Command::Launch {
             workload: need_workload()?,
@@ -293,10 +344,25 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, MarshalError> {
             workload: need_workload()?,
             hw: hw.unwrap_or_else(|| "boom-tage".to_owned()),
             connector: sim.unwrap_or_else(|| "firesim".to_owned()),
+            remote,
         },
         "clean" => Command::Clean {
             workload: need_workload()?,
         },
+        "serve" => {
+            if workload.is_some() {
+                return Err(err("serve takes no workload argument"));
+            }
+            Command::Serve {
+                port: port.unwrap_or(9300),
+            }
+        }
+        "scrub" => {
+            if workload.is_some() {
+                return Err(err("scrub takes no workload argument"));
+            }
+            Command::Scrub { remote }
+        }
         other => return Err(err(&format!("unknown command `{other}`"))),
     };
     Ok(CliArgs {
@@ -347,16 +413,21 @@ pub fn run_command(args: &CliArgs, board: Board, mut search: SearchPath) -> (i32
             force,
             keep_going,
             jobs,
+            remote,
         } => {
             let opts = BuildOptions {
                 no_disk: *no_disk,
                 force: *force,
                 keep_going: *keep_going,
                 jobs: *jobs,
+                remote: effective_remote(remote),
             };
             match builder.build(workload, &opts) {
                 Ok(products) => {
                     log.extend(products.warnings.iter().map(ToString::to_string));
+                    if let Some(summary) = &products.remote {
+                        log.push(summary.describe());
+                    }
                     log.push(format!(
                         "built `{}`: {} job(s), {} task(s) run, {} up to date",
                         products.workload,
@@ -653,6 +724,7 @@ pub fn run_command(args: &CliArgs, board: Board, mut search: SearchPath) -> (i32
             workload,
             hw,
             connector,
+            remote,
         } => {
             if hardware_by_name(hw).is_none() {
                 fail!(format!(
@@ -665,10 +737,18 @@ pub fn run_command(args: &CliArgs, board: Board, mut search: SearchPath) -> (i32
                     crate::connector::connector_names().join(", ")
                 ));
             };
-            let products = match builder.build(workload, &BuildOptions::default()) {
+            let build_opts = BuildOptions {
+                remote: effective_remote(remote),
+                ..BuildOptions::default()
+            };
+            let products = match builder.build(workload, &build_opts) {
                 Ok(p) => p,
                 Err(e) => fail!(e),
             };
+            log.extend(products.warnings.iter().map(ToString::to_string));
+            if let Some(summary) = &products.remote {
+                log.push(summary.describe());
+            }
             // The firesim connector keeps the classic manifest path; all
             // connectors write into the workload's install dir.
             let _ = install_workload(&builder, &products);
@@ -698,11 +778,77 @@ pub fn run_command(args: &CliArgs, board: Board, mut search: SearchPath) -> (i32
                     report.blobs_pruned,
                     report.bytes_reclaimed
                 ));
+                if let Some(reason) = &report.prune_skipped {
+                    log.push(format!("note: blob pruning deferred: {reason}"));
+                }
                 (0, log)
             }
             Err(e) => fail!(e),
         },
+        Command::Serve { port } => {
+            marshal_netstore::server::install_sigint_handler();
+            let addr = format!("0.0.0.0:{port}");
+            let server = match marshal_netstore::Server::bind(
+                &addr,
+                std::path::Path::new(&args.workdir),
+                std::time::Duration::from_secs(10),
+            ) {
+                Ok(s) => s,
+                Err(e) => fail!(e),
+            };
+            // The daemon blocks until drained, so announce readiness now
+            // rather than in the post-run log.
+            match server.local_addr() {
+                Ok(a) => println!(
+                    "marshal serve: exporting {} on {a} (Ctrl-C to drain and exit)",
+                    args.workdir
+                ),
+                Err(e) => fail!(e),
+            }
+            let summary = server.run();
+            log.push(format!(
+                "serve drained: {} connection(s), {} request(s), \
+                 {} malformed frame(s) rejected",
+                summary.connections, summary.requests, summary.bad_frames
+            ));
+            (0, log)
+        }
+        Command::Scrub { remote } => {
+            let client = effective_remote(remote).map(|addr| {
+                marshal_netstore::RemoteStore::tcp(&addr, marshal_netstore::RetryPolicy::default())
+            });
+            match crate::scrub::scrub_pool(std::path::Path::new(&args.workdir), client.as_ref()) {
+                Ok(report) => {
+                    log.extend(report.warnings.iter().map(ToString::to_string));
+                    log.push(format!(
+                        "scrubbed pool: {} blob(s) ({} bytes) verified, {} corrupt \
+                         ({} bytes quarantined), {} healed from remote, {} unrecoverable; \
+                         {} manifest(s) checked, {} torn or orphaned removed",
+                        report.blobs_checked,
+                        report.bytes_checked,
+                        report.corrupt,
+                        report.quarantined_bytes,
+                        report.healed,
+                        report.unrecoverable,
+                        report.manifests_checked,
+                        report.manifests_removed
+                    ));
+                    (if report.unrecoverable > 0 { 1 } else { 0 }, log)
+                }
+                Err(e) => fail!(e),
+            }
+        }
     }
+}
+
+/// The effective remote daemon address: the `--remote` flag, else the
+/// `MARSHAL_REMOTE` environment variable, else none.
+fn effective_remote(flag: &Option<String>) -> Option<String> {
+    flag.clone().or_else(|| {
+        std::env::var("MARSHAL_REMOTE")
+            .ok()
+            .filter(|s| !s.is_empty())
+    })
 }
 
 #[cfg(test)]
@@ -724,9 +870,45 @@ mod tests {
                 no_disk: true,
                 force: false,
                 keep_going: false,
-                jobs: None
+                jobs: None,
+                remote: None
             }
         );
+    }
+
+    #[test]
+    fn parse_remote() {
+        let args = parse(&["build", "--remote", "cache:9300", "w.json"]).unwrap();
+        assert!(matches!(
+            args.command,
+            Command::Build { ref remote, .. } if remote.as_deref() == Some("cache:9300")
+        ));
+        let args = parse(&["install", "--remote", "cache:9300", "w.json"]).unwrap();
+        assert!(matches!(
+            args.command,
+            Command::Install { ref remote, .. } if remote.as_deref() == Some("cache:9300")
+        ));
+        assert!(parse(&["build", "--remote"]).is_err());
+    }
+
+    #[test]
+    fn parse_serve_and_scrub() {
+        let args = parse(&["serve"]).unwrap();
+        assert_eq!(args.command, Command::Serve { port: 9300 });
+        let args = parse(&["serve", "--port", "7777"]).unwrap();
+        assert_eq!(args.command, Command::Serve { port: 7777 });
+        assert!(parse(&["serve", "--port", "notaport"]).is_err());
+        assert!(parse(&["serve", "w.json"]).is_err());
+        let args = parse(&["scrub"]).unwrap();
+        assert_eq!(args.command, Command::Scrub { remote: None });
+        let args = parse(&["scrub", "--remote", "cache:9300"]).unwrap();
+        assert_eq!(
+            args.command,
+            Command::Scrub {
+                remote: Some("cache:9300".into())
+            }
+        );
+        assert!(parse(&["scrub", "w.json"]).is_err());
     }
 
     #[test]
@@ -866,7 +1048,8 @@ mod tests {
             Command::Install {
                 workload: "w.json".into(),
                 hw: "boom-gshare".into(),
-                connector: "firesim".into()
+                connector: "firesim".into(),
+                remote: None
             }
         );
         let args = parse(&["install", "--sim", "vcs", "w.json"]).unwrap();

@@ -8,12 +8,24 @@
 //! the magic. Tasks that persist images through the store must declare a
 //! [`marshal_depgraph::Task::claim_tree`] over [`ImageStore::objects_dir`],
 //! since blob paths are content-derived and unknown at planning time.
+//!
+//! Level manifests are additionally indexed by their task's *input
+//! fingerprint* under `levels/by-input/` — the distribution key `marshal
+//! serve` exports and the fetch-before-build client looks levels up by, so
+//! a remote hit is exactly a build-cache hit.
+//!
+//! Loads self-defend: a corrupt blob is quarantined (and re-fetched from a
+//! configured remote when possible), and an unhealable or torn manifest is
+//! removed so the owning level rebuilds instead of wedging every consumer.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use marshal_image::{BlobStore, FsImage, StoreStats};
+use marshal_depgraph::Fingerprint;
+use marshal_image::{BlobStore, FsImage, StoreError, StoreStats};
+use marshal_netstore::RemoteStore;
 
 /// Level images are persisted to disk (so incremental rebuilds can load a
 /// skipped parent's image) and cached in memory within one build. Cloning
@@ -24,6 +36,9 @@ pub struct ImageStore {
     stats: Arc<Mutex<StoreStats>>,
     dir: PathBuf,
     blobs: BlobStore,
+    /// When configured, load failures try to self-heal by re-fetching the
+    /// offending blob before giving up.
+    remote: Option<Arc<RemoteStore>>,
 }
 
 impl ImageStore {
@@ -34,7 +49,14 @@ impl ImageStore {
             stats: Arc::new(Mutex::new(StoreStats::default())),
             dir: workdir.join("levels"),
             blobs: BlobStore::new(workdir.join("objects")),
+            remote: None,
         }
+    }
+
+    /// Configures a remote to self-heal corrupt or missing blobs from
+    /// during loads. Set before cloning the store into build tasks.
+    pub fn set_remote(&mut self, remote: Arc<RemoteStore>) {
+        self.remote = Some(remote);
     }
 
     /// The manifest directory (`workdir/levels`).
@@ -45,6 +67,23 @@ impl ImageStore {
     /// The blob pool root (`workdir/objects`) — the tree tasks must claim.
     pub fn objects_dir(&self) -> &Path {
         self.blobs.root()
+    }
+
+    /// The underlying content-addressed blob pool.
+    pub fn blobs(&self) -> &BlobStore {
+        &self.blobs
+    }
+
+    /// The by-input-fingerprint manifest index directory
+    /// (`workdir/levels/by-input`), the tree `marshal serve` exports.
+    pub fn by_input_dir(&self) -> PathBuf {
+        self.dir.join("by-input")
+    }
+
+    /// Where the by-input manifest copy for a level-input fingerprint
+    /// lives.
+    pub fn by_input_path(&self, input: Fingerprint) -> PathBuf {
+        self.by_input_dir().join(format!("{input}.man"))
     }
 
     /// Where the manifest for a level key lives.
@@ -62,6 +101,21 @@ impl ImageStore {
     ///
     /// I/O failures as strings (the task-action error type).
     pub fn store(&self, key: &str, image: FsImage) -> Result<(), String> {
+        self.store_with_input(key, None, image)
+    }
+
+    /// [`ImageStore::store`], additionally indexing the manifest under the
+    /// level's input fingerprint so `marshal serve` can distribute it.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures as strings (the task-action error type).
+    pub fn store_with_input(
+        &self,
+        key: &str,
+        input: Option<Fingerprint>,
+        image: FsImage,
+    ) -> Result<(), String> {
         std::fs::create_dir_all(&self.dir)
             .map_err(|e| format!("mkdir {}: {e}", self.dir.display()))?;
         let path = self.path_for(key);
@@ -70,7 +124,10 @@ impl ImageStore {
             .blobs
             .write_manifest(&image)
             .map_err(|e| e.to_string())?;
-        std::fs::write(&path, manifest).map_err(|e| format!("write {}: {e}", path.display()))?;
+        std::fs::write(&path, &manifest).map_err(|e| format!("write {}: {e}", path.display()))?;
+        if let Some(fp) = input {
+            self.write_by_input(fp, &manifest)?;
+        }
         self.stats.lock().expect("stats poisoned").absorb(&stats);
         self.cache
             .lock()
@@ -79,10 +136,64 @@ impl ImageStore {
         Ok(())
     }
 
+    /// Installs a manifest fetched from a remote as the level file for
+    /// `key` (and its by-input index entry). The image itself is *not*
+    /// materialised — consumers load it lazily from the (already fetched)
+    /// blobs.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures as strings (the task-action error type).
+    pub fn install_fetched_manifest(
+        &self,
+        key: &str,
+        input: Fingerprint,
+        manifest: &[u8],
+    ) -> Result<(), String> {
+        std::fs::create_dir_all(&self.dir)
+            .map_err(|e| format!("mkdir {}: {e}", self.dir.display()))?;
+        let path = self.path_for(key);
+        marshal_depgraph::assert_claimed(&path);
+        std::fs::write(&path, manifest).map_err(|e| format!("write {}: {e}", path.display()))?;
+        self.write_by_input(input, manifest)?;
+        // A fetched level invalidates any stale cached copy under this key.
+        self.cache.lock().expect("store poisoned").remove(key);
+        Ok(())
+    }
+
+    /// Write-once by-input index entry (tmp + rename, like blob puts, so
+    /// concurrent writers of the same level are benign).
+    fn write_by_input(&self, input: Fingerprint, manifest: &[u8]) -> Result<(), String> {
+        let path = self.by_input_path(input);
+        if path.exists() {
+            return Ok(());
+        }
+        marshal_depgraph::assert_claimed(&path);
+        let dir = self.by_input_dir();
+        std::fs::create_dir_all(&dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+        let tmp = dir.join(format!(
+            ".{input}.{}.{}.tmp",
+            std::process::id(),
+            PIN_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, manifest).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            format!("rename {}: {e}", path.display())
+        })?;
+        Ok(())
+    }
+
     /// Loads the image for a level key. Cache hits are O(1) — images are
     /// copy-on-write, so the returned clone shares every allocation with
     /// the cached copy. Misses read the manifest (or a legacy flat `MIMG`
     /// file) from disk.
+    ///
+    /// A load that trips on pool damage self-defends: a corrupt blob is
+    /// quarantined and (with a remote configured) re-fetched, and when the
+    /// level stays unloadable its manifest is removed so the owning task
+    /// rebuilds it on the next run instead of failing every consumer
+    /// forever.
     ///
     /// # Errors
     ///
@@ -99,17 +210,247 @@ impl ImageStore {
                 path.display()
             ));
         }
-        let img = self
-            .blobs
-            .load_image(&path)
-            .map_err(|e| format!("image `{key}`: {e}"))?;
+        let img = match self.blobs.load_image(&path) {
+            Ok(img) => img,
+            Err(e) => self.recover_load(key, &path, e)?,
+        };
         cache.insert(key.to_owned(), img.clone());
         Ok(img)
+    }
+
+    /// The recovery path for a failed manifest load: quarantine, optional
+    /// remote heal, else invalidate the manifest so the level rebuilds.
+    fn recover_load(&self, key: &str, path: &Path, err: StoreError) -> Result<FsImage, String> {
+        let (fp, quarantined) = match &err {
+            StoreError::CorruptBlob { expected, .. } => {
+                (*expected, self.blobs.quarantine(*expected).is_ok())
+            }
+            StoreError::MissingBlob { fp, .. } => (*fp, false),
+            StoreError::Manifest(_) => {
+                self.invalidate_manifest(path);
+                return Err(format!(
+                    "image `{key}`: torn or malformed manifest removed ({err}); \
+                     the level will rebuild on the next run"
+                ));
+            }
+            StoreError::Io(_) => return Err(format!("image `{key}`: {err}")),
+        };
+        // Self-heal: a configured remote may still have the payload.
+        if let Some(remote) = &self.remote {
+            if remote.fetch_blob(&self.blobs, fp).unwrap_or(false) {
+                if let Ok(img) = self.blobs.load_image(path) {
+                    return Ok(img);
+                }
+            }
+        }
+        self.invalidate_manifest(path);
+        let action = if quarantined {
+            "quarantined"
+        } else {
+            "missing from the pool"
+        };
+        Err(format!(
+            "image `{key}`: blob {fp} {action} ({err}); manifest removed so \
+             the level will rebuild on the next run"
+        ))
+    }
+
+    fn invalidate_manifest(&self, path: &Path) {
+        let _ = std::fs::remove_file(path);
     }
 
     /// Cumulative byte accounting across every [`ImageStore::store`] call
     /// made through this store (or any clone of it).
     pub fn stats(&self) -> StoreStats {
         *self.stats.lock().expect("stats poisoned")
+    }
+}
+
+static PIN_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// An advisory pin on a blob pool, held by a build for as long as it may
+/// rely on existence checks against `objects/` (between a builder's
+/// "blob already present" test and its manifest write). `clean` refuses to
+/// prune the pool while any live pin exists, closing the race where a
+/// concurrent prune deletes a blob a `-j N` build just decided not to
+/// rewrite.
+///
+/// Pins are files under `objects/.pins/` named `<pid>-<seq>.pin` and
+/// containing the owning pid; a pin whose process has exited is stale and
+/// is removed by the next [`scan_pool_pins`].
+#[derive(Debug)]
+pub struct PoolPin {
+    path: PathBuf,
+}
+
+impl PoolPin {
+    /// Takes a pin on the pool rooted at `objects_dir`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures as strings.
+    pub fn acquire(objects_dir: &Path) -> Result<PoolPin, String> {
+        let dir = objects_dir.join(".pins");
+        std::fs::create_dir_all(&dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+        let path = dir.join(format!(
+            "{}-{}.pin",
+            std::process::id(),
+            PIN_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&path, std::process::id().to_string())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        Ok(PoolPin { path })
+    }
+
+    /// The pin file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for PoolPin {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// What a pin scan found: the live pins blocking a prune, after stale pins
+/// (owners no longer running) were swept away.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PinScan {
+    /// Pin file names whose owning processes are still alive.
+    pub live: Vec<String>,
+    /// Stale pin files removed.
+    pub stale_removed: usize,
+}
+
+/// Scans `objects/.pins/`, removing pins whose owners have exited and
+/// reporting the ones still alive.
+pub fn scan_pool_pins(objects_dir: &Path) -> PinScan {
+    let mut scan = PinScan::default();
+    let Ok(entries) = std::fs::read_dir(objects_dir.join(".pins")) else {
+        return scan;
+    };
+    for entry in entries.filter_map(Result::ok) {
+        let path = entry.path();
+        let pid = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|s| s.trim().parse::<u32>().ok());
+        let alive = pid.is_some_and(pid_alive);
+        if alive {
+            scan.live.push(
+                path.file_name()
+                    .unwrap_or_default()
+                    .to_string_lossy()
+                    .into_owned(),
+            );
+        } else if std::fs::remove_file(&path).is_ok() {
+            scan.stale_removed += 1;
+        }
+    }
+    scan
+}
+
+/// Whether a process id is still running. On Linux this is a `/proc`
+/// lookup; elsewhere pins are conservatively treated as live (a stale pin
+/// then blocks pruning until removed by hand, never the other way around).
+fn pid_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new("/proc").join(pid.to_string()).exists()
+    } else {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("marshal-istore-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn by_input_index_written_and_idempotent() {
+        let dir = scratch("byinput");
+        let store = ImageStore::new(&dir);
+        let mut img = FsImage::new();
+        img.write_file("/f", b"payload").unwrap();
+        let input = Fingerprint::of(b"input-key");
+        store
+            .store_with_input("lvl", Some(input), img.clone())
+            .unwrap();
+        let idx = store.by_input_path(input);
+        assert!(idx.is_file());
+        let first = std::fs::read(&idx).unwrap();
+        // Second store of the same level leaves the entry untouched.
+        store.store_with_input("lvl", Some(input), img).unwrap();
+        assert_eq!(std::fs::read(&idx).unwrap(), first);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_blob_load_quarantines_and_invalidates() {
+        let dir = scratch("heal");
+        let store = ImageStore::new(&dir);
+        let mut img = FsImage::new();
+        img.write_file("/f", b"rot me").unwrap();
+        store.store("lvl", img).unwrap();
+        // Fresh store (no cache) with a rotted blob.
+        let store = ImageStore::new(&dir);
+        let refs =
+            marshal_image::manifest_refs(&std::fs::read(store.path_for("lvl")).unwrap()).unwrap();
+        std::fs::write(store.blobs().blob_path(refs[0]), b"rotted!").unwrap();
+        let err = store.load("lvl").unwrap_err();
+        assert!(err.contains("quarantined"), "{err}");
+        assert!(
+            !store.path_for("lvl").exists(),
+            "manifest removed so the level rebuilds"
+        );
+        assert!(store.blobs().quarantine_dir().is_dir());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn torn_manifest_load_invalidates_without_panic() {
+        let dir = scratch("torn");
+        let store = ImageStore::new(&dir);
+        let mut img = FsImage::new();
+        img.write_file("/f", b"data").unwrap();
+        store.store("lvl", img).unwrap();
+        let store = ImageStore::new(&dir);
+        let path = store.path_for("lvl");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let err = store.load("lvl").unwrap_err();
+        assert!(err.contains("manifest"), "{err}");
+        assert!(!path.exists());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn pins_block_then_release() {
+        let dir = scratch("pins");
+        let objects = dir.join("objects");
+        std::fs::create_dir_all(&objects).unwrap();
+        let pin = PoolPin::acquire(&objects).unwrap();
+        let scan = scan_pool_pins(&objects);
+        assert_eq!(scan.live.len(), 1, "own pin is live");
+        drop(pin);
+        let scan = scan_pool_pins(&objects);
+        assert!(scan.live.is_empty(), "dropped pin released");
+        // A pin from a dead process is swept as stale.
+        let stale = objects.join(".pins").join("4000000000-0.pin");
+        std::fs::create_dir_all(objects.join(".pins")).unwrap();
+        std::fs::write(&stale, "4000000000").unwrap();
+        let scan = scan_pool_pins(&objects);
+        if cfg!(target_os = "linux") {
+            assert_eq!(scan.stale_removed, 1);
+            assert!(!stale.exists());
+        }
+        std::fs::remove_dir_all(dir).unwrap();
     }
 }

@@ -12,6 +12,7 @@
 //! | `test` | [`test`] | §III-D: reference-output matching with output cleaning |
 //! | `install` | [`install`] | §III-E: cycle-exact simulator configuration generation |
 //! | `clean` | [`clean`] | artifact/state removal |
+//! | `serve` / `scrub` | [`scrub`], marshal-netstore | resilient artifact distribution |
 //!
 //! The [`cli`] module is the `marshal` command-line front-end.
 //!
@@ -49,6 +50,7 @@ pub mod install;
 pub mod integrity;
 pub mod launch;
 pub mod output;
+pub mod scrub;
 pub mod simulator;
 pub mod test;
 pub mod warnings;
@@ -58,9 +60,10 @@ pub use build::{BuildOptions, BuildProducts, Builder, JobArtifacts, JobKind};
 pub use clean::CleanReport;
 pub use cosim::{CosimOptions, CosimReport, Divergence};
 pub use error::MarshalError;
-pub use imagestore::ImageStore;
+pub use imagestore::{ImageStore, PoolPin};
 pub use install::InstallManifest;
 pub use launch::{LaunchOptions, LaunchOutput};
+pub use scrub::{scrub_pool, ScrubReport};
 pub use simulator::{simulator_for, simulator_names, BackendOptions, SimRun, Simulator};
 pub use test::{clean_output, clean_output_with, TestOutcome};
 pub use warnings::Warning;

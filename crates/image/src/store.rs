@@ -176,6 +176,67 @@ impl BlobStore {
         Ok(true)
     }
 
+    /// Whether a blob with this fingerprint is present on disk (presence
+    /// only — contents are verified by [`BlobStore::get`]).
+    pub fn has(&self, fp: Fingerprint) -> bool {
+        self.blob_path(fp).is_file()
+    }
+
+    /// Where quarantined blobs live (`<root>/.quarantine/`). The leading
+    /// dot keeps the directory out of the shard walks done by pruning and
+    /// scrubbing.
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.root.join(".quarantine")
+    }
+
+    /// Moves the on-disk blob for `fp` out of the pool into quarantine,
+    /// returning where it went and how many bytes it held. Quarantining
+    /// (rather than deleting) preserves the evidence for post-mortems while
+    /// guaranteeing the pool never serves the bytes again.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::MissingBlob`] when there is nothing to quarantine,
+    /// [`StoreError::Io`] on filesystem failure.
+    pub fn quarantine(&self, fp: Fingerprint) -> Result<(PathBuf, u64), StoreError> {
+        let src = self.blob_path(fp);
+        let size = match std::fs::metadata(&src) {
+            Ok(m) => m.len(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(StoreError::MissingBlob { path: src, fp });
+            }
+            Err(e) => return Err(StoreError::Io(format!("{}: {e}", src.display()))),
+        };
+        let dst = self.quarantine_dir().join(format!("{fp}.blob"));
+        marshal_depgraph::assert_claimed(&dst);
+        std::fs::create_dir_all(self.quarantine_dir())
+            .map_err(|e| StoreError::Io(format!("{}: {e}", self.quarantine_dir().display())))?;
+        std::fs::rename(&src, &dst)
+            .map_err(|e| StoreError::Io(format!("{}: {e}", dst.display())))?;
+        Ok((dst, size))
+    }
+
+    /// Preserves bytes that arrived from a remote but failed hash
+    /// verification. They are written to quarantine directly and never
+    /// enter the pool.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failure.
+    pub fn quarantine_received(
+        &self,
+        fp: Fingerprint,
+        bytes: &[u8],
+    ) -> Result<PathBuf, StoreError> {
+        let dst = self.quarantine_dir().join(format!("{fp}.recv.blob"));
+        marshal_depgraph::assert_claimed(&dst);
+        std::fs::create_dir_all(self.quarantine_dir())
+            .map_err(|e| StoreError::Io(format!("{}: {e}", self.quarantine_dir().display())))?;
+        std::fs::write(&dst, bytes)
+            .map_err(|e| StoreError::Io(format!("{}: {e}", dst.display())))?;
+        Ok(dst)
+    }
+
     /// Loads and verifies the blob with this fingerprint.
     ///
     /// # Errors

@@ -1,0 +1,313 @@
+//! Pluggable byte-frame transports.
+//!
+//! A [`Transport`] carries one raw frame to the peer and returns the raw
+//! reply frame. Operating at the byte-frame level (rather than on decoded
+//! messages) is deliberate: it lets [`FaultTransport`] corrupt, truncate,
+//! or drop the *wire bytes*, so fault-injection tests exercise the same
+//! checksum/decode rejection paths a hostile network would.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use marshal_qcheck::Rng;
+
+use crate::proto::{read_frame, write_frame, NetError};
+use crate::server::ServeRoot;
+
+/// One request/reply exchange of raw wire frames.
+pub trait Transport: Send {
+    /// Sends `frame` and returns the peer's raw reply frame.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] / [`NetError::Timeout`] on transport failure. A
+    /// corrupted reply is *not* an error here — validation happens in
+    /// [`crate::proto::decode_frame`].
+    fn exchange(&mut self, frame: &[u8]) -> Result<Vec<u8>, NetError>;
+}
+
+/// A real TCP connection with per-request read/write deadlines.
+pub struct TcpTransport {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    /// Connects to `addr` (e.g. `127.0.0.1:9300`) with `timeout` applied to
+    /// the connect itself and to every subsequent read and write.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] when the address does not resolve or the connection
+    /// is refused; [`NetError::Timeout`] when the connect deadline expires.
+    pub fn connect(addr: &str, timeout: Duration) -> Result<TcpTransport, NetError> {
+        let resolved = addr
+            .to_socket_addrs()
+            .map_err(|e| NetError::Io(format!("resolving {addr}: {e}")))?
+            .next()
+            .ok_or_else(|| NetError::Io(format!("{addr} resolved to no addresses")))?;
+        let stream = TcpStream::connect_timeout(&resolved, timeout).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::TimedOut {
+                NetError::Timeout(format!("connecting to {addr}: {e}"))
+            } else {
+                NetError::Io(format!("connecting to {addr}: {e}"))
+            }
+        })?;
+        stream
+            .set_read_timeout(Some(timeout))
+            .and_then(|()| stream.set_write_timeout(Some(timeout)))
+            .map_err(|e| NetError::Io(format!("setting deadlines on {addr}: {e}")))?;
+        Ok(TcpTransport { stream })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn exchange(&mut self, frame: &[u8]) -> Result<Vec<u8>, NetError> {
+        write_frame(&mut self.stream, frame)?;
+        read_frame(&mut self.stream)
+    }
+}
+
+/// An in-process transport that answers from a [`ServeRoot`] directly —
+/// the daemon's request handler without sockets. Used by tests, benches,
+/// and as the substrate under [`FaultTransport`].
+pub struct LoopbackTransport {
+    root: Arc<ServeRoot>,
+}
+
+impl LoopbackTransport {
+    /// A loopback over this serve root.
+    pub fn new(root: Arc<ServeRoot>) -> LoopbackTransport {
+        LoopbackTransport { root }
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn exchange(&mut self, frame: &[u8]) -> Result<Vec<u8>, NetError> {
+        Ok(crate::proto::encode_frame(&self.root.respond_raw(frame)))
+    }
+}
+
+/// Network fault kinds injected by [`FaultTransport`] — the wire-level
+/// counterpart of the on-disk `FaultKind`s in marshal-core's `faultinject`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFaultKind {
+    /// The connection dies mid-exchange ([`NetError::Io`]).
+    Drop,
+    /// The peer goes silent and the read deadline expires
+    /// ([`NetError::Timeout`], reported instantly so tests stay fast).
+    Stall,
+    /// The reply arrives with a flipped byte; the frame checksum must
+    /// reject it.
+    CorruptFrame,
+    /// The reply is cut off mid-frame.
+    Truncate,
+    /// The first exchanges of a connection's life time out before service
+    /// recovers — models a cold daemon behind a slow link.
+    SlowStart,
+}
+
+impl NetFaultKind {
+    /// Every fault kind, for chaos suites that iterate them all.
+    pub const ALL: [NetFaultKind; 5] = [
+        NetFaultKind::Drop,
+        NetFaultKind::Stall,
+        NetFaultKind::CorruptFrame,
+        NetFaultKind::Truncate,
+        NetFaultKind::SlowStart,
+    ];
+}
+
+struct FaultState {
+    kind: NetFaultKind,
+    skip_first: u64,
+    max_faults: u64,
+    injected: u64,
+    exchanges: u64,
+    rng: Rng,
+}
+
+/// A deterministic plan for when and how a [`FaultTransport`] misbehaves.
+///
+/// The plan's state lives behind an [`Arc`], so it survives the client
+/// dropping and re-creating transports on reconnect — a plan with
+/// `max_faults = 2` injects exactly two faults across the whole
+/// conversation, however many connections that spans.
+#[derive(Clone)]
+pub struct FaultPlan {
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultPlan {
+    /// A plan injecting `kind` on every exchange after the first
+    /// `skip_first`, at most `max_faults` times in total (use `u64::MAX`
+    /// for a fault that never heals). `seed` drives corruption offsets.
+    pub fn new(kind: NetFaultKind, skip_first: u64, max_faults: u64, seed: u64) -> FaultPlan {
+        FaultPlan {
+            state: Arc::new(Mutex::new(FaultState {
+                kind,
+                skip_first,
+                max_faults,
+                injected: 0,
+                exchanges: 0,
+                rng: Rng::new(seed),
+            })),
+        }
+    }
+
+    /// A plan that always injects `kind`, never healing.
+    pub fn always(kind: NetFaultKind, seed: u64) -> FaultPlan {
+        FaultPlan::new(kind, 0, u64::MAX, seed)
+    }
+
+    /// How many faults have been injected so far.
+    pub fn injected(&self) -> u64 {
+        self.state.lock().expect("fault plan lock").injected
+    }
+
+    /// How many exchanges have passed through transports using this plan.
+    pub fn exchanges(&self) -> u64 {
+        self.state.lock().expect("fault plan lock").exchanges
+    }
+}
+
+/// A [`Transport`] decorator that injects faults from a [`FaultPlan`] into
+/// an otherwise healthy inner transport.
+pub struct FaultTransport<T: Transport> {
+    inner: T,
+    plan: FaultPlan,
+}
+
+impl<T: Transport> FaultTransport<T> {
+    /// Wraps `inner` with the fault behaviour of `plan`.
+    pub fn new(inner: T, plan: FaultPlan) -> FaultTransport<T> {
+        FaultTransport { inner, plan }
+    }
+}
+
+impl<T: Transport> Transport for FaultTransport<T> {
+    fn exchange(&mut self, frame: &[u8]) -> Result<Vec<u8>, NetError> {
+        let fault = {
+            let mut st = self.plan.state.lock().expect("fault plan lock");
+            st.exchanges += 1;
+            let due = st.exchanges > st.skip_first && st.injected < st.max_faults;
+            if due {
+                st.injected += 1;
+                Some(st.kind)
+            } else {
+                None
+            }
+        };
+        match fault {
+            None => self.inner.exchange(frame),
+            Some(NetFaultKind::Drop) => Err(NetError::Io(
+                "injected fault: connection dropped".to_owned(),
+            )),
+            Some(NetFaultKind::Stall) => Err(NetError::Timeout(
+                "injected fault: peer stalled past the read deadline".to_owned(),
+            )),
+            Some(NetFaultKind::SlowStart) => Err(NetError::Timeout(
+                "injected fault: slow start, service not warm yet".to_owned(),
+            )),
+            Some(NetFaultKind::CorruptFrame) => {
+                let mut reply = self.inner.exchange(frame)?;
+                if reply.len() > 8 {
+                    let off = {
+                        let mut st = self.plan.state.lock().expect("fault plan lock");
+                        8 + st.rng.below((reply.len() - 8) as u64) as usize
+                    };
+                    reply[off] ^= 0x55;
+                } else {
+                    reply.clear();
+                }
+                Ok(reply)
+            }
+            Some(NetFaultKind::Truncate) => {
+                let reply = self.inner.exchange(frame)?;
+                let keep = reply.len() / 2;
+                Ok(reply[..keep].to_vec())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{decode_frame, encode_frame, Message, NET_VERSION};
+
+    /// A healthy stand-in peer that acks everything with HelloAck.
+    struct EchoAck;
+
+    impl Transport for EchoAck {
+        fn exchange(&mut self, _frame: &[u8]) -> Result<Vec<u8>, NetError> {
+            Ok(encode_frame(&Message::HelloAck {
+                version: NET_VERSION,
+            }))
+        }
+    }
+
+    fn hello() -> Vec<u8> {
+        encode_frame(&Message::Hello {
+            version: NET_VERSION,
+        })
+    }
+
+    #[test]
+    fn drop_and_stall_fail_without_touching_inner() {
+        for (kind, retryable) in [(NetFaultKind::Drop, true), (NetFaultKind::Stall, true)] {
+            let mut t = FaultTransport::new(EchoAck, FaultPlan::always(kind, 1));
+            let err = t.exchange(&hello()).unwrap_err();
+            assert_eq!(err.retryable(), retryable, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn corrupt_frame_fails_checksum() {
+        let mut t = FaultTransport::new(EchoAck, FaultPlan::always(NetFaultKind::CorruptFrame, 7));
+        let reply = t.exchange(&hello()).unwrap();
+        assert!(matches!(decode_frame(&reply), Err(NetError::BadFrame(_))));
+    }
+
+    #[test]
+    fn truncate_fails_decode() {
+        let mut t = FaultTransport::new(EchoAck, FaultPlan::always(NetFaultKind::Truncate, 7));
+        let reply = t.exchange(&hello()).unwrap();
+        assert!(decode_frame(&reply).is_err());
+    }
+
+    #[test]
+    fn plan_budget_heals_after_max_faults() {
+        let plan = FaultPlan::new(NetFaultKind::SlowStart, 0, 2, 1);
+        let mut t = FaultTransport::new(EchoAck, plan.clone());
+        assert!(t.exchange(&hello()).is_err());
+        assert!(t.exchange(&hello()).is_err());
+        let reply = t.exchange(&hello()).unwrap();
+        assert!(decode_frame(&reply).is_ok());
+        assert_eq!(plan.injected(), 2);
+        assert_eq!(plan.exchanges(), 3);
+    }
+
+    #[test]
+    fn plan_survives_transport_recreation() {
+        let plan = FaultPlan::new(NetFaultKind::Drop, 0, 1, 1);
+        {
+            let mut t = FaultTransport::new(EchoAck, plan.clone());
+            assert!(t.exchange(&hello()).is_err());
+        }
+        // A "reconnect" gets a fresh transport but the same plan state:
+        // the budget is spent, so the fault does not repeat.
+        let mut t2 = FaultTransport::new(EchoAck, plan.clone());
+        assert!(t2.exchange(&hello()).is_ok());
+        assert_eq!(plan.injected(), 1);
+    }
+
+    #[test]
+    fn skip_first_defers_the_fault() {
+        let plan = FaultPlan::new(NetFaultKind::Drop, 2, u64::MAX, 1);
+        let mut t = FaultTransport::new(EchoAck, plan);
+        assert!(t.exchange(&hello()).is_ok());
+        assert!(t.exchange(&hello()).is_ok());
+        assert!(t.exchange(&hello()).is_err());
+    }
+}
