@@ -143,6 +143,7 @@ fn bench_parallel_build(c: &mut Criterion) {
                 &ExecOptions {
                     keep_going: false,
                     threads,
+                    ..ExecOptions::default()
                 },
             )
             .unwrap();
@@ -168,6 +169,7 @@ fn bench_parallel_build(c: &mut Criterion) {
                         &ExecOptions {
                             keep_going: false,
                             threads,
+                            ..ExecOptions::default()
                         },
                     )
                     .unwrap();

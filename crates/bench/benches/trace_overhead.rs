@@ -1,0 +1,122 @@
+//! Recorder overhead on the launch hot path: the same built artifacts
+//! launched with the run journal off and on, head to head. The journal's
+//! cost budget is <5% of launch throughput (an mpsc send plus timestamp
+//! per event, with the file I/O on a separate writer thread); the bench
+//! asserts that budget and appends a `trace_overhead` record to
+//! `BENCH_backends.json` alongside the `backend_launch` rows.
+
+use marshal_bench::{builder_in, criterion_group, criterion_main, scratch, Criterion};
+use marshal_core::launch::launch_job;
+use marshal_core::{BuildOptions, LaunchOptions};
+use marshal_trace::Recorder;
+
+const SAMPLES: u32 = 60;
+const ROUNDS: usize = 3;
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let root = scratch("trace-overhead");
+    let mut builder = builder_in(&root);
+    let products = builder
+        .build("hello.json", &BuildOptions::default())
+        .expect("build hello workload");
+    let opts = LaunchOptions::default();
+
+    // One timed round: mean nanoseconds per launch over SAMPLES launches.
+    let round = |builder: &marshal_core::Builder| -> u128 {
+        let warm = launch_job(builder, &products, 0, &opts).expect("launch");
+        assert_eq!(warm.exit_code, 0, "payload runs clean");
+        let t0 = std::time::Instant::now();
+        for _ in 0..SAMPLES {
+            let out = launch_job(builder, &products, 0, &opts).expect("launch");
+            std::hint::black_box(out.instructions);
+        }
+        (t0.elapsed() / SAMPLES).as_nanos()
+    };
+
+    // Interleave off/on rounds and keep each configuration's best round,
+    // so a scheduler hiccup in one round cannot fake (or mask) overhead.
+    let recorder = Recorder::create(&root.join("work"), "bench", &[("workload", "hello.json")])
+        .expect("create journal");
+    let mut off_ns = u128::MAX;
+    let mut on_ns = u128::MAX;
+    for _ in 0..ROUNDS {
+        builder.set_recorder(Recorder::disabled());
+        off_ns = off_ns.min(round(&builder));
+        builder.set_recorder(recorder.clone());
+        on_ns = on_ns.min(round(&builder));
+    }
+    builder.set_recorder(Recorder::disabled());
+    let finished = recorder.finish().expect("journal written");
+    assert!(
+        finished.events > u64::from(SAMPLES),
+        "recorder-on rounds must actually journal sim spans"
+    );
+
+    let delta_pct = (on_ns as f64 - off_ns as f64) * 100.0 / off_ns as f64;
+    println!("== run-journal overhead on launch (hello.json, qemu) ==");
+    println!("  recorder off  mean {off_ns:>9} ns/launch");
+    println!("  recorder on   mean {on_ns:>9} ns/launch  (delta {delta_pct:+.2}%)");
+    assert!(
+        delta_pct < 5.0,
+        "recorder overhead {delta_pct:.2}% exceeds the 5% budget"
+    );
+    append_bench_json(off_ns, on_ns, delta_pct);
+
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(10);
+    for (label, rec) in [
+        ("recorder_off", Recorder::disabled()),
+        (
+            "recorder_on",
+            Recorder::create(&root.join("work"), "bench", &[]).expect("create journal"),
+        ),
+    ] {
+        builder.set_recorder(rec);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let out = launch_job(&builder, &products, 0, &opts).expect("launch");
+                out.instructions
+            })
+        });
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+/// Appends this run's record to `BENCH_backends.json` (same accumulating
+/// array as the `backend_launch` bench). Hand-rolled JSON: the build
+/// environment is offline, so no serde.
+fn append_bench_json(off_ns: u128, on_ns: u128, delta_pct: f64) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("BENCH_backends.json");
+    let stamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut entries: Vec<String> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(&path) {
+        entries.extend(
+            existing
+                .lines()
+                .map(str::trim)
+                .filter(|l| l.starts_with('{'))
+                .map(|l| l.trim_end_matches(',').to_owned()),
+        );
+    }
+    entries.push(format!(
+        "{{\"unix_time\": {stamp}, \"bench\": \"trace_overhead\", \
+         \"recorder_off_ns\": {off_ns}, \"recorder_on_ns\": {on_ns}, \
+         \"delta_pct\": {delta_pct:.2}}}"
+    ));
+    let body = format!("[\n  {}\n]\n", entries.join(",\n  "));
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("note: could not record {}: {e}", path.display());
+    } else {
+        println!("  recorded {} entries in {}", entries.len(), path.display());
+    }
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

@@ -23,12 +23,13 @@ use marshal_linux::InitramfsSpec;
 use marshal_netstore::{RemoteFetchSummary, RemoteStore, RetryPolicy};
 use marshal_script::{HostEnv, Interp, Value};
 use marshal_sim_functional::LaunchMode;
+use marshal_trace::Recorder;
 
 use crate::board::Board;
 use crate::error::MarshalError;
 use crate::imagestore::{ImageStore, PoolPin};
 use crate::simulator::{default_backend, simulator_for, BackendOptions};
-use crate::warnings::Warning;
+use crate::warnings::{Severity, Warning};
 
 /// Options for `build`.
 #[derive(Debug, Clone, Default)]
@@ -115,6 +116,10 @@ pub struct Builder {
     /// Memoized artifact-distribution client; kept across builds so the
     /// circuit breaker's history survives within one process.
     remote_client: Option<Arc<RemoteStore>>,
+    /// Run-journal recorder; disabled by default. Cloned into the task
+    /// executor, the image store, and the remote client so the whole build
+    /// lands in one journal.
+    recorder: Recorder,
 }
 
 impl Builder {
@@ -132,13 +137,14 @@ impl Builder {
         let db = StateDb::open(workdir.join("state.db"))?;
         let mut open_warnings = Vec::new();
         if let Some(note) = db.recovery() {
-            open_warnings.push(Warning::new("", note));
+            open_warnings.push(Warning::with_code("", note, "state-recovered"));
         }
         for id in db.interrupted() {
-            open_warnings.push(Warning::new(
+            open_warnings.push(Warning::with_code(
                 id.clone(),
                 "a previous run was interrupted while this task was executing; \
                  its state was discarded and it will rebuild",
+                "task-interrupted",
             ));
         }
         Ok(Builder {
@@ -148,7 +154,20 @@ impl Builder {
             db,
             open_warnings,
             remote_client: None,
+            recorder: Recorder::disabled(),
         })
+    }
+
+    /// Installs a run-journal recorder. Every subsequent build, launch, and
+    /// test through this builder records spans and events into it.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// The builder's recorder (disabled unless [`Builder::set_recorder`]
+    /// installed one).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Installs a pre-constructed artifact-distribution client, used by
@@ -259,6 +278,7 @@ impl Builder {
         let mut graph = Graph::new();
         // Shared store for images produced by level tasks within this build.
         let mut store = ImageStore::new(&self.workdir);
+        store.set_recorder(self.recorder.clone());
         if let Some(r) = &remote {
             // Loads heal corrupt/missing pool blobs from the remote too.
             store.set_remote(Arc::clone(r));
@@ -305,24 +325,42 @@ impl Builder {
         preflight_pool(&store, &job_plans, &mut warnings);
 
         let roots: Vec<&str> = job_plans.iter().map(|p| p.final_task.as_str()).collect();
+        let threads = options.jobs.unwrap_or_else(default_jobs);
         let opts = marshal_depgraph::ExecOptions {
             keep_going: options.keep_going,
-            threads: options.jobs.unwrap_or_else(default_jobs),
+            threads,
+            recorder: self.recorder.clone(),
         };
+        let exec_span = self.recorder.span(
+            "build",
+            &[("workload", name), ("threads", &threads.to_string())],
+        );
         // Pin the blob pool for the duration of execution: a concurrent
         // `marshal clean` in another process defers pruning while any live
         // pin exists, so a blob this build just decided not to rewrite
         // cannot vanish under it.
         let pin = PoolPin::acquire(store.objects_dir()).map_err(MarshalError::Io)?;
-        let report = graph.execute_roots_with(&mut self.db, &roots, &opts)?;
+        let report = graph.execute_roots_with(&mut self.db, &roots, &opts);
         drop(pin);
+        match &report {
+            Ok(r) => exec_span.end_with(&[
+                ("outcome", if r.success() { "ok" } else { "failed" }),
+                ("executed", &r.executed.len().to_string()),
+                ("skipped", &r.skipped.len().to_string()),
+            ]),
+            Err(_) => exec_span.end_with(&[("outcome", "error")]),
+        }
+        let report = report?;
         // Flush even when keep-going recorded partial progress: the
         // successful subtrees stay incremental on the next attempt.
         self.db.flush()?;
 
         if let Some(r) = &remote {
             for note in r.take_notes() {
-                warnings.push(Warning::new("remote", note));
+                warnings.push(
+                    Warning::with_code("remote", note, "remote-degraded")
+                        .severity(Severity::Degraded),
+                );
             }
         }
 
@@ -791,9 +829,10 @@ fn preflight_level(
         let _ = std::fs::remove_file(artifact);
         let _ = std::fs::remove_file(crate::integrity::sidecar_path(artifact));
     }
-    warnings.push(Warning::new(
+    warnings.push(Warning::with_code(
         format!("level {key}"),
         format!("{problem}; removed so the level rebuilds this run"),
+        "pool-damage",
     ));
 }
 

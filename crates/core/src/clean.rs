@@ -24,7 +24,14 @@ pub struct CleanReport {
     /// When pruning was deferred because another process holds a live
     /// advisory pin on the pool, the human-readable reason.
     pub prune_skipped: Option<String>,
+    /// Journal run directories removed by `--keep-runs` retention.
+    pub runs_pruned: usize,
+    /// Bytes reclaimed by pruning old run journals.
+    pub run_bytes_reclaimed: u64,
 }
+
+/// How many journal runs `clean` keeps when `--keep-runs` is not given.
+pub const DEFAULT_KEEP_RUNS: usize = 20;
 
 /// Removes a workload's images, runs, installs, level manifests, and
 /// state-database entries, forcing the next `build` to start fresh — then
@@ -40,6 +47,21 @@ pub struct CleanReport {
 /// Configuration errors resolving the workload; I/O errors are ignored
 /// (missing artifacts are fine).
 pub fn clean_workload(builder: &mut Builder, name: &str) -> Result<CleanReport, MarshalError> {
+    clean_workload_with(builder, name, DEFAULT_KEEP_RUNS)
+}
+
+/// [`clean_workload`] with an explicit run-journal retention count
+/// (`--keep-runs N`): after artifact removal, the oldest journal runs
+/// beyond the newest `keep_runs` are pruned too.
+///
+/// # Errors
+///
+/// Same as [`clean_workload`].
+pub fn clean_workload_with(
+    builder: &mut Builder,
+    name: &str,
+    keep_runs: usize,
+) -> Result<CleanReport, MarshalError> {
     let resolved = resolve_workload(builder.search(), name)?;
     let jobs = expand_jobs(builder.search(), &resolved)?;
     let mut report = CleanReport::default();
@@ -74,7 +96,71 @@ pub fn clean_workload(builder: &mut Builder, name: &str) -> Result<CleanReport, 
     report.blobs_pruned = pruned;
     report.bytes_reclaimed = bytes;
     report.prune_skipped = skipped;
+    let (runs_pruned, run_bytes) = prune_runs(builder.workdir(), keep_runs);
+    report.runs_pruned = runs_pruned;
+    report.run_bytes_reclaimed = run_bytes;
     Ok(report)
+}
+
+/// Removes the oldest journal run directories under `workdir/runs/` until
+/// at most `keep` remain, returning (runs removed, bytes reclaimed).
+///
+/// A run whose recorder is still alive holds a pin in `runs/.pins/` (the
+/// same advisory-pin protocol as the blob pool, swept by
+/// [`crate::imagestore::scan_pool_pins`]); live runs are never pruned, no
+/// matter how old. Per-workload launch-output directories share `runs/`
+/// but carry no `journal.jsonl`, so retention never touches them.
+pub fn prune_runs(workdir: &std::path::Path, keep: usize) -> (usize, u64) {
+    let runs_dir = workdir.join("runs");
+    // Run ids end in `-<pid>-<seq>`, matching the pin name `<pid>-<seq>.pin`.
+    let live_suffixes: Vec<String> = crate::imagestore::scan_pool_pins(&runs_dir)
+        .live
+        .iter()
+        .filter_map(|pin| pin.strip_suffix(".pin").map(|stem| format!("-{stem}")))
+        .collect();
+    let runs = marshal_trace::list_runs(workdir); // oldest first
+    if runs.len() <= keep {
+        return (0, 0);
+    }
+    let mut excess = runs.len() - keep;
+    let mut pruned = 0usize;
+    let mut bytes = 0u64;
+    for info in runs {
+        if excess == 0 {
+            break;
+        }
+        if live_suffixes
+            .iter()
+            .any(|s| info.run_id.ends_with(s.as_str()))
+        {
+            continue;
+        }
+        let dir = runs_dir.join(&info.run_id);
+        let size = dir_size(&dir);
+        if std::fs::remove_dir_all(&dir).is_ok() {
+            pruned += 1;
+            bytes += size;
+            excess -= 1;
+        }
+    }
+    (pruned, bytes)
+}
+
+/// Total payload bytes under a directory (best effort, one level of
+/// recursion per subdirectory).
+fn dir_size(dir: &std::path::Path) -> u64 {
+    let mut total = 0u64;
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.filter_map(Result::ok) {
+            let path = entry.path();
+            if path.is_dir() {
+                total += dir_size(&path);
+            } else {
+                total += std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            }
+        }
+    }
+    total
 }
 
 /// Every blob fingerprint referenced by a surviving manifest in
@@ -334,6 +420,38 @@ mod tests {
         let report = clean_workload(&mut builder, "w.json").unwrap();
         assert!(report.prune_skipped.is_none());
         assert!(report.blobs_pruned > 0, "now unreferenced blobs go");
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn keep_runs_prunes_oldest_journals_but_protects_live_runs() {
+        let dir = tmpdir("runs");
+        let work = dir.join("work");
+        std::fs::create_dir_all(&work).unwrap();
+        for _ in 0..5 {
+            let rec =
+                marshal_trace::Recorder::create(&work, "build", &[("workload", "w")]).unwrap();
+            rec.finish().unwrap();
+        }
+        // A launch-output directory shares runs/ but has no journal: it is
+        // neither counted nor pruned.
+        std::fs::create_dir_all(work.join("runs").join("w").join("job0")).unwrap();
+        let (pruned, bytes) = prune_runs(&work, 2);
+        assert_eq!(pruned, 3);
+        assert!(bytes > 0, "journal bytes should be reclaimed");
+        assert_eq!(marshal_trace::list_runs(&work).len(), 2);
+        assert!(work.join("runs").join("w").join("job0").exists());
+
+        // An unfinished recorder still holds its live pin: that run
+        // survives even a keep-nothing prune.
+        let rec = marshal_trace::Recorder::create(&work, "build", &[]).unwrap();
+        let live_id = rec.run_id().unwrap().to_owned();
+        let (pruned, _) = prune_runs(&work, 0);
+        assert_eq!(pruned, 2);
+        let remaining = marshal_trace::list_runs(&work);
+        assert_eq!(remaining.len(), 1);
+        assert_eq!(remaining[0].run_id, live_id);
+        rec.finish().unwrap();
         std::fs::remove_dir_all(dir).unwrap();
     }
 }

@@ -9,23 +9,29 @@
 //!   cosim   [--sim A,B]              Run two backends in lockstep and diff behaviour
 //!   test    [--manual DIR]           Build, launch, and compare against a reference
 //!   install [--hw CONFIG] [--sim C]  Set up an RTL simulator (firesim/vcs/verilator)
-//!   clean                            Remove built artifacts and state
+//!   clean   [--keep-runs N]          Remove built artifacts and state
 //!   serve   [--port N]               Export this workdir's built levels to the network
 //!   scrub   [--remote HOST:PORT]     Verify the blob pool; quarantine and heal damage
+//!   trace   [RUN] [--summary]        Inspect recorded run journals
 //! ```
+
+use std::collections::HashSet;
+use std::path::Path;
 
 use marshal_config::SearchPath;
 use marshal_sim_rtl::HardwareConfig;
+use marshal_trace::Recorder;
 
 use crate::board::Board;
 use crate::build::{BuildOptions, Builder};
-use crate::clean::clean_workload;
+use crate::clean::{clean_workload_with, DEFAULT_KEEP_RUNS};
 use crate::cosim::{cosim_workload, CosimOptions};
 use crate::error::MarshalError;
 use crate::install::install_workload;
 use crate::launch::{launch_workload, LaunchOptions};
 use crate::simulator::{resolve_backend, simulator_names};
-use crate::test::{test_workload, TestOutcome};
+use crate::test::{test_workload_report, TestOutcome};
+use crate::warnings::Warning;
 
 /// Process exit code for a watchdog-terminated launch (`timeout(1)`'s
 /// convention, distinct from ordinary failure).
@@ -118,10 +124,13 @@ pub enum Command {
         /// the build phase (`--remote` / `MARSHAL_REMOTE`).
         remote: Option<String>,
     },
-    /// `clean <workload>`.
+    /// `clean [--keep-runs N] <workload>`.
     Clean {
         /// Target workload file.
         workload: String,
+        /// Journal runs to retain under `workdir/runs/` (`--keep-runs`,
+        /// default 20); older journals are pruned, live runs never.
+        keep_runs: Option<usize>,
     },
     /// `serve [--port N]`: export this workdir's built levels and blobs
     /// over the wire for other builders to fetch.
@@ -137,12 +146,28 @@ pub enum Command {
         /// `MARSHAL_REMOTE`).
         remote: Option<String>,
     },
+    /// `trace [RUN] [--last] [--summary] [--export chrome|json]`: inspect
+    /// recorded run journals.
+    Trace {
+        /// Run id to inspect; `None` lists recorded runs (unless
+        /// `--last`).
+        run: Option<String>,
+        /// Export format (`chrome` for `chrome://tracing` / Perfetto JSON,
+        /// `json` for the raw verified journal lines).
+        export: Option<String>,
+        /// Print the time/cache breakdown table (the default when no
+        /// export format is given).
+        summary: bool,
+        /// Inspect the most recent run — crash forensics after a run died
+        /// mid-build.
+        last: bool,
+    },
     /// `help`.
     Help,
 }
 
 /// Usage text.
-pub const USAGE: &str = "usage: marshal [-d DIR]... [--workdir DIR] [-v] <build|launch|cosim|test|install|clean|serve|scrub> [options] <workload>
+pub const USAGE: &str = "usage: marshal [-d DIR]... [--workdir DIR] [-v] <build|launch|cosim|test|install|clean|serve|scrub|trace> [options] <workload>
   build   [--no-disk] [--force] [--keep-going] [-j N] [--remote HOST:PORT]
                                   construct the filesystem image and boot-binary;
                                   --keep-going builds past failures (only dependents
@@ -169,13 +194,22 @@ pub const USAGE: &str = "usage: marshal [-d DIR]... [--workdir DIR] [-v] <build|
                                   compare outputs against a reference (build+launch, or a prior run dir)
   install [--hw CONFIG] [--sim C] [--remote HOST:PORT]
                                   generate RTL simulator configuration (firesim/vcs/verilator)
-  clean                           remove built artifacts and state
+  clean   [--keep-runs N]         remove built artifacts and state; also prunes
+                                  recorded run journals beyond the newest N
+                                  (default 20; journals of live runs are kept)
   serve   [--port N]              export this workdir's built levels and blobs to
                                   other builders (default port 9300; Ctrl-C drains
                                   in-flight connections before exiting)
   scrub   [--remote HOST:PORT]    verify every pool blob and level manifest,
                                   quarantine corruption, and re-fetch damaged blobs
-                                  from a remote when one is configured";
+                                  from a remote when one is configured
+  trace   [RUN] [--last] [--summary] [--export chrome|json]
+                                  inspect recorded run journals: with no RUN, list
+                                  them; with a RUN (or --last for the newest, e.g.
+                                  after a crash) print the per-task/per-level time
+                                  and cache breakdown, or --export chrome for
+                                  chrome://tracing- and Perfetto-loadable JSON
+                                  (--export json prints the verified journal lines)";
 
 /// Parses command-line arguments (excluding `argv[0]`).
 ///
@@ -233,6 +267,10 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, MarshalError> {
     let mut inject_divergence = false;
     let mut remote: Option<String> = None;
     let mut port: Option<u16> = None;
+    let mut keep_runs: Option<usize> = None;
+    let mut export: Option<String> = None;
+    let mut summary = false;
+    let mut last = false;
     let mut workload = None;
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -240,6 +278,24 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, MarshalError> {
             "--force" => force = true,
             "--keep-going" => keep_going = true,
             "--inject-divergence" => inject_divergence = true,
+            "--summary" => summary = true,
+            "--last" => last = true,
+            "--export" => {
+                export = Some(
+                    it.next()
+                        .ok_or_else(|| err("--export needs a format (chrome, json)"))?
+                        .clone(),
+                )
+            }
+            "--keep-runs" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| err("--keep-runs needs a run count"))?;
+                keep_runs = Some(
+                    n.parse::<usize>()
+                        .map_err(|_| err(&format!("--keep-runs: `{n}` is not a run count")))?,
+                );
+            }
             "--timeout-insts" => {
                 let n = it
                     .next()
@@ -348,6 +404,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, MarshalError> {
         },
         "clean" => Command::Clean {
             workload: need_workload()?,
+            keep_runs,
         },
         "serve" => {
             if workload.is_some() {
@@ -362,6 +419,17 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, MarshalError> {
                 return Err(err("scrub takes no workload argument"));
             }
             Command::Scrub { remote }
+        }
+        "trace" => {
+            if last && workload.is_some() {
+                return Err(err("trace takes a RUN id or --last, not both"));
+            }
+            Command::Trace {
+                run: workload.clone(),
+                export,
+                summary,
+                last,
+            }
         }
         other => return Err(err(&format!("unknown command `{other}`"))),
     };
@@ -383,25 +451,97 @@ pub fn hardware_by_name(name: &str) -> Option<HardwareConfig> {
     }
 }
 
+/// The journal header a command records, when it records one: the command
+/// name and the workload argument. `trace`, `clean`, `serve`, and `help`
+/// run untraced — inspection and retention must not mint the very
+/// journals they manage, and the serve daemon is long-lived.
+fn trace_target(command: &Command) -> Option<(&'static str, Option<&str>)> {
+    match command {
+        Command::Build { workload, .. } => Some(("build", Some(workload))),
+        Command::Launch { workload, .. } => Some(("launch", Some(workload))),
+        Command::Cosim { workload, .. } => Some(("cosim", Some(workload))),
+        Command::Test { workload, .. } => Some(("test", Some(workload))),
+        Command::Install { workload, .. } => Some(("install", Some(workload))),
+        Command::Scrub { .. } => Some(("scrub", None)),
+        _ => None,
+    }
+}
+
+/// Renders warnings at the CLI boundary. Every warning is mirrored into
+/// the run journal; duplicates — the same `(context, code)` arriving
+/// through two channels, e.g. a build warning re-surfaced by each launch
+/// job — are printed once, in first-arrival order. Warnings still carrying
+/// the `generic` code have no classification, so their messages must also
+/// match before two are considered the same.
+fn render_warnings(
+    log: &mut Vec<String>,
+    rec: &Recorder,
+    seen: &mut HashSet<(String, String, String)>,
+    warnings: &[Warning],
+) {
+    for w in warnings {
+        rec.warning(w.severity.as_str(), w.code, &w.context, &w.message);
+        let msg_key = if w.code == "generic" {
+            w.message.clone()
+        } else {
+            String::new()
+        };
+        if seen.insert((w.context.clone(), w.code.to_owned(), msg_key)) {
+            log.push(w.to_string());
+        }
+    }
+}
+
 /// Runs a parsed command; returns `(exit code, human-readable output)`.
 ///
 /// The caller provides the board and the base search path (normally from
 /// `marshal-workloads`).
+///
+/// Traced commands (see [`trace_target`]) record a journal under
+/// `workdir/runs/<run-id>/` and report the run id on success; a journal
+/// that cannot be created degrades to an untraced run rather than failing
+/// the command.
 pub fn run_command(args: &CliArgs, board: Board, mut search: SearchPath) -> (i32, Vec<String>) {
-    let mut log = Vec::new();
     for d in &args.search_dirs {
         search.add_dir(d);
     }
+    let mut builder = match Builder::new(board, search, &args.workdir) {
+        Ok(b) => b,
+        Err(e) => return (1, vec![format!("error: {e}")]),
+    };
+    let recorder = match trace_target(&args.command) {
+        Some((command, workload)) => {
+            let mut meta: Vec<(&str, &str)> = Vec::new();
+            if let Some(w) = workload {
+                meta.push(("workload", w));
+            }
+            Recorder::create(Path::new(&args.workdir), command, &meta).unwrap_or_default()
+        }
+        None => Recorder::disabled(),
+    };
+    builder.set_recorder(recorder.clone());
+    let (code, mut log) = dispatch(args, &mut builder, &recorder);
+    if let Some(done) = recorder.finish() {
+        log.push(format!(
+            "run journal: {} ({} event(s); inspect with `marshal trace {}`)",
+            done.run_id, done.events, done.run_id
+        ));
+    }
+    (code, log)
+}
+
+/// [`run_command`]'s per-command body, with the recorder already installed
+/// on `builder` and finished by the caller.
+#[allow(clippy::too_many_lines)]
+fn dispatch(args: &CliArgs, builder: &mut Builder, rec: &Recorder) -> (i32, Vec<String>) {
+    let mut log = Vec::new();
+    let mut seen = HashSet::new();
     macro_rules! fail {
         ($e:expr) => {{
             log.push(format!("error: {}", $e));
             return (1, log);
         }};
     }
-    let mut builder = match Builder::new(board, search, &args.workdir) {
-        Ok(b) => b,
-        Err(e) => fail!(e),
-    };
     match &args.command {
         Command::Help => {
             log.push(USAGE.to_owned());
@@ -424,7 +564,7 @@ pub fn run_command(args: &CliArgs, board: Board, mut search: SearchPath) -> (i32
             };
             match builder.build(workload, &opts) {
                 Ok(products) => {
-                    log.extend(products.warnings.iter().map(ToString::to_string));
+                    render_warnings(&mut log, rec, &mut seen, &products.warnings);
                     if let Some(summary) = &products.remote {
                         log.push(summary.describe());
                     }
@@ -488,7 +628,7 @@ pub fn run_command(args: &CliArgs, board: Board, mut search: SearchPath) -> (i32
                 Ok(p) => p,
                 Err(e) => fail!(e),
             };
-            log.extend(products.warnings.iter().map(ToString::to_string));
+            render_warnings(&mut log, rec, &mut seen, &products.warnings);
             let launch_opts = LaunchOptions {
                 timeout_insts: *timeout_insts,
                 sim: sim.clone(),
@@ -503,12 +643,12 @@ pub fn run_command(args: &CliArgs, board: Board, mut search: SearchPath) -> (i32
                     else {
                         fail!(format!("no job named `{job_name}`"));
                     };
-                    match crate::launch::launch_job(&builder, &products, index, &launch_opts) {
+                    match crate::launch::launch_job(builder, &products, index, &launch_opts) {
                         Ok(out) => {
                             if args.verbose {
                                 log.extend(out.serial.lines().map(str::to_owned));
                             }
-                            log.extend(out.warnings.iter().map(ToString::to_string));
+                            render_warnings(&mut log, rec, &mut seen, &out.warnings);
                             if out.timed_out {
                                 log.push(format!(
                                     "job `{}` TIMED OUT after {} instructions; partial \
@@ -531,13 +671,13 @@ pub fn run_command(args: &CliArgs, board: Board, mut search: SearchPath) -> (i32
                         Err(e) => fail!(e),
                     }
                 }
-                None => match launch_workload(&builder, &products, &launch_opts) {
+                None => match launch_workload(builder, &products, &launch_opts) {
                     Ok(run) => {
                         for j in &run.jobs {
                             if args.verbose {
                                 log.extend(j.serial.lines().map(str::to_owned));
                             }
-                            log.extend(j.warnings.iter().map(ToString::to_string));
+                            render_warnings(&mut log, rec, &mut seen, &j.warnings);
                             if j.timed_out {
                                 log.push(format!(
                                     "job `{}` TIMED OUT after {} instructions (partial \
@@ -570,6 +710,7 @@ pub fn run_command(args: &CliArgs, board: Board, mut search: SearchPath) -> (i32
             let mut opts = CosimOptions {
                 timeout_insts: *timeout_insts,
                 inject_divergence: *inject_divergence,
+                recorder: rec.clone(),
                 ..CosimOptions::default()
             };
             if let Some(pair) = sim {
@@ -602,7 +743,7 @@ pub fn run_command(args: &CliArgs, board: Board, mut search: SearchPath) -> (i32
                 Ok(p) => p,
                 Err(e) => fail!(e),
             };
-            log.extend(products.warnings.iter().map(ToString::to_string));
+            render_warnings(&mut log, rec, &mut seen, &products.warnings);
             match cosim_workload(&products, &opts) {
                 Ok(report) => {
                     for job in &report.jobs {
@@ -660,7 +801,8 @@ pub fn run_command(args: &CliArgs, board: Board, mut search: SearchPath) -> (i32
                     // produced, without re-running anything.
                     match builder.build(workload, &build_opts) {
                         Ok(products) => {
-                            let dir = std::path::Path::new(dir);
+                            render_warnings(&mut log, rec, &mut seen, &products.warnings);
+                            let dir = Path::new(dir);
                             let serials: Result<Vec<(String, String)>, MarshalError> = products
                                 .jobs
                                 .iter()
@@ -683,15 +825,23 @@ pub fn run_command(args: &CliArgs, board: Board, mut search: SearchPath) -> (i32
                         Err(e) => Err(e),
                     }
                 }
-                None => test_workload(
-                    &mut builder,
+                None => test_workload_report(
+                    builder,
                     workload,
                     &build_opts,
                     &LaunchOptions {
                         timeout_insts: *timeout_insts,
                         ..LaunchOptions::default()
                     },
-                ),
+                )
+                .map(|report| {
+                    // The same condition can surface both as a build
+                    // warning and per launch job: one deduping boundary
+                    // renders each once.
+                    render_warnings(&mut log, rec, &mut seen, &report.build_warnings);
+                    render_warnings(&mut log, rec, &mut seen, &report.launch_warnings);
+                    report.outcomes
+                }),
             };
             match outcomes_result {
                 Ok(outcomes) => {
@@ -745,13 +895,13 @@ pub fn run_command(args: &CliArgs, board: Board, mut search: SearchPath) -> (i32
                 Ok(p) => p,
                 Err(e) => fail!(e),
             };
-            log.extend(products.warnings.iter().map(ToString::to_string));
+            render_warnings(&mut log, rec, &mut seen, &products.warnings);
             if let Some(summary) = &products.remote {
                 log.push(summary.describe());
             }
             // The firesim connector keeps the classic manifest path; all
             // connectors write into the workload's install dir.
-            let _ = install_workload(&builder, &products);
+            let _ = install_workload(builder, &products);
             let dir = builder.install_dir(&products.workload);
             match conn.install(&products, &dir) {
                 Ok(path) => {
@@ -767,12 +917,15 @@ pub fn run_command(args: &CliArgs, board: Board, mut search: SearchPath) -> (i32
                 Err(e) => fail!(e),
             }
         }
-        Command::Clean { workload } => match clean_workload(&mut builder, workload) {
+        Command::Clean {
+            workload,
+            keep_runs,
+        } => match clean_workload_with(builder, workload, keep_runs.unwrap_or(DEFAULT_KEEP_RUNS)) {
             Ok(report) => {
                 log.push(format!(
                     "cleaned `{workload}` ({} state entries forgotten, \
-                     {} level manifests removed, {} unreferenced blobs pruned, \
-                     {} bytes reclaimed)",
+                         {} level manifests removed, {} unreferenced blobs pruned, \
+                         {} bytes reclaimed)",
                     report.state_entries,
                     report.levels_removed,
                     report.blobs_pruned,
@@ -780,6 +933,12 @@ pub fn run_command(args: &CliArgs, board: Board, mut search: SearchPath) -> (i32
                 ));
                 if let Some(reason) = &report.prune_skipped {
                     log.push(format!("note: blob pruning deferred: {reason}"));
+                }
+                if report.runs_pruned > 0 {
+                    log.push(format!(
+                        "pruned {} old run journal(s) ({} bytes reclaimed)",
+                        report.runs_pruned, report.run_bytes_reclaimed
+                    ));
                 }
                 (0, log)
             }
@@ -817,9 +976,12 @@ pub fn run_command(args: &CliArgs, board: Board, mut search: SearchPath) -> (i32
             let client = effective_remote(remote).map(|addr| {
                 marshal_netstore::RemoteStore::tcp(&addr, marshal_netstore::RetryPolicy::default())
             });
-            match crate::scrub::scrub_pool(std::path::Path::new(&args.workdir), client.as_ref()) {
+            if let Some(client) = &client {
+                client.set_recorder(rec.clone());
+            }
+            match crate::scrub::scrub_pool_with(Path::new(&args.workdir), client.as_ref(), rec) {
                 Ok(report) => {
-                    log.extend(report.warnings.iter().map(ToString::to_string));
+                    render_warnings(&mut log, rec, &mut seen, &report.warnings);
                     log.push(format!(
                         "scrubbed pool: {} blob(s) ({} bytes) verified, {} corrupt \
                          ({} bytes quarantined), {} healed from remote, {} unrecoverable; \
@@ -837,6 +999,74 @@ pub fn run_command(args: &CliArgs, board: Board, mut search: SearchPath) -> (i32
                 }
                 Err(e) => fail!(e),
             }
+        }
+        Command::Trace {
+            run,
+            export,
+            summary,
+            last,
+        } => {
+            let workdir = Path::new(&args.workdir);
+            let selected = match (run, *last) {
+                (Some(id), _) => Some(id.clone()),
+                (None, true) => {
+                    let runs = marshal_trace::list_runs(workdir);
+                    match runs.last() {
+                        Some(info) => Some(info.run_id.clone()),
+                        None => fail!("no recorded runs to inspect (run a build first)"),
+                    }
+                }
+                (None, false) => None,
+            };
+            let Some(run_id) = selected else {
+                // No run named: list what the workdir has.
+                let runs = marshal_trace::list_runs(workdir);
+                if runs.is_empty() {
+                    log.push("no recorded runs (build, launch, test, cosim, and scrub record journals under workdir/runs/)".to_owned());
+                    return (0, log);
+                }
+                log.push(format!(
+                    "{:<26} {:<8} {:<24} {:>8}  status",
+                    "run", "command", "workload", "events"
+                ));
+                for info in &runs {
+                    log.push(format!(
+                        "{:<26} {:<8} {:<24} {:>8}  {}",
+                        info.run_id,
+                        info.command.as_deref().unwrap_or("?"),
+                        info.workload.as_deref().unwrap_or("-"),
+                        info.events,
+                        if info.torn { "TORN" } else { "ok" }
+                    ));
+                }
+                return (0, log);
+            };
+            let journal_path = workdir.join("runs").join(&run_id).join("journal.jsonl");
+            let journal = match marshal_trace::read_journal(&journal_path) {
+                Ok(j) => j,
+                Err(e) => fail!(e),
+            };
+            match export.as_deref() {
+                Some("chrome") => log.push(marshal_trace::chrome_trace(&journal)),
+                Some("json") => {
+                    log.extend(journal.records.iter().map(marshal_trace::Record::encode))
+                }
+                Some(other) => fail!(format!(
+                    "unknown export format `{other}` (try chrome, json)"
+                )),
+                None => {}
+            }
+            if export.is_none() || *summary {
+                log.extend(marshal_trace::summarize(&journal).render());
+            }
+            if journal.torn {
+                log.push(format!(
+                    "note: journal tail torn ({}); the {} verified event(s) above are what completed before the run died",
+                    journal.torn_detail.as_deref().unwrap_or("unknown damage"),
+                    journal.records.len()
+                ));
+            }
+            (0, log)
         }
     }
 }
@@ -1072,6 +1302,84 @@ mod tests {
     fn help_is_ok() {
         let args = parse(&["help"]).unwrap();
         assert_eq!(args.command, Command::Help);
+    }
+
+    #[test]
+    fn parse_trace() {
+        let args = parse(&["trace"]).unwrap();
+        assert_eq!(
+            args.command,
+            Command::Trace {
+                run: None,
+                export: None,
+                summary: false,
+                last: false
+            }
+        );
+        let args = parse(&["trace", "--last", "--summary"]).unwrap();
+        assert!(matches!(
+            args.command,
+            Command::Trace {
+                last: true,
+                summary: true,
+                ..
+            }
+        ));
+        let args = parse(&["trace", "r0000000000001-1-0", "--export", "chrome"]).unwrap();
+        assert!(matches!(
+            args.command,
+            Command::Trace { ref run, ref export, .. }
+                if run.as_deref() == Some("r0000000000001-1-0")
+                    && export.as_deref() == Some("chrome")
+        ));
+        assert!(parse(&["trace", "r1", "--last"]).is_err());
+        assert!(parse(&["trace", "--export"]).is_err());
+    }
+
+    #[test]
+    fn parse_keep_runs() {
+        let args = parse(&["clean", "w.json"]).unwrap();
+        assert_eq!(
+            args.command,
+            Command::Clean {
+                workload: "w.json".into(),
+                keep_runs: None
+            }
+        );
+        let args = parse(&["clean", "--keep-runs", "3", "w.json"]).unwrap();
+        assert!(matches!(
+            args.command,
+            Command::Clean {
+                keep_runs: Some(3),
+                ..
+            }
+        ));
+        assert!(parse(&["clean", "--keep-runs", "lots", "w.json"]).is_err());
+        assert!(parse(&["clean", "--keep-runs"]).is_err());
+    }
+
+    #[test]
+    fn warning_dedupe_at_render_boundary() {
+        let rec = Recorder::disabled();
+        let mut log = Vec::new();
+        let mut seen = HashSet::new();
+        // The same coded condition arriving through two channels (build
+        // products, then a launch output) renders exactly once.
+        let w = Warning::with_code(
+            "hello.0",
+            "output `x` missing after watchdog timeout",
+            "watchdog-missing-output",
+        );
+        render_warnings(&mut log, &rec, &mut seen, std::slice::from_ref(&w));
+        render_warnings(&mut log, &rec, &mut seen, std::slice::from_ref(&w));
+        assert_eq!(log.len(), 1, "{log:?}");
+        assert_eq!(log[0], w.to_string(), "rendering format unchanged");
+        // Generic warnings carry no classification: distinct messages in
+        // the same context must both survive, but a literal repeat not.
+        let a = Warning::new("ctx", "first thing");
+        let b = Warning::new("ctx", "second thing");
+        render_warnings(&mut log, &rec, &mut seen, &[a.clone(), b, a]);
+        assert_eq!(log.len(), 3, "{log:?}");
     }
 
     #[test]

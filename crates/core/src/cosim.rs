@@ -20,6 +20,7 @@ use std::fmt;
 use marshal_image::{FsImage, Node};
 use marshal_sim_functional::LaunchMode;
 use marshal_sim_rtl::HardwareConfig;
+use marshal_trace::Recorder;
 
 use crate::build::{BuildProducts, JobArtifacts};
 use crate::error::MarshalError;
@@ -40,6 +41,8 @@ pub struct CosimOptions {
     /// of the second backend's output before comparing, to prove the
     /// checker detects single-byte divergence.
     pub inject_divergence: bool,
+    /// Run-journal recorder; each backend observation records a `sim` span.
+    pub recorder: Recorder,
 }
 
 impl Default for CosimOptions {
@@ -51,6 +54,7 @@ impl Default for CosimOptions {
             timeout_insts: None,
             hw: None,
             inject_divergence: false,
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -193,7 +197,16 @@ pub fn observe_backend(
     };
     let backend = simulator_for(backend_name, &job.spec, &backend_opts)?;
     let loaded = load_artifacts(job)?;
-    let run = backend.run(&loaded, LaunchMode::Run)?;
+    let span = opts.recorder.sim_span(backend.name(), &job.name);
+    let run = backend.run(&loaded, LaunchMode::Run);
+    match &run {
+        Ok(r) => span.end_with(&[
+            ("outcome", if r.result.timed_out { "timeout" } else { "ok" }),
+            ("instructions", &r.result.instructions.to_string()),
+        ]),
+        Err(_) => span.end_with(&[("outcome", "error")]),
+    }
+    let run = run?;
     let outputs = gather_outputs(run.result.image.as_ref(), &job.spec.outputs);
     Ok(BackendBehaviour {
         backend: backend.name().to_owned(),

@@ -26,6 +26,7 @@ use std::sync::{Arc, Mutex};
 use marshal_depgraph::Fingerprint;
 use marshal_image::{BlobStore, FsImage, StoreError, StoreStats};
 use marshal_netstore::RemoteStore;
+use marshal_trace::Recorder;
 
 /// Level images are persisted to disk (so incremental rebuilds can load a
 /// skipped parent's image) and cached in memory within one build. Cloning
@@ -39,6 +40,9 @@ pub struct ImageStore {
     /// When configured, load failures try to self-heal by re-fetching the
     /// offending blob before giving up.
     remote: Option<Arc<RemoteStore>>,
+    /// Run-journal recorder for cache hit/miss and blob byte accounting;
+    /// disabled by default.
+    recorder: Recorder,
 }
 
 impl ImageStore {
@@ -50,6 +54,7 @@ impl ImageStore {
             dir: workdir.join("levels"),
             blobs: BlobStore::new(workdir.join("objects")),
             remote: None,
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -57,6 +62,12 @@ impl ImageStore {
     /// during loads. Set before cloning the store into build tasks.
     pub fn set_remote(&mut self, remote: Arc<RemoteStore>) {
         self.remote = Some(remote);
+    }
+
+    /// Installs a run-journal recorder; loads and stores through this store
+    /// (and every clone made afterwards) emit cache and blob events.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// The manifest directory (`workdir/levels`).
@@ -128,6 +139,7 @@ impl ImageStore {
         if let Some(fp) = input {
             self.write_by_input(fp, &manifest)?;
         }
+        self.recorder.blob_put(key, stats.bytes_written);
         self.stats.lock().expect("stats poisoned").absorb(&stats);
         self.cache
             .lock()
@@ -201,8 +213,10 @@ impl ImageStore {
     pub fn load(&self, key: &str) -> Result<FsImage, String> {
         let mut cache = self.cache.lock().expect("store poisoned");
         if let Some(img) = cache.get(key) {
+            self.recorder.cache_event(key, true);
             return Ok(img.clone());
         }
+        self.recorder.cache_event(key, false);
         let path = self.path_for(key);
         if !path.exists() {
             return Err(format!(
@@ -214,6 +228,7 @@ impl ImageStore {
             Ok(img) => img,
             Err(e) => self.recover_load(key, &path, e)?,
         };
+        self.recorder.blob_get(key, img.total_size());
         cache.insert(key.to_owned(), img.clone());
         Ok(img)
     }

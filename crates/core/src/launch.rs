@@ -155,8 +155,28 @@ pub fn launch_job(
             products.workload
         ))
     })?;
-    let run = simulate_job(job, opts)?;
+    let rec = builder.recorder();
+    let backend_name = opts
+        .sim
+        .as_deref()
+        .unwrap_or_else(|| default_backend(&job.spec))
+        .to_owned();
+    let span = rec.sim_span(&backend_name, &job.name);
+    let run = simulate_job(job, opts);
+    match &run {
+        Ok(r) => span.end_with(&[
+            ("outcome", if r.result.timed_out { "timeout" } else { "ok" }),
+            ("exit_code", &r.result.exit_code.to_string()),
+            ("instructions", &r.result.instructions.to_string()),
+            ("uartlog_bytes", &r.result.serial.len().to_string()),
+        ]),
+        Err(_) => span.end_with(&[("outcome", "error")]),
+    }
+    let run = run?;
     let result = run.result;
+    if result.timed_out {
+        rec.watchdog_fired(&job.name, result.instructions);
+    }
     let job_dir = builder.run_dir(&products.workload).join(&job.name);
     let mut warnings = Vec::new();
     if result.timed_out {
@@ -170,9 +190,10 @@ pub fn launch_job(
             &job.spec.outputs,
         )?;
         for path in &missed {
-            warnings.push(Warning::new(
+            warnings.push(Warning::with_code(
                 job.name.clone(),
                 format!("output `{path}` missing after watchdog timeout"),
+                "watchdog-missing-output",
             ));
         }
     } else {

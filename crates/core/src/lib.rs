@@ -57,13 +57,13 @@ pub mod warnings;
 
 pub use board::Board;
 pub use build::{BuildOptions, BuildProducts, Builder, JobArtifacts, JobKind};
-pub use clean::CleanReport;
+pub use clean::{prune_runs, CleanReport, DEFAULT_KEEP_RUNS};
 pub use cosim::{CosimOptions, CosimReport, Divergence};
 pub use error::MarshalError;
 pub use imagestore::{ImageStore, PoolPin};
 pub use install::InstallManifest;
 pub use launch::{LaunchOptions, LaunchOutput};
-pub use scrub::{scrub_pool, ScrubReport};
+pub use scrub::{scrub_pool, scrub_pool_with, ScrubReport};
 pub use simulator::{simulator_for, simulator_names, BackendOptions, SimRun, Simulator};
-pub use test::{clean_output, clean_output_with, TestOutcome};
-pub use warnings::Warning;
+pub use test::{clean_output, clean_output_with, TestOutcome, TestReport};
+pub use warnings::{Severity, Warning};

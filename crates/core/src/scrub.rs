@@ -17,7 +17,8 @@ use marshal_netstore::RemoteStore;
 use crate::clean::{live_refs, pool_blobs, sweep_by_input};
 use crate::error::MarshalError;
 use crate::imagestore::ImageStore;
-use crate::warnings::Warning;
+use crate::warnings::{Severity, Warning};
+use marshal_trace::Recorder;
 
 /// What a pool scrub found and fixed.
 #[derive(Debug, Clone, Default)]
@@ -57,6 +58,39 @@ pub fn scrub_pool(
     workdir: &Path,
     remote: Option<&RemoteStore>,
 ) -> Result<ScrubReport, MarshalError> {
+    scrub_pool_with(workdir, remote, &Recorder::disabled())
+}
+
+/// [`scrub_pool`] with a run-journal recorder: the scrub runs under a
+/// `scrub` span whose closing args carry the damage counts.
+///
+/// # Errors
+///
+/// Same as [`scrub_pool`].
+pub fn scrub_pool_with(
+    workdir: &Path,
+    remote: Option<&RemoteStore>,
+    recorder: &Recorder,
+) -> Result<ScrubReport, MarshalError> {
+    let span = recorder.span("scrub", &[]);
+    let report = scrub_pool_inner(workdir, remote);
+    match &report {
+        Ok(r) => span.end_with(&[
+            ("outcome", "ok"),
+            ("blobs_checked", &r.blobs_checked.to_string()),
+            ("corrupt", &r.corrupt.to_string()),
+            ("healed", &r.healed.to_string()),
+            ("manifests_removed", &r.manifests_removed.to_string()),
+        ]),
+        Err(_) => span.end_with(&[("outcome", "error")]),
+    }
+    report
+}
+
+fn scrub_pool_inner(
+    workdir: &Path,
+    remote: Option<&RemoteStore>,
+) -> Result<ScrubReport, MarshalError> {
     let store = ImageStore::new(workdir);
     let mut report = ScrubReport::default();
 
@@ -84,13 +118,14 @@ pub fn scrub_pool(
             if let Err(e) = marshal_image::manifest_refs(&bytes) {
                 if std::fs::remove_file(&path).is_ok() {
                     report.manifests_removed += 1;
-                    report.warnings.push(Warning::new(
+                    report.warnings.push(Warning::with_code(
                         "scrub",
                         format!(
                             "torn or malformed manifest {} removed ({e}); \
                              its level will rebuild",
                             path.display()
                         ),
+                        "scrub-torn-manifest",
                     ));
                 }
             }
@@ -113,17 +148,19 @@ pub fn scrub_pool(
         match store.blobs().quarantine(fp) {
             Ok((to, size)) => {
                 report.quarantined_bytes += size;
-                report.warnings.push(Warning::new(
+                report.warnings.push(Warning::with_code(
                     "scrub",
                     format!(
                         "blob {fp} failed verification; quarantined to {}",
                         to.display()
                     ),
+                    "scrub-corrupt-blob",
                 ));
             }
-            Err(e) => report.warnings.push(Warning::new(
+            Err(e) => report.warnings.push(Warning::with_code(
                 "scrub",
                 format!("blob {fp} failed verification but could not be quarantined: {e}"),
+                "scrub-corrupt-blob",
             )),
         }
         // Dead blobs (nothing references them) need no healing; a live one
@@ -134,10 +171,14 @@ pub fn scrub_pool(
                 .unwrap_or(false);
         if healed {
             report.healed += 1;
-            report.warnings.push(Warning::new(
-                "scrub",
-                format!("blob {fp} re-fetched from remote"),
-            ));
+            report.warnings.push(
+                Warning::with_code(
+                    "scrub",
+                    format!("blob {fp} re-fetched from remote"),
+                    "scrub-healed",
+                )
+                .severity(Severity::Info),
+            );
         } else if live.contains(&fp) {
             report.unrecoverable += 1;
             lost.insert(fp);
@@ -157,13 +198,14 @@ pub fn scrub_pool(
                 };
                 if refs.iter().any(|fp| lost.contains(fp)) && std::fs::remove_file(&path).is_ok() {
                     report.manifests_removed += 1;
-                    report.warnings.push(Warning::new(
+                    report.warnings.push(Warning::with_code(
                         "scrub",
                         format!(
                             "manifest {} references an unrecoverable blob; removed so \
                              the level rebuilds",
                             path.display()
                         ),
+                        "scrub-lost-manifest",
                     ));
                 }
             }

@@ -151,6 +151,23 @@ pub fn reference_for_job(ref_dir: &Path, job: &str) -> Option<std::path::PathBuf
     None
 }
 
+/// A full `test` run: per-job outcomes plus every non-fatal diagnostic the
+/// build and launch phases produced.
+///
+/// Warnings arrive through two channels — whole-build warnings on
+/// [`BuildProducts`] and per-job warnings on each launch output — and the
+/// same condition can surface on both. The CLI renders them through one
+/// deduplicating boundary (see [`crate::cli`]) so each is printed once.
+#[derive(Debug, Clone)]
+pub struct TestReport {
+    /// Per-job outcomes, in job order.
+    pub outcomes: Vec<TestOutcome>,
+    /// Build-phase warnings, in production order.
+    pub build_warnings: Vec<crate::warnings::Warning>,
+    /// Launch-phase warnings across all jobs, in production order.
+    pub launch_warnings: Vec<crate::warnings::Warning>,
+}
+
 /// The `test` command: build + launch + compare every job.
 ///
 /// # Errors
@@ -163,6 +180,21 @@ pub fn test_workload(
     options: &BuildOptions,
     launch_opts: &LaunchOptions,
 ) -> Result<Vec<TestOutcome>, MarshalError> {
+    test_workload_report(builder, name, options, launch_opts).map(|r| r.outcomes)
+}
+
+/// [`test_workload`], keeping the build- and launch-phase warnings
+/// alongside the outcomes.
+///
+/// # Errors
+///
+/// Same as [`test_workload`].
+pub fn test_workload_report(
+    builder: &mut Builder,
+    name: &str,
+    options: &BuildOptions,
+    launch_opts: &LaunchOptions,
+) -> Result<TestReport, MarshalError> {
     let products = builder.build(name, options)?;
     let run = launch_workload(builder, &products, launch_opts)?;
     let serials: Vec<(String, String)> = run
@@ -181,7 +213,11 @@ pub fn test_workload(
             };
         }
     }
-    Ok(outcomes)
+    Ok(TestReport {
+        outcomes,
+        build_warnings: products.warnings.clone(),
+        launch_warnings: run.jobs.iter().flat_map(|j| j.warnings.clone()).collect(),
+    })
 }
 
 /// Compares already-produced serial logs against the workload's reference —

@@ -13,6 +13,9 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use marshal_trace::Recorder;
 
 use crate::claims::ClaimScope;
 use crate::error::BuildError;
@@ -32,6 +35,10 @@ pub struct ExecOptions {
     pub keep_going: bool,
     /// Number of worker threads; `0` or `1` runs serially.
     pub threads: usize,
+    /// Event recorder for the run journal. The default (disabled) recorder
+    /// costs one branch per would-be event — no channel sends, no clock
+    /// reads on the scheduling hot path.
+    pub recorder: Recorder,
 }
 
 impl Default for ExecOptions {
@@ -39,6 +46,7 @@ impl Default for ExecOptions {
         ExecOptions {
             keep_going: false,
             threads: 1,
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -312,6 +320,7 @@ impl Graph {
             &ExecOptions {
                 keep_going: false,
                 threads,
+                recorder: Recorder::disabled(),
             },
         )
     }
@@ -345,10 +354,12 @@ impl Graph {
         let mut dirty: BTreeSet<&str> = BTreeSet::new();
         // Failed tasks and their transitive dependents: never attempted.
         let mut dead: BTreeSet<&str> = BTreeSet::new();
+        let rec = &opts.recorder;
         for id in order {
             let task = self.get(id).expect("known id");
             if task.deps().iter().any(|d| dead.contains(d.as_str())) {
                 dead.insert(id.as_str());
+                rec.task_poisoned(id);
                 report.poisoned.push(id.clone());
                 continue;
             }
@@ -356,6 +367,7 @@ impl Graph {
             let dep_ran = task.deps().iter().any(|d| dirty.contains(d.as_str()));
             let up_to_date = !dep_ran && db.last(id) == Some(fp) && task.outputs_exist();
             if up_to_date {
+                rec.task_skipped(id);
                 report.skipped.push(id.clone());
                 continue;
             }
@@ -365,10 +377,12 @@ impl Graph {
             // crash detection, not correctness of this build.
             db.mark_in_progress(id.clone());
             let _ = db.flush();
+            let span = rec.task_span(id);
             match run_with_retries(task) {
                 Ok(()) => {
                     db.finish(id.clone(), fp);
                     let _ = db.flush();
+                    span.end_with(&[("outcome", "executed")]);
                     dirty.insert(id.as_str());
                     report.executed.push(id.clone());
                 }
@@ -377,12 +391,14 @@ impl Graph {
                     // next run does not report a phantom interruption.
                     db.clear_in_progress(id);
                     let _ = db.flush();
+                    span.end_with(&[("outcome", "failed"), ("error", &message)]);
                     dead.insert(id.as_str());
                     report.failed.push((id.clone(), message));
                 }
                 Err(message) => {
                     db.clear_in_progress(id);
                     let _ = db.flush();
+                    span.end_with(&[("outcome", "failed"), ("error", &message)]);
                     return Err(BuildError::TaskFailed {
                         task: id.clone(),
                         message,
@@ -407,11 +423,17 @@ impl Graph {
             graph: &'g Graph,
             state: Mutex<SchedState>,
             cv: Condvar,
+            /// Whether to keep ready timestamps for claim-wait attribution
+            /// (only when a recorder is listening).
+            trace: bool,
         }
         #[derive(Default)]
         struct SchedState {
             remaining_deps: BTreeMap<String, usize>,
             ready: Vec<String>,
+            /// When each ready task became ready (tracing only): the gap
+            /// between this and the claim is the task's queue wait.
+            ready_at: BTreeMap<String, Instant>,
             dirty: BTreeSet<String>,
             /// Failed tasks and their transitive dependents.
             dead: BTreeSet<String>,
@@ -419,6 +441,8 @@ impl Graph {
             skipped: Vec<String>,
             poisoned: Vec<String>,
             pending: usize,
+            /// Workers currently running a claimed task (`-j` occupancy).
+            busy: usize,
             failures: BTreeMap<String, String>,
         }
 
@@ -426,7 +450,7 @@ impl Graph {
         /// settles (succeeded, failed, or poisoned), readying any child
         /// whose dependencies have all settled. Children outside `order`
         /// (when building a root subset) are ignored.
-        fn settle(st: &mut SchedState, graph: &Graph, id: &str) {
+        fn settle(st: &mut SchedState, graph: &Graph, id: &str, trace: bool) {
             st.pending -= 1;
             for t in graph.iter() {
                 if !t.deps().iter().any(|d| d == id) {
@@ -437,6 +461,9 @@ impl Graph {
                     *rem = rem.saturating_sub(1);
                     if *rem == 0 {
                         st.ready.push(t.id().to_owned());
+                        if trace {
+                            st.ready_at.insert(t.id().to_owned(), Instant::now());
+                        }
                     }
                 }
             }
@@ -461,11 +488,19 @@ impl Graph {
             }
         }
         sched.ready.sort();
+        let rec = &opts.recorder;
+        if rec.enabled() {
+            let now = Instant::now();
+            for id in &sched.ready {
+                sched.ready_at.insert(id.clone(), now);
+            }
+        }
 
         let shared = Shared {
             graph: self,
             state: Mutex::new(sched),
             cv: Condvar::new(),
+            trace: rec.enabled(),
         };
         let last_fps: BTreeMap<String, Option<Fingerprint>> =
             order.iter().map(|id| (id.clone(), db.last(id))).collect();
@@ -481,7 +516,7 @@ impl Graph {
                         // Claim a ready task, classifying it while the lock
                         // is held: a task whose dependency died is poisoned
                         // and settles without running.
-                        let (id, dep_ran) = {
+                        let (id, dep_ran, claim_wait_us, busy) = {
                             let mut st = shared.state.lock().unwrap();
                             loop {
                                 if st.pending == 0 || (!keep_going && !st.failures.is_empty()) {
@@ -490,24 +525,35 @@ impl Graph {
                                 if let Some(id) = st.ready.pop() {
                                     let task = shared.graph.get(&id).unwrap();
                                     if task.deps().iter().any(|d| st.dead.contains(d)) {
+                                        st.ready_at.remove(&id);
                                         st.dead.insert(id.clone());
                                         st.poisoned.push(id.clone());
-                                        settle(&mut st, shared.graph, &id);
+                                        rec.task_poisoned(&id);
+                                        settle(&mut st, shared.graph, &id, shared.trace);
                                         shared.cv.notify_all();
                                         continue;
                                     }
                                     let dep_ran =
                                         task.deps().iter().any(|d| st.dirty.contains(d.as_str()));
-                                    break (id, dep_ran);
+                                    let wait = st
+                                        .ready_at
+                                        .remove(&id)
+                                        .map(|at| at.elapsed().as_micros() as u64);
+                                    st.busy += 1;
+                                    break (id, dep_ran, wait, st.busy);
                                 }
                                 st = shared.cv.wait(st).unwrap();
                             }
                         };
+                        if rec.enabled() {
+                            rec.counter("busy_workers", busy as i64);
+                        }
                         let task = shared.graph.get(&id).unwrap();
                         let fp = fps[&id];
                         let up_to_date =
                             !dep_ran && last_fps[&id] == Some(fp) && task.outputs_exist();
                         let result = if up_to_date {
+                            rec.task_skipped(&id);
                             Ok(false)
                         } else {
                             {
@@ -515,7 +561,21 @@ impl Graph {
                                 db.mark_in_progress(id.clone());
                                 let _ = db.flush();
                             }
-                            run_with_retries(task).map(|_| true)
+                            let span = rec.span(
+                                "task",
+                                &[
+                                    ("task", &id),
+                                    ("claim_wait_us", &claim_wait_us.unwrap_or(0).to_string()),
+                                ],
+                            );
+                            let r = run_with_retries(task).map(|_| true);
+                            match &r {
+                                Ok(_) => span.end_with(&[("outcome", "executed")]),
+                                Err(message) => {
+                                    span.end_with(&[("outcome", "failed"), ("error", message)]);
+                                }
+                            }
+                            r
                         };
 
                         match &result {
@@ -533,6 +593,8 @@ impl Graph {
                         }
 
                         let mut st = shared.state.lock().unwrap();
+                        st.busy -= 1;
+                        let busy = st.busy;
                         match result {
                             Ok(ran) => {
                                 if ran {
@@ -541,7 +603,7 @@ impl Graph {
                                 } else {
                                     st.skipped.push(id.clone());
                                 }
-                                settle(&mut st, shared.graph, &id);
+                                settle(&mut st, shared.graph, &id, shared.trace);
                             }
                             Err(message) => {
                                 st.failures.insert(id.clone(), message);
@@ -549,9 +611,13 @@ impl Graph {
                                     // The failure cone keeps settling so
                                     // independent subtrees can finish.
                                     st.dead.insert(id.clone());
-                                    settle(&mut st, shared.graph, &id);
+                                    settle(&mut st, shared.graph, &id, shared.trace);
                                 }
                             }
+                        }
+                        drop(st);
+                        if rec.enabled() {
+                            rec.counter("busy_workers", busy as i64);
                         }
                         shared.cv.notify_all();
                     }
@@ -708,6 +774,7 @@ mod tests {
         let opts = ExecOptions {
             keep_going: true,
             threads: 1,
+            recorder: Recorder::disabled(),
         };
         let report = g.execute_with(&mut db, &opts).unwrap();
         assert!(!report.success());
@@ -743,6 +810,7 @@ mod tests {
                     &ExecOptions {
                         keep_going: true,
                         threads,
+                        recorder: Recorder::disabled(),
                     },
                 )
                 .unwrap();
@@ -768,6 +836,7 @@ mod tests {
                 &ExecOptions {
                     keep_going: true,
                     threads: 1,
+                    recorder: Recorder::disabled(),
                 },
             )
             .unwrap();
@@ -925,6 +994,7 @@ mod tests {
                 &ExecOptions {
                     keep_going: true,
                     threads: 2,
+                    recorder: Recorder::disabled(),
                 },
             )
             .unwrap();
@@ -965,6 +1035,7 @@ mod tests {
                     &ExecOptions {
                         keep_going: false,
                         threads,
+                        recorder: Recorder::disabled(),
                     },
                 )
                 .unwrap_err();
@@ -1022,6 +1093,7 @@ mod tests {
                     &ExecOptions {
                         keep_going: false,
                         threads,
+                        recorder: Recorder::disabled(),
                     },
                 )
                 .unwrap_err();
@@ -1117,6 +1189,7 @@ mod tests {
                     &ExecOptions {
                         keep_going: true,
                         threads,
+                        recorder: Recorder::disabled(),
                     },
                 )
                 .unwrap();

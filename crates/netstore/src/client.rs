@@ -23,6 +23,7 @@ use std::time::Duration;
 use marshal_depgraph::Fingerprint;
 use marshal_image::{manifest_refs, Blob, BlobStore};
 use marshal_qcheck::Rng;
+use marshal_trace::Recorder;
 
 use crate::proto::{decode_frame, encode_frame, Message, NetError, MAX_BLOB_BATCH, NET_VERSION};
 use crate::transport::{TcpTransport, Transport};
@@ -123,6 +124,17 @@ impl RemoteFetchSummary {
     }
 }
 
+/// The stable journal label for a request message's kind.
+pub(crate) fn message_kind(msg: &Message) -> &'static str {
+    match msg {
+        Message::Hello { .. } => "hello",
+        Message::HaveManifest { .. } => "have-manifest",
+        Message::GetManifest { .. } => "get-manifest",
+        Message::GetBlobs { .. } => "get-blobs",
+        _ => "other",
+    }
+}
+
 struct ClientState {
     conn: Option<Box<dyn Transport>>,
     consecutive_failures: u32,
@@ -152,6 +164,10 @@ pub struct RemoteStore {
     stats: ClientStats,
     notes: Mutex<Vec<String>>,
     label: String,
+    /// Run-journal recorder (disabled by default); a mutex because the
+    /// client is shared behind an `Arc` and the recorder is installed after
+    /// construction. The hot path takes it once per request.
+    recorder: Mutex<Recorder>,
 }
 
 impl std::fmt::Debug for RemoteStore {
@@ -183,7 +199,18 @@ impl RemoteStore {
             stats: ClientStats::default(),
             notes: Mutex::new(Vec::new()),
             label: label.into(),
+            recorder: Mutex::new(Recorder::disabled()),
         }
+    }
+
+    /// Installs a run-journal recorder: every request records a `remote`
+    /// span, and retries and breaker trips record instants.
+    pub fn set_recorder(&self, recorder: Recorder) {
+        *self.recorder.lock().expect("recorder lock") = recorder;
+    }
+
+    fn recorder(&self) -> Recorder {
+        self.recorder.lock().expect("recorder lock").clone()
     }
 
     /// A client that connects over TCP to `addr` (`HOST:PORT`).
@@ -277,6 +304,8 @@ impl RemoteStore {
         if st.consecutive_failures >= self.policy.breaker_threshold && !st.open {
             st.open = true;
             self.stats.degraded.store(true, Ordering::Relaxed);
+            self.recorder()
+                .breaker_trip(u64::from(st.consecutive_failures));
             self.note(format!(
                 "remote {}: circuit breaker opened after {} consecutive failures; \
                  degrading this build to local-only",
@@ -297,8 +326,36 @@ impl RemoteStore {
         let frame = encode_frame(msg);
         let mut st = self.state.lock().expect("client state lock");
         if st.open {
+            // The degraded fast-path stays free: no span, no sends.
             return Err(NetError::CircuitOpen);
         }
+        let rec = self.recorder();
+        let kind = message_kind(msg);
+        let span = rec.span("remote", &[("kind", kind)]);
+        let mut attempts_used = 1u64;
+        let result = self.request_attempts(&mut st, &frame, kind, &rec, &mut attempts_used);
+        let outcome = match &result {
+            Ok(_) => "ok",
+            Err(NetError::CircuitOpen) => "breaker-open",
+            Err(NetError::Remote(_)) => "refused",
+            Err(_) => "error",
+        };
+        span.end_with(&[
+            ("outcome", outcome),
+            ("attempts", &attempts_used.to_string()),
+        ]);
+        result
+    }
+
+    /// The retry loop of [`RemoteStore::request`], under the state lock.
+    fn request_attempts(
+        &self,
+        st: &mut ClientState,
+        frame: &[u8],
+        kind: &str,
+        rec: &Recorder,
+        attempts_used: &mut u64,
+    ) -> Result<Message, NetError> {
         let attempts = self.policy.attempts.max(1);
         let mut last = NetError::Io("no attempts made".to_owned());
         for attempt in 0..attempts {
@@ -306,13 +363,15 @@ impl RemoteStore {
                 let delay = self.backoff_delay(attempt, &mut st.rng);
                 std::thread::sleep(delay);
                 self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                rec.remote_retry(kind, u64::from(attempt));
+                *attempts_used = u64::from(attempt) + 1;
             }
-            match self.attempt_once(&mut st, &frame) {
+            match self.attempt_once(st, frame) {
                 Ok(Message::ErrorMsg { message }) => {
                     // The server answered but refused us; retrying the same
                     // request will not change its mind.
                     st.conn = None;
-                    if self.record_failure(&mut st) {
+                    if self.record_failure(st) {
                         return Err(NetError::CircuitOpen);
                     }
                     return Err(NetError::Remote(message));
@@ -322,13 +381,13 @@ impl RemoteStore {
                     return Ok(reply);
                 }
                 Err(e) if e.retryable() => {
-                    if self.record_failure(&mut st) {
+                    if self.record_failure(st) {
                         return Err(NetError::CircuitOpen);
                     }
                     last = e;
                 }
                 Err(e) => {
-                    if self.record_failure(&mut st) {
+                    if self.record_failure(st) {
                         return Err(NetError::CircuitOpen);
                     }
                     return Err(e);

@@ -21,6 +21,7 @@ use std::time::Duration;
 
 use marshal_depgraph::Fingerprint;
 use marshal_image::{sniff_manifest, BlobStore};
+use marshal_trace::Recorder;
 
 use crate::proto::{
     decode_frame, encode_frame, read_frame, write_frame, Message, NetError, NET_VERSION,
@@ -37,6 +38,9 @@ const POLL: Duration = Duration::from_millis(25);
 pub struct ServeRoot {
     blobs: BlobStore,
     by_input: PathBuf,
+    /// Run-journal recorder (disabled by default); each answered request
+    /// records a `remote.request` instant.
+    recorder: Recorder,
 }
 
 impl ServeRoot {
@@ -46,7 +50,13 @@ impl ServeRoot {
         ServeRoot {
             blobs: BlobStore::new(workdir.join("objects")),
             by_input: workdir.join("levels").join("by-input"),
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Installs a run-journal recorder (set before the serve loop starts).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// Where the manifest for a level-input fingerprint lives.
@@ -57,6 +67,21 @@ impl ServeRoot {
     /// Answers one decoded request. Unexpected or unanswerable messages get
     /// an [`Message::ErrorMsg`]; nothing panics on hostile input.
     pub fn respond(&self, msg: &Message) -> Message {
+        let reply = self.answer(msg);
+        if self.recorder.enabled() {
+            let outcome = match &reply {
+                Message::ErrorMsg { .. } => "refused",
+                Message::NotFound => "miss",
+                Message::Have { present: false } => "miss",
+                _ => "ok",
+            };
+            self.recorder
+                .remote_request(crate::client::message_kind(msg), 1, outcome);
+        }
+        reply
+    }
+
+    fn answer(&self, msg: &Message) -> Message {
         match msg {
             Message::Hello { version } => {
                 if *version == NET_VERSION {

@@ -1,0 +1,214 @@
+//! Reading journals back: torn-tail-tolerant parsing and run discovery.
+
+use std::path::{Path, PathBuf};
+
+use crate::record::{Record, RecordKind};
+
+/// A parsed journal: the verified record prefix plus what (if anything)
+/// was wrong with the tail.
+#[derive(Debug, Clone)]
+pub struct Journal {
+    /// The journal file this came from.
+    pub path: PathBuf,
+    /// Verified records, in sequence order.
+    pub records: Vec<Record>,
+    /// Whether the file ended in an unverifiable line — the signature of a
+    /// run that died mid-write. The records above are still trustworthy.
+    pub torn: bool,
+    /// Why the tail was rejected, when [`Journal::torn`].
+    pub torn_detail: Option<String>,
+}
+
+impl Journal {
+    /// The header record's args value for `key`, if present.
+    pub fn header_arg(&self, key: &str) -> Option<&str> {
+        match self.records.first().map(|r| &r.kind) {
+            Some(RecordKind::Run { args, .. }) => args.get(key).map(String::as_str),
+            _ => None,
+        }
+    }
+
+    /// The command recorded in the header (`build`, `test`, …).
+    pub fn command(&self) -> Option<&str> {
+        match self.records.first().map(|r| &r.kind) {
+            Some(RecordKind::Run { name, .. }) => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Microseconds covered by the journal (timestamp of the last record).
+    pub fn wall_us(&self) -> u64 {
+        self.records.last().map_or(0, |r| r.t_us)
+    }
+}
+
+/// Reads a journal, keeping the longest verifiable prefix. A torn or
+/// corrupt tail sets [`Journal::torn`] instead of failing — mirroring how
+/// `state.db` treats damage as recoverable, not fatal.
+///
+/// # Errors
+///
+/// Only real I/O failures (the file missing or unreadable).
+pub fn read_journal(path: &Path) -> Result<Journal, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let mut journal = Journal {
+        path: path.to_path_buf(),
+        records: Vec::new(),
+        torn: false,
+        torn_detail: None,
+    };
+    let mut expected_seq = 0u64;
+    for (no, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        match Record::decode(line) {
+            Ok(rec) if rec.seq == expected_seq => {
+                expected_seq += 1;
+                journal.records.push(rec);
+            }
+            Ok(rec) => {
+                journal.torn = true;
+                journal.torn_detail = Some(format!(
+                    "line {}: sequence jump (expected {expected_seq}, found {})",
+                    no + 1,
+                    rec.seq
+                ));
+                break;
+            }
+            Err(e) => {
+                journal.torn = true;
+                journal.torn_detail = Some(format!("line {}: {e}", no + 1));
+                break;
+            }
+        }
+    }
+    // Bytes after the first bad line are untrustworthy by construction
+    // (append-only file): everything from the tear on is discarded.
+    Ok(journal)
+}
+
+/// One discovered run under `workdir/runs/`.
+#[derive(Debug, Clone)]
+pub struct RunInfo {
+    /// The run id (directory name).
+    pub run_id: String,
+    /// The journal path.
+    pub journal: PathBuf,
+    /// The command that produced the run, when the header survived.
+    pub command: Option<String>,
+    /// The workload named in the header, if any.
+    pub workload: Option<String>,
+    /// Wall-clock start in unix milliseconds, from the header.
+    pub unix_ms: Option<u64>,
+    /// Records in the verified prefix.
+    pub events: usize,
+    /// Whether the journal tail was torn.
+    pub torn: bool,
+}
+
+/// Lists journal runs under `workdir/runs/`, oldest first (run ids embed a
+/// zero-padded timestamp, so lexicographic order is chronological).
+/// Directories without a `journal.jsonl` — per-workload launch outputs
+/// share `runs/` — are ignored.
+pub fn list_runs(workdir: &Path) -> Vec<RunInfo> {
+    let runs = workdir.join("runs");
+    let Ok(entries) = std::fs::read_dir(&runs) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for entry in entries.filter_map(Result::ok) {
+        let dir = entry.path();
+        let journal_path = dir.join("journal.jsonl");
+        if !journal_path.is_file() {
+            continue;
+        }
+        let Ok(journal) = read_journal(&journal_path) else {
+            continue;
+        };
+        out.push(RunInfo {
+            run_id: entry.file_name().to_string_lossy().into_owned(),
+            journal: journal_path,
+            command: journal.command().map(str::to_owned),
+            workload: journal.header_arg("workload").map(str::to_owned),
+            unix_ms: journal.header_arg("unix_ms").and_then(|s| s.parse().ok()),
+            events: journal.records.len(),
+            torn: journal.torn,
+        });
+    }
+    out.sort_by(|a, b| a.run_id.cmp(&b.run_id));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("marshal-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn write_run(dir: &Path, command: &str) -> PathBuf {
+        let rec = Recorder::create(dir, command, &[("workload", "demo")]).unwrap();
+        let span = rec.task_span("img:demo/0");
+        span.end_with(&[("outcome", "executed")]);
+        rec.finish().unwrap().journal
+    }
+
+    #[test]
+    fn torn_tail_keeps_prefix() {
+        let dir = scratch("torn");
+        let journal = write_run(&dir, "build");
+        let text = std::fs::read_to_string(&journal).unwrap();
+        let full = read_journal(&journal).unwrap();
+        assert!(!full.torn);
+        // Tear the file mid-final-line, as a crash during append would.
+        let cut = text.trim_end().len() - 7;
+        std::fs::write(&journal, &text.as_bytes()[..cut]).unwrap();
+        let torn = read_journal(&journal).unwrap();
+        assert!(torn.torn);
+        assert!(torn.torn_detail.is_some());
+        assert_eq!(torn.records.len(), full.records.len() - 1);
+        assert_eq!(torn.command(), Some("build"));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn sequence_jump_is_a_tear() {
+        let dir = scratch("seqjump");
+        let journal = write_run(&dir, "build");
+        let text = std::fs::read_to_string(&journal).unwrap();
+        // Drop a middle line entirely: every remaining line verifies, but
+        // the sequence gap gives the damage away.
+        let lines: Vec<&str> = text.lines().collect();
+        let patched = format!("{}\n{}\n", lines[0], lines[2]);
+        std::fs::write(&journal, patched).unwrap();
+        let j = read_journal(&journal).unwrap();
+        assert!(j.torn);
+        assert_eq!(j.records.len(), 1);
+        assert!(j.torn_detail.unwrap().contains("sequence jump"));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn list_runs_skips_workload_output_dirs() {
+        let dir = scratch("list");
+        write_run(&dir, "build");
+        write_run(&dir, "test");
+        // A per-workload launch-output directory (no journal) is ignored.
+        std::fs::create_dir_all(dir.join("runs").join("br-base").join("hello")).unwrap();
+        let runs = list_runs(&dir);
+        assert_eq!(runs.len(), 2);
+        assert!(runs[0].run_id <= runs[1].run_id, "oldest first");
+        assert_eq!(runs[0].command.as_deref(), Some("build"));
+        assert_eq!(runs[1].command.as_deref(), Some("test"));
+        assert_eq!(runs[0].workload.as_deref(), Some("demo"));
+        assert!(runs.iter().all(|r| !r.torn));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

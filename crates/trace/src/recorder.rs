@@ -1,0 +1,541 @@
+//! The [`Recorder`]: a cheap clonable handle that streams events to a
+//! dedicated writer thread, which persists them as the run's journal.
+//!
+//! Disabled recorders (the default) short-circuit on a single `Option`
+//! check — no channel send, no allocation, no clock read — so instrumented
+//! hot paths cost nothing when tracing is off. Enabled recorders stamp a
+//! monotonic timestamp and a journal-local thread id, then push the event
+//! over an mpsc channel; the writer thread assigns sequence numbers,
+//! seals each line with its checksum, and appends to
+//! `workdir/runs/<run-id>/journal.jsonl`, flushing per event so a crash
+//! loses at most the line being written (which the reader then discards as
+//! a torn tail).
+//!
+//! While a run is live, the recorder holds a pid pin under
+//! `workdir/runs/.pins/` — the same advisory-pin mechanism the blob pool
+//! uses — so `marshal clean --keep-runs` never prunes a journal that is
+//! still being written.
+
+use std::cell::Cell;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::record::{Args, Record, RecordKind};
+
+/// Journal-local thread ids: assigned in first-emission order, starting at
+/// 1, stable for the thread's lifetime.
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: Cell<u64> = const { Cell::new(0) };
+}
+
+fn local_tid() -> u64 {
+    TID.with(|t| {
+        let mut id = t.get();
+        if id == 0 {
+            id = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            t.set(id);
+        }
+        id
+    })
+}
+
+/// Distinguishes concurrent recorders in one process (pin files, run ids).
+static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+enum Wire {
+    Event {
+        t_us: u64,
+        tid: u64,
+        kind: RecordKind,
+    },
+    Shutdown,
+}
+
+#[derive(Debug)]
+struct Inner {
+    tx: Sender<Wire>,
+    epoch: Instant,
+    next_span: AtomicU64,
+    events_sent: AtomicU64,
+    run_id: String,
+    run_dir: PathBuf,
+    pin_path: PathBuf,
+    writer: Mutex<Option<std::thread::JoinHandle<u64>>>,
+}
+
+/// What [`Recorder::finish`] reports about a completed journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FinishedRun {
+    /// The run id (`runs/<run-id>/`).
+    pub run_id: String,
+    /// The journal file.
+    pub journal: PathBuf,
+    /// Records written (including the header).
+    pub events: u64,
+}
+
+/// A handle for recording events into a run journal. Cloning shares the
+/// underlying channel; [`Recorder::disabled`] (and `Default`) record
+/// nothing at all.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Recorder {
+    /// A recorder that drops everything: every operation is a no-op after
+    /// one `Option` check, and nothing touches the filesystem.
+    pub fn disabled() -> Recorder {
+        Recorder::default()
+    }
+
+    /// Creates a journal for a new run of `command` under
+    /// `workdir/runs/<run-id>/` and starts its writer thread. `meta` lands
+    /// in the header record alongside the generated `run_id` and the
+    /// process id.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures (directory or journal creation) as strings.
+    pub fn create(
+        workdir: &Path,
+        command: &str,
+        meta: &[(&str, &str)],
+    ) -> Result<Recorder, String> {
+        let runs = workdir.join("runs");
+        let pid = std::process::id();
+        let seq = RUN_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis())
+            .unwrap_or(0);
+        // Zero-padded so lexicographic order is chronological order; pid
+        // and an in-process counter keep concurrent runs distinct.
+        let run_id = format!("r{unix_ms:013}-{pid}-{seq}");
+        let run_dir = runs.join(&run_id);
+        std::fs::create_dir_all(&run_dir)
+            .map_err(|e| format!("mkdir {}: {e}", run_dir.display()))?;
+        let journal = run_dir.join("journal.jsonl");
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&journal)
+            .map_err(|e| format!("create {}: {e}", journal.display()))?;
+        // Live-run pin, PoolPin-style: `<pid>-<seq>.pin` containing the
+        // pid, swept by the same scan `clean` uses for the blob pool.
+        let pins = runs.join(".pins");
+        std::fs::create_dir_all(&pins).map_err(|e| format!("mkdir {}: {e}", pins.display()))?;
+        let pin_path = pins.join(format!("{pid}-{seq}.pin"));
+        std::fs::write(&pin_path, pid.to_string())
+            .map_err(|e| format!("write {}: {e}", pin_path.display()))?;
+
+        let (tx, rx) = channel::<Wire>();
+        let writer = std::thread::spawn(move || {
+            let mut out = std::io::BufWriter::new(file);
+            let mut seq = 0u64;
+            while let Ok(msg) = rx.recv() {
+                let Wire::Event { t_us, tid, kind } = msg else {
+                    break;
+                };
+                let rec = Record {
+                    seq,
+                    t_us,
+                    tid,
+                    kind,
+                };
+                seq += 1;
+                let line = rec.encode();
+                // Per-event flush: a crash costs at most the torn line the
+                // reader will discard, never silently buffered history.
+                if writeln!(out, "{line}").is_err() || out.flush().is_err() {
+                    break;
+                }
+            }
+            seq
+        });
+
+        let mut args = Args::new();
+        args.insert("run_id".to_owned(), run_id.clone());
+        args.insert("pid".to_owned(), pid.to_string());
+        args.insert("unix_ms".to_owned(), unix_ms.to_string());
+        for (k, v) in meta {
+            args.insert((*k).to_owned(), (*v).to_owned());
+        }
+        let rec = Recorder {
+            inner: Some(Arc::new(Inner {
+                tx,
+                epoch: Instant::now(),
+                next_span: AtomicU64::new(1),
+                events_sent: AtomicU64::new(0),
+                run_id,
+                run_dir,
+                pin_path,
+                writer: Mutex::new(Some(writer)),
+            })),
+        };
+        rec.emit(RecordKind::Run {
+            name: command.to_owned(),
+            args,
+        });
+        Ok(rec)
+    }
+
+    /// Whether events are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The run id, when enabled.
+    pub fn run_id(&self) -> Option<&str> {
+        self.inner.as_ref().map(|i| i.run_id.as_str())
+    }
+
+    /// The run directory (`workdir/runs/<run-id>`), when enabled.
+    pub fn run_dir(&self) -> Option<&Path> {
+        self.inner.as_ref().map(|i| i.run_dir.as_path())
+    }
+
+    /// Events handed to the writer so far. Always 0 when disabled — the
+    /// hot path performs no sends (asserted by the overhead tests).
+    pub fn events_sent(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.events_sent.load(Ordering::Relaxed))
+    }
+
+    fn emit(&self, kind: RecordKind) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let t_us = inner.epoch.elapsed().as_micros() as u64;
+        inner.events_sent.fetch_add(1, Ordering::Relaxed);
+        let _ = inner.tx.send(Wire::Event {
+            t_us,
+            tid: local_tid(),
+            kind,
+        });
+    }
+
+    fn span_with_parent(&self, parent: Option<u64>, name: &str, args: &[(&str, &str)]) -> Span {
+        let Some(inner) = &self.inner else {
+            return Span {
+                rec: Recorder::disabled(),
+                id: 0,
+                ended: true,
+            };
+        };
+        let id = inner.next_span.fetch_add(1, Ordering::Relaxed);
+        self.emit(RecordKind::SpanStart {
+            id,
+            parent,
+            name: name.to_owned(),
+            args: to_args(args),
+        });
+        Span {
+            rec: self.clone(),
+            id,
+            ended: false,
+        }
+    }
+
+    /// Opens a root span. Ends when the returned guard is dropped or
+    /// explicitly [`Span::end_with`]-ed.
+    pub fn span(&self, name: &str, args: &[(&str, &str)]) -> Span {
+        self.span_with_parent(None, name, args)
+    }
+
+    /// Records a point event.
+    pub fn instant(&self, name: &str, args: &[(&str, &str)]) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.emit(RecordKind::Instant {
+            name: name.to_owned(),
+            args: to_args(args),
+        });
+    }
+
+    /// Records a counter sample.
+    pub fn counter(&self, name: &str, value: i64) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.emit(RecordKind::Counter {
+            name: name.to_owned(),
+            value,
+        });
+    }
+
+    /// Flushes and closes the journal: sends the shutdown sentinel, joins
+    /// the writer thread, and releases the live-run pin. Returns what was
+    /// written, or `None` for a disabled recorder (or a second finish).
+    pub fn finish(&self) -> Option<FinishedRun> {
+        let inner = self.inner.as_ref()?;
+        let handle = inner.writer.lock().expect("writer lock poisoned").take()?;
+        let _ = inner.tx.send(Wire::Shutdown);
+        let events = handle.join().unwrap_or(0);
+        let _ = std::fs::remove_file(&inner.pin_path);
+        Some(FinishedRun {
+            run_id: inner.run_id.clone(),
+            journal: inner.run_dir.join("journal.jsonl"),
+            events,
+        })
+    }
+}
+
+/// Typed payload helpers — the stable event schema. Every instrumented
+/// layer goes through these so names and arg keys stay consistent (see
+/// `docs/run-journal.md`).
+impl Recorder {
+    /// Span over one depgraph task action.
+    pub fn task_span(&self, task: &str) -> Span {
+        self.span("task", &[("task", task)])
+    }
+
+    /// A task skipped as up to date.
+    pub fn task_skipped(&self, task: &str) {
+        self.instant("task.skipped", &[("task", task)]);
+    }
+
+    /// A task never attempted because a dependency failed.
+    pub fn task_poisoned(&self, task: &str) {
+        self.instant("task.poisoned", &[("task", task)]);
+    }
+
+    /// Level-image cache attribution (in-memory or manifest load).
+    pub fn cache_event(&self, level: &str, hit: bool) {
+        self.instant(
+            "cache",
+            &[
+                ("level", level),
+                ("hit", if hit { "true" } else { "false" }),
+            ],
+        );
+    }
+
+    /// Blob pool write: new payload bytes persisted for a level.
+    pub fn blob_put(&self, level: &str, bytes: u64) {
+        self.instant(
+            "blob.put",
+            &[("level", level), ("bytes", &bytes.to_string())],
+        );
+    }
+
+    /// Blob pool read: payload bytes materialised for a level.
+    pub fn blob_get(&self, level: &str, bytes: u64) {
+        self.instant(
+            "blob.get",
+            &[("level", level), ("bytes", &bytes.to_string())],
+        );
+    }
+
+    /// One remote request's outcome, after its retry loop.
+    pub fn remote_request(&self, kind: &str, attempts: u64, outcome: &str) {
+        self.instant(
+            "remote.request",
+            &[
+                ("kind", kind),
+                ("attempts", &attempts.to_string()),
+                ("outcome", outcome),
+            ],
+        );
+    }
+
+    /// A retry of a remote request (attempt numbers start at 1).
+    pub fn remote_retry(&self, kind: &str, attempt: u64) {
+        self.instant(
+            "remote.retry",
+            &[("kind", kind), ("attempt", &attempt.to_string())],
+        );
+    }
+
+    /// The client circuit breaker tripping open.
+    pub fn breaker_trip(&self, failures: u64) {
+        self.instant("remote.breaker", &[("failures", &failures.to_string())]);
+    }
+
+    /// Span over one simulator launch.
+    pub fn sim_span(&self, backend: &str, job: &str) -> Span {
+        self.span("sim", &[("backend", backend), ("job", job)])
+    }
+
+    /// The guest watchdog firing.
+    pub fn watchdog_fired(&self, job: &str, instructions: u64) {
+        self.instant(
+            "watchdog",
+            &[("job", job), ("instructions", &instructions.to_string())],
+        );
+    }
+
+    /// A structured warning, mirrored into the journal.
+    pub fn warning(&self, severity: &str, code: &str, context: &str, message: &str) {
+        self.instant(
+            "warning",
+            &[
+                ("severity", severity),
+                ("code", code),
+                ("context", context),
+                ("message", message),
+            ],
+        );
+    }
+}
+
+fn to_args(pairs: &[(&str, &str)]) -> Args {
+    pairs
+        .iter()
+        .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+        .collect()
+}
+
+/// An open span. Dropping the guard closes the span with no extra
+/// attributes; [`Span::end_with`] closes it with attributes (outcome,
+/// byte counts, wait times).
+#[derive(Debug)]
+pub struct Span {
+    rec: Recorder,
+    id: u64,
+    ended: bool,
+}
+
+impl Span {
+    /// The span id (0 for a disabled recorder's spans).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Opens a child span.
+    pub fn child(&self, name: &str, args: &[(&str, &str)]) -> Span {
+        if self.rec.inner.is_none() {
+            return Span {
+                rec: Recorder::disabled(),
+                id: 0,
+                ended: true,
+            };
+        }
+        self.rec.span_with_parent(Some(self.id), name, args)
+    }
+
+    /// Closes the span with closing attributes.
+    pub fn end_with(mut self, args: &[(&str, &str)]) {
+        if self.ended {
+            return;
+        }
+        self.ended = true;
+        self.rec.emit(RecordKind::SpanEnd {
+            id: self.id,
+            args: to_args(args),
+        });
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.ended {
+            return;
+        }
+        self.ended = true;
+        self.rec.emit(RecordKind::SpanEnd {
+            id: self.id,
+            args: Args::new(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::read_journal;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("marshal-trace-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::disabled();
+        assert!(!rec.enabled());
+        let span = rec.span("task", &[("task", "t")]);
+        assert_eq!(span.id(), 0);
+        let child = span.child("inner", &[]);
+        drop(child);
+        span.end_with(&[("outcome", "ok")]);
+        rec.instant("cache", &[("hit", "true")]);
+        rec.counter("busy", 1);
+        rec.cache_event("lvl", true);
+        assert_eq!(rec.events_sent(), 0, "no sends on the disabled hot path");
+        assert!(rec.finish().is_none());
+        assert!(rec.run_id().is_none());
+    }
+
+    #[test]
+    fn records_roundtrip_through_journal() {
+        let dir = scratch("roundtrip");
+        let rec = Recorder::create(&dir, "build", &[("workload", "demo")]).unwrap();
+        assert!(rec.enabled());
+        let span = rec.task_span("img:demo/0");
+        rec.cache_event("demo/0", false);
+        let child = span.child("store", &[]);
+        child.end_with(&[("bytes", "128")]);
+        span.end_with(&[("outcome", "executed")]);
+        rec.counter("busy", 2);
+        let done = rec.finish().expect("finished");
+        assert_eq!(done.events, rec.events_sent());
+        let journal = read_journal(&done.journal).unwrap();
+        assert!(!journal.torn);
+        assert_eq!(journal.records.len() as u64, done.events);
+        // Header first, then strictly increasing seq and monotone time.
+        let header = &journal.records[0];
+        assert!(matches!(&header.kind, RecordKind::Run { name, .. } if name == "build"));
+        assert_eq!(
+            header.args().unwrap().get("workload").map(String::as_str),
+            Some("demo")
+        );
+        for (i, r) in journal.records.iter().enumerate() {
+            assert_eq!(r.seq, i as u64);
+        }
+        for pair in journal.records.windows(2) {
+            assert!(pair[1].t_us >= pair[0].t_us, "monotonic timestamps");
+        }
+        // The pin was released on finish.
+        let pins: Vec<_> = std::fs::read_dir(dir.join("runs").join(".pins"))
+            .map(|d| d.filter_map(Result::ok).collect())
+            .unwrap_or_default();
+        assert!(pins.is_empty(), "pin released on finish");
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn live_run_holds_a_pin() {
+        let dir = scratch("pin");
+        let rec = Recorder::create(&dir, "build", &[]).unwrap();
+        let pins: Vec<_> = std::fs::read_dir(dir.join("runs").join(".pins"))
+            .unwrap()
+            .filter_map(Result::ok)
+            .collect();
+        assert_eq!(pins.len(), 1);
+        let content = std::fs::read_to_string(pins[0].path()).unwrap();
+        assert_eq!(content, std::process::id().to_string());
+        rec.finish();
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn double_finish_is_harmless() {
+        let dir = scratch("double");
+        let rec = Recorder::create(&dir, "test", &[]).unwrap();
+        assert!(rec.finish().is_some());
+        assert!(rec.finish().is_none());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

@@ -19,4 +19,5 @@ pub use marshal_linux as linux;
 pub use marshal_script as script;
 pub use marshal_sim_functional as sim_functional;
 pub use marshal_sim_rtl as sim_rtl;
+pub use marshal_trace as trace;
 pub use marshal_workloads as workloads;

@@ -54,6 +54,7 @@ fn keep_going_with_injected_failure_in_ten_task_graph() {
                 &ExecOptions {
                     keep_going: true,
                     threads,
+                    ..ExecOptions::default()
                 },
             )
             .unwrap();
