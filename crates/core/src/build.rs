@@ -32,7 +32,7 @@ use crate::simulator::{default_backend, simulator_for, BackendOptions};
 use crate::warnings::{Severity, Warning};
 
 /// Options for `build`.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct BuildOptions {
     /// Embed the disk image in the initramfs (`--no-disk`).
     pub no_disk: bool,
@@ -43,13 +43,40 @@ pub struct BuildOptions {
     /// first failure aborts the build.
     pub keep_going: bool,
     /// Worker threads for task execution (`-j N`). `None` uses the host's
-    /// available parallelism; `Some(1)` builds serially.
+    /// available parallelism ([`marshal_depgraph::ExecOptions::host_threads`]);
+    /// `Some(1)` builds serially.
     pub jobs: Option<usize>,
     /// A `marshal serve` daemon (`HOST:PORT`) to fetch pre-built levels
     /// from before building them locally (`--remote` / `MARSHAL_REMOTE`).
     /// The remote is an accelerator, never a dependency: any fetch failure
     /// degrades to the ordinary local build.
     pub remote: Option<String>,
+    /// Runner pool selection (`--runners local[:N],remote:HOST:PORT`).
+    /// `None` uses a single local thread pool. Remote runners dispatch
+    /// level builds to `marshal serve --exec` daemons; a local fallback is
+    /// always present (see [`crate::runners::make_runners`]).
+    pub runners: Option<String>,
+    /// Plan without executing (`--dry-run`): record what would build and
+    /// leave the state database and filesystem untouched.
+    pub dry_run: bool,
+    /// Live progress callback (`--progress`), invoked from the scheduler
+    /// thread whenever the ready/running/done/failed picture changes.
+    pub progress: Option<marshal_depgraph::ProgressFn>,
+}
+
+impl std::fmt::Debug for BuildOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BuildOptions")
+            .field("no_disk", &self.no_disk)
+            .field("force", &self.force)
+            .field("keep_going", &self.keep_going)
+            .field("jobs", &self.jobs)
+            .field("remote", &self.remote)
+            .field("runners", &self.runners)
+            .field("dry_run", &self.dry_run)
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
 }
 
 /// What kind of artifact a job produced.
@@ -101,6 +128,9 @@ pub struct BuildProducts {
     /// Remote-fetch accounting when the build ran with a `--remote`
     /// daemon configured (`None` for purely local builds).
     pub remote: Option<RemoteFetchSummary>,
+    /// For `--dry-run` builds, the tasks that would have executed, in
+    /// dispatch order (`None` for real builds).
+    pub dry_run: Option<Vec<marshal_depgraph::PlannedTask>>,
 }
 
 /// The FireMarshal build engine.
@@ -258,7 +288,14 @@ impl Builder {
         let resolved = resolve_workload(&self.search, name)?;
         let jobs = expand_jobs(&self.search, &resolved)?;
         let source_dir = self.source_dir(name);
-        if options.force {
+        // Fail fast on a malformed --runners list, before any planning.
+        let runner_specs = match &options.runners {
+            Some(list) => {
+                Some(crate::runners::parse_runner_specs(list).map_err(MarshalError::Other)?)
+            }
+            None => None,
+        };
+        if options.force && !options.dry_run {
             self.db.clear();
         }
 
@@ -290,8 +327,14 @@ impl Builder {
         // on every build, *before* task planning — so overlay/file hashes
         // always see its outputs. The scripts themselves are expected to be
         // idempotent (assembling the same sources yields the same bytes, so
-        // downstream tasks stay up to date).
-        if let Some(hi) = &resolved.spec.host_init {
+        // downstream tasks stay up to date). Dry runs skip it: planning
+        // must not touch the filesystem.
+        if let Some(hi) = resolved
+            .spec
+            .host_init
+            .as_ref()
+            .filter(|_| !options.dry_run)
+        {
             let dir = source_dir.clone().ok_or_else(|| {
                 MarshalError::Other(format!(
                     "workload `{name}` has host-init but no source directory"
@@ -313,7 +356,14 @@ impl Builder {
         // --- per-job tasks -------------------------------------------------
         let mut job_plans = Vec::new();
         for job in &jobs {
-            let plan = self.plan_job(&mut graph, &store, job, options, source_dir.as_deref())?;
+            let plan = self.plan_job(
+                &mut graph,
+                &store,
+                job,
+                options,
+                source_dir.as_deref(),
+                name,
+            )?;
             job_plans.push(plan);
         }
 
@@ -325,11 +375,14 @@ impl Builder {
         preflight_pool(&store, &job_plans, &mut warnings);
 
         let roots: Vec<&str> = job_plans.iter().map(|p| p.final_task.as_str()).collect();
-        let threads = options.jobs.unwrap_or_else(default_jobs);
+        let threads = options
+            .jobs
+            .unwrap_or_else(marshal_depgraph::ExecOptions::host_threads);
         let opts = marshal_depgraph::ExecOptions {
             keep_going: options.keep_going,
             threads,
             recorder: self.recorder.clone(),
+            progress: options.progress.clone(),
         };
         let exec_span = self.recorder.span(
             "build",
@@ -340,7 +393,20 @@ impl Builder {
         // pin exists, so a blob this build just decided not to rewrite
         // cannot vanish under it.
         let pin = PoolPin::acquire(store.objects_dir()).map_err(MarshalError::Io)?;
-        let report = graph.execute_roots_with(&mut self.db, &roots, &opts);
+        let mut dry_plan = None;
+        let mut exec_clients: Vec<Arc<RemoteStore>> = Vec::new();
+        let report = if options.dry_run {
+            let (runner, plan) = marshal_depgraph::DryRunRunner::new();
+            dry_plan = Some(plan);
+            graph.execute_roots_with_runners(&mut self.db, &roots, &opts, vec![Box::new(runner)])
+        } else if let Some(specs) = &runner_specs {
+            let (runners, clients) =
+                crate::runners::make_runners(specs, &store, threads, &self.recorder);
+            exec_clients = clients;
+            graph.execute_roots_with_runners(&mut self.db, &roots, &opts, runners)
+        } else {
+            graph.execute_roots_with(&mut self.db, &roots, &opts)
+        };
         drop(pin);
         match &report {
             Ok(r) => exec_span.end_with(&[
@@ -363,6 +429,16 @@ impl Builder {
                 );
             }
         }
+        // Remote *runner* degradations (exec refused, daemon died, fell
+        // back to local) surface the same way fetch degradations do.
+        for client in &exec_clients {
+            for note in client.take_notes() {
+                warnings.push(
+                    Warning::with_code("remote-runner", note, "remote-runner")
+                        .severity(Severity::Degraded),
+                );
+            }
+        }
 
         let jobs = job_plans
             .into_iter()
@@ -380,6 +456,7 @@ impl Builder {
             source_dir,
             warnings,
             remote: remote.as_ref().map(|r| r.summary()),
+            dry_run: dry_plan.map(|p| p.tasks()),
         })
     }
 
@@ -390,6 +467,7 @@ impl Builder {
         job: &marshal_config::jobs::ExpandedJob,
         options: &BuildOptions,
         source_dir: Option<&Path>,
+        workload: &str,
     ) -> Result<JobPlan, MarshalError> {
         let spec = &job.workload.spec;
         let qualified = job.qualified_name.clone();
@@ -476,6 +554,7 @@ impl Builder {
                     prev_key.clone(),
                     key.clone(),
                     source_dir,
+                    workload,
                 )?;
                 if let Some(p) = &prev_task {
                     task = task.dep(p.clone());
@@ -591,6 +670,7 @@ impl Builder {
         parent_key: String,
         key: String,
         source_dir: Option<&Path>,
+        workload: &str,
     ) -> Result<Task, MarshalError> {
         // Gather level inputs eagerly so the fingerprint covers them.
         let overlay_dir = match &level.overlay {
@@ -668,6 +748,10 @@ impl Builder {
         let objects_dir = store.objects_dir().to_path_buf();
         let input_fp = input_hash.finish();
         let by_input_path = store.by_input_path(input_fp);
+        // The serialized description a remote runner ships to a `marshal
+        // serve --exec` daemon. Deliberately NOT part of the fingerprint:
+        // where a task runs must not dirty whether it is up to date.
+        let remote_desc = crate::runners::level_spec(workload, &key, input_fp);
         let remote = self.remote_client.clone();
         // Just the backend-selection slice of the level spec: which
         // functional simulator boots the guest-init script.
@@ -713,6 +797,7 @@ impl Builder {
             store.store_with_input(&key, Some(input_fp), image)
         })
         .input(input_fp.to_string().as_bytes())
+        .remote_spec(remote_desc)
         .output(out_path)
         .claim(by_input_path)
         // Blob paths are content-derived, so the whole pool is claimed as a
@@ -834,14 +919,6 @@ fn preflight_level(
         format!("{problem}; removed so the level rebuilds this run"),
         "pool-damage",
     ));
-}
-
-/// The `-j` default: the host's available parallelism, or serial when the
-/// host cannot report one.
-fn default_jobs() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
 }
 
 fn store_image(store: &ImageStore, key: &str, image: FsImage) -> Result<(), String> {

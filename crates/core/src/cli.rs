@@ -53,7 +53,8 @@ pub struct CliArgs {
 /// One of Table I's commands.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
-    /// `build [--no-disk] [--force] [--keep-going] [-j N] <workload>`.
+    /// `build [--no-disk] [--force] [--keep-going] [-j N] [--runners LIST]
+    /// [--dry-run] [--progress] <workload>`.
     Build {
         /// Target workload file.
         workload: String,
@@ -69,6 +70,13 @@ pub enum Command {
         /// (`--remote HOST:PORT`, or the `MARSHAL_REMOTE` environment
         /// variable when the flag is absent).
         remote: Option<String>,
+        /// Runner pool (`--runners local[:N],remote:HOST:PORT`); `None`
+        /// builds on a single local thread pool.
+        runners: Option<String>,
+        /// Plan without executing (`--dry-run`).
+        dry_run: bool,
+        /// Live single-line progress on stderr (`--progress`).
+        progress: bool,
     },
     /// `launch [--job NAME] [--sim BACKEND] [--hw CONFIG] [--timeout-insts N] <workload>`.
     Launch {
@@ -109,6 +117,8 @@ pub enum Command {
         timeout_insts: Option<u64>,
         /// Worker threads for the build phase (`-j N`).
         jobs: Option<usize>,
+        /// Runner pool for the build phase (`--runners`).
+        runners: Option<String>,
     },
     /// `install [--hw CONFIG] [--sim CONNECTOR] <workload>`.
     Install {
@@ -123,6 +133,8 @@ pub enum Command {
         /// `marshal serve` daemon to fetch pre-built levels from during
         /// the build phase (`--remote` / `MARSHAL_REMOTE`).
         remote: Option<String>,
+        /// Runner pool for the build phase (`--runners`).
+        runners: Option<String>,
     },
     /// `clean [--keep-runs N] <workload>`.
     Clean {
@@ -138,6 +150,9 @@ pub enum Command {
         /// TCP port to listen on (`--port`, default 9300; 0 picks a free
         /// port and prints it).
         port: u16,
+        /// Accept remote-execution requests (`--exec`): build levels on
+        /// behalf of `--runners remote:...` clients.
+        exec: bool,
     },
     /// `scrub [--remote HOST:PORT]`: verify every pool blob and level
     /// manifest, quarantine corruption, and self-heal from a remote.
@@ -169,6 +184,7 @@ pub enum Command {
 /// Usage text.
 pub const USAGE: &str = "usage: marshal [-d DIR]... [--workdir DIR] [-v] <build|launch|cosim|test|install|clean|serve|scrub|trace> [options] <workload>
   build   [--no-disk] [--force] [--keep-going] [-j N] [--remote HOST:PORT]
+          [--runners LIST] [--dry-run] [--progress]
                                   construct the filesystem image and boot-binary;
                                   --keep-going builds past failures (only dependents
                                   of a failed task are skipped) and reports them all;
@@ -177,7 +193,15 @@ pub const USAGE: &str = "usage: marshal [-d DIR]... [--workdir DIR] [-v] <build|
                                   --remote (or MARSHAL_REMOTE) fetches pre-built
                                   levels from a marshal serve daemon before building
                                   them locally — fetch failures degrade to a normal
-                                  local build, never fail it
+                                  local build, never fail it;
+                                  --runners local[:N],remote:HOST:PORT executes
+                                  tasks on a runner pool: remote entries dispatch
+                                  level builds to marshal serve --exec daemons
+                                  (a local fallback is always present; a dead
+                                  remote degrades to local, never fails or hangs);
+                                  --dry-run plans without executing or writing;
+                                  --progress renders a live one-line status on
+                                  stderr while the build runs
   launch  [--job NAME] [--sim BACKEND] [--hw CONFIG] [--timeout-insts N]
                                   launch the workload on a simulator backend
                                   (qemu/spike/rtl; default: the workload's own choice);
@@ -190,16 +214,18 @@ pub const USAGE: &str = "usage: marshal [-d DIR]... [--workdir DIR] [-v] <build|
                                   and outputs (default pair: qemu,rtl);
                                   --inject-divergence corrupts one output byte as a
                                   checker self-test (must exit nonzero)
-  test    [--manual DIR] [--timeout-insts N] [-j N]
+  test    [--manual DIR] [--timeout-insts N] [-j N] [--runners LIST]
                                   compare outputs against a reference (build+launch, or a prior run dir)
-  install [--hw CONFIG] [--sim C] [--remote HOST:PORT]
+  install [--hw CONFIG] [--sim C] [--remote HOST:PORT] [--runners LIST]
                                   generate RTL simulator configuration (firesim/vcs/verilator)
   clean   [--keep-runs N]         remove built artifacts and state; also prunes
                                   recorded run journals beyond the newest N
                                   (default 20; journals of live runs are kept)
-  serve   [--port N]              export this workdir's built levels and blobs to
+  serve   [--port N] [--exec]     export this workdir's built levels and blobs to
                                   other builders (default port 9300; Ctrl-C drains
-                                  in-flight connections before exiting)
+                                  in-flight connections before exiting); --exec
+                                  additionally accepts remote-execution requests
+                                  from --runners clients, building levels here
   scrub   [--remote HOST:PORT]    verify every pool blob and level manifest,
                                   quarantine corruption, and re-fetch damaged blobs
                                   from a remote when one is configured
@@ -266,6 +292,10 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, MarshalError> {
     let mut sim: Option<String> = None;
     let mut inject_divergence = false;
     let mut remote: Option<String> = None;
+    let mut runners: Option<String> = None;
+    let mut dry_run = false;
+    let mut progress = false;
+    let mut exec = false;
     let mut port: Option<u16> = None;
     let mut keep_runs: Option<usize> = None;
     let mut export: Option<String> = None;
@@ -277,6 +307,9 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, MarshalError> {
             "--no-disk" => no_disk = true,
             "--force" => force = true,
             "--keep-going" => keep_going = true,
+            "--dry-run" => dry_run = true,
+            "--progress" => progress = true,
+            "--exec" => exec = true,
             "--inject-divergence" => inject_divergence = true,
             "--summary" => summary = true,
             "--last" => last = true,
@@ -344,6 +377,15 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, MarshalError> {
                         .clone(),
                 )
             }
+            "--runners" => {
+                let list = it
+                    .next()
+                    .ok_or_else(|| err("--runners needs a list (local[:N],remote:HOST:PORT)"))?;
+                // Validate eagerly so a typo fails with usage, not mid-build.
+                crate::runners::parse_runner_specs(list)
+                    .map_err(|e| err(&format!("--runners: {e}")))?;
+                runners = Some(list.clone());
+            }
             "--port" => {
                 let n = it.next().ok_or_else(|| err("--port needs a port number"))?;
                 port = Some(
@@ -375,6 +417,9 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, MarshalError> {
             keep_going,
             jobs,
             remote,
+            runners,
+            dry_run,
+            progress,
         },
         "launch" => Command::Launch {
             workload: need_workload()?,
@@ -395,12 +440,14 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, MarshalError> {
             manual,
             timeout_insts,
             jobs,
+            runners,
         },
         "install" => Command::Install {
             workload: need_workload()?,
             hw: hw.unwrap_or_else(|| "boom-tage".to_owned()),
             connector: sim.unwrap_or_else(|| "firesim".to_owned()),
             remote,
+            runners,
         },
         "clean" => Command::Clean {
             workload: need_workload()?,
@@ -412,6 +459,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, MarshalError> {
             }
             Command::Serve {
                 port: port.unwrap_or(9300),
+                exec,
             }
         }
         "scrub" => {
@@ -554,6 +602,9 @@ fn dispatch(args: &CliArgs, builder: &mut Builder, rec: &Recorder) -> (i32, Vec<
             keep_going,
             jobs,
             remote,
+            runners,
+            dry_run,
+            progress,
         } => {
             let opts = BuildOptions {
                 no_disk: *no_disk,
@@ -561,10 +612,31 @@ fn dispatch(args: &CliArgs, builder: &mut Builder, rec: &Recorder) -> (i32, Vec<
                 keep_going: *keep_going,
                 jobs: *jobs,
                 remote: effective_remote(remote),
+                runners: runners.clone(),
+                dry_run: *dry_run,
+                progress: progress_renderer(*progress),
             };
-            match builder.build(workload, &opts) {
+            let result = builder.build(workload, &opts);
+            if *progress {
+                // Clear the status line before anything else prints, so
+                // warnings and the summary never interleave with it.
+                eprint!("\r\x1b[2K");
+                let _ = std::io::Write::flush(&mut std::io::stderr());
+            }
+            match result {
                 Ok(products) => {
                     render_warnings(&mut log, rec, &mut seen, &products.warnings);
+                    if let Some(plan) = &products.dry_run {
+                        log.push(format!(
+                            "dry run: {} task(s) would execute, {} up to date",
+                            plan.len(),
+                            products.report.skipped.len()
+                        ));
+                        for t in plan {
+                            log.push(format!("  would run {}", t.id));
+                        }
+                        return (0, log);
+                    }
                     if let Some(summary) = &products.remote {
                         log.push(summary.describe());
                     }
@@ -790,9 +862,11 @@ fn dispatch(args: &CliArgs, builder: &mut Builder, rec: &Recorder) -> (i32, Vec<
             manual,
             timeout_insts,
             jobs,
+            runners,
         } => {
             let build_opts = BuildOptions {
                 jobs: *jobs,
+                runners: runners.clone(),
                 ..BuildOptions::default()
             };
             let outcomes_result = match manual {
@@ -875,6 +949,7 @@ fn dispatch(args: &CliArgs, builder: &mut Builder, rec: &Recorder) -> (i32, Vec<
             hw,
             connector,
             remote,
+            runners,
         } => {
             if hardware_by_name(hw).is_none() {
                 fail!(format!(
@@ -889,6 +964,7 @@ fn dispatch(args: &CliArgs, builder: &mut Builder, rec: &Recorder) -> (i32, Vec<
             };
             let build_opts = BuildOptions {
                 remote: effective_remote(remote),
+                runners: runners.clone(),
                 ..BuildOptions::default()
             };
             let products = match builder.build(workload, &build_opts) {
@@ -944,10 +1020,10 @@ fn dispatch(args: &CliArgs, builder: &mut Builder, rec: &Recorder) -> (i32, Vec<
             }
             Err(e) => fail!(e),
         },
-        Command::Serve { port } => {
+        Command::Serve { port, exec } => {
             marshal_netstore::server::install_sigint_handler();
             let addr = format!("0.0.0.0:{port}");
-            let server = match marshal_netstore::Server::bind(
+            let mut server = match marshal_netstore::Server::bind(
                 &addr,
                 std::path::Path::new(&args.workdir),
                 std::time::Duration::from_secs(10),
@@ -955,12 +1031,24 @@ fn dispatch(args: &CliArgs, builder: &mut Builder, rec: &Recorder) -> (i32, Vec<
                 Ok(s) => s,
                 Err(e) => fail!(e),
             };
+            if *exec {
+                let handler = match crate::runners::serve_exec_handler(
+                    builder.board().clone(),
+                    builder.search().clone(),
+                    &args.workdir,
+                ) {
+                    Ok(h) => h,
+                    Err(e) => fail!(e),
+                };
+                server.set_exec_handler(handler);
+            }
             // The daemon blocks until drained, so announce readiness now
             // rather than in the post-run log.
             match server.local_addr() {
                 Ok(a) => println!(
-                    "marshal serve: exporting {} on {a} (Ctrl-C to drain and exit)",
-                    args.workdir
+                    "marshal serve: exporting {} on {a}{} (Ctrl-C to drain and exit)",
+                    args.workdir,
+                    if *exec { " with remote execution" } else { "" }
                 ),
                 Err(e) => fail!(e),
             }
@@ -1071,6 +1159,27 @@ fn dispatch(args: &CliArgs, builder: &mut Builder, rec: &Recorder) -> (i32, Vec<
     }
 }
 
+/// The `--progress` status line: a single carriage-returned line on
+/// stderr, redrawn from the scheduler thread whenever the picture
+/// changes. Stderr so piping stdout stays clean; the Build dispatch
+/// clears the line before any warning or summary prints.
+fn progress_renderer(enabled: bool) -> Option<marshal_depgraph::ProgressFn> {
+    if !enabled {
+        return None;
+    }
+    Some(std::sync::Arc::new(|p: &marshal_depgraph::ExecProgress| {
+        eprint!(
+            "\r\x1b[2K[{done}/{total}] ready {ready} running {running} failed {failed}",
+            done = p.done,
+            total = p.total,
+            ready = p.ready,
+            running = p.running,
+            failed = p.failed
+        );
+        let _ = std::io::Write::flush(&mut std::io::stderr());
+    }))
+}
+
 /// The effective remote daemon address: the `--remote` flag, else the
 /// `MARSHAL_REMOTE` environment variable, else none.
 fn effective_remote(flag: &Option<String>) -> Option<String> {
@@ -1101,9 +1210,44 @@ mod tests {
                 force: false,
                 keep_going: false,
                 jobs: None,
-                remote: None
+                remote: None,
+                runners: None,
+                dry_run: false,
+                progress: false
             }
         );
+    }
+
+    #[test]
+    fn parse_runners_dry_run_progress() {
+        let args = parse(&[
+            "build",
+            "--runners",
+            "remote:cache:9021,local:2",
+            "--dry-run",
+            "--progress",
+            "w.json",
+        ])
+        .unwrap();
+        assert!(matches!(
+            args.command,
+            Command::Build { ref runners, dry_run: true, progress: true, .. }
+                if runners.as_deref() == Some("remote:cache:9021,local:2")
+        ));
+        let args = parse(&["test", "--runners", "local:4", "w.json"]).unwrap();
+        assert!(matches!(
+            args.command,
+            Command::Test { ref runners, .. } if runners.as_deref() == Some("local:4")
+        ));
+        let args = parse(&["install", "--runners", "local", "w.json"]).unwrap();
+        assert!(matches!(
+            args.command,
+            Command::Install { ref runners, .. } if runners.as_deref() == Some("local")
+        ));
+        // Malformed lists fail at parse time with a usage error.
+        assert!(parse(&["build", "--runners", "ssh:box", "w.json"]).is_err());
+        assert!(parse(&["build", "--runners", "local:0", "w.json"]).is_err());
+        assert!(parse(&["build", "--runners"]).is_err());
     }
 
     #[test]
@@ -1124,9 +1268,21 @@ mod tests {
     #[test]
     fn parse_serve_and_scrub() {
         let args = parse(&["serve"]).unwrap();
-        assert_eq!(args.command, Command::Serve { port: 9300 });
-        let args = parse(&["serve", "--port", "7777"]).unwrap();
-        assert_eq!(args.command, Command::Serve { port: 7777 });
+        assert_eq!(
+            args.command,
+            Command::Serve {
+                port: 9300,
+                exec: false
+            }
+        );
+        let args = parse(&["serve", "--port", "7777", "--exec"]).unwrap();
+        assert_eq!(
+            args.command,
+            Command::Serve {
+                port: 7777,
+                exec: true
+            }
+        );
         assert!(parse(&["serve", "--port", "notaport"]).is_err());
         assert!(parse(&["serve", "w.json"]).is_err());
         let args = parse(&["scrub"]).unwrap();
@@ -1279,7 +1435,8 @@ mod tests {
                 workload: "w.json".into(),
                 hw: "boom-gshare".into(),
                 connector: "firesim".into(),
-                remote: None
+                remote: None,
+                runners: None
             }
         );
         let args = parse(&["install", "--sim", "vcs", "w.json"]).unwrap();

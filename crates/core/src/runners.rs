@@ -1,0 +1,310 @@
+//! Runner selection and the remote-execution glue between the depgraph
+//! scheduler and `marshal serve --exec` daemons.
+//!
+//! Three pieces live here:
+//!
+//! - [`RunnerSpec`] / [`parse_runner_specs`]: the `--runners
+//!   local[:N],remote:HOST:PORT` syntax shared by `build`, `test`, and
+//!   `install`.
+//! - [`level_spec`] / [`parse_level_spec`]: the opaque task description a
+//!   remote runner ships over the wire. It names the workload, the level's
+//!   store key, and the level's *input fingerprint* — the daemon rebuilds
+//!   the workload from its own sources and the client only accepts the
+//!   result if the daemon ends up holding a level with that exact
+//!   fingerprint, so a source-skewed daemon degrades to a local build
+//!   instead of poisoning the workdir.
+//! - [`make_runners`] / [`serve_exec_handler`]: the client- and
+//!   daemon-side constructors wiring those specs into
+//!   [`marshal_netstore::RemoteRunner`] and the serve loop.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use marshal_config::SearchPath;
+use marshal_depgraph::{Fingerprint, LocalRunner, Task, TaskRunner};
+use marshal_netstore::server::ExecHandler;
+use marshal_netstore::{FetchHook, RemoteRunner, RemoteStore, RetryPolicy};
+use marshal_trace::Recorder;
+
+use crate::board::Board;
+use crate::build::{BuildOptions, Builder};
+use crate::imagestore::ImageStore;
+
+/// Version tag leading every serialized level spec; a daemon refuses specs
+/// it does not understand.
+const LEVEL_SPEC_V1: &str = "marshal-level-v1";
+
+/// One entry of a `--runners` list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunnerSpec {
+    /// In-process thread pool. `threads: None` means "use the build's
+    /// `-j` / host-parallelism default".
+    Local {
+        /// Worker threads, when pinned by `local:N`.
+        threads: Option<usize>,
+    },
+    /// A `marshal serve --exec` daemon at `HOST:PORT`.
+    Remote {
+        /// The daemon address.
+        addr: String,
+    },
+}
+
+/// Parses a comma-separated `--runners` list: `local`, `local:N`, or
+/// `remote:HOST:PORT`, in any order. Order matters downstream: the
+/// scheduler offers ready tasks to runners in declaration order.
+///
+/// # Errors
+///
+/// A human-readable message naming the malformed entry.
+pub fn parse_runner_specs(list: &str) -> Result<Vec<RunnerSpec>, String> {
+    let mut specs = Vec::new();
+    for entry in list.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            return Err("empty entry in --runners list".to_owned());
+        }
+        if entry == "local" {
+            specs.push(RunnerSpec::Local { threads: None });
+        } else if let Some(n) = entry.strip_prefix("local:") {
+            let threads: usize = n
+                .parse()
+                .map_err(|_| format!("bad thread count in `--runners {entry}`"))?;
+            if threads == 0 {
+                return Err(format!("`--runners {entry}`: thread count must be >= 1"));
+            }
+            specs.push(RunnerSpec::Local {
+                threads: Some(threads),
+            });
+        } else if let Some(addr) = entry.strip_prefix("remote:") {
+            // The remainder must look like HOST:PORT.
+            let Some((host, port)) = addr.rsplit_once(':') else {
+                return Err(format!("`--runners {entry}`: expected remote:HOST:PORT"));
+            };
+            if host.is_empty() || port.parse::<u16>().is_err() {
+                return Err(format!("`--runners {entry}`: expected remote:HOST:PORT"));
+            }
+            specs.push(RunnerSpec::Remote {
+                addr: addr.to_owned(),
+            });
+        } else {
+            return Err(format!(
+                "unknown runner `{entry}` (expected local, local:N, or remote:HOST:PORT)"
+            ));
+        }
+    }
+    Ok(specs)
+}
+
+/// Serializes a level-build task for the wire: workload to build, level
+/// store key, and the level's input fingerprint.
+pub fn level_spec(workload: &str, key: &str, input: Fingerprint) -> Vec<u8> {
+    format!("{LEVEL_SPEC_V1}\n{workload}\n{key}\n{input}").into_bytes()
+}
+
+/// Parses a [`level_spec`] payload back into `(workload, key, input)`.
+///
+/// # Errors
+///
+/// A human-readable message for unknown versions or malformed payloads.
+pub fn parse_level_spec(spec: &[u8]) -> Result<(String, String, Fingerprint), String> {
+    let text = std::str::from_utf8(spec).map_err(|_| "level spec is not UTF-8".to_owned())?;
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(LEVEL_SPEC_V1) => {}
+        Some(other) => return Err(format!("unknown level spec version `{other}`")),
+        None => return Err("empty level spec".to_owned()),
+    }
+    let workload = lines.next().ok_or("level spec missing workload")?;
+    let key = lines.next().ok_or("level spec missing level key")?;
+    let fp = lines.next().ok_or("level spec missing input fingerprint")?;
+    let input: Fingerprint = fp
+        .parse()
+        .map_err(|_| format!("bad input fingerprint `{fp}` in level spec"))?;
+    if lines.next().is_some() {
+        return Err("trailing data in level spec".to_owned());
+    }
+    Ok((workload.to_owned(), key.to_owned(), input))
+}
+
+/// The retry policy for exec requests: a remote *build* legitimately takes
+/// far longer than a blob fetch, so the per-request deadline is generous
+/// and only one retry is spent before falling back to local execution.
+fn exec_policy() -> RetryPolicy {
+    RetryPolicy {
+        attempts: 2,
+        request_timeout: std::time::Duration::from_secs(30),
+        ..RetryPolicy::default()
+    }
+}
+
+/// Builds the runner pool for a `--runners` spec list.
+///
+/// Remote entries become [`RemoteRunner`]s whose fetch hook localizes a
+/// finished level through the ordinary manifest/blob fetch path into
+/// `store` — a remote hit lands bit-identical to a local build. When the
+/// list names no local runner, one is appended with `default_threads`
+/// workers, so a build can always make progress even if every remote
+/// dies. Returns the pool plus the exec clients, which the caller drains
+/// for degradation notes after the build.
+pub fn make_runners(
+    specs: &[RunnerSpec],
+    store: &ImageStore,
+    default_threads: usize,
+    recorder: &Recorder,
+) -> (Vec<Box<dyn TaskRunner>>, Vec<Arc<RemoteStore>>) {
+    let mut runners: Vec<Box<dyn TaskRunner>> = Vec::new();
+    let mut clients = Vec::new();
+    let mut has_local = false;
+    for spec in specs {
+        match spec {
+            RunnerSpec::Local { threads } => {
+                has_local = true;
+                runners.push(Box::new(LocalRunner::new(
+                    threads.unwrap_or(default_threads),
+                )));
+            }
+            RunnerSpec::Remote { addr } => {
+                let client = Arc::new(RemoteStore::tcp(addr, exec_policy()));
+                client.set_recorder(recorder.clone());
+                let fetch_store = store.clone();
+                let fetch_client = Arc::clone(&client);
+                let hook: FetchHook = Arc::new(move |task: &Task| {
+                    let spec = task.remote_payload().ok_or("task has no remote spec")?;
+                    let (_workload, key, input) = parse_level_spec(spec)?;
+                    let manifest = fetch_client
+                        .try_fetch_level(fetch_store.blobs(), input)
+                        .ok_or_else(|| {
+                            format!("remote built level `{key}` but does not serve it")
+                        })?;
+                    fetch_store.install_fetched_manifest(&key, input, &manifest)
+                });
+                runners.push(Box::new(RemoteRunner::new(Arc::clone(&client), hook)));
+                clients.push(client);
+            }
+        }
+    }
+    if !has_local {
+        runners.push(Box::new(LocalRunner::new(default_threads)));
+    }
+    (runners, clients)
+}
+
+/// Builds the daemon-side exec handler for `marshal serve --exec`: parses
+/// each [`level_spec`], and satisfies it by building the named workload
+/// from the daemon's own sources (serialized — one build at a time). The
+/// request only succeeds if the daemon afterwards holds a level manifest
+/// under the requested input fingerprint; a daemon whose sources have
+/// drifted reports failure and the client builds locally.
+///
+/// # Errors
+///
+/// [`crate::MarshalError`] when the daemon's state database is unreadable.
+pub fn serve_exec_handler(
+    board: Board,
+    search: SearchPath,
+    workdir: impl Into<PathBuf>,
+) -> Result<ExecHandler, crate::MarshalError> {
+    let workdir = workdir.into();
+    let store = ImageStore::new(&workdir);
+    let builder = Mutex::new(Builder::new(board, search, &workdir)?);
+    Ok(Arc::new(move |task: &str, spec: &[u8]| {
+        let (workload, key, input) = parse_level_spec(spec)?;
+        // Fast path: an earlier exec (or this daemon's own builds) already
+        // produced this exact level.
+        if store.by_input_path(input).exists() {
+            return Ok(());
+        }
+        let mut builder = builder.lock().map_err(|_| "exec builder poisoned")?;
+        builder
+            .build(&workload, &BuildOptions::default())
+            .map_err(|e| format!("building `{workload}` for task `{task}`: {e}"))?;
+        if store.by_input_path(input).exists() {
+            Ok(())
+        } else {
+            Err(format!(
+                "built `{workload}` but produced no level `{key}` with input {input} \
+                 (daemon sources differ from the client's)"
+            ))
+        }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_runner_lists() {
+        assert_eq!(
+            parse_runner_specs("local").unwrap(),
+            vec![RunnerSpec::Local { threads: None }]
+        );
+        assert_eq!(
+            parse_runner_specs("local:4").unwrap(),
+            vec![RunnerSpec::Local { threads: Some(4) }]
+        );
+        assert_eq!(
+            parse_runner_specs("remote:127.0.0.1:9021,local:2").unwrap(),
+            vec![
+                RunnerSpec::Remote {
+                    addr: "127.0.0.1:9021".to_owned()
+                },
+                RunnerSpec::Local { threads: Some(2) },
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_runner_lists() {
+        for bad in [
+            "",
+            "local,",
+            "local:0",
+            "local:many",
+            "remote:nohost",
+            "remote::9021",
+            "remote:host:notaport",
+            "ssh:somewhere",
+        ] {
+            assert!(parse_runner_specs(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn level_spec_round_trips() {
+        let input = Fingerprint::of(b"level-inputs");
+        let spec = level_spec("br-base", "br-base/tools", input);
+        let (w, k, i) = parse_level_spec(&spec).unwrap();
+        assert_eq!(w, "br-base");
+        assert_eq!(k, "br-base/tools");
+        assert_eq!(i, input);
+    }
+
+    #[test]
+    fn level_spec_rejects_garbage() {
+        assert!(parse_level_spec(b"").is_err());
+        assert!(parse_level_spec(b"marshal-level-v2\nw\nk\nf").is_err());
+        assert!(parse_level_spec(b"marshal-level-v1\nw\nk\nnot-a-fp").is_err());
+        assert!(parse_level_spec(b"marshal-level-v1\nw\nk").is_err());
+        let input = Fingerprint::of(b"x");
+        let mut spec = level_spec("w", "k", input);
+        spec.extend_from_slice(b"\nextra");
+        assert!(parse_level_spec(&spec).is_err());
+        assert!(parse_level_spec(&[0xFF, 0xFE]).is_err());
+    }
+
+    #[test]
+    fn make_runners_always_includes_a_local_fallback() {
+        let dir = std::env::temp_dir().join(format!("marshal-runners-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let store = ImageStore::new(&dir);
+        let specs = parse_runner_specs("remote:127.0.0.1:1").unwrap();
+        let (runners, clients) = make_runners(&specs, &store, 3, &Recorder::disabled());
+        assert_eq!(runners.len(), 2, "remote plus appended local fallback");
+        assert_eq!(clients.len(), 1);
+        assert_eq!(runners[0].label(), "remote:127.0.0.1:1");
+        assert_eq!(runners[1].label(), "local:3");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

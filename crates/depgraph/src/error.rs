@@ -37,6 +37,10 @@ pub enum BuildError {
     },
     /// The persistent state database could not be read or written.
     State(String),
+    /// The runner configuration is unusable: no runners, a mix of dry-run
+    /// and live runners, or a scheduler stall caused by a runner breaking
+    /// its event contract.
+    Runner(String),
 }
 
 /// The execution-facing alias for [`BuildError`]: scheduler errors such as
@@ -66,6 +70,7 @@ impl fmt::Display for BuildError {
                  them distinct output paths"
             ),
             BuildError::State(msg) => write!(f, "state database error: {msg}"),
+            BuildError::Runner(msg) => write!(f, "runner error: {msg}"),
         }
     }
 }

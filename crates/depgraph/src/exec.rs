@@ -1,5 +1,14 @@
-//! Build execution: up-to-date checking and (optionally parallel) running,
-//! with fail-fast and keep-going failure policies.
+//! Build execution: up-to-date checking and running over pluggable task
+//! runners, with fail-fast and keep-going failure policies.
+//!
+//! Execution is split in two: a single-threaded scheduler
+//! ([`crate::sched`]) owns the graph walk, the up-to-date checks, the
+//! claim audit, and the poisoning policy; [`crate::runner::TaskRunner`]s
+//! own nothing but execution and report back over the
+//! [`crate::ExecEvent`] channel. [`Graph::execute_with`] drives a
+//! [`crate::runner::LocalRunner`] thread pool; callers that want remote
+//! or dry-run execution pass their own runner set to
+//! [`Graph::execute_with_runners`].
 //!
 //! # Parallel safety
 //!
@@ -12,20 +21,19 @@
 //! runs, so a crash mid-task is detected on the next run.
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::{Condvar, Mutex};
-use std::time::Instant;
+use std::fmt;
 
 use marshal_trace::Recorder;
 
-use crate::claims::ClaimScope;
 use crate::error::BuildError;
+use crate::events::ProgressFn;
 use crate::graph::Graph;
 use crate::hash::{Fingerprint, Hasher128};
+use crate::runner::{LocalRunner, TaskRunner};
 use crate::state::StateDb;
-use crate::task::Task;
 
 /// Options controlling how a graph is executed.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ExecOptions {
     /// After a task fails, keep building every task that is not a
     /// transitive dependent of a failure, then return an aggregated
@@ -33,12 +41,33 @@ pub struct ExecOptions {
     /// equivalent of `make -k`). When `false` (the default) the first
     /// failure aborts the build with [`BuildError::TaskFailed`].
     pub keep_going: bool,
-    /// Number of worker threads; `0` or `1` runs serially.
+    /// Number of local worker threads for the default runner.
+    ///
+    /// This is the one place worker-count defaults are decided:
+    /// [`ExecOptions::default`] uses `1` (serial — deterministic and safe
+    /// for library callers), and front-ends that want parallelism opt in
+    /// via [`ExecOptions::host_threads`]. `0` is clamped to `1`. Ignored
+    /// when the caller supplies its own runners.
     pub threads: usize,
     /// Event recorder for the run journal. The default (disabled) recorder
     /// costs one branch per would-be event — no channel sends, no clock
     /// reads on the scheduling hot path.
     pub recorder: Recorder,
+    /// Invoked from the scheduler thread with a fresh
+    /// [`crate::ExecProgress`] snapshot whenever the ready/running/done
+    /// picture may have changed. Must not block for long.
+    pub progress: Option<ProgressFn>,
+}
+
+impl fmt::Debug for ExecOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecOptions")
+            .field("keep_going", &self.keep_going)
+            .field("threads", &self.threads)
+            .field("recorder", &self.recorder)
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
 }
 
 impl Default for ExecOptions {
@@ -47,7 +76,20 @@ impl Default for ExecOptions {
             keep_going: false,
             threads: 1,
             recorder: Recorder::disabled(),
+            progress: None,
         }
+    }
+}
+
+impl ExecOptions {
+    /// The host's available parallelism (minimum 1): the worker-count
+    /// default CLI front-ends use when the user passes no `-j`. Library
+    /// callers get [`ExecOptions::default`]'s serial behaviour unless they
+    /// opt in.
+    pub fn host_threads() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     }
 }
 
@@ -83,26 +125,6 @@ impl BuildReport {
     /// Whether every task succeeded (nothing failed or poisoned).
     pub fn success(&self) -> bool {
         self.failed.is_empty() && self.poisoned.is_empty()
-    }
-}
-
-/// Runs a task's action, re-running on failure until the task's retry
-/// budget is exhausted. Deterministic: a fixed attempt count, no clock.
-/// The task's write claims are installed for the duration, so undeclared
-/// writes trip the debug assertion in [`crate::claims::assert_claimed`].
-fn run_with_retries(task: &Task) -> Result<(), String> {
-    let _claims = ClaimScope::enter(task);
-    let budget = task.retry_budget();
-    let mut attempt = 0;
-    loop {
-        match task.run() {
-            Ok(()) => return Ok(()),
-            Err(_) if attempt < budget => attempt += 1,
-            Err(message) if budget > 0 => {
-                return Err(format!("{message} (after {} attempts)", attempt + 1))
-            }
-            Err(message) => return Err(message),
-        }
     }
 }
 
@@ -219,7 +241,10 @@ fn canonicalize_report(report: &mut BuildReport, order: &[String]) {
 /// Computes each task's *cumulative* fingerprint: its own inputs combined
 /// with the cumulative fingerprints of its dependencies, so an input change
 /// anywhere below a task changes that task's fingerprint too.
-fn cumulative_fingerprints(graph: &Graph, order: &[String]) -> BTreeMap<String, Fingerprint> {
+pub(crate) fn cumulative_fingerprints(
+    graph: &Graph,
+    order: &[String],
+) -> BTreeMap<String, Fingerprint> {
     let mut out: BTreeMap<String, Fingerprint> = BTreeMap::new();
     for id in order {
         let task = graph.get(id).expect("topo order returns known ids");
@@ -270,14 +295,16 @@ impl Graph {
         self.execute_roots_with(db, roots, &ExecOptions::default())
     }
 
-    /// Builds every task under the given [`ExecOptions`].
+    /// Builds every task under the given [`ExecOptions`], on a
+    /// [`LocalRunner`] pool of [`ExecOptions::threads`] workers.
     ///
     /// # Errors
     ///
     /// Graph validation errors. With `keep_going` unset, also the first
-    /// task failure; with it set, task failures land in
-    /// [`BuildReport::failed`] / [`BuildReport::poisoned`] and the call
-    /// returns `Ok`.
+    /// task failure (when several tasks fail concurrently, the error with
+    /// the lexicographically smallest task id is reported); with it set,
+    /// task failures land in [`BuildReport::failed`] /
+    /// [`BuildReport::poisoned`] and the call returns `Ok`.
     pub fn execute_with(
         &self,
         db: &mut StateDb,
@@ -303,26 +330,44 @@ impl Graph {
         self.dispatch(db, &order, opts)
     }
 
-    /// Builds every task with up to `threads` workers running independent
-    /// tasks concurrently. Semantics match [`Graph::execute`].
+    /// Builds every task over a caller-supplied runner set instead of the
+    /// default local pool ([`ExecOptions::threads`] is ignored). Ready
+    /// tasks are offered to runners in declaration order — put remote
+    /// runners first to shard eligible work onto them, with a local runner
+    /// after for everything else.
     ///
     /// # Errors
     ///
-    /// Same as [`Graph::execute`]; when several tasks fail concurrently, the
-    /// error with the lexicographically smallest task id is reported.
-    pub fn execute_parallel(
+    /// Same as [`Graph::execute_with`], plus [`BuildError::Runner`] when
+    /// the runner set is empty, mixes dry-run and live runners, or breaks
+    /// the event contract.
+    pub fn execute_with_runners(
         &self,
         db: &mut StateDb,
-        threads: usize,
+        opts: &ExecOptions,
+        runners: Vec<Box<dyn TaskRunner>>,
     ) -> Result<BuildReport, BuildError> {
-        self.execute_with(
-            db,
-            &ExecOptions {
-                keep_going: false,
-                threads,
-                recorder: Recorder::disabled(),
-            },
-        )
+        let order = self.topo_order()?;
+        audit_claims(self, &order)?;
+        self.run_with_runners(db, &order, opts, runners)
+    }
+
+    /// Builds only `roots` and their transitive dependencies over a
+    /// caller-supplied runner set.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Graph::execute_with_runners`].
+    pub fn execute_roots_with_runners(
+        &self,
+        db: &mut StateDb,
+        roots: &[&str],
+        opts: &ExecOptions,
+        runners: Vec<Box<dyn TaskRunner>>,
+    ) -> Result<BuildReport, BuildError> {
+        let order = self.subgraph_order(roots)?;
+        audit_claims(self, &order)?;
+        self.run_with_runners(db, &order, opts, runners)
     }
 
     fn dispatch(
@@ -334,318 +379,24 @@ impl Graph {
         // Audit write claims for every plan, serial included: two unordered
         // writers of one path is a latent bug at any thread count.
         audit_claims(self, order)?;
-        let mut report = if opts.threads > 1 {
-            self.execute_parallel_order(db, order, opts)?
-        } else {
-            self.execute_order(db, order, opts)?
-        };
+        let runners: Vec<Box<dyn TaskRunner>> =
+            vec![Box::new(LocalRunner::new(opts.threads.max(1)))];
+        self.run_with_runners(db, order, opts, runners)
+    }
+
+    fn run_with_runners(
+        &self,
+        db: &mut StateDb,
+        order: &[String],
+        opts: &ExecOptions,
+        mut runners: Vec<Box<dyn TaskRunner>>,
+    ) -> Result<BuildReport, BuildError> {
+        for r in runners.iter_mut() {
+            r.set_recorder(opts.recorder.clone());
+        }
+        let mut report = crate::sched::run_scheduler(self, order, db, opts, &mut runners)?;
         canonicalize_report(&mut report, order);
         Ok(report)
-    }
-
-    fn execute_order(
-        &self,
-        db: &mut StateDb,
-        order: &[String],
-        opts: &ExecOptions,
-    ) -> Result<BuildReport, BuildError> {
-        let fps = cumulative_fingerprints(self, order);
-        let mut report = BuildReport::default();
-        let mut dirty: BTreeSet<&str> = BTreeSet::new();
-        // Failed tasks and their transitive dependents: never attempted.
-        let mut dead: BTreeSet<&str> = BTreeSet::new();
-        let rec = &opts.recorder;
-        for id in order {
-            let task = self.get(id).expect("known id");
-            if task.deps().iter().any(|d| dead.contains(d.as_str())) {
-                dead.insert(id.as_str());
-                rec.task_poisoned(id);
-                report.poisoned.push(id.clone());
-                continue;
-            }
-            let fp = fps[id.as_str()];
-            let dep_ran = task.deps().iter().any(|d| dirty.contains(d.as_str()));
-            let up_to_date = !dep_ran && db.last(id) == Some(fp) && task.outputs_exist();
-            if up_to_date {
-                rec.task_skipped(id);
-                report.skipped.push(id.clone());
-                continue;
-            }
-            // Durable in-progress mark: flushed (atomically) before the
-            // action runs, so a crash mid-task is visible to the next run.
-            // Flush failures are non-fatal — losing the mark only loses
-            // crash detection, not correctness of this build.
-            db.mark_in_progress(id.clone());
-            let _ = db.flush();
-            let span = rec.task_span(id);
-            match run_with_retries(task) {
-                Ok(()) => {
-                    db.finish(id.clone(), fp);
-                    let _ = db.flush();
-                    span.end_with(&[("outcome", "executed")]);
-                    dirty.insert(id.as_str());
-                    report.executed.push(id.clone());
-                }
-                Err(message) if opts.keep_going => {
-                    // A clean failure is not a crash: clear the mark so the
-                    // next run does not report a phantom interruption.
-                    db.clear_in_progress(id);
-                    let _ = db.flush();
-                    span.end_with(&[("outcome", "failed"), ("error", &message)]);
-                    dead.insert(id.as_str());
-                    report.failed.push((id.clone(), message));
-                }
-                Err(message) => {
-                    db.clear_in_progress(id);
-                    let _ = db.flush();
-                    span.end_with(&[("outcome", "failed"), ("error", &message)]);
-                    return Err(BuildError::TaskFailed {
-                        task: id.clone(),
-                        message,
-                    });
-                }
-            }
-        }
-        Ok(report)
-    }
-
-    fn execute_parallel_order(
-        &self,
-        db: &mut StateDb,
-        order: &[String],
-        opts: &ExecOptions,
-    ) -> Result<BuildReport, BuildError> {
-        let fps = cumulative_fingerprints(self, order);
-        let threads = opts.threads.max(1);
-        let keep_going = opts.keep_going;
-
-        struct Shared<'g> {
-            graph: &'g Graph,
-            state: Mutex<SchedState>,
-            cv: Condvar,
-            /// Whether to keep ready timestamps for claim-wait attribution
-            /// (only when a recorder is listening).
-            trace: bool,
-        }
-        #[derive(Default)]
-        struct SchedState {
-            remaining_deps: BTreeMap<String, usize>,
-            ready: Vec<String>,
-            /// When each ready task became ready (tracing only): the gap
-            /// between this and the claim is the task's queue wait.
-            ready_at: BTreeMap<String, Instant>,
-            dirty: BTreeSet<String>,
-            /// Failed tasks and their transitive dependents.
-            dead: BTreeSet<String>,
-            executed: Vec<String>,
-            skipped: Vec<String>,
-            poisoned: Vec<String>,
-            pending: usize,
-            /// Workers currently running a claimed task (`-j` occupancy).
-            busy: usize,
-            failures: BTreeMap<String, String>,
-        }
-
-        /// Decrements children's outstanding-dependency counts after `id`
-        /// settles (succeeded, failed, or poisoned), readying any child
-        /// whose dependencies have all settled. Children outside `order`
-        /// (when building a root subset) are ignored.
-        fn settle(st: &mut SchedState, graph: &Graph, id: &str, trace: bool) {
-            st.pending -= 1;
-            for t in graph.iter() {
-                if !t.deps().iter().any(|d| d == id) {
-                    continue;
-                }
-                if let Some(rem) = st.remaining_deps.get_mut(t.id()) {
-                    // Counts were initialised over unique deps.
-                    *rem = rem.saturating_sub(1);
-                    if *rem == 0 {
-                        st.ready.push(t.id().to_owned());
-                        if trace {
-                            st.ready_at.insert(t.id().to_owned(), Instant::now());
-                        }
-                    }
-                }
-            }
-            st.ready.sort();
-        }
-
-        let mut sched = SchedState {
-            pending: order.len(),
-            ..SchedState::default()
-        };
-        for id in order {
-            let n = self
-                .get(id)
-                .unwrap()
-                .deps()
-                .iter()
-                .collect::<BTreeSet<_>>()
-                .len();
-            sched.remaining_deps.insert(id.clone(), n);
-            if n == 0 {
-                sched.ready.push(id.clone());
-            }
-        }
-        sched.ready.sort();
-        let rec = &opts.recorder;
-        if rec.enabled() {
-            let now = Instant::now();
-            for id in &sched.ready {
-                sched.ready_at.insert(id.clone(), now);
-            }
-        }
-
-        let shared = Shared {
-            graph: self,
-            state: Mutex::new(sched),
-            cv: Condvar::new(),
-            trace: rec.enabled(),
-        };
-        let last_fps: BTreeMap<String, Option<Fingerprint>> =
-            order.iter().map(|id| (id.clone(), db.last(id))).collect();
-        // Workers write the state db directly (in-progress marks, new
-        // fingerprints) through this mutex; every flush goes through the
-        // db's atomic temp+rename path.
-        let db = Mutex::new(db);
-
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| {
-                    loop {
-                        // Claim a ready task, classifying it while the lock
-                        // is held: a task whose dependency died is poisoned
-                        // and settles without running.
-                        let (id, dep_ran, claim_wait_us, busy) = {
-                            let mut st = shared.state.lock().unwrap();
-                            loop {
-                                if st.pending == 0 || (!keep_going && !st.failures.is_empty()) {
-                                    return;
-                                }
-                                if let Some(id) = st.ready.pop() {
-                                    let task = shared.graph.get(&id).unwrap();
-                                    if task.deps().iter().any(|d| st.dead.contains(d)) {
-                                        st.ready_at.remove(&id);
-                                        st.dead.insert(id.clone());
-                                        st.poisoned.push(id.clone());
-                                        rec.task_poisoned(&id);
-                                        settle(&mut st, shared.graph, &id, shared.trace);
-                                        shared.cv.notify_all();
-                                        continue;
-                                    }
-                                    let dep_ran =
-                                        task.deps().iter().any(|d| st.dirty.contains(d.as_str()));
-                                    let wait = st
-                                        .ready_at
-                                        .remove(&id)
-                                        .map(|at| at.elapsed().as_micros() as u64);
-                                    st.busy += 1;
-                                    break (id, dep_ran, wait, st.busy);
-                                }
-                                st = shared.cv.wait(st).unwrap();
-                            }
-                        };
-                        if rec.enabled() {
-                            rec.counter("busy_workers", busy as i64);
-                        }
-                        let task = shared.graph.get(&id).unwrap();
-                        let fp = fps[&id];
-                        let up_to_date =
-                            !dep_ran && last_fps[&id] == Some(fp) && task.outputs_exist();
-                        let result = if up_to_date {
-                            rec.task_skipped(&id);
-                            Ok(false)
-                        } else {
-                            {
-                                let mut db = db.lock().unwrap();
-                                db.mark_in_progress(id.clone());
-                                let _ = db.flush();
-                            }
-                            let span = rec.span(
-                                "task",
-                                &[
-                                    ("task", &id),
-                                    ("claim_wait_us", &claim_wait_us.unwrap_or(0).to_string()),
-                                ],
-                            );
-                            let r = run_with_retries(task).map(|_| true);
-                            match &r {
-                                Ok(_) => span.end_with(&[("outcome", "executed")]),
-                                Err(message) => {
-                                    span.end_with(&[("outcome", "failed"), ("error", message)]);
-                                }
-                            }
-                            r
-                        };
-
-                        match &result {
-                            Ok(true) => {
-                                let mut db = db.lock().unwrap();
-                                db.finish(id.clone(), fp);
-                                let _ = db.flush();
-                            }
-                            Err(_) => {
-                                let mut db = db.lock().unwrap();
-                                db.clear_in_progress(&id);
-                                let _ = db.flush();
-                            }
-                            Ok(false) => {}
-                        }
-
-                        let mut st = shared.state.lock().unwrap();
-                        st.busy -= 1;
-                        let busy = st.busy;
-                        match result {
-                            Ok(ran) => {
-                                if ran {
-                                    st.dirty.insert(id.clone());
-                                    st.executed.push(id.clone());
-                                } else {
-                                    st.skipped.push(id.clone());
-                                }
-                                settle(&mut st, shared.graph, &id, shared.trace);
-                            }
-                            Err(message) => {
-                                st.failures.insert(id.clone(), message);
-                                if keep_going {
-                                    // The failure cone keeps settling so
-                                    // independent subtrees can finish.
-                                    st.dead.insert(id.clone());
-                                    settle(&mut st, shared.graph, &id, shared.trace);
-                                }
-                            }
-                        }
-                        drop(st);
-                        if rec.enabled() {
-                            rec.counter("busy_workers", busy as i64);
-                        }
-                        shared.cv.notify_all();
-                    }
-                });
-            }
-        });
-
-        // Fingerprints were recorded as tasks finished (successful subtrees
-        // persist even when others failed, so a fixed failure resumes
-        // incrementally); only the report remains to assemble.
-        let st = shared.state.into_inner().unwrap();
-        if !keep_going {
-            if let Some((task, message)) = st.failures.into_iter().next() {
-                return Err(BuildError::TaskFailed { task, message });
-            }
-            return Ok(BuildReport {
-                executed: st.executed,
-                skipped: st.skipped,
-                failed: Vec::new(),
-                poisoned: Vec::new(),
-            });
-        }
-        Ok(BuildReport {
-            executed: st.executed,
-            skipped: st.skipped,
-            failed: st.failures.into_iter().collect(),
-            poisoned: st.poisoned,
-        })
     }
 }
 
@@ -654,7 +405,24 @@ mod tests {
     use super::*;
     use crate::task::Task;
     use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Arc;
+    use std::sync::{Arc, Mutex};
+
+    /// `execute_with` options for an N-worker local build.
+    fn threaded(threads: usize) -> ExecOptions {
+        ExecOptions {
+            threads,
+            ..ExecOptions::default()
+        }
+    }
+
+    /// `execute_with` options for a keep-going build at the given width.
+    fn keep_going(threads: usize) -> ExecOptions {
+        ExecOptions {
+            keep_going: true,
+            threads,
+            ..ExecOptions::default()
+        }
+    }
 
     fn counting_graph(counter: &Arc<AtomicUsize>, input_for_a: &[u8]) -> Graph {
         let mut g = Graph::new();
@@ -771,11 +539,7 @@ mod tests {
         let ran = Arc::new(Mutex::new(Vec::new()));
         let g = failure_cone_graph(&ran);
         let mut db = StateDb::in_memory();
-        let opts = ExecOptions {
-            keep_going: true,
-            threads: 1,
-            recorder: Recorder::disabled(),
-        };
+        let opts = keep_going(1);
         let report = g.execute_with(&mut db, &opts).unwrap();
         assert!(!report.success());
         assert_eq!(report.failed, vec![("bad".to_owned(), "kaboom".to_owned())]);
@@ -804,16 +568,7 @@ mod tests {
             let ran = Arc::new(Mutex::new(Vec::new()));
             let g = failure_cone_graph(&ran);
             let mut db = StateDb::in_memory();
-            let report = g
-                .execute_with(
-                    &mut db,
-                    &ExecOptions {
-                        keep_going: true,
-                        threads,
-                        recorder: Recorder::disabled(),
-                    },
-                )
-                .unwrap();
+            let report = g.execute_with(&mut db, &keep_going(threads)).unwrap();
             assert_eq!(report.failed.len(), 1, "threads={threads}");
             let mut poisoned = report.poisoned.clone();
             poisoned.sort();
@@ -830,16 +585,7 @@ mod tests {
         let counter = Arc::new(AtomicUsize::new(0));
         let g = counting_graph(&counter, b"v1");
         let mut db = StateDb::in_memory();
-        let report = g
-            .execute_with(
-                &mut db,
-                &ExecOptions {
-                    keep_going: true,
-                    threads: 1,
-                    recorder: Recorder::disabled(),
-                },
-            )
-            .unwrap();
+        let report = g.execute_with(&mut db, &keep_going(1)).unwrap();
         assert!(report.success());
         assert_eq!(report.executed, vec!["a", "b", "c"]);
     }
@@ -940,10 +686,10 @@ mod tests {
             let counter = Arc::new(AtomicUsize::new(0));
             let g = counting_graph(&counter, b"v1");
             let mut db = StateDb::in_memory();
-            let report = g.execute_parallel(&mut db, threads).unwrap();
+            let report = g.execute_with(&mut db, &threaded(threads)).unwrap();
             assert_eq!(report.executed.len(), 3, "threads={threads}");
             assert_eq!(counter.load(Ordering::SeqCst), 3);
-            let report = g.execute_parallel(&mut db, threads).unwrap();
+            let report = g.execute_with(&mut db, &threaded(threads)).unwrap();
             assert!(report.executed.is_empty());
         }
     }
@@ -965,7 +711,7 @@ mod tests {
             .unwrap();
         }
         let mut db = StateDb::in_memory();
-        let report = g.execute_parallel(&mut db, 8).unwrap();
+        let report = g.execute_with(&mut db, &threaded(8)).unwrap();
         assert_eq!(report.executed.len(), 33);
         assert_eq!(counter.load(Ordering::SeqCst), 32);
     }
@@ -976,7 +722,7 @@ mod tests {
         g.add(Task::new("ok", || Ok(()))).unwrap();
         g.add(Task::new("bad", || Err("pow".into()))).unwrap();
         let mut db = StateDb::in_memory();
-        let err = g.execute_parallel(&mut db, 4).unwrap_err();
+        let err = g.execute_with(&mut db, &threaded(4)).unwrap_err();
         assert!(matches!(err, BuildError::TaskFailed { ref task, .. } if task == "bad"));
     }
 
@@ -988,15 +734,7 @@ mod tests {
         let g = failure_cone_graph(&ran);
         let mut db = StateDb::in_memory();
         let report = g
-            .execute_roots_with(
-                &mut db,
-                &["top", "side"],
-                &ExecOptions {
-                    keep_going: true,
-                    threads: 2,
-                    recorder: Recorder::disabled(),
-                },
-            )
+            .execute_roots_with(&mut db, &["top", "side"], &keep_going(2))
             .unwrap();
         assert_eq!(report.failed.len(), 1);
         let mut poisoned = report.poisoned.clone();
@@ -1029,16 +767,7 @@ mod tests {
             )
             .unwrap();
             let mut db = StateDb::in_memory();
-            let err = g
-                .execute_with(
-                    &mut db,
-                    &ExecOptions {
-                        keep_going: false,
-                        threads,
-                        recorder: Recorder::disabled(),
-                    },
-                )
-                .unwrap_err();
+            let err = g.execute_with(&mut db, &threaded(threads)).unwrap_err();
             match err {
                 BuildError::Conflict {
                     path,
@@ -1073,7 +802,7 @@ mod tests {
             .unwrap();
         }
         let mut db = StateDb::in_memory();
-        let report = g.execute_parallel(&mut db, 4).unwrap();
+        let report = g.execute_with(&mut db, &threaded(4)).unwrap();
         assert_eq!(report.executed.len(), 2);
         assert_eq!(counter.load(Ordering::SeqCst), 2);
     }
@@ -1087,16 +816,7 @@ mod tests {
             g.add(Task::new("rogue", || Ok(())).output("/work/objects/ab/x.blob"))
                 .unwrap();
             let mut db = StateDb::in_memory();
-            let err = g
-                .execute_with(
-                    &mut db,
-                    &ExecOptions {
-                        keep_going: false,
-                        threads,
-                        recorder: Recorder::disabled(),
-                    },
-                )
-                .unwrap_err();
+            let err = g.execute_with(&mut db, &threaded(threads)).unwrap_err();
             match err {
                 BuildError::Conflict {
                     path,
@@ -1126,7 +846,7 @@ mod tests {
         )
         .unwrap();
         let mut db = StateDb::in_memory();
-        let report = g.execute_parallel(&mut db, 4).unwrap();
+        let report = g.execute_with(&mut db, &threaded(4)).unwrap();
         assert_eq!(report.executed, vec!["store", "verify"]);
     }
 
@@ -1146,7 +866,7 @@ mod tests {
         )
         .unwrap();
         let mut db = StateDb::in_memory();
-        let report = g.execute_parallel(&mut db, 4).unwrap();
+        let report = g.execute_with(&mut db, &threaded(4)).unwrap();
         assert_eq!(report.executed, vec!["base", "mid", "finalize"]);
     }
 
@@ -1163,7 +883,7 @@ mod tests {
                     .unwrap();
             }
             let mut db = StateDb::in_memory();
-            let report = g.execute_parallel(&mut db, threads).unwrap();
+            let report = g.execute_with(&mut db, &threaded(threads)).unwrap();
             if expected.len() == 1 {
                 expected.extend((0..24).map(|i| format!("job{i:02}")));
             }
@@ -1183,16 +903,7 @@ mod tests {
             g.add(Task::new("y", || Ok(())).dep("bad")).unwrap();
             g.add(Task::new("z", || Ok(())).dep("x").dep("y")).unwrap();
             let mut db = StateDb::in_memory();
-            let report = g
-                .execute_with(
-                    &mut db,
-                    &ExecOptions {
-                        keep_going: true,
-                        threads,
-                        recorder: Recorder::disabled(),
-                    },
-                )
-                .unwrap();
+            let report = g.execute_with(&mut db, &keep_going(threads)).unwrap();
             assert_eq!(report.poisoned, vec!["x", "y", "z"], "threads={threads}");
             assert_eq!(report.failed.len(), 1, "threads={threads}");
         }

@@ -37,16 +37,23 @@
 
 pub mod claims;
 pub mod error;
+pub mod events;
 pub mod exec;
 pub mod graph;
 pub mod hash;
+pub mod runner;
+mod sched;
 pub mod state;
 pub mod task;
 
-pub use claims::assert_claimed;
+pub use claims::{assert_claimed, with_claims};
 pub use error::{BuildError, ExecError};
+pub use events::{EventSender, ExecEvent, ExecProgress, ProgressFn, RunnerId};
 pub use exec::{BuildReport, ExecOptions};
 pub use graph::Graph;
 pub use hash::{Fingerprint, Hasher128};
+pub use runner::{
+    run_task, Assignment, DryRunPlan, DryRunRunner, LocalRunner, PlannedTask, TaskRunner,
+};
 pub use state::StateDb;
 pub use task::Task;

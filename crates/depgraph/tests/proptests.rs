@@ -8,7 +8,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use marshal_depgraph::{Graph, StateDb, Task};
+use marshal_depgraph::{ExecOptions, Graph, StateDb, Task};
 use marshal_qcheck::{cases, Rng};
 
 /// A random DAG as edges (child, parent) with parent < child — acyclic by
@@ -116,7 +116,11 @@ fn parallel_equals_serial() {
             g.add(t).unwrap();
         }
         let mut db = StateDb::in_memory();
-        let report = g.execute_parallel(&mut db, 4).unwrap();
+        let opts = ExecOptions {
+            threads: 4,
+            ..ExecOptions::default()
+        };
+        let report = g.execute_with(&mut db, &opts).unwrap();
         assert_eq!(report.executed.len(), n);
         assert_eq!(count.load(Ordering::SeqCst), n);
         // Parallel run records the same state a serial run would: a serial

@@ -134,6 +134,32 @@ pub enum Message {
         /// Human-readable reason.
         message: String,
     },
+    /// Execute a build task on the server (`marshal serve --exec`). The
+    /// spec is the task's opaque [`marshal_depgraph::Task::remote_spec`]
+    /// payload; the server parses it with whatever handler the daemon was
+    /// configured with and answers [`Message::ExecDone`] /
+    /// [`Message::ExecFailed`] once the build settles. Artifacts do NOT
+    /// ride this reply — the client fetches them through the ordinary
+    /// manifest/blob messages afterwards.
+    ExecTask {
+        /// The task id, for logs and error attribution.
+        task: String,
+        /// Opaque serialized task description.
+        spec: Vec<u8>,
+    },
+    /// The [`Message::ExecTask`] build completed; its artifacts are now
+    /// fetchable from this server.
+    ExecDone {
+        /// The task id echoed back.
+        task: String,
+    },
+    /// The [`Message::ExecTask`] build failed on the server.
+    ExecFailed {
+        /// The task id echoed back.
+        task: String,
+        /// The failure message.
+        message: String,
+    },
 }
 
 fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
@@ -193,6 +219,20 @@ fn encode_payload(msg: &Message) -> Vec<u8> {
         }
         Message::ErrorMsg { message } => {
             out.push(9);
+            put_bytes(&mut out, message.as_bytes());
+        }
+        Message::ExecTask { task, spec } => {
+            out.push(10);
+            put_bytes(&mut out, task.as_bytes());
+            put_bytes(&mut out, spec);
+        }
+        Message::ExecDone { task } => {
+            out.push(11);
+            put_bytes(&mut out, task.as_bytes());
+        }
+        Message::ExecFailed { task, message } => {
+            out.push(12);
+            put_bytes(&mut out, task.as_bytes());
             put_bytes(&mut out, message.as_bytes());
         }
     }
@@ -312,6 +352,21 @@ fn parse_payload(payload: &[u8]) -> Result<Message, NetError> {
             Message::Blobs { entries }
         }
         9 => Message::ErrorMsg {
+            message: String::from_utf8(c.bytes_u32()?)
+                .map_err(|_| NetError::BadFrame("non-UTF-8 error message".to_owned()))?,
+        },
+        10 => Message::ExecTask {
+            task: String::from_utf8(c.bytes_u32()?)
+                .map_err(|_| NetError::BadFrame("non-UTF-8 task id".to_owned()))?,
+            spec: c.bytes_u32()?,
+        },
+        11 => Message::ExecDone {
+            task: String::from_utf8(c.bytes_u32()?)
+                .map_err(|_| NetError::BadFrame("non-UTF-8 task id".to_owned()))?,
+        },
+        12 => Message::ExecFailed {
+            task: String::from_utf8(c.bytes_u32()?)
+                .map_err(|_| NetError::BadFrame("non-UTF-8 task id".to_owned()))?,
             message: String::from_utf8(c.bytes_u32()?)
                 .map_err(|_| NetError::BadFrame("non-UTF-8 error message".to_owned()))?,
         },
@@ -450,6 +505,17 @@ mod tests {
             },
             Message::ErrorMsg {
                 message: "no thanks".to_owned(),
+            },
+            Message::ExecTask {
+                task: "level:br-base+tools".to_owned(),
+                spec: b"marshal-level-v1\n...".to_vec(),
+            },
+            Message::ExecDone {
+                task: "level:br-base+tools".to_owned(),
+            },
+            Message::ExecFailed {
+                task: "level:br-base+tools".to_owned(),
+                message: "distro build failed".to_owned(),
             },
         ]
     }

@@ -174,6 +174,9 @@ fn dead_daemon_degrades_to_local_build() {
             keep_going: false,
             jobs: None,
             remote: Some(dead_addr),
+            runners: None,
+            dry_run: false,
+            progress: false,
         },
     };
     let (code, log) = cli::run_command(&args, setup.board, setup.search);
