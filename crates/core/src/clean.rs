@@ -1,11 +1,13 @@
 //! The `clean` command: remove a workload's artifacts and build state.
 
 use std::collections::BTreeSet;
+use std::path::Path;
 
 use marshal_config::{expand_jobs, resolve_workload};
 use marshal_depgraph::Fingerprint;
 
 use crate::build::Builder;
+use crate::checkpoint::CheckpointStore;
 use crate::error::MarshalError;
 use crate::imagestore::ImageStore;
 
@@ -28,6 +30,14 @@ pub struct CleanReport {
     pub runs_pruned: usize,
     /// Bytes reclaimed by pruning old run journals.
     pub run_bytes_reclaimed: u64,
+    /// Boot checkpoints pruned from `workdir/checkpoints/` because their
+    /// boot binary or disk image no longer exists as a built artifact.
+    pub checkpoints_pruned: usize,
+    /// Bytes reclaimed by pruning stale boot checkpoints.
+    pub checkpoint_bytes_reclaimed: u64,
+    /// When checkpoint pruning was deferred because a live launch holds an
+    /// advisory pin on the checkpoint directory, the human-readable reason.
+    pub checkpoint_prune_skipped: Option<String>,
 }
 
 /// How many journal runs `clean` keeps when `--keep-runs` is not given.
@@ -99,7 +109,104 @@ pub fn clean_workload_with(
     let (runs_pruned, run_bytes) = prune_runs(builder.workdir(), keep_runs);
     report.runs_pruned = runs_pruned;
     report.run_bytes_reclaimed = run_bytes;
+    let (ckpts, ckpt_bytes, ckpt_skipped) = prune_checkpoints(builder.workdir());
+    report.checkpoints_pruned = ckpts;
+    report.checkpoint_bytes_reclaimed = ckpt_bytes;
+    report.checkpoint_prune_skipped = ckpt_skipped;
     Ok(report)
+}
+
+/// Every boot-binary and disk-image fingerprint still reachable from a
+/// built artifact under `workdir/images/` — the live set for checkpoint
+/// pruning. Artifacts that no longer parse contribute nothing (their
+/// checkpoints are stale by definition: a launch would fail before ever
+/// looking one up).
+fn live_artifact_fingerprints(workdir: &Path) -> (BTreeSet<Fingerprint>, BTreeSet<Fingerprint>) {
+    let mut boots = BTreeSet::new();
+    let mut disks = BTreeSet::new();
+    collect_artifact_fingerprints(&workdir.join("images"), &mut boots, &mut disks);
+    (boots, disks)
+}
+
+fn collect_artifact_fingerprints(
+    dir: &Path,
+    boots: &mut BTreeSet<Fingerprint>,
+    disks: &mut BTreeSet<Fingerprint>,
+) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.filter_map(Result::ok) {
+        let path = entry.path();
+        if path.is_dir() {
+            // Qualified job names nest (`workload/job`), so recurse.
+            collect_artifact_fingerprints(&path, boots, disks);
+            continue;
+        }
+        match path.file_name().and_then(|n| n.to_str()) {
+            Some("boot.bin") => {
+                if let Ok(bytes) = std::fs::read(&path) {
+                    if let Ok(boot) = marshal_firmware::BootBinary::from_bytes(&bytes) {
+                        boots.insert(boot.fingerprint());
+                    }
+                }
+            }
+            Some("rootfs.img") => {
+                if let Ok(bytes) = std::fs::read(&path) {
+                    if let Ok(img) = marshal_image::FsImage::from_bytes(&bytes) {
+                        disks.insert(img.fingerprint());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Deletes every boot checkpoint in `workdir/checkpoints/` whose boot
+/// binary (or disk image) is no longer a built artifact of any workload;
+/// returns (checkpoints removed, bytes reclaimed, deferred-reason).
+///
+/// Mirrors the blob-pool prune's pin semantics: while a live launch holds
+/// an advisory pin on the checkpoint directory, pruning is deferred
+/// entirely — a launch that just decided to restore a checkpoint must
+/// never have it deleted out from under it.
+fn prune_checkpoints(workdir: &Path) -> (usize, u64, Option<String>) {
+    let store = CheckpointStore::new(workdir);
+    let entries = store.list();
+    if entries.is_empty() {
+        return (0, 0, None);
+    }
+    let pins = crate::imagestore::scan_pool_pins(store.dir());
+    if !pins.live.is_empty() {
+        return (
+            0,
+            0,
+            Some(format!(
+                "{} live launch pin(s) on the checkpoint store ({}); rerun clean once \
+                 those launches finish",
+                pins.live.len(),
+                pins.live.join(", ")
+            )),
+        );
+    }
+    let (boots, disks) = live_artifact_fingerprints(workdir);
+    let mut pruned = 0usize;
+    let mut bytes = 0u64;
+    for entry in entries {
+        let live =
+            boots.contains(&entry.boot_fp) && entry.disk_fp.is_none_or(|fp| disks.contains(&fp));
+        if live {
+            continue;
+        }
+        let reclaimed = store.remove(entry.key);
+        if reclaimed > 0 {
+            pruned += 1;
+            bytes += reclaimed;
+        }
+    }
+    let _ = std::fs::remove_dir(store.dir());
+    (pruned, bytes, None)
 }
 
 /// Removes the oldest journal run directories under `workdir/runs/` until
@@ -420,6 +527,93 @@ mod tests {
         let report = clean_workload(&mut builder, "w.json").unwrap();
         assert!(report.prune_skipped.is_none());
         assert!(report.blobs_pruned > 0, "now unreferenced blobs go");
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    fn snapshot() -> marshal_sim_functional::BootSnapshot {
+        marshal_sim_functional::BootSnapshot {
+            serial: "[boot]\n".to_owned(),
+            image: marshal_image::FsImage::new(),
+            cycles: 1,
+            instructions: 0,
+            last_exit: 0,
+            switch_root_target: None,
+            systemd: false,
+        }
+    }
+
+    fn boot_fp_of(builder: &Builder, qualified: &str) -> Fingerprint {
+        let bytes = std::fs::read(builder.image_dir(qualified).join("boot.bin")).unwrap();
+        marshal_firmware::BootBinary::from_bytes(&bytes)
+            .unwrap()
+            .fingerprint()
+    }
+
+    #[test]
+    fn clean_prunes_stale_checkpoints_but_keeps_reachable_ones() {
+        let dir = tmpdir("ckpt");
+        let mut search = SearchPath::new();
+        search.add_builtin(
+            "a.json",
+            r#"{"name":"a","distro":"buildroot","command":"echo a"}"#,
+        );
+        search.add_builtin(
+            "b.json",
+            r#"{"name":"b","distro":"buildroot","command":"echo b"}"#,
+        );
+        let mut builder = Builder::new(Board::minimal("t"), search, dir.join("work")).unwrap();
+        builder.build("a.json", &BuildOptions::default()).unwrap();
+        builder.build("b.json", &BuildOptions::default()).unwrap();
+
+        let store = CheckpointStore::new(builder.workdir());
+        let live_fp = boot_fp_of(&builder, "a");
+        let live_key = crate::checkpoint::checkpoint_key(Fingerprint::of(b"cfg"), live_fp, None);
+        store.save(live_key, live_fp, None, &snapshot()).unwrap();
+        let stale_fp = Fingerprint::of(b"no such artifact");
+        let stale_key = crate::checkpoint::checkpoint_key(Fingerprint::of(b"cfg"), stale_fp, None);
+        store.save(stale_key, stale_fp, None, &snapshot()).unwrap();
+
+        // Cleaning `b` leaves `a`'s artifacts — and so its checkpoint.
+        let report = clean_workload(&mut builder, "b.json").unwrap();
+        assert_eq!(report.checkpoints_pruned, 1, "only the orphan goes");
+        assert!(report.checkpoint_bytes_reclaimed > 0);
+        assert!(store.path_for(live_key).exists());
+        assert!(!store.path_for(stale_key).exists());
+
+        // Cleaning `a` removes its artifacts, orphaning its checkpoint.
+        let report = clean_workload(&mut builder, "a.json").unwrap();
+        assert_eq!(report.checkpoints_pruned, 1);
+        assert!(!store.path_for(live_key).exists());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_prune_deferred_while_launch_pinned() {
+        let dir = tmpdir("ckptpin");
+        let mut search = SearchPath::new();
+        search.add_builtin(
+            "w.json",
+            r#"{"name":"w","distro":"buildroot","command":"echo"}"#,
+        );
+        let mut builder = Builder::new(Board::minimal("t"), search, dir.join("work")).unwrap();
+        builder.build("w.json", &BuildOptions::default()).unwrap();
+        let store = CheckpointStore::new(builder.workdir());
+        let stale_fp = Fingerprint::of(b"orphan");
+        let key = crate::checkpoint::checkpoint_key(Fingerprint::of(b"cfg"), stale_fp, None);
+        store.save(key, stale_fp, None, &snapshot()).unwrap();
+
+        // A live launch pins the checkpoint store: pruning defers.
+        let pin = crate::imagestore::PoolPin::acquire(store.dir()).unwrap();
+        let report = clean_workload(&mut builder, "w.json").unwrap();
+        assert!(report.checkpoint_prune_skipped.is_some());
+        assert_eq!(report.checkpoints_pruned, 0);
+        assert!(store.path_for(key).exists());
+
+        // Pin released: the orphan goes.
+        drop(pin);
+        let report = clean_workload(&mut builder, "w.json").unwrap();
+        assert!(report.checkpoint_prune_skipped.is_none());
+        assert_eq!(report.checkpoints_pruned, 1);
         std::fs::remove_dir_all(dir).unwrap();
     }
 

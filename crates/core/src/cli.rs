@@ -91,6 +91,8 @@ pub enum Command {
         sim: Option<String>,
         /// Hardware configuration name for the cycle-exact backend.
         hw: Option<String>,
+        /// Disable boot checkpointing (`--no-checkpoint`).
+        no_checkpoint: bool,
     },
     /// `cosim [--sim A,B] [--hw CONFIG] [--timeout-insts N] [--inject-divergence] <workload>`.
     Cosim {
@@ -105,6 +107,8 @@ pub enum Command {
         /// Self-test: corrupt one byte of the second backend's serial
         /// output to prove the checker catches it.
         inject_divergence: bool,
+        /// Disable boot checkpointing (`--no-checkpoint`).
+        no_checkpoint: bool,
     },
     /// `test [--manual DIR] [--timeout-insts N] [-j N] <workload>`.
     Test {
@@ -119,6 +123,8 @@ pub enum Command {
         jobs: Option<usize>,
         /// Runner pool for the build phase (`--runners`).
         runners: Option<String>,
+        /// Disable boot checkpointing (`--no-checkpoint`).
+        no_checkpoint: bool,
     },
     /// `install [--hw CONFIG] [--sim CONNECTOR] <workload>`.
     Install {
@@ -203,18 +209,24 @@ pub const USAGE: &str = "usage: marshal [-d DIR]... [--workdir DIR] [-v] <build|
                                   --progress renders a live one-line status on
                                   stderr while the build runs
   launch  [--job NAME] [--sim BACKEND] [--hw CONFIG] [--timeout-insts N]
+          [--no-checkpoint]
                                   launch the workload on a simulator backend
                                   (qemu/spike/rtl; default: the workload's own choice);
                                   --hw picks the rtl hardware config;
                                   --timeout-insts bounds guest instructions before the
-                                  watchdog kills a hung payload (exit code 124)
+                                  watchdog kills a hung payload (exit code 124);
+                                  repeated launches restore a verified boot checkpoint
+                                  instead of re-running the boot; --no-checkpoint
+                                  always boots cold and writes no snapshot
   cosim   [--sim A,B] [--hw CONFIG] [--timeout-insts N] [--inject-divergence]
+          [--no-checkpoint]
                                   run two backends on the identical artifacts in
                                   lockstep and diff canonical uartlogs, exit codes,
                                   and outputs (default pair: qemu,rtl);
                                   --inject-divergence corrupts one output byte as a
                                   checker self-test (must exit nonzero)
   test    [--manual DIR] [--timeout-insts N] [-j N] [--runners LIST]
+          [--no-checkpoint]
                                   compare outputs against a reference (build+launch, or a prior run dir)
   install [--hw CONFIG] [--sim C] [--remote HOST:PORT] [--runners LIST]
                                   generate RTL simulator configuration (firesim/vcs/verilator)
@@ -301,10 +313,12 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, MarshalError> {
     let mut export: Option<String> = None;
     let mut summary = false;
     let mut last = false;
+    let mut no_checkpoint = false;
     let mut workload = None;
     while let Some(a) = it.next() {
         match a.as_str() {
             "--no-disk" => no_disk = true,
+            "--no-checkpoint" => no_checkpoint = true,
             "--force" => force = true,
             "--keep-going" => keep_going = true,
             "--dry-run" => dry_run = true,
@@ -427,6 +441,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, MarshalError> {
             timeout_insts,
             sim,
             hw,
+            no_checkpoint,
         },
         "cosim" => Command::Cosim {
             workload: need_workload()?,
@@ -434,6 +449,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, MarshalError> {
             timeout_insts,
             hw,
             inject_divergence,
+            no_checkpoint,
         },
         "test" => Command::Test {
             workload: need_workload()?,
@@ -441,6 +457,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, MarshalError> {
             timeout_insts,
             jobs,
             runners,
+            no_checkpoint,
         },
         "install" => Command::Install {
             workload: need_workload()?,
@@ -678,6 +695,7 @@ fn dispatch(args: &CliArgs, builder: &mut Builder, rec: &Recorder) -> (i32, Vec<
             timeout_insts,
             sim,
             hw,
+            no_checkpoint,
         } => {
             if let Some(name) = sim {
                 if resolve_backend(name).is_none() {
@@ -705,6 +723,7 @@ fn dispatch(args: &CliArgs, builder: &mut Builder, rec: &Recorder) -> (i32, Vec<
                 timeout_insts: *timeout_insts,
                 sim: sim.clone(),
                 hw: hw_config,
+                no_checkpoint: *no_checkpoint,
             };
             match job {
                 Some(job_name) => {
@@ -778,11 +797,14 @@ fn dispatch(args: &CliArgs, builder: &mut Builder, rec: &Recorder) -> (i32, Vec<
             timeout_insts,
             hw,
             inject_divergence,
+            no_checkpoint,
         } => {
             let mut opts = CosimOptions {
                 timeout_insts: *timeout_insts,
                 inject_divergence: *inject_divergence,
                 recorder: rec.clone(),
+                checkpoints: (!*no_checkpoint)
+                    .then(|| crate::checkpoint::CheckpointStore::new(builder.workdir())),
                 ..CosimOptions::default()
             };
             if let Some(pair) = sim {
@@ -819,6 +841,7 @@ fn dispatch(args: &CliArgs, builder: &mut Builder, rec: &Recorder) -> (i32, Vec<
             match cosim_workload(&products, &opts) {
                 Ok(report) => {
                     for job in &report.jobs {
+                        render_warnings(&mut log, rec, &mut seen, &job.warnings);
                         match &job.divergence {
                             None => log.push(format!(
                                 "job `{}`: {} and {} agree ({} vs {} instructions)",
@@ -863,6 +886,7 @@ fn dispatch(args: &CliArgs, builder: &mut Builder, rec: &Recorder) -> (i32, Vec<
             timeout_insts,
             jobs,
             runners,
+            no_checkpoint,
         } => {
             let build_opts = BuildOptions {
                 jobs: *jobs,
@@ -905,6 +929,7 @@ fn dispatch(args: &CliArgs, builder: &mut Builder, rec: &Recorder) -> (i32, Vec<
                     &build_opts,
                     &LaunchOptions {
                         timeout_insts: *timeout_insts,
+                        no_checkpoint: *no_checkpoint,
                         ..LaunchOptions::default()
                     },
                 )
@@ -1015,6 +1040,15 @@ fn dispatch(args: &CliArgs, builder: &mut Builder, rec: &Recorder) -> (i32, Vec<
                         "pruned {} old run journal(s) ({} bytes reclaimed)",
                         report.runs_pruned, report.run_bytes_reclaimed
                     ));
+                }
+                if report.checkpoints_pruned > 0 {
+                    log.push(format!(
+                        "pruned {} stale boot checkpoint(s) ({} bytes reclaimed)",
+                        report.checkpoints_pruned, report.checkpoint_bytes_reclaimed
+                    ));
+                }
+                if let Some(reason) = &report.checkpoint_prune_skipped {
+                    log.push(format!("note: checkpoint pruning deferred: {reason}"));
                 }
                 (0, log)
             }
@@ -1333,7 +1367,8 @@ mod tests {
                 job: None,
                 timeout_insts: Some(5000),
                 sim: None,
-                hw: None
+                hw: None,
+                no_checkpoint: false
             }
         );
         let args = parse(&["test", "--timeout-insts", "9", "w.json"]).unwrap();
@@ -1372,7 +1407,8 @@ mod tests {
                 job: Some("client".into()),
                 timeout_insts: None,
                 sim: None,
-                hw: None
+                hw: None,
+                no_checkpoint: false
             }
         );
     }
@@ -1393,6 +1429,34 @@ mod tests {
     }
 
     #[test]
+    fn parse_no_checkpoint() {
+        let args = parse(&["launch", "--no-checkpoint", "w.json"]).unwrap();
+        assert!(matches!(
+            args.command,
+            Command::Launch {
+                no_checkpoint: true,
+                ..
+            }
+        ));
+        let args = parse(&["cosim", "--no-checkpoint", "w.json"]).unwrap();
+        assert!(matches!(
+            args.command,
+            Command::Cosim {
+                no_checkpoint: true,
+                ..
+            }
+        ));
+        let args = parse(&["test", "--no-checkpoint", "w.json"]).unwrap();
+        assert!(matches!(
+            args.command,
+            Command::Test {
+                no_checkpoint: true,
+                ..
+            }
+        ));
+    }
+
+    #[test]
     fn parse_cosim() {
         let args = parse(&["cosim", "w.json"]).unwrap();
         assert_eq!(
@@ -1402,7 +1466,8 @@ mod tests {
                 sim: None,
                 timeout_insts: None,
                 hw: None,
-                inject_divergence: false
+                inject_divergence: false,
+                no_checkpoint: false
             }
         );
         let args = parse(&[
@@ -1420,7 +1485,8 @@ mod tests {
                 sim: Some("qemu,spike".into()),
                 timeout_insts: None,
                 hw: None,
-                inject_divergence: true
+                inject_divergence: true,
+                no_checkpoint: false
             }
         );
         assert!(parse(&["cosim"]).is_err());

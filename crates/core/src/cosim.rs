@@ -23,10 +23,12 @@ use marshal_sim_rtl::HardwareConfig;
 use marshal_trace::Recorder;
 
 use crate::build::{BuildProducts, JobArtifacts};
+use crate::checkpoint::CheckpointStore;
 use crate::error::MarshalError;
-use crate::launch::load_artifacts;
+use crate::launch::{load_artifacts, run_checkpointed};
 use crate::simulator::{simulator_for, BackendOptions};
 use crate::test::clean_output;
+use crate::warnings::Warning;
 
 /// Options for `cosim`.
 #[derive(Debug, Clone)]
@@ -43,6 +45,10 @@ pub struct CosimOptions {
     pub inject_divergence: bool,
     /// Run-journal recorder; each backend observation records a `sim` span.
     pub recorder: Recorder,
+    /// Boot-checkpoint store. When set, each backend restores (or writes)
+    /// its own boot checkpoint — keyed per backend configuration, so the
+    /// two sides never share a snapshot. `None` always boots cold.
+    pub checkpoints: Option<CheckpointStore>,
 }
 
 impl Default for CosimOptions {
@@ -55,6 +61,7 @@ impl Default for CosimOptions {
             hw: None,
             inject_divergence: false,
             recorder: Recorder::disabled(),
+            checkpoints: None,
         }
     }
 }
@@ -78,6 +85,9 @@ pub struct BackendBehaviour {
     /// Declared `outputs` files extracted from the final image,
     /// path → contents.
     pub outputs: BTreeMap<String, Vec<u8>>,
+    /// Non-fatal diagnostics from this observation (e.g. a corrupt boot
+    /// checkpoint that forced a cold boot).
+    pub warnings: Vec<Warning>,
 }
 
 /// The first point where two backends' behaviour differs.
@@ -153,6 +163,8 @@ pub struct JobCosim {
     pub instructions: (u64, u64),
     /// The first divergence, if any.
     pub divergence: Option<Divergence>,
+    /// Non-fatal diagnostics from both backends, in observation order.
+    pub warnings: Vec<Warning>,
 }
 
 impl JobCosim {
@@ -198,15 +210,22 @@ pub fn observe_backend(
     let backend = simulator_for(backend_name, &job.spec, &backend_opts)?;
     let loaded = load_artifacts(job)?;
     let span = opts.recorder.sim_span(backend.name(), &job.name);
-    let run = backend.run(&loaded, LaunchMode::Run);
+    let run = run_checkpointed(
+        backend.as_ref(),
+        &loaded,
+        LaunchMode::Run,
+        opts.checkpoints.as_ref(),
+        &job.name,
+        &opts.recorder,
+    );
     match &run {
-        Ok(r) => span.end_with(&[
+        Ok((r, _)) => span.end_with(&[
             ("outcome", if r.result.timed_out { "timeout" } else { "ok" }),
             ("instructions", &r.result.instructions.to_string()),
         ]),
         Err(_) => span.end_with(&[("outcome", "error")]),
     }
-    let run = run?;
+    let (run, warnings) = run?;
     let outputs = gather_outputs(run.result.image.as_ref(), &job.spec.outputs);
     Ok(BackendBehaviour {
         backend: backend.name().to_owned(),
@@ -216,6 +235,7 @@ pub fn observe_backend(
         instructions: run.result.instructions,
         timed_out: run.result.timed_out,
         outputs,
+        warnings,
     })
 }
 
@@ -338,11 +358,14 @@ pub fn cosim_job(job: &JobArtifacts, opts: &CosimOptions) -> Result<JobCosim, Ma
     if opts.inject_divergence {
         inject_single_byte_divergence(&mut b);
     }
+    let mut warnings = a.warnings.clone();
+    warnings.extend(b.warnings.iter().cloned());
     Ok(JobCosim {
         job: job.name.clone(),
         backends: (a.backend.clone(), b.backend.clone()),
         instructions: (a.instructions, b.instructions),
         divergence: compare_behaviour(&a, &b),
+        warnings,
     })
 }
 
@@ -379,6 +402,7 @@ mod tests {
             instructions: 0,
             timed_out: false,
             outputs: BTreeMap::new(),
+            warnings: Vec::new(),
         }
     }
 

@@ -10,13 +10,17 @@ use std::path::PathBuf;
 
 use marshal_firmware::BootBinary;
 use marshal_image::FsImage;
+use marshal_sim_functional::LaunchMode;
 use marshal_sim_rtl::HardwareConfig;
+use marshal_trace::Recorder;
 
 use crate::build::{BuildProducts, Builder, JobArtifacts, JobKind};
+use crate::checkpoint::{checkpoint_key, CheckpointLoad, CheckpointStore};
 use crate::error::MarshalError;
+use crate::imagestore::PoolPin;
 use crate::output::{collect_outputs, load_hook_script, run_post_hook};
-use crate::simulator::{default_backend, simulator_for, BackendOptions, SimRun};
-use crate::warnings::Warning;
+use crate::simulator::{default_backend, simulator_for, BackendOptions, SimRun, Simulator};
+use crate::warnings::{Severity, Warning};
 
 /// Options for the `launch` command.
 #[derive(Debug, Clone, Default)]
@@ -30,6 +34,10 @@ pub struct LaunchOptions {
     pub sim: Option<String>,
     /// Hardware configuration for the cycle-exact backend (`--hw`).
     pub hw: Option<HardwareConfig>,
+    /// Disable boot checkpointing (`--no-checkpoint`): always boot cold
+    /// and never write a snapshot. The escape hatch when a checkpoint is
+    /// suspected of masking a boot-path change.
+    pub no_checkpoint: bool,
 }
 
 impl LaunchOptions {
@@ -121,6 +129,82 @@ pub enum LoadedJob {
     },
 }
 
+/// Runs loaded artifacts through a backend with boot checkpointing: a
+/// verified checkpoint for the (backend config, boot, disk) key skips the
+/// boot phase; an eligible cold boot writes a fresh checkpoint for later
+/// launches. With `store` = `None` (or for bare jobs) this is exactly
+/// [`Simulator::run`].
+///
+/// Checkpoint damage is never fatal — a corrupt file is quarantined, the
+/// boot runs cold, and the returned warnings say so. At worst a checkpoint
+/// costs one cold boot; it can never change an answer.
+///
+/// # Errors
+///
+/// Simulation errors ([`MarshalError::Sim`]), exactly as an uncheckpointed
+/// run would report them.
+pub fn run_checkpointed(
+    backend: &dyn Simulator,
+    loaded: &LoadedJob,
+    mode: LaunchMode,
+    store: Option<&CheckpointStore>,
+    context: &str,
+    rec: &Recorder,
+) -> Result<(SimRun, Vec<Warning>), MarshalError> {
+    let (Some(store), LoadedJob::Linux { boot, disk }, LaunchMode::Run) = (store, loaded, mode)
+    else {
+        return Ok((backend.run(loaded, mode)?, Vec::new()));
+    };
+    let boot_fp = boot.fingerprint();
+    let disk_fp = disk.as_ref().map(FsImage::fingerprint);
+    let key = checkpoint_key(backend.config_fingerprint(), boot_fp, disk_fp);
+    let key_text = key.to_string();
+    let mut warnings = Vec::new();
+    let span = rec.span(
+        "checkpoint-restore",
+        &[("key", &key_text), ("job", context)],
+    );
+    let (resume, outcome) = match store.load(key) {
+        CheckpointLoad::Hit(snap) => (Some(snap), "hit"),
+        CheckpointLoad::Miss => (None, "miss"),
+        CheckpointLoad::Corrupt {
+            quarantined,
+            detail,
+        } => {
+            warnings.push(
+                Warning::with_code(
+                    context.to_owned(),
+                    format!(
+                        "boot checkpoint failed verification ({detail}); quarantined to {} \
+                         and booting cold",
+                        quarantined.display()
+                    ),
+                    "checkpoint-corrupt",
+                )
+                .severity(Severity::Degraded),
+            );
+            (None, "corrupt")
+        }
+    };
+    span.end_with(&[("outcome", outcome)]);
+    rec.instant(
+        &format!("checkpoint-{outcome}"),
+        &[("key", &key_text), ("job", context)],
+    );
+    let (run, captured) = backend.run_resumed(loaded, mode, resume.as_ref())?;
+    if let Some(snap) = &captured {
+        match store.save(key, boot_fp, disk_fp, snap) {
+            Ok(()) => rec.instant("checkpoint-saved", &[("key", &key_text), ("job", context)]),
+            Err(e) => warnings.push(Warning::with_code(
+                context.to_owned(),
+                format!("boot checkpoint not saved: {e}"),
+                "checkpoint-write-failed",
+            )),
+        }
+    }
+    Ok((run, warnings))
+}
+
 /// Runs one job on the backend `opts.sim` names (the workload's default
 /// backend when unset), with `opts.timeout_insts` overriding the guest
 /// watchdog's instruction budget.
@@ -129,13 +213,35 @@ pub enum LoadedJob {
 ///
 /// Unknown backend names, simulation errors, and artifact errors.
 pub fn simulate_job(job: &JobArtifacts, opts: &LaunchOptions) -> Result<SimRun, MarshalError> {
+    simulate_job_with(job, opts, None, &Recorder::disabled()).map(|(run, _)| run)
+}
+
+/// [`simulate_job`] with an optional checkpoint store and a recorder for
+/// checkpoint hit/miss instants.
+///
+/// # Errors
+///
+/// See [`simulate_job`].
+pub fn simulate_job_with(
+    job: &JobArtifacts,
+    opts: &LaunchOptions,
+    store: Option<&CheckpointStore>,
+    rec: &Recorder,
+) -> Result<(SimRun, Vec<Warning>), MarshalError> {
     let loaded = load_artifacts(job)?;
     let backend_name = opts
         .sim
         .as_deref()
         .unwrap_or_else(|| default_backend(&job.spec));
     let backend = simulator_for(backend_name, &job.spec, &opts.backend_options())?;
-    backend.run(&loaded, marshal_sim_functional::LaunchMode::Run)
+    run_checkpointed(
+        backend.as_ref(),
+        &loaded,
+        LaunchMode::Run,
+        store,
+        &job.name,
+        rec,
+    )
 }
 
 /// Launches one job of a built workload and collects its outputs.
@@ -161,10 +267,14 @@ pub fn launch_job(
         .as_deref()
         .unwrap_or_else(|| default_backend(&job.spec))
         .to_owned();
+    let store = (!opts.no_checkpoint).then(|| CheckpointStore::new(builder.workdir()));
+    // Pin the checkpoint directory while this launch may read or write it,
+    // so a concurrent `marshal clean` defers pruning (blob-pool semantics).
+    let _pin = store.as_ref().and_then(|s| PoolPin::acquire(s.dir()).ok());
     let span = rec.sim_span(&backend_name, &job.name);
-    let run = simulate_job(job, opts);
+    let run = simulate_job_with(job, opts, store.as_ref(), rec);
     match &run {
-        Ok(r) => span.end_with(&[
+        Ok((r, _)) => span.end_with(&[
             ("outcome", if r.result.timed_out { "timeout" } else { "ok" }),
             ("exit_code", &r.result.exit_code.to_string()),
             ("instructions", &r.result.instructions.to_string()),
@@ -172,13 +282,12 @@ pub fn launch_job(
         ]),
         Err(_) => span.end_with(&[("outcome", "error")]),
     }
-    let run = run?;
+    let (run, mut warnings) = run?;
     let result = run.result;
     if result.timed_out {
         rec.watchdog_fired(&job.name, result.instructions);
     }
     let job_dir = builder.run_dir(&products.workload).join(&job.name);
-    let mut warnings = Vec::new();
     if result.timed_out {
         // The watchdog killed the guest mid-run: salvage what it produced
         // (uartlog always, declared outputs when they exist) instead of

@@ -39,6 +39,7 @@
 
 pub mod board;
 pub mod build;
+pub mod checkpoint;
 pub mod clean;
 pub mod cli;
 pub mod connector;
@@ -58,6 +59,7 @@ pub mod warnings;
 
 pub use board::Board;
 pub use build::{BuildOptions, BuildProducts, Builder, JobArtifacts, JobKind};
+pub use checkpoint::{checkpoint_key, CheckpointLoad, CheckpointStore};
 pub use clean::{prune_runs, CleanReport, DEFAULT_KEEP_RUNS};
 pub use cosim::{CosimOptions, CosimReport, Divergence};
 pub use error::MarshalError;

@@ -16,7 +16,8 @@
 //! lockstep over identical artifacts to diff their behaviour.
 
 use marshal_config::WorkloadSpec;
-use marshal_sim_functional::{LaunchMode, Qemu, SimResult, Spike};
+use marshal_depgraph::{Fingerprint, Hasher128};
+use marshal_sim_functional::{BootSnapshot, LaunchMode, Qemu, SimConfig, SimResult, Spike};
 use marshal_sim_rtl::{FireSim, HardwareConfig, PerfReport};
 
 use crate::error::MarshalError;
@@ -57,6 +58,47 @@ pub trait Simulator: Send + Sync {
     ///
     /// Simulation errors ([`MarshalError::Sim`]).
     fn run(&self, job: &LoadedJob, mode: LaunchMode) -> Result<SimRun, MarshalError>;
+
+    /// A stable fingerprint of every configuration knob that can change
+    /// what a boot produces on this backend (binary features, extra
+    /// arguments, instruction budget, hardware configuration). Part of the
+    /// boot-checkpoint key: the same artifacts booted under a different
+    /// configuration must never share a snapshot. Over-keying is safe (at
+    /// worst a redundant cold boot); under-keying is not.
+    fn config_fingerprint(&self) -> Fingerprint;
+
+    /// [`Simulator::run`] with boot checkpointing: when `resume` is given
+    /// (and the job is an eligible Linux `Run`), the boot phase is skipped
+    /// by restoring the snapshot; on an eligible cold boot the returned
+    /// snapshot captures the post-init state for later reuse. Bare jobs
+    /// and ineligible modes run cold and return `None`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run`].
+    fn run_resumed(
+        &self,
+        job: &LoadedJob,
+        mode: LaunchMode,
+        resume: Option<&BootSnapshot>,
+    ) -> Result<(SimRun, Option<BootSnapshot>), MarshalError> {
+        let _ = resume;
+        Ok((self.run(job, mode)?, None))
+    }
+}
+
+/// Folds the common [`SimConfig`] knobs into a backend fingerprint.
+fn hash_sim_config(h: &mut Hasher128, cfg: &SimConfig) {
+    h.update_field(cfg.kind.name().as_bytes());
+    h.update_u64(cfg.max_instructions);
+    h.update_u64(cfg.features.len() as u64);
+    for f in &cfg.features {
+        h.update_field(f.as_bytes());
+    }
+    h.update_u64(cfg.extra_args.len() as u64);
+    for a in &cfg.extra_args {
+        h.update_field(a.as_bytes());
+    }
 }
 
 /// Construction options shared by every backend.
@@ -114,6 +156,36 @@ impl Simulator for QemuSim {
             report: None,
         })
     }
+
+    fn config_fingerprint(&self) -> Fingerprint {
+        let mut h = Hasher128::new();
+        h.update_field(b"qemu");
+        hash_sim_config(&mut h, self.qemu.config());
+        h.finish()
+    }
+
+    fn run_resumed(
+        &self,
+        job: &LoadedJob,
+        mode: LaunchMode,
+        resume: Option<&BootSnapshot>,
+    ) -> Result<(SimRun, Option<BootSnapshot>), MarshalError> {
+        match job {
+            LoadedJob::Linux { boot, disk } => {
+                let (result, captured) =
+                    self.qemu
+                        .launch_checkpointed(boot, disk.as_ref(), mode, resume)?;
+                Ok((
+                    SimRun {
+                        result,
+                        report: None,
+                    },
+                    captured,
+                ))
+            }
+            LoadedJob::Bare { .. } => Ok((self.run(job, mode)?, None)),
+        }
+    }
 }
 
 /// The Spike-like functional backend, including custom golden-model
@@ -160,6 +232,37 @@ impl Simulator for SpikeSim {
             result,
             report: None,
         })
+    }
+
+    fn config_fingerprint(&self) -> Fingerprint {
+        let mut h = Hasher128::new();
+        h.update_field(b"spike");
+        h.update_field(self.spike.binary().as_bytes());
+        hash_sim_config(&mut h, self.spike.config());
+        h.finish()
+    }
+
+    fn run_resumed(
+        &self,
+        job: &LoadedJob,
+        mode: LaunchMode,
+        resume: Option<&BootSnapshot>,
+    ) -> Result<(SimRun, Option<BootSnapshot>), MarshalError> {
+        match job {
+            LoadedJob::Linux { boot, disk } => {
+                let (result, captured) =
+                    self.spike
+                        .launch_checkpointed(boot, disk.as_ref(), mode, resume)?;
+                Ok((
+                    SimRun {
+                        result,
+                        report: None,
+                    },
+                    captured,
+                ))
+            }
+            LoadedJob::Bare { .. } => Ok((self.run(job, mode)?, None)),
+        }
     }
 }
 
@@ -232,6 +335,39 @@ impl Simulator for RtlSim {
             result,
             report: Some(report),
         })
+    }
+
+    fn config_fingerprint(&self) -> Fingerprint {
+        let mut h = Hasher128::new();
+        h.update_field(b"rtl");
+        // The hardware name covers core/bpred/cache/remote choices; the
+        // derived SimConfig covers the budget and `+config=` argument.
+        h.update_field(self.sim.hardware().name.as_bytes());
+        hash_sim_config(&mut h, &self.sim.sim_config());
+        h.finish()
+    }
+
+    fn run_resumed(
+        &self,
+        job: &LoadedJob,
+        mode: LaunchMode,
+        resume: Option<&BootSnapshot>,
+    ) -> Result<(SimRun, Option<BootSnapshot>), MarshalError> {
+        match job {
+            LoadedJob::Linux { boot, disk } => {
+                let (result, report, captured) =
+                    self.sim
+                        .launch_checkpointed(boot, disk.as_ref(), mode, resume)?;
+                Ok((
+                    SimRun {
+                        result,
+                        report: Some(report),
+                    },
+                    captured,
+                ))
+            }
+            LoadedJob::Bare { .. } => Ok((self.run(job, mode)?, None)),
+        }
     }
 }
 
@@ -370,6 +506,66 @@ mod tests {
         );
         assert!(rtl.features().is_empty());
         assert_eq!(rtl.fire_sim().hardware().name, "boom-tage");
+    }
+
+    #[test]
+    fn config_fingerprints_distinguish_backends_and_knobs() {
+        let s = spec();
+        let opts = BackendOptions::default();
+        let fps: Vec<Fingerprint> = simulator_names()
+            .iter()
+            .map(|n| simulator_for(n, &s, &opts).unwrap().config_fingerprint())
+            .collect();
+        for (i, a) in fps.iter().enumerate() {
+            for b in &fps[i + 1..] {
+                assert_ne!(a, b, "backends must not share a checkpoint key");
+            }
+        }
+        // Stable across construction.
+        let again = simulator_for("qemu", &s, &opts)
+            .unwrap()
+            .config_fingerprint();
+        assert_eq!(fps[0], again);
+        // Budget changes the key.
+        let budget = BackendOptions {
+            timeout_insts: Some(12_345),
+            ..Default::default()
+        };
+        assert_ne!(
+            fps[0],
+            simulator_for("qemu", &s, &budget)
+                .unwrap()
+                .config_fingerprint()
+        );
+        // A custom golden-model binary changes the key.
+        let mut pfa = spec();
+        pfa.spike = Some("pfa-spike".to_owned());
+        assert_ne!(
+            fps[1],
+            simulator_for("spike", &pfa, &opts)
+                .unwrap()
+                .config_fingerprint()
+        );
+        // Hardware configuration changes the RTL key.
+        let hw = BackendOptions {
+            hw: Some(HardwareConfig::boom_tage()),
+            ..Default::default()
+        };
+        assert_ne!(
+            fps[2],
+            simulator_for("rtl", &s, &hw).unwrap().config_fingerprint()
+        );
+    }
+
+    #[test]
+    fn run_resumed_default_matches_run_for_bare_jobs() {
+        let s = spec();
+        let backend = simulator_for("qemu", &s, &BackendOptions::default()).unwrap();
+        let job = LoadedJob::Bare { bin: Vec::new() };
+        // Bare jobs never produce or consume snapshots; both paths agree
+        // on the error for a non-MEXE binary.
+        assert!(backend.run(&job, LaunchMode::Run).is_err());
+        assert!(backend.run_resumed(&job, LaunchMode::Run, None).is_err());
     }
 
     #[test]

@@ -208,6 +208,24 @@ impl Cpu {
         let pc = self.pc;
         let word = bus.fetch(pc)?;
         let inst = decode(word).map_err(|e| Trap::IllegalInstruction { word: e.word, pc })?;
+        self.exec_decoded(bus, inst)
+    }
+
+    /// Executes an already-decoded instruction as if it had just been fetched
+    /// from the current PC.
+    ///
+    /// This is the entire post-decode half of [`Cpu::step`]; the predecoded
+    /// instruction cache ([`crate::predecode::DecodeCache`]) dispatches
+    /// through it so cached and uncached execution retire bit-identical
+    /// [`Retired`] records. The caller must guarantee `inst` is the decoding
+    /// of the word currently stored at `self.pc`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] exactly as [`Cpu::step`] would for the same
+    /// instruction (PC left unchanged on trap).
+    pub fn exec_decoded<B: Bus>(&mut self, bus: &mut B, inst: Inst) -> Result<StepOutcome, Trap> {
+        let pc = self.pc;
         let mut next_pc = pc.wrapping_add(4);
         let kind = match inst {
             Inst::Lui { rd, imm } => {

@@ -57,8 +57,10 @@ pub mod inst;
 pub mod interp;
 pub mod mem;
 pub mod mexe;
+pub mod predecode;
 
 pub use asm::{assemble, AsmError};
 pub use inst::{Inst, Reg};
 pub use interp::{Cpu, StepOutcome, Trap};
 pub use mexe::MexeFile;
+pub use predecode::DecodeCache;

@@ -155,6 +155,177 @@ impl Bus for FlatMemory {
     }
 }
 
+/// Writable byte memory, as seen by program loaders ([`crate::MexeFile`]).
+///
+/// Both [`FlatMemory`] and [`PagedMemory`] implement it, so loaders work
+/// against either backing.
+pub trait MemWrite {
+    /// Copies `bytes` into memory starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::StoreFault`] if the range is not fully mapped.
+    fn write_bytes(&mut self, addr: u64, bytes: &[u8]) -> Result<(), Trap>;
+}
+
+impl MemWrite for FlatMemory {
+    fn write_bytes(&mut self, addr: u64, bytes: &[u8]) -> Result<(), Trap> {
+        FlatMemory::write_bytes(self, addr, bytes)
+    }
+}
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
+
+/// A sparse, demand-paged RAM: address space is reserved up front, but a
+/// 4 KiB page is only allocated (zeroed) on its first store.
+///
+/// [`FlatMemory`] zeroes its whole range at construction, which makes it
+/// the wrong backing for short-lived address spaces: every guest `exec`
+/// would pay a multi-megabyte memset for a program that touches a few
+/// pages. `PagedMemory` makes construction O(pages-table) and each launch
+/// pays only for the pages it actually dirties; unallocated pages read as
+/// zero, exactly like the flat backing.
+///
+/// ```rust
+/// use marshal_isa::mem::{Bus, PagedMemory};
+/// let mut m = PagedMemory::new(8 << 20);
+/// assert_eq!(m.load(0x10_0000, 8).unwrap(), 0); // untouched reads zero
+/// m.store(0x10_0000, 8, 0xdead_beef).unwrap();
+/// assert_eq!(m.load(0x10_0000, 8).unwrap(), 0xdead_beef);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PagedMemory {
+    base: u64,
+    size: usize,
+    pages: Vec<Option<Box<[u8; PAGE_BYTES]>>>,
+}
+
+impl PagedMemory {
+    /// Creates a memory of `size` bytes based at address 0.
+    pub fn new(size: usize) -> PagedMemory {
+        PagedMemory::with_base(0, size)
+    }
+
+    /// Creates a memory of `size` bytes based at `base`.
+    pub fn with_base(base: u64, size: usize) -> PagedMemory {
+        let mut pages = Vec::new();
+        pages.resize_with(size.div_ceil(PAGE_BYTES), || None);
+        PagedMemory { base, size, pages }
+    }
+
+    /// The base address of the mapped range.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The size of the mapped range in bytes.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The number of pages actually allocated so far.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Whether `[addr, addr+len)` lies entirely within this memory.
+    pub fn contains(&self, addr: u64, len: usize) -> bool {
+        addr >= self.base && addr.saturating_add(len as u64) <= self.base + self.size as u64
+    }
+
+    /// Reads `len` bytes starting at `addr`; unallocated pages read zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::LoadFault`] if the range is not fully mapped.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Result<Vec<u8>, Trap> {
+        if !self.contains(addr, len) {
+            return Err(Trap::LoadFault { addr });
+        }
+        let mut out = vec![0u8; len];
+        let mut off = (addr - self.base) as usize;
+        let mut done = 0;
+        while done < len {
+            let page = off >> PAGE_SHIFT;
+            let in_page = off & (PAGE_BYTES - 1);
+            let chunk = (PAGE_BYTES - in_page).min(len - done);
+            if let Some(p) = &self.pages[page] {
+                out[done..done + chunk].copy_from_slice(&p[in_page..in_page + chunk]);
+            }
+            off += chunk;
+            done += chunk;
+        }
+        Ok(out)
+    }
+
+    fn page_mut(&mut self, index: usize) -> &mut [u8; PAGE_BYTES] {
+        self.pages[index].get_or_insert_with(|| Box::new([0u8; PAGE_BYTES]))
+    }
+}
+
+impl MemWrite for PagedMemory {
+    fn write_bytes(&mut self, addr: u64, bytes: &[u8]) -> Result<(), Trap> {
+        if !self.contains(addr, bytes.len()) {
+            return Err(Trap::StoreFault { addr });
+        }
+        let mut off = (addr - self.base) as usize;
+        let mut done = 0;
+        while done < bytes.len() {
+            let page = off >> PAGE_SHIFT;
+            let in_page = off & (PAGE_BYTES - 1);
+            let chunk = (PAGE_BYTES - in_page).min(bytes.len() - done);
+            self.page_mut(page)[in_page..in_page + chunk]
+                .copy_from_slice(&bytes[done..done + chunk]);
+            off += chunk;
+            done += chunk;
+        }
+        Ok(())
+    }
+}
+
+impl Bus for PagedMemory {
+    fn load(&mut self, addr: u64, size: usize) -> Result<u64, Trap> {
+        if !self.contains(addr, size) {
+            return Err(Trap::LoadFault { addr });
+        }
+        let off = (addr - self.base) as usize;
+        let in_page = off & (PAGE_BYTES - 1);
+        let mut v = 0u64;
+        if in_page + size <= PAGE_BYTES {
+            // Fast path: a naturally-aligned access never crosses a page.
+            if let Some(p) = &self.pages[off >> PAGE_SHIFT] {
+                for (i, b) in p[in_page..in_page + size].iter().enumerate() {
+                    v |= (*b as u64) << (8 * i);
+                }
+            }
+        } else {
+            for (i, b) in self.read_bytes(addr, size)?.iter().enumerate() {
+                v |= (*b as u64) << (8 * i);
+            }
+        }
+        Ok(v)
+    }
+
+    fn store(&mut self, addr: u64, size: usize, value: u64) -> Result<(), Trap> {
+        if !self.contains(addr, size) {
+            return Err(Trap::StoreFault { addr });
+        }
+        let off = (addr - self.base) as usize;
+        let in_page = off & (PAGE_BYTES - 1);
+        if in_page + size <= PAGE_BYTES {
+            let p = self.page_mut(off >> PAGE_SHIFT);
+            for i in 0..size {
+                p[in_page + i] = (value >> (8 * i)) as u8;
+            }
+            Ok(())
+        } else {
+            let bytes: Vec<u8> = (0..size).map(|i| (value >> (8 * i)) as u8).collect();
+            self.write_bytes(addr, &bytes)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,5 +363,61 @@ mod tests {
             Err(Trap::FetchFault { addr }) => assert_eq!(addr, 1024),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn paged_matches_flat_for_every_access_shape() {
+        let mut flat = FlatMemory::with_base(0x1000, 3 * PAGE_BYTES);
+        let mut paged = PagedMemory::with_base(0x1000, 3 * PAGE_BYTES);
+        // Writes at page starts, ends, and straddling both boundaries.
+        let probes: &[(u64, usize, u64)] = &[
+            (0x1000, 8, 0x0102_0304_0506_0708),
+            (0x1000 + PAGE_BYTES as u64 - 4, 8, 0xdead_beef_cafe_f00d), // page straddle
+            (0x1000 + 2 * PAGE_BYTES as u64 - 1, 2, 0xbeef),            // page straddle
+            (0x1000 + PAGE_BYTES as u64, 1, 0xff),
+        ];
+        for &(addr, size, value) in probes {
+            flat.store(addr, size, value).unwrap();
+            paged.store(addr, size, value).unwrap();
+        }
+        for &(addr, size, _) in probes {
+            assert_eq!(
+                flat.load(addr, size).unwrap(),
+                paged.load(addr, size).unwrap()
+            );
+        }
+        // Untouched memory reads zero on both.
+        assert_eq!(paged.load(0x1000 + 64, 8).unwrap(), 0);
+        assert_eq!(flat.load(0x1000 + 64, 8).unwrap(), 0);
+        // Out-of-range faults agree.
+        assert!(paged.load(0x0, 4).is_err());
+        assert!(paged
+            .store(0x1000 + 3 * PAGE_BYTES as u64 - 2, 4, 0)
+            .is_err());
+    }
+
+    #[test]
+    fn paged_is_demand_allocated() {
+        let mut m = PagedMemory::new(8 << 20);
+        assert_eq!(m.resident_pages(), 0);
+        m.store(0, 8, 1).unwrap();
+        m.store((4 << 20) + 7, 1, 2).unwrap();
+        assert_eq!(m.resident_pages(), 2);
+        // Reads never allocate.
+        assert_eq!(m.load(1 << 20, 8).unwrap(), 0);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn paged_bulk_writes_cross_pages() {
+        let mut m = PagedMemory::new(4 * PAGE_BYTES);
+        let data: Vec<u8> = (0..(PAGE_BYTES + 512)).map(|i| (i % 251) as u8).collect();
+        m.write_bytes(PAGE_BYTES as u64 - 100, &data).unwrap();
+        assert_eq!(
+            m.read_bytes(PAGE_BYTES as u64 - 100, data.len()).unwrap(),
+            data
+        );
+        assert!(m.write_bytes(4 * PAGE_BYTES as u64 - 1, &[0, 0]).is_err());
+        assert!(m.read_bytes(4 * PAGE_BYTES as u64, 1).is_err());
     }
 }

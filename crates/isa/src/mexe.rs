@@ -19,7 +19,6 @@
 
 use std::collections::BTreeMap;
 
-use crate::mem::FlatMemory;
 use crate::Trap;
 
 /// Format magic bytes.
@@ -120,7 +119,7 @@ impl MexeFile {
     /// # Errors
     ///
     /// Returns a [`Trap`] if any segment falls outside the memory range.
-    pub fn load_into(&self, mem: &mut FlatMemory) -> Result<(), Trap> {
+    pub fn load_into<M: crate::mem::MemWrite>(&self, mem: &mut M) -> Result<(), Trap> {
         for seg in &self.segments {
             mem.write_bytes(seg.vaddr, &seg.data)?;
         }
@@ -222,6 +221,7 @@ impl<'a> Cursor<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mem::FlatMemory;
 
     fn sample() -> MexeFile {
         let mut f = MexeFile::new(0x1_0000);

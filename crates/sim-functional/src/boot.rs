@@ -11,6 +11,7 @@ use marshal_firmware::BootBinary;
 use marshal_image::{initsys, FsImage};
 use marshal_isa::MexeFile;
 
+use crate::checkpoint::BootSnapshot;
 use crate::guest::{Executor, GuestEnv, GuestOs};
 use crate::machine::{LaunchMode, SimConfig, SimError, SimResult, WATCHDOG_EXIT_CODE};
 use crate::syscall::{OsServices, UserRunner};
@@ -43,6 +44,59 @@ pub fn simulate_linux<E: Executor>(
     mode: LaunchMode,
     exec: &mut E,
 ) -> Result<SimResult, SimError> {
+    let (os, systemd) = boot_linux(cfg, boot, disk, exec)?;
+    run_payload(cfg, os, systemd, mode, exec)
+}
+
+/// [`simulate_linux`] with boot checkpointing.
+///
+/// With `resume = Some(snapshot)` (and [`LaunchMode::Run`]) the entire boot
+/// phase is skipped: the OS is rebuilt from the snapshot and only the
+/// payload phase executes — `boot` and `disk` are not consulted at all.
+///
+/// On a cold run the boot state is captured at the payload seam and
+/// returned alongside the result, but only when the boot phase retired zero
+/// user instructions: a boot that executed guest binaries (init scripts
+/// exec-ing programs, a still-pending `guest-init`) would have warmed the
+/// cycle-exact simulator's timing pipeline, and restoring past it could
+/// change modelled time. Refusing to capture keeps restores bit-exact by
+/// construction. [`LaunchMode::GuestInit`] runs never capture or resume —
+/// their purpose is the boot itself.
+///
+/// # Errors
+///
+/// Exactly those of [`simulate_linux`].
+pub fn simulate_linux_checkpointed<E: Executor>(
+    cfg: &SimConfig,
+    boot: &BootBinary,
+    disk: Option<&FsImage>,
+    mode: LaunchMode,
+    exec: &mut E,
+    resume: Option<&BootSnapshot>,
+) -> Result<(SimResult, Option<BootSnapshot>), SimError> {
+    let resume = resume.filter(|_| matches!(mode, LaunchMode::Run));
+    let (os, systemd) = match resume {
+        Some(snap) => (GuestOs::from_snapshot(snap, cfg), snap.systemd),
+        None => boot_linux(cfg, boot, disk, exec)?,
+    };
+    let captured = if resume.is_none() && matches!(mode, LaunchMode::Run) && os.instructions == 0 {
+        Some(os.snapshot(systemd))
+    } else {
+        None
+    };
+    let result = run_payload(cfg, os, systemd, mode, exec)?;
+    Ok((result, captured))
+}
+
+/// The boot phase: firmware → kernel → initramfs → root mount → init
+/// system → (pending) guest-init. Returns the OS at the payload seam and
+/// the detected-systemd flag.
+fn boot_linux<E: Executor>(
+    cfg: &SimConfig,
+    boot: &BootBinary,
+    disk: Option<&FsImage>,
+    exec: &mut E,
+) -> Result<(GuestOs, bool), SimError> {
     // --- Simulator banner -------------------------------------------------
     let mut preboot = Vec::new();
     let args = if cfg.extra_args.is_empty() {
@@ -173,6 +227,17 @@ pub fn simulate_linux<E: Executor>(
         os.serial_line("firemarshal: guest-init complete");
     }
 
+    Ok((os, systemd))
+}
+
+/// The payload phase: everything after the post-init seam.
+fn run_payload<E: Executor>(
+    cfg: &SimConfig,
+    mut os: GuestOs,
+    systemd: bool,
+    mode: LaunchMode,
+    exec: &mut E,
+) -> Result<SimResult, SimError> {
     // --- Workload payload ----------------------------------------------------
     // Boot problems (init scripts, guest-init) stay hard errors: a broken
     // image is a build defect, not a hung workload. Only the payload phase

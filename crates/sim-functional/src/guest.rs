@@ -11,6 +11,7 @@ use marshal_image::FsImage;
 use marshal_isa::MexeFile;
 use marshal_script::{Extern, ExternResult, Interp, Value};
 
+use crate::checkpoint::BootSnapshot;
 use crate::machine::{SimConfig, SimError, SimKind};
 use crate::syscall::{OsServices, UserRunner};
 
@@ -101,6 +102,40 @@ impl GuestOs {
     /// The serial log so far.
     pub fn serial(&self) -> &str {
         &self.serial
+    }
+
+    /// Captures the complete observable OS state as a [`BootSnapshot`].
+    ///
+    /// `systemd` is the init-system flag the boot phase computed; it rides
+    /// along so a restored payload phase prints the identical console
+    /// lines. The image clone is O(1) (copy-on-write).
+    pub fn snapshot(&self, systemd: bool) -> BootSnapshot {
+        BootSnapshot {
+            serial: self.serial.clone(),
+            image: self.image.clone(),
+            cycles: self.cycles,
+            instructions: self.instructions,
+            last_exit: self.last_exit,
+            switch_root_target: self.switch_root_target.clone(),
+            systemd,
+        }
+    }
+
+    /// Rebuilds the OS exactly as it was when `snap` was captured.
+    ///
+    /// `cfg` must describe the same simulator configuration the snapshot
+    /// was taken under (the checkpoint store keys snapshots by it).
+    pub fn from_snapshot(snap: &BootSnapshot, cfg: &SimConfig) -> GuestOs {
+        GuestOs {
+            image: snap.image.clone(),
+            serial: snap.serial.clone(),
+            cycles: snap.cycles,
+            instructions: snap.instructions,
+            kind: cfg.kind,
+            max_instructions: cfg.max_instructions,
+            last_exit: snap.last_exit,
+            switch_root_target: snap.switch_root_target.clone(),
+        }
     }
 
     /// Takes the serial log out of the OS.

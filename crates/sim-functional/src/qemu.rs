@@ -3,7 +3,8 @@
 use marshal_firmware::BootBinary;
 use marshal_image::FsImage;
 
-use crate::boot::{simulate_bare, simulate_linux};
+use crate::boot::{simulate_bare, simulate_linux, simulate_linux_checkpointed};
+use crate::checkpoint::BootSnapshot;
 use crate::guest::FunctionalExecutor;
 use crate::machine::{LaunchMode, SimConfig, SimError, SimKind, SimResult};
 
@@ -79,6 +80,23 @@ impl Qemu {
     ) -> Result<SimResult, SimError> {
         let mut exec = FunctionalExecutor;
         simulate_linux(&self.config, boot, disk, mode, &mut exec)
+    }
+
+    /// [`Qemu::launch`] with boot checkpointing: resumes from `resume` when
+    /// given, and returns a capturable boot snapshot on an eligible cold run.
+    ///
+    /// # Errors
+    ///
+    /// See [`simulate_linux_checkpointed`].
+    pub fn launch_checkpointed(
+        &self,
+        boot: &BootBinary,
+        disk: Option<&FsImage>,
+        mode: LaunchMode,
+        resume: Option<&BootSnapshot>,
+    ) -> Result<(SimResult, Option<BootSnapshot>), SimError> {
+        let mut exec = FunctionalExecutor;
+        simulate_linux_checkpointed(&self.config, boot, disk, mode, &mut exec, resume)
     }
 
     /// Runs a bare-metal binary.

@@ -9,8 +9,9 @@
 use std::collections::BTreeMap;
 
 use marshal_isa::abi::{self, fd, flags, sys};
-use marshal_isa::interp::{Cpu, Retired, StepOutcome};
-use marshal_isa::mem::{Bus, FlatMemory};
+use marshal_isa::interp::{Cpu, RetireKind, Retired, StepOutcome};
+use marshal_isa::mem::{Bus, PagedMemory};
+use marshal_isa::predecode::DecodeCache;
 use marshal_isa::{MexeFile, Reg, Trap};
 
 use crate::machine::SimError;
@@ -54,8 +55,8 @@ struct OpenFile {
 /// and (on bare-metal machines) a memory-mapped UART.
 #[derive(Debug)]
 pub struct UserBus {
-    local: FlatMemory,
-    remote: Option<FlatMemory>,
+    local: PagedMemory,
+    remote: Option<PagedMemory>,
     uart_enabled: bool,
     uart_tx: Vec<u8>,
 }
@@ -63,7 +64,7 @@ pub struct UserBus {
 impl UserBus {
     fn new() -> UserBus {
         UserBus {
-            local: FlatMemory::with_base(0, abi::USER_MEM_SIZE),
+            local: PagedMemory::with_base(0, abi::USER_MEM_SIZE),
             remote: None,
             uart_enabled: false,
             uart_tx: Vec::new(),
@@ -89,7 +90,7 @@ impl UserBus {
         if self.remote.is_some() || pages == 0 || pages * PAGE_SIZE > REMOTE_MAX {
             return None;
         }
-        self.remote = Some(FlatMemory::with_base(
+        self.remote = Some(PagedMemory::with_base(
             REMOTE_BASE,
             (pages * PAGE_SIZE) as usize,
         ));
@@ -102,7 +103,7 @@ impl UserBus {
     }
 
     /// The local memory (for loaders and argument setup).
-    pub fn local_mut(&mut self) -> &mut FlatMemory {
+    pub fn local_mut(&mut self) -> &mut PagedMemory {
         &mut self.local
     }
 }
@@ -156,6 +157,9 @@ pub struct UserRunner {
     pub cpu: Cpu,
     /// The user address space.
     pub bus: UserBus,
+    /// Predecoded instruction cache: every guest-memory write below goes
+    /// through an invalidation so self-modifying code stays correct.
+    dcache: DecodeCache,
     args: Vec<String>,
     files: BTreeMap<u64, OpenFile>,
     next_fd: u64,
@@ -177,6 +181,7 @@ impl UserRunner {
         Ok(UserRunner {
             cpu,
             bus,
+            dcache: DecodeCache::new(),
             args: args.to_vec(),
             files: BTreeMap::new(),
             next_fd: fd::FIRST_OPEN,
@@ -199,14 +204,20 @@ impl UserRunner {
         if let Some(code) = self.exited {
             return Ok(UserStep::Exited(code));
         }
-        let step = self.cpu.step(&mut self.bus);
+        let step = self.dcache.step(&mut self.cpu, &mut self.bus);
         // Forward MMIO UART traffic to the console as it happens.
         if !self.bus.uart_tx.is_empty() {
             let bytes = self.bus.drain_uart();
             os.serial_write(&bytes);
         }
         match step {
-            Ok(StepOutcome::Retired(r)) => Ok(UserStep::Retired(r)),
+            Ok(StepOutcome::Retired(r)) => {
+                if let RetireKind::Store { addr } = r.kind {
+                    // A naturally-aligned store touches one page at most.
+                    self.dcache.invalidate(addr);
+                }
+                Ok(UserStep::Retired(r))
+            }
             Ok(StepOutcome::Ecall) => {
                 let sys = self.cpu.read_reg(Reg::A7);
                 self.handle_syscall(sys, os)?;
@@ -279,6 +290,8 @@ impl UserRunner {
                 .store(addr + i as u64, 1, *b as u64)
                 .map_err(|t| SimError::Trap(t.to_string()))?;
         }
+        // Syscalls (READ, ARGV) write behind the interpreter's back.
+        self.dcache.invalidate_range(addr, bytes.len());
         Ok(())
     }
 
@@ -418,7 +431,15 @@ impl UserRunner {
                     None => u64::MAX,
                 }
             }
-            sys::MMAP_REMOTE => self.bus.map_remote(a0).unwrap_or(u64::MAX),
+            sys::MMAP_REMOTE => match self.bus.map_remote(a0) {
+                Some(base) => {
+                    // The window was previously unmapped: drop any pages
+                    // predecoded while fetches there still faulted.
+                    self.dcache.clear();
+                    base
+                }
+                None => u64::MAX,
+            },
             sys::TRACE => {
                 os.serial_write(format!("[trace] marker {a0}\n").as_bytes());
                 0

@@ -9,7 +9,8 @@
 use marshal_firmware::BootBinary;
 use marshal_image::FsImage;
 use marshal_isa::MexeFile;
-use marshal_sim_functional::boot::simulate_linux;
+use marshal_sim_functional::boot::{simulate_linux, simulate_linux_checkpointed};
+use marshal_sim_functional::checkpoint::BootSnapshot;
 use marshal_sim_functional::guest::{Executor, GuestOs};
 use marshal_sim_functional::machine::{LaunchMode, SimConfig, SimError, SimKind, SimResult};
 use marshal_sim_functional::syscall::{OsServices, UserRunner, UserStep};
@@ -204,7 +205,9 @@ impl FireSim {
         &self.hw
     }
 
-    fn sim_config(&self) -> SimConfig {
+    /// The simulator configuration this instance boots with (derived from
+    /// the hardware configuration and instruction budget).
+    pub fn sim_config(&self) -> SimConfig {
         let mut cfg = SimConfig::new(SimKind::CycleExact);
         cfg.max_instructions = self.max_instructions;
         cfg.extra_args.push(format!("+config={}", self.hw.name));
@@ -240,6 +243,30 @@ impl FireSim {
         let mut exec = TimedExecutor::new(&self.hw);
         let result = simulate_linux(&cfg, boot, disk, mode, &mut exec)?;
         Ok((result, self.report(&exec)))
+    }
+
+    /// [`FireSim::launch`] with boot checkpointing.
+    ///
+    /// Restoring is cycle-exact because snapshots are only captured when
+    /// the boot retired zero user instructions — the pipeline is cold at
+    /// the seam either way (see
+    /// [`simulate_linux_checkpointed`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FireSim::launch`].
+    pub fn launch_checkpointed(
+        &self,
+        boot: &BootBinary,
+        disk: Option<&FsImage>,
+        mode: LaunchMode,
+        resume: Option<&BootSnapshot>,
+    ) -> Result<(SimResult, PerfReport, Option<BootSnapshot>), SimError> {
+        let cfg = self.sim_config();
+        let mut exec = TimedExecutor::new(&self.hw);
+        let (result, captured) =
+            simulate_linux_checkpointed(&cfg, boot, disk, mode, &mut exec, resume)?;
+        Ok((result, self.report(&exec), captured))
     }
 
     /// Runs a bare-metal binary cycle-exactly.

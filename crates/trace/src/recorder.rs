@@ -5,11 +5,15 @@
 //! check — no channel send, no allocation, no clock read — so instrumented
 //! hot paths cost nothing when tracing is off. Enabled recorders stamp a
 //! monotonic timestamp and a journal-local thread id, then push the event
-//! over an mpsc channel; the writer thread assigns sequence numbers,
-//! seals each line with its checksum, and appends to
-//! `workdir/runs/<run-id>/journal.jsonl`, flushing per event so a crash
-//! loses at most the line being written (which the reader then discards as
-//! a torn tail).
+//! into a mutex-buffered queue *without waking the writer* — a per-event
+//! wakeup costs the instrumented thread a cross-thread context switch,
+//! which measurably dominates journal overhead on fast launch loops. The
+//! writer thread polls the queue on a short timeout, assigns sequence
+//! numbers, seals each line with its checksum, and appends to
+//! `workdir/runs/<run-id>/journal.jsonl`, flushing once per drained batch;
+//! a crash loses at most the last poll interval's events (and the reader
+//! discards a torn tail line). [`Recorder::finish`] drains everything
+//! before returning, so completed runs are always whole.
 //!
 //! While a run is live, the recorder holds a pid pin under
 //! `workdir/runs/.pins/` — the same advisory-pin mechanism the blob pool
@@ -20,10 +24,9 @@ use std::cell::Cell;
 use std::fs::OpenOptions;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use crate::record::{Args, Record, RecordKind};
 
@@ -49,6 +52,7 @@ fn local_tid() -> u64 {
 /// Distinguishes concurrent recorders in one process (pin files, run ids).
 static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
 
+#[derive(Debug)]
 enum Wire {
     Event {
         t_us: u64,
@@ -58,9 +62,26 @@ enum Wire {
     Shutdown,
 }
 
+/// How long queued events may sit before the polling writer persists them —
+/// the journal's crash-durability window.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// The sender/writer hand-off: senders push under the lock and return
+/// immediately (no wakeup); the writer drains on [`POLL_INTERVAL`] polls.
+/// The condvar is only signalled for shutdown, so the instrumented hot
+/// path never pays a cross-thread wake.
+#[derive(Debug)]
+struct Queue {
+    buf: Mutex<Vec<Wire>>,
+    cv: Condvar,
+    /// Set by the writer after an I/O error (or exit), so senders stop
+    /// queueing into a buffer nobody will ever drain.
+    dead: AtomicBool,
+}
+
 #[derive(Debug)]
 struct Inner {
-    tx: Sender<Wire>,
+    queue: Arc<Queue>,
     epoch: Instant,
     next_span: AtomicU64,
     events_sent: AtomicU64,
@@ -68,6 +89,24 @@ struct Inner {
     run_dir: PathBuf,
     pin_path: PathBuf,
     writer: Mutex<Option<std::thread::JoinHandle<u64>>>,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        // Last handle gone without finish(): tell the writer to drain and
+        // exit rather than poll forever.
+        self.queue.push(Wire::Shutdown);
+        self.queue.cv.notify_one();
+    }
+}
+
+impl Queue {
+    fn push(&self, msg: Wire) {
+        if self.dead.load(Ordering::Relaxed) {
+            return;
+        }
+        self.buf.lock().expect("journal queue poisoned").push(msg);
+    }
 }
 
 /// What [`Recorder::finish`] reports about a completed journal.
@@ -136,28 +175,49 @@ impl Recorder {
         std::fs::write(&pin_path, pid.to_string())
             .map_err(|e| format!("write {}: {e}", pin_path.display()))?;
 
-        let (tx, rx) = channel::<Wire>();
+        let queue = Arc::new(Queue {
+            buf: Mutex::new(Vec::new()),
+            cv: Condvar::new(),
+            dead: AtomicBool::new(false),
+        });
+        let wq = Arc::clone(&queue);
         let writer = std::thread::spawn(move || {
             let mut out = std::io::BufWriter::new(file);
             let mut seq = 0u64;
-            while let Ok(msg) = rx.recv() {
-                let Wire::Event { t_us, tid, kind } = msg else {
-                    break;
+            'drain: loop {
+                let batch = {
+                    let mut buf = wq.buf.lock().expect("journal queue poisoned");
+                    while buf.is_empty() {
+                        let (guard, _) = wq
+                            .cv
+                            .wait_timeout(buf, POLL_INTERVAL)
+                            .expect("journal queue poisoned");
+                        buf = guard;
+                    }
+                    std::mem::take(&mut *buf)
                 };
-                let rec = Record {
-                    seq,
-                    t_us,
-                    tid,
-                    kind,
-                };
-                seq += 1;
-                let line = rec.encode();
-                // Per-event flush: a crash costs at most the torn line the
-                // reader will discard, never silently buffered history.
-                if writeln!(out, "{line}").is_err() || out.flush().is_err() {
+                for msg in batch {
+                    let Wire::Event { t_us, tid, kind } = msg else {
+                        break 'drain;
+                    };
+                    let rec = Record {
+                        seq,
+                        t_us,
+                        tid,
+                        kind,
+                    };
+                    seq += 1;
+                    let line = rec.encode();
+                    if writeln!(out, "{line}").is_err() {
+                        break 'drain;
+                    }
+                }
+                if out.flush().is_err() {
                     break;
                 }
             }
+            wq.dead.store(true, Ordering::Relaxed);
+            let _ = out.flush();
             seq
         });
 
@@ -170,7 +230,7 @@ impl Recorder {
         }
         let rec = Recorder {
             inner: Some(Arc::new(Inner {
-                tx,
+                queue,
                 epoch: Instant::now(),
                 next_span: AtomicU64::new(1),
                 events_sent: AtomicU64::new(0),
@@ -216,7 +276,9 @@ impl Recorder {
         };
         let t_us = inner.epoch.elapsed().as_micros() as u64;
         inner.events_sent.fetch_add(1, Ordering::Relaxed);
-        let _ = inner.tx.send(Wire::Event {
+        // Queue without signalling: the writer's poll picks it up. Waking
+        // the writer per event would cost this thread a context switch.
+        inner.queue.push(Wire::Event {
             t_us,
             tid: local_tid(),
             kind,
@@ -279,7 +341,8 @@ impl Recorder {
     pub fn finish(&self) -> Option<FinishedRun> {
         let inner = self.inner.as_ref()?;
         let handle = inner.writer.lock().expect("writer lock poisoned").take()?;
-        let _ = inner.tx.send(Wire::Shutdown);
+        inner.queue.push(Wire::Shutdown);
+        inner.queue.cv.notify_one();
         let events = handle.join().unwrap_or(0);
         let _ = std::fs::remove_file(&inner.pin_path);
         Some(FinishedRun {

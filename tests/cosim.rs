@@ -106,6 +106,7 @@ fn cli_cosim_exit_codes_follow_agreement() {
             timeout_insts: None,
             hw: None,
             inject_divergence: false,
+            no_checkpoint: false,
         },
     };
     let (code, log) = cli::run_command(&base, setup.board.clone(), setup.search.clone());
@@ -122,6 +123,7 @@ fn cli_cosim_exit_codes_follow_agreement() {
             timeout_insts: None,
             hw: None,
             inject_divergence: true,
+            no_checkpoint: false,
         },
         ..base
     };

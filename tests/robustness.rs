@@ -345,6 +345,7 @@ fn cli_launch_surfaces_timeout_exit_code() {
             timeout_insts: Some(1),
             sim: None,
             hw: None,
+            no_checkpoint: false,
         },
     };
     let (code, log) = cli::run_command(&args, setup.board, setup.search);
